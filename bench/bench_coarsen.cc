@@ -1,0 +1,78 @@
+// E10 — Coarsening (§3.3.4, GDEM/ConvMatch/GC-SNTK): training on a
+// contracted graph retains most accuracy down to small ratios while time
+// and memory shrink with the coarse node count; spectral distortion grows
+// as the ratio drops and tracks the accuracy loss; structural-equivalence
+// merging is free.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "coarsen/coarsen.h"
+#include "core/coarse_flow.h"
+#include "models/gcn.h"
+
+namespace {
+
+using sgnn::core::Dataset;
+
+const Dataset& Data() {
+  static const Dataset& d =
+      *new Dataset(sgnn::bench::MakeBenchDataset(5000, 4, 14.0, 0.9, 29));
+  return d;
+}
+
+void BM_DirectGcn(benchmark::State& state) {
+  sgnn::models::ModelResult result;
+  for (auto _ : state) {
+    result = sgnn::models::TrainGcn(Data().graph, Data().features,
+                                    Data().labels, Data().splits,
+                                    sgnn::bench::BenchTrainConfig());
+  }
+  state.counters["test_acc"] = result.report.test_accuracy;
+  state.counters["train_nodes"] = static_cast<double>(Data().num_nodes());
+}
+BENCHMARK(BM_DirectGcn)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+void BM_CoarseTrainRatio(benchmark::State& state) {
+  const double ratio = static_cast<double>(state.range(0)) / 100.0;
+  sgnn::core::CoarseTrainResult result;
+  for (auto _ : state) {
+    result = sgnn::core::TrainOnCoarseGraph(Data(), ratio,
+                                            sgnn::bench::BenchTrainConfig());
+  }
+  state.counters["test_acc"] = result.model.report.test_accuracy;
+  state.counters["train_nodes"] = static_cast<double>(result.coarse_nodes);
+  state.counters["distortion"] = result.spectral_distortion;
+}
+BENCHMARK(BM_CoarseTrainRatio)
+    ->Arg(50)->Arg(30)->Arg(10)->Arg(5)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+
+void BM_HeavyEdgeCoarsenOnly(benchmark::State& state) {
+  const double ratio = static_cast<double>(state.range(0)) / 100.0;
+  sgnn::coarsen::Coarsening c;
+  for (auto _ : state) {
+    c = sgnn::coarsen::HeavyEdgeCoarsen(Data().graph, ratio, 31);
+    benchmark::DoNotOptimize(c);
+  }
+  state.counters["coarse_nodes"] = static_cast<double>(c.num_coarse());
+  state.counters["coarse_edges"] =
+      static_cast<double>(c.coarse.num_edges());
+}
+BENCHMARK(BM_HeavyEdgeCoarsenOnly)
+    ->Arg(50)->Arg(10)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_StructuralCoarsen(benchmark::State& state) {
+  sgnn::coarsen::Coarsening c;
+  for (auto _ : state) {
+    c = sgnn::coarsen::StructuralCoarsen(Data().graph);
+    benchmark::DoNotOptimize(c);
+  }
+  state.counters["coarse_nodes"] = static_cast<double>(c.num_coarse());
+}
+BENCHMARK(BM_StructuralCoarsen)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

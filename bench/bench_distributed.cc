@@ -1,0 +1,87 @@
+// E15 — Distributed training simulation (§3.4.3): partition quality
+// translates directly into parallel speedup. Better partitions cut the
+// halo exchange, so multilevel-partitioned workers scale further before
+// the communication wall; random partitions hit it immediately. Speedup
+// can never exceed k and saturates as comm grows with k.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "core/distributed_sim.h"
+#include "partition/partition.h"
+
+namespace {
+
+using sgnn::core::DistributedCostModel;
+using sgnn::core::SimulateDistributedEpoch;
+using sgnn::graph::CsrGraph;
+
+const CsrGraph& Graph() {
+  static const CsrGraph& g = *new CsrGraph(
+      sgnn::bench::MakeBenchDataset(50000, 8, 14.0, 0.92, 51).graph);
+  return g;
+}
+
+DistributedCostModel Cost() {
+  DistributedCostModel cost;
+  cost.seconds_per_edge = 2e-8;
+  cost.seconds_per_value = 5e-9;
+  cost.round_latency_seconds = 5e-4;
+  return cost;
+}
+
+void Report(benchmark::State& state,
+            const sgnn::core::DistributedReport& report) {
+  state.counters["speedup"] = report.speedup;
+  state.counters["epoch_ms"] = report.epoch_seconds * 1e3;
+  state.counters["comm_ms"] = report.comm_seconds * 1e3;
+  state.counters["replication"] = report.replication_factor;
+}
+
+void BM_RandomPartitionScaling(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  sgnn::core::DistributedReport report;
+  for (auto _ : state) {
+    auto parts = sgnn::partition::RandomPartition(Graph(), k, 1);
+    report = SimulateDistributedEpoch(Graph(), parts, 64, Cost());
+  }
+  Report(state, report);
+}
+BENCHMARK(BM_RandomPartitionScaling)
+    ->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_MultilevelPartitionScaling(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  sgnn::core::DistributedReport report;
+  for (auto _ : state) {
+    auto parts = sgnn::partition::MultilevelPartition(
+        Graph(), k, sgnn::partition::MultilevelConfig{}, 1);
+    report = SimulateDistributedEpoch(Graph(), parts, 64, Cost());
+  }
+  Report(state, report);
+}
+BENCHMARK(BM_MultilevelPartitionScaling)
+    ->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_FeatureDimSweep(benchmark::State& state) {
+  // Wider features shift the balance toward communication: the speedup
+  // of a fixed 8-way multilevel partition falls as features grow.
+  const int64_t dim = state.range(0);
+  static const sgnn::partition::Partition& parts =
+      *new sgnn::partition::Partition(sgnn::partition::MultilevelPartition(
+          Graph(), 8, sgnn::partition::MultilevelConfig{}, 1));
+  sgnn::core::DistributedReport report;
+  for (auto _ : state) {
+    report = SimulateDistributedEpoch(Graph(), parts, dim, Cost());
+  }
+  Report(state, report);
+}
+BENCHMARK(BM_FeatureDimSweep)
+    ->Arg(16)->Arg(64)->Arg(256)->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

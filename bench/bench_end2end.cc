@@ -1,0 +1,100 @@
+// E12 — the "Table 1" analogue: the classic-scalable-GNN comparison every
+// survey the tutorial cites tabulates. All seven zoo models train on one
+// SBM; rows report accuracy, epochs, wall time, edges touched, scalars
+// moved and peak resident working set. Expected shape: comparable
+// accuracy; decoupled methods cheapest per epoch; sampled methods touch
+// the most edges; partition/sampled methods bound the resident set.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "models/cluster_gcn.h"
+#include "models/decoupled.h"
+#include "models/gcn.h"
+#include "models/graph_transformer.h"
+#include "models/sage.h"
+#include "models/saint.h"
+
+namespace {
+
+using sgnn::core::Dataset;
+using sgnn::models::ModelResult;
+
+const Dataset& Data() {
+  static const Dataset& d =
+      *new Dataset(sgnn::bench::MakeBenchDataset(20000, 5, 12.0, 0.85, 37));
+  return d;
+}
+
+sgnn::nn::TrainConfig Config() {
+  auto config = sgnn::bench::BenchTrainConfig();
+  config.epochs = 15;
+  config.patience = 10;
+  config.batch_size = 256;
+  return config;
+}
+
+void Report(benchmark::State& state, const ModelResult& result) {
+  state.counters["test_acc"] = result.report.test_accuracy;
+  state.counters["epochs"] = result.report.epochs_run;
+  state.counters["edges_touched"] =
+      static_cast<double>(result.ops.edges_touched);
+  state.counters["floats_moved"] =
+      static_cast<double>(result.ops.floats_moved);
+  state.counters["peak_resident"] =
+      static_cast<double>(result.ops.peak_resident_floats);
+}
+
+#define SGNN_E2E_BENCH(NAME, EXPR)                              \
+  void BM_##NAME(benchmark::State& state) {                     \
+    const Dataset& d = Data();                                  \
+    ModelResult result;                                         \
+    for (auto _ : state) {                                      \
+      sgnn::common::GlobalCounters().Reset();                   \
+      result = (EXPR);                                          \
+    }                                                           \
+    Report(state, result);                                      \
+  }                                                             \
+  BENCHMARK(BM_##NAME)->Iterations(1)->Unit(benchmark::kMillisecond)
+
+SGNN_E2E_BENCH(Gcn, sgnn::models::TrainGcn(d.graph, d.features, d.labels,
+                                           d.splits, Config()));
+SGNN_E2E_BENCH(Sgc, sgnn::models::TrainSgc(d.graph, d.features, d.labels,
+                                           d.splits, Config()));
+SGNN_E2E_BENCH(Appnp, sgnn::models::TrainAppnp(d.graph, d.features, d.labels,
+                                               d.splits, Config()));
+SGNN_E2E_BENCH(Pprgo, sgnn::models::TrainPprgo(d.graph, d.features, d.labels,
+                                               d.splits, Config()));
+SGNN_E2E_BENCH(Sign, sgnn::models::TrainSign(d.graph, d.features, d.labels,
+                                             d.splits, Config()));
+SGNN_E2E_BENCH(SpectralDecoupled,
+               sgnn::models::TrainSpectralDecoupled(
+                   d.graph, d.features, d.labels, d.splits, Config()));
+SGNN_E2E_BENCH(Implicit,
+               sgnn::models::TrainImplicit(d.graph, d.features, d.labels,
+                                           d.splits, Config()));
+SGNN_E2E_BENCH(Sage, sgnn::models::TrainSage(
+                         d.graph, d.features, d.labels, d.splits, Config(),
+                         sgnn::models::SageConfig{.fanouts = {10, 10}}));
+SGNN_E2E_BENCH(SageLabor,
+               sgnn::models::TrainSage(
+                   d.graph, d.features, d.labels, d.splits, Config(),
+                   sgnn::models::SageConfig{.fanouts = {10, 10},
+                                            .use_labor = true}));
+SGNN_E2E_BENCH(ClusterGcn,
+               sgnn::models::TrainClusterGcn(
+                   d.graph, d.features, d.labels, d.splits, Config(),
+                   sgnn::models::ClusterGcnConfig{.num_parts = 32,
+                                                  .parts_per_batch = 2}));
+SGNN_E2E_BENCH(Saint, sgnn::models::TrainSaint(d.graph, d.features, d.labels,
+                                               d.splits, Config()));
+SGNN_E2E_BENCH(LabelProp,
+               sgnn::models::TrainLabelProp(d.graph, d.features, d.labels,
+                                            d.splits, Config()));
+SGNN_E2E_BENCH(GraphTransformer,
+               sgnn::models::TrainGraphTransformer(
+                   d.graph, d.features, d.labels, d.splits, Config()));
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,101 @@
+// E2 — Neighbourhood explosion (§1, §3.1.3): the receptive field of
+// message passing grows near-exponentially with depth on skewed graphs;
+// fanout sampling caps the growth per level; decoupled propagation
+// removes the dependence entirely (cost is K full sweeps, receptive
+// field irrelevant to memory).
+//
+// Series reported per depth L:
+//   full_nodes     — exact L-hop receptive field of a batch of 16 seeds,
+//   sampled_nodes  — node-wise sampled input set at fanout 10,
+//   labor_nodes    — LABOR sampled input set at fanout 10,
+//   decoupled_edges — edges touched by L decoupled sweeps (batch-free).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "graph/metrics.h"
+#include "graph/propagate.h"
+#include "sampling/neighbor_sampler.h"
+
+namespace {
+
+using sgnn::graph::CsrGraph;
+using sgnn::graph::NodeId;
+
+const CsrGraph& Graph() {
+  static const CsrGraph& g =
+      *new CsrGraph(sgnn::graph::BarabasiAlbert(100000, 5, 3));
+  return g;
+}
+
+std::vector<NodeId> Seeds() {
+  std::vector<NodeId> seeds;
+  for (NodeId u = 0; u < 16; ++u) seeds.push_back(u * 37 + 1);
+  return seeds;
+}
+
+void BM_FullReceptiveField(benchmark::State& state) {
+  const int hops = static_cast<int>(state.range(0));
+  const auto seeds = Seeds();
+  int64_t nodes = 0;
+  for (auto _ : state) {
+    auto batch = sgnn::sampling::FullNeighborhood(Graph(), seeds, hops);
+    nodes = static_cast<int64_t>(batch.input_nodes().size());
+    benchmark::DoNotOptimize(nodes);
+  }
+  state.counters["input_nodes"] = static_cast<double>(nodes);
+}
+BENCHMARK(BM_FullReceptiveField)->DenseRange(1, 4)->Unit(benchmark::kMillisecond);
+
+void BM_SampledReceptiveField(benchmark::State& state) {
+  const int hops = static_cast<int>(state.range(0));
+  const auto seeds = Seeds();
+  std::vector<int> fanouts(static_cast<size_t>(hops), 10);
+  sgnn::common::Rng rng(1);
+  int64_t nodes = 0;
+  for (auto _ : state) {
+    auto batch =
+        sgnn::sampling::SampleNodeWise(Graph(), seeds, fanouts, &rng);
+    nodes = static_cast<int64_t>(batch.input_nodes().size());
+    benchmark::DoNotOptimize(nodes);
+  }
+  state.counters["input_nodes"] = static_cast<double>(nodes);
+}
+BENCHMARK(BM_SampledReceptiveField)->DenseRange(1, 6)->Unit(benchmark::kMillisecond);
+
+void BM_LaborReceptiveField(benchmark::State& state) {
+  const int hops = static_cast<int>(state.range(0));
+  const auto seeds = Seeds();
+  std::vector<int> fanouts(static_cast<size_t>(hops), 10);
+  sgnn::common::Rng rng(1);
+  int64_t nodes = 0;
+  for (auto _ : state) {
+    auto batch = sgnn::sampling::SampleLabor(Graph(), seeds, fanouts, &rng);
+    nodes = static_cast<int64_t>(batch.input_nodes().size());
+    benchmark::DoNotOptimize(nodes);
+  }
+  state.counters["input_nodes"] = static_cast<double>(nodes);
+}
+BENCHMARK(BM_LaborReceptiveField)->DenseRange(1, 6)->Unit(benchmark::kMillisecond);
+
+void BM_DecoupledSweeps(benchmark::State& state) {
+  const int hops = static_cast<int>(state.range(0));
+  sgnn::graph::Propagator prop(Graph(),
+                               sgnn::graph::Normalization::kSymmetric, true);
+  sgnn::common::Rng rng(2);
+  sgnn::tensor::Matrix x =
+      sgnn::tensor::Matrix::Gaussian(Graph().num_nodes(), 8, 0, 1, &rng);
+  uint64_t edges = 0;
+  for (auto _ : state) {
+    sgnn::common::ScopedCounterDelta scope;
+    auto z = sgnn::graph::PropagateKHops(prop, x, hops);
+    benchmark::DoNotOptimize(z);
+    edges = scope.Delta().edges_touched;
+  }
+  state.counters["edges_touched"] = static_cast<double>(edges);
+}
+BENCHMARK(BM_DecoupledSweeps)->DenseRange(1, 6)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,110 @@
+// E8 — Graph algebras / implicit GNNs (§3.2.3, EIGNN/MGNNI): a single
+// equilibrium solve sees the whole graph where K-hop propagation is
+// blind past distance K; Neumann and Picard agree at the fixed point;
+// larger scales (MGNNI) reach distant nodes in fewer iterations; solve
+// cost grows with gamma (the effective depth dial).
+
+#include <benchmark/benchmark.h>
+
+#include "algebra/implicit.h"
+#include "bench_util.h"
+#include "graph/generators.h"
+#include "tensor/ops.h"
+
+namespace {
+
+using sgnn::graph::CsrGraph;
+using sgnn::graph::Normalization;
+using sgnn::graph::Propagator;
+using sgnn::tensor::Matrix;
+
+const CsrGraph& Graph() {
+  static const CsrGraph& g = *new CsrGraph(
+      sgnn::bench::MakeBenchDataset(20000, 4, 12.0, 0.85, 21).graph);
+  return g;
+}
+
+Matrix Features() {
+  sgnn::common::Rng rng(3);
+  return Matrix::Gaussian(Graph().num_nodes(), 16, 0, 1, &rng);
+}
+
+void BM_NeumannSolve(benchmark::State& state) {
+  const double gamma = static_cast<double>(state.range(0)) / 100.0;
+  Propagator prop(Graph(), Normalization::kSymmetric, true);
+  Matrix x = Features();
+  sgnn::algebra::SolveStats stats;
+  for (auto _ : state) {
+    auto z = sgnn::algebra::NeumannSolve(prop, x, gamma, 1e-5, 2000, &stats);
+    benchmark::DoNotOptimize(z);
+  }
+  state.counters["matvecs"] = stats.iterations;
+  state.counters["converged"] = stats.converged ? 1 : 0;
+}
+BENCHMARK(BM_NeumannSolve)
+    ->Arg(30)->Arg(60)->Arg(90)->Arg(97)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_PicardSolve(benchmark::State& state) {
+  const double gamma = static_cast<double>(state.range(0)) / 100.0;
+  Propagator prop(Graph(), Normalization::kSymmetric, true);
+  Matrix x = Features();
+  sgnn::algebra::SolveStats stats;
+  for (auto _ : state) {
+    auto z = sgnn::algebra::PicardSolve(prop, x, gamma, 1e-5, 2000, &stats);
+    benchmark::DoNotOptimize(z);
+  }
+  state.counters["matvecs"] = stats.iterations;
+}
+BENCHMARK(BM_PicardSolve)
+    ->Arg(30)->Arg(60)->Arg(90)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_MultiscaleReach(benchmark::State& state) {
+  // The MGNNI receptive-field claim: at a fixed truncation budget of 10
+  // series terms, scale m advances 10*m hops, so mass reaches node 35 of
+  // a chain only for m >= 4 — the larger scale widens the receptive
+  // field without extra solver iterations.
+  const int scale = static_cast<int>(state.range(0));
+  const int n = 64;
+  CsrGraph chain = sgnn::graph::Path(n);
+  Propagator prop(chain, Normalization::kSymmetric, true);
+  Matrix x(n, 1);
+  x.at(0, 0) = 1.0f;
+  double probe_mass = 0.0;
+  for (auto _ : state) {
+    auto z = sgnn::algebra::MultiscaleImplicit(prop, x, 0.9, {scale},
+                                               /*tol=*/0.0, /*max_iters=*/10);
+    probe_mass = z.at(35, 0);
+    benchmark::DoNotOptimize(z);
+  }
+  state.counters["mass_at_node35"] = probe_mass;
+  state.counters["hops_reachable"] = 10.0 * scale;
+}
+BENCHMARK(BM_MultiscaleReach)
+    ->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ReceptiveFieldChain(benchmark::State& state) {
+  // Mass reaching the far end of a 60-node chain: equilibrium vs K-hop.
+  const int n = 60;
+  CsrGraph chain = sgnn::graph::Path(n);
+  Propagator prop(chain, Normalization::kSymmetric, true);
+  Matrix x(n, 1);
+  x.at(0, 0) = 1.0f;
+  double implicit_far = 0.0, k5_far = 0.0;
+  for (auto _ : state) {
+    auto z = sgnn::algebra::NeumannSolve(prop, x, 0.95, 1e-12, 10000);
+    auto k5 = sgnn::graph::PropagateKHops(prop, x, 5);
+    implicit_far = z.at(n - 1, 0);
+    k5_far = k5.at(n - 1, 0);
+    benchmark::DoNotOptimize(implicit_far);
+  }
+  state.counters["implicit_far_mass"] = implicit_far;
+  state.counters["k5_far_mass"] = k5_far;
+}
+BENCHMARK(BM_ReceptiveFieldChain)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

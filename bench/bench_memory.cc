@@ -1,0 +1,86 @@
+// E13 — Limited memory (§3.1.3): full-batch GCN's resident activations
+// grow linearly with the graph while mini-batch methods (Cluster-GCN,
+// GraphSAGE) keep a near-constant working set — the "GPU memory wall"
+// argument rendered in hardware-independent counters. Series: peak
+// resident scalars vs graph size per method.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "models/cluster_gcn.h"
+#include "models/gcn.h"
+#include "models/sage.h"
+
+namespace {
+
+using sgnn::core::Dataset;
+
+Dataset DataOfSize(int n) {
+  return sgnn::bench::MakeBenchDataset(static_cast<sgnn::graph::NodeId>(n),
+                                       4, 12.0, 0.85, 41);
+}
+
+sgnn::nn::TrainConfig ShortConfig() {
+  auto config = sgnn::bench::BenchTrainConfig();
+  config.epochs = 3;
+  config.patience = 3;
+  config.batch_size = 128;
+  return config;
+}
+
+void BM_FullBatchGcnMemory(benchmark::State& state) {
+  Dataset d = DataOfSize(static_cast<int>(state.range(0)));
+  sgnn::models::ModelResult result;
+  for (auto _ : state) {
+    sgnn::common::GlobalCounters().Reset();
+    result = sgnn::models::TrainGcn(d.graph, d.features, d.labels, d.splits,
+                                    ShortConfig());
+  }
+  state.counters["peak_resident"] =
+      static_cast<double>(result.ops.peak_resident_floats);
+  state.counters["nodes"] = static_cast<double>(d.num_nodes());
+}
+BENCHMARK(BM_FullBatchGcnMemory)
+    ->Arg(2000)->Arg(8000)->Arg(32000)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+
+void BM_ClusterGcnMemory(benchmark::State& state) {
+  Dataset d = DataOfSize(static_cast<int>(state.range(0)));
+  // Parts scale with the graph so batch size stays roughly constant.
+  const int parts = static_cast<int>(d.num_nodes()) / 1000;
+  sgnn::models::ModelResult result;
+  for (auto _ : state) {
+    sgnn::common::GlobalCounters().Reset();
+    result = sgnn::models::TrainClusterGcn(
+        d.graph, d.features, d.labels, d.splits, ShortConfig(),
+        sgnn::models::ClusterGcnConfig{.num_parts = parts,
+                                       .parts_per_batch = 1});
+  }
+  state.counters["peak_resident"] =
+      static_cast<double>(result.ops.peak_resident_floats);
+  state.counters["nodes"] = static_cast<double>(d.num_nodes());
+}
+BENCHMARK(BM_ClusterGcnMemory)
+    ->Arg(2000)->Arg(8000)->Arg(32000)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+
+void BM_SageMemory(benchmark::State& state) {
+  Dataset d = DataOfSize(static_cast<int>(state.range(0)));
+  sgnn::models::ModelResult result;
+  for (auto _ : state) {
+    sgnn::common::GlobalCounters().Reset();
+    result = sgnn::models::TrainSage(
+        d.graph, d.features, d.labels, d.splits, ShortConfig(),
+        sgnn::models::SageConfig{.fanouts = {10, 10}});
+  }
+  state.counters["peak_resident"] =
+      static_cast<double>(result.ops.peak_resident_floats);
+  state.counters["nodes"] = static_cast<double>(d.num_nodes());
+}
+BENCHMARK(BM_SageMemory)
+    ->Arg(2000)->Arg(8000)->Arg(32000)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

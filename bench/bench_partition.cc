@@ -1,0 +1,77 @@
+// E4 — Graph partition quality (§3.1.2): streaming partitioners (LDG,
+// Fennel) beat random on edge cut; the multilevel partitioner beats both
+// and recovers planted communities; all stay within the balance cap.
+// Series: edge_cut / comm_volume / imbalance per (method, k).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "partition/partition.h"
+
+namespace {
+
+using sgnn::graph::CsrGraph;
+using sgnn::partition::EvaluatePartition;
+using sgnn::partition::Partition;
+
+const CsrGraph& Graph() {
+  static const CsrGraph& g = *new CsrGraph(
+      sgnn::bench::MakeBenchDataset(20000, 8, 14.0, 0.9, 5).graph);
+  return g;
+}
+
+void Report(benchmark::State& state, const Partition& p) {
+  auto quality = EvaluatePartition(Graph(), p);
+  state.counters["edge_cut"] = static_cast<double>(quality.edge_cut);
+  state.counters["comm_volume"] = static_cast<double>(quality.comm_volume);
+  state.counters["imbalance"] = quality.imbalance;
+}
+
+void BM_Random(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  Partition p;
+  for (auto _ : state) {
+    p = sgnn::partition::RandomPartition(Graph(), k, 1);
+    benchmark::DoNotOptimize(p);
+  }
+  Report(state, p);
+}
+BENCHMARK(BM_Random)->Arg(2)->Arg(8)->Arg(32)->Unit(benchmark::kMillisecond);
+
+void BM_Ldg(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  Partition p;
+  for (auto _ : state) {
+    p = sgnn::partition::LdgPartition(Graph(), k, 1.1, 1);
+    benchmark::DoNotOptimize(p);
+  }
+  Report(state, p);
+}
+BENCHMARK(BM_Ldg)->Arg(2)->Arg(8)->Arg(32)->Unit(benchmark::kMillisecond);
+
+void BM_Fennel(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  Partition p;
+  for (auto _ : state) {
+    p = sgnn::partition::FennelPartition(Graph(), k, 1.5, 1);
+    benchmark::DoNotOptimize(p);
+  }
+  Report(state, p);
+}
+BENCHMARK(BM_Fennel)->Arg(2)->Arg(8)->Arg(32)->Unit(benchmark::kMillisecond);
+
+void BM_Multilevel(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  Partition p;
+  for (auto _ : state) {
+    p = sgnn::partition::MultilevelPartition(
+        Graph(), k, sgnn::partition::MultilevelConfig{}, 1);
+    benchmark::DoNotOptimize(p);
+  }
+  Report(state, p);
+}
+BENCHMARK(BM_Multilevel)->Arg(2)->Arg(8)->Arg(32)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

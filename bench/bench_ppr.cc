@@ -1,0 +1,146 @@
+// E3 — Decoupled propagation via approximate PPR (§3.1.2, APPNP/SCARA):
+// forward push touches far fewer edges than power iteration at loose
+// precision and degrades gracefully as epsilon shrinks; Monte Carlo is
+// cheapest but noisiest. Series across graph scales and r_max: edges
+// touched, fraction of the theoretical error bound used, and recall of
+// the exact top-50 PPR set (the ranking decoupled GNNs consume).
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/counters.h"
+#include "graph/generators.h"
+#include "ppr/ppr.h"
+
+namespace {
+
+using sgnn::graph::CsrGraph;
+using sgnn::graph::NodeId;
+
+constexpr double kAlpha = 0.15;
+
+const CsrGraph& GraphOfScale(int scale) {
+  static CsrGraph* graphs[32] = {};
+  if (graphs[scale] == nullptr) {
+    graphs[scale] = new CsrGraph(sgnn::graph::Rmat(
+        NodeId(1) << scale, int64_t(1) << (scale + 3),
+        sgnn::graph::RmatConfig{}, 7));
+  }
+  return *graphs[scale];
+}
+
+/// Fraction of the push guarantee actually used:
+/// max_v |pi(v) - p(v)| / (r_max * max(1, deg(v))); must stay <= 1.
+double BoundFraction(const CsrGraph& g, const std::vector<double>& exact,
+                     const sgnn::ppr::PushResult& push, double r_max) {
+  std::vector<double> approx(exact.size(), 0.0);
+  for (const auto& [v, mass] : push.estimate) approx[v] = mass;
+  double worst = 0.0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const double bound =
+        r_max * std::max<double>(1.0, static_cast<double>(g.OutDegree(v)));
+    worst = std::max(worst, std::fabs(exact[v] - approx[v]) / bound);
+  }
+  return worst;
+}
+
+/// Recall of the exact top-50 within the push estimate's top-50: the
+/// ranking quality a decoupled GNN actually consumes.
+double Top50Recall(const std::vector<double>& exact,
+                   const sgnn::ppr::PushResult& push) {
+  auto top_of = [](std::vector<std::pair<NodeId, double>> scored) {
+    std::sort(scored.begin(), scored.end(), [](const auto& a, const auto& b) {
+      return a.second > b.second;
+    });
+    if (scored.size() > 50) scored.resize(50);
+    std::vector<NodeId> ids;
+    for (const auto& [v, s] : scored) ids.push_back(v);
+    std::sort(ids.begin(), ids.end());
+    return ids;
+  };
+  std::vector<std::pair<NodeId, double>> exact_scored;
+  for (NodeId v = 0; v < exact.size(); ++v) {
+    if (exact[v] > 0) exact_scored.emplace_back(v, exact[v]);
+  }
+  const auto exact_top = top_of(std::move(exact_scored));
+  const auto push_top = top_of(push.estimate);
+  std::vector<NodeId> common;
+  std::set_intersection(exact_top.begin(), exact_top.end(), push_top.begin(),
+                        push_top.end(), std::back_inserter(common));
+  return static_cast<double>(common.size()) /
+         static_cast<double>(exact_top.size());
+}
+
+void BM_ForwardPush(benchmark::State& state) {
+  const int scale = static_cast<int>(state.range(0));
+  const double r_max = std::pow(10.0, -static_cast<double>(state.range(1)));
+  const CsrGraph& g = GraphOfScale(scale);
+  auto exact = sgnn::ppr::PowerIterationPpr(g, 0, kAlpha, 1e-12, 1000);
+  sgnn::ppr::PushResult push;
+  for (auto _ : state) {
+    push = sgnn::ppr::ForwardPush(g, 0, kAlpha, r_max);
+    benchmark::DoNotOptimize(push);
+  }
+  state.counters["edges_touched"] = static_cast<double>(push.edges_touched);
+  state.counters["graph_edges"] = static_cast<double>(g.num_edges());
+  state.counters["bound_frac"] = BoundFraction(g, exact, push, r_max);
+  state.counters["top50_recall"] = Top50Recall(exact, push);
+}
+BENCHMARK(BM_ForwardPush)
+    ->ArgsProduct({{14, 16, 18}, {4, 5, 6, 7}})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_PowerIteration(benchmark::State& state) {
+  const int scale = static_cast<int>(state.range(0));
+  const CsrGraph& g = GraphOfScale(scale);
+  uint64_t edges = 0;
+  for (auto _ : state) {
+    sgnn::common::ScopedCounterDelta scope;
+    auto pi = sgnn::ppr::PowerIterationPpr(g, 0, kAlpha, 1e-9, 1000);
+    benchmark::DoNotOptimize(pi);
+    edges = scope.Delta().edges_touched;
+  }
+  state.counters["edges_touched"] = static_cast<double>(edges);
+  state.counters["graph_edges"] = static_cast<double>(g.num_edges());
+}
+BENCHMARK(BM_PowerIteration)
+    ->Arg(14)
+    ->Arg(16)
+    ->Arg(18)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_MonteCarlo(benchmark::State& state) {
+  const int scale = 16;
+  const int64_t walks = state.range(0);
+  const CsrGraph& g = GraphOfScale(scale);
+  auto exact = sgnn::ppr::PowerIterationPpr(g, 0, kAlpha, 1e-12, 1000);
+  std::vector<double> mc;
+  for (auto _ : state) {
+    mc = sgnn::ppr::MonteCarloPpr(g, 0, kAlpha, walks, 11);
+    benchmark::DoNotOptimize(mc);
+  }
+  double err = 0.0;
+  for (size_t i = 0; i < exact.size(); ++i) err += std::fabs(exact[i] - mc[i]);
+  state.counters["l1_error"] = err;
+  state.counters["walks"] = static_cast<double>(walks);
+}
+BENCHMARK(BM_MonteCarlo)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_TopKPpr(benchmark::State& state) {
+  const CsrGraph& g = GraphOfScale(18);
+  for (auto _ : state) {
+    auto top = sgnn::ppr::TopKPpr(g, 0, kAlpha, 32, 1e-5);
+    benchmark::DoNotOptimize(top);
+  }
+}
+BENCHMARK(BM_TopKPpr)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,121 @@
+// E5 — Sampling strategies (§3.3.2): per-batch cost of node-, layer- and
+// subgraph-level sampling; LABOR materialises fewer distinct vertices
+// than node-wise at matched per-edge inclusion; layer-wise caps width but
+// carries higher variance at small widths.
+// Series: sampled edges / distinct inputs / estimator MSE per strategy.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "sampling/neighbor_sampler.h"
+#include "sampling/subgraph_sampler.h"
+#include "sampling/variance.h"
+
+namespace {
+
+using sgnn::core::Dataset;
+using sgnn::graph::NodeId;
+using sgnn::sampling::MiniBatch;
+
+const Dataset& Data() {
+  static const Dataset& d =
+      *new Dataset(sgnn::bench::MakeBenchDataset(20000, 4, 20.0, 0.85, 9));
+  return d;
+}
+
+std::vector<NodeId> Seeds(size_t count) {
+  return {Data().splits.train.begin(),
+          Data().splits.train.begin() + static_cast<int64_t>(count)};
+}
+
+void ReportBatch(benchmark::State& state, const MiniBatch& batch) {
+  state.counters["sampled_edges"] = static_cast<double>(batch.TotalEdges());
+  state.counters["input_nodes"] =
+      static_cast<double>(batch.input_nodes().size());
+}
+
+void BM_NodeWise(benchmark::State& state) {
+  const int fanout = static_cast<int>(state.range(0));
+  auto seeds = Seeds(128);
+  std::vector<int> fanouts = {fanout, fanout};
+  sgnn::common::Rng rng(1);
+  MiniBatch batch;
+  for (auto _ : state) {
+    batch = sgnn::sampling::SampleNodeWise(Data().graph, seeds, fanouts, &rng);
+    benchmark::DoNotOptimize(batch);
+  }
+  ReportBatch(state, batch);
+}
+BENCHMARK(BM_NodeWise)->Arg(5)->Arg(10)->Arg(25)->Unit(benchmark::kMillisecond);
+
+void BM_Labor(benchmark::State& state) {
+  const int fanout = static_cast<int>(state.range(0));
+  auto seeds = Seeds(128);
+  std::vector<int> fanouts = {fanout, fanout};
+  sgnn::common::Rng rng(1);
+  MiniBatch batch;
+  for (auto _ : state) {
+    batch = sgnn::sampling::SampleLabor(Data().graph, seeds, fanouts, &rng);
+    benchmark::DoNotOptimize(batch);
+  }
+  ReportBatch(state, batch);
+}
+BENCHMARK(BM_Labor)->Arg(5)->Arg(10)->Arg(25)->Unit(benchmark::kMillisecond);
+
+void BM_LayerWise(benchmark::State& state) {
+  const int width = static_cast<int>(state.range(0));
+  auto seeds = Seeds(128);
+  std::vector<int> widths = {width, width};
+  sgnn::common::Rng rng(1);
+  MiniBatch batch;
+  for (auto _ : state) {
+    batch = sgnn::sampling::SampleLayerWise(Data().graph, seeds, widths, &rng);
+    benchmark::DoNotOptimize(batch);
+  }
+  ReportBatch(state, batch);
+}
+BENCHMARK(BM_LayerWise)
+    ->Arg(128)
+    ->Arg(512)
+    ->Arg(2048)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SubgraphWalk(benchmark::State& state) {
+  const int roots = static_cast<int>(state.range(0));
+  sgnn::common::Rng rng(1);
+  sgnn::sampling::SampledSubgraph sub;
+  for (auto _ : state) {
+    sub = sgnn::sampling::SampleSubgraphWalks(Data().graph, roots, 10, &rng);
+    benchmark::DoNotOptimize(sub);
+  }
+  state.counters["nodes"] = static_cast<double>(sub.nodes.size());
+  state.counters["edges"] = static_cast<double>(sub.subgraph.num_edges());
+}
+BENCHMARK(BM_SubgraphWalk)->Arg(64)->Arg(256)->Unit(benchmark::kMillisecond);
+
+void BM_EstimatorError(benchmark::State& state) {
+  // MSE + distinct sources per strategy at budget 10 (node/labor) or
+  // width 512 (layer-wise), the variance story in one table.
+  const auto kind = static_cast<sgnn::sampling::SamplerKind>(state.range(0));
+  const int budget = kind == sgnn::sampling::SamplerKind::kLayerWise ? 512
+                                                                     : 10;
+  auto seeds = Seeds(64);
+  sgnn::sampling::VarianceReport report;
+  for (auto _ : state) {
+    report = sgnn::sampling::MeasureSamplerVariance(
+        Data().graph, Data().features, seeds, kind, budget, 30, 13);
+    benchmark::DoNotOptimize(report);
+  }
+  state.counters["mse"] = report.mean_squared_error;
+  state.counters["bias"] = report.mean_bias;
+  state.counters["distinct_sources"] = report.avg_distinct_sources;
+}
+BENCHMARK(BM_EstimatorError)
+    ->Arg(0)  // node-wise
+    ->Arg(1)  // labor
+    ->Arg(2)  // layer-wise
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,106 @@
+// E9 — Sparsification (§3.3.1, SCARA/Unifews/ATP): downstream accuracy
+// degrades gracefully down to ~20-40% kept edges while propagation cost
+// falls linearly; resistance-weighted sampling preserves accuracy better
+// than uniform at equal budgets on skewed graphs; entry-wise pruning
+// (Unifews) skips most scalar ops at negligible embedding error.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "graph/propagate.h"
+#include "models/decoupled.h"
+#include "ppr/feature_propagation.h"
+#include "sparsify/sparsify.h"
+#include "tensor/ops.h"
+
+namespace {
+
+using sgnn::core::Dataset;
+
+const Dataset& Data() {
+  static const Dataset& d =
+      *new Dataset(sgnn::bench::MakeBenchDataset(5000, 4, 16.0, 0.85, 23));
+  return d;
+}
+
+void TrainOnGraph(benchmark::State& state, const sgnn::graph::CsrGraph& g) {
+  auto result = sgnn::models::TrainSgc(
+      g, Data().features, Data().labels, Data().splits,
+      sgnn::bench::BenchTrainConfig(), sgnn::models::SgcConfig{.hops = 3});
+  state.counters["test_acc"] = result.report.test_accuracy;
+  state.counters["edges"] = static_cast<double>(g.num_edges());
+  state.counters["keep_ratio"] =
+      static_cast<double>(g.num_edges()) /
+      static_cast<double>(Data().graph.num_edges());
+}
+
+void BM_UniformKeepRatio(benchmark::State& state) {
+  const double keep = static_cast<double>(state.range(0)) / 100.0;
+  sgnn::graph::CsrGraph sparse(0);
+  for (auto _ : state) {
+    sparse = sgnn::sparsify::UniformSparsify(Data().graph, keep, true, 3);
+    benchmark::DoNotOptimize(sparse);
+  }
+  TrainOnGraph(state, sparse);
+}
+BENCHMARK(BM_UniformKeepRatio)
+    ->Arg(10)->Arg(20)->Arg(40)->Arg(70)->Arg(100)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+
+void BM_SpectralKeepRatio(benchmark::State& state) {
+  const double keep = static_cast<double>(state.range(0)) / 100.0;
+  const int64_t samples =
+      static_cast<int64_t>(keep * static_cast<double>(Data().graph.num_edges()) / 2.0);
+  sgnn::graph::CsrGraph sparse(0);
+  for (auto _ : state) {
+    sparse = sgnn::sparsify::SpectralSparsify(Data().graph, samples, 3);
+    benchmark::DoNotOptimize(sparse);
+  }
+  TrainOnGraph(state, sparse);
+}
+BENCHMARK(BM_SpectralKeepRatio)
+    ->Arg(10)->Arg(20)->Arg(40)->Arg(70)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+
+void BM_DegreeAware(benchmark::State& state) {
+  const int keep_per_hub = static_cast<int>(state.range(0));
+  sgnn::graph::CsrGraph sparse(0);
+  sgnn::sparsify::DegreeAwareStats stats;
+  for (auto _ : state) {
+    sparse = sgnn::sparsify::DegreeAwarePrune(Data().graph, 20, keep_per_hub,
+                                              &stats);
+    benchmark::DoNotOptimize(sparse);
+  }
+  state.counters["hubs"] = static_cast<double>(stats.hubs);
+  TrainOnGraph(state, sparse);
+}
+BENCHMARK(BM_DegreeAware)
+    ->Arg(4)->Arg(8)->Arg(16)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+
+void BM_UnifewsEntrywise(benchmark::State& state) {
+  // Ops skipped and embedding error vs threshold: the entry-wise story.
+  const double threshold =
+      static_cast<double>(state.range(0)) / 10000.0;
+  sgnn::graph::Propagator prop(Data().graph,
+                               sgnn::graph::Normalization::kSymmetric, true);
+  auto dense = sgnn::ppr::AppnpPropagate(prop, Data().features, 0.15, 4);
+  sgnn::ppr::ThresholdedStats stats;
+  sgnn::tensor::Matrix pruned;
+  for (auto _ : state) {
+    pruned = sgnn::ppr::ThresholdedPropagate(prop, Data().features, 0.15, 4,
+                                             threshold, &stats);
+    benchmark::DoNotOptimize(pruned);
+  }
+  state.counters["ops_skipped_frac"] =
+      static_cast<double>(stats.ops_skipped) /
+      static_cast<double>(stats.ops_skipped + stats.ops_performed);
+  state.counters["max_err"] = sgnn::tensor::MaxAbsDiff(dense, pruned);
+}
+BENCHMARK(BM_UnifewsEntrywise)
+    ->Arg(0)->Arg(10)->Arg(100)->Arg(500)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,36 @@
+#ifndef SGNN_BENCH_BENCH_UTIL_H_
+#define SGNN_BENCH_BENCH_UTIL_H_
+
+#include <cstdint>
+
+#include "core/dataset.h"
+#include "nn/trainer.h"
+
+namespace sgnn::bench {
+
+/// Standard benchmark dataset: homophilous SBM with prototype features.
+inline core::Dataset MakeBenchDataset(graph::NodeId num_nodes,
+                                      int num_classes, double avg_degree,
+                                      double homophily, uint64_t seed) {
+  core::SbmDatasetConfig config;
+  config.sbm = {.num_nodes = num_nodes, .num_classes = num_classes,
+                .avg_degree = avg_degree, .homophily = homophily};
+  config.feature_dim = 16;
+  config.feature_noise = 0.6;
+  return core::MakeSbmDataset(config, seed);
+}
+
+/// Training budget used across benches (small enough to keep the whole
+/// suite in minutes, large enough that accuracy differences are real).
+inline nn::TrainConfig BenchTrainConfig() {
+  nn::TrainConfig config;
+  config.epochs = 40;
+  config.hidden_dim = 32;
+  config.patience = 15;
+  config.lr = 0.02;
+  return config;
+}
+
+}  // namespace sgnn::bench
+
+#endif  // SGNN_BENCH_BENCH_UTIL_H_

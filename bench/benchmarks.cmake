@@ -1,0 +1,27 @@
+# One google-benchmark binary per experiment in DESIGN.md's index
+# (E1..E16). Included from the top-level CMakeLists so that build/bench/
+# contains ONLY the benchmark binaries (the canonical run command is
+# `for b in build/bench/*; do $b; done`).
+function(sgnn_add_bench name)
+  add_executable(${name} bench/${name}.cc)
+  target_link_libraries(${name} PRIVATE sgnn_core benchmark::benchmark)
+  set_target_properties(${name} PROPERTIES
+    RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+endfunction()
+
+sgnn_add_bench(bench_taxonomy)    # E1
+sgnn_add_bench(bench_explosion)   # E2
+sgnn_add_bench(bench_ppr)         # E3
+sgnn_add_bench(bench_partition)   # E4
+sgnn_add_bench(bench_sampling)    # E5
+sgnn_add_bench(bench_spectral)    # E6
+sgnn_add_bench(bench_similarity)  # E7
+sgnn_add_bench(bench_implicit)    # E8
+sgnn_add_bench(bench_sparsify)    # E9
+sgnn_add_bench(bench_coarsen)     # E10
+sgnn_add_bench(bench_subgraph)    # E11
+sgnn_add_bench(bench_end2end)     # E12
+sgnn_add_bench(bench_memory)      # E13
+sgnn_add_bench(bench_ablation)   # E14
+sgnn_add_bench(bench_distributed) # E15
+sgnn_add_bench(bench_transformer) # E16

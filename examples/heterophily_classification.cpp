@@ -1,0 +1,70 @@
+// Heterophilous node classification (the §3.2 scenario).
+//
+// Anomaly-detection-style graphs connect dissimilar nodes. This example
+// sweeps the homophily dial of an SBM and compares three designs:
+//   * SGC           — pure low-pass decoupled smoothing (fails off-dial),
+//   * LD2-style     — combined low/high-pass decoupled embeddings,
+//   * DHGR-style    — similarity rewiring in front of a plain GCN,
+// reproducing the tutorial's claim that analytics-side techniques restore
+// accuracy under heterophily without giving up scalability.
+
+#include <cstdio>
+
+#include "core/dataset.h"
+#include "core/pipeline.h"
+#include "core/stages.h"
+#include "graph/metrics.h"
+#include "models/decoupled.h"
+#include "models/gcn.h"
+
+int main() {
+  using namespace sgnn;
+
+  nn::TrainConfig config;
+  config.epochs = 80;
+  config.hidden_dim = 32;
+  config.lr = 0.02;
+
+  std::printf("%-10s %-12s %-12s %-12s %-12s\n", "homophily", "sgc",
+              "ld2-style", "rewire+gcn", "edge-homo");
+  for (double h : {0.05, 1.0 / 3.0, 0.6, 0.9}) {
+    core::SbmDatasetConfig dconfig;
+    dconfig.sbm = {.num_nodes = 800, .num_classes = 3, .avg_degree = 12,
+                   .homophily = h};
+    dconfig.feature_dim = 12;
+    dconfig.feature_noise = 0.6;
+    core::Dataset dataset = core::MakeSbmDataset(dconfig, 11);
+
+    models::ModelResult sgc =
+        models::TrainSgc(dataset.graph, dataset.features, dataset.labels,
+                         dataset.splits, config, models::SgcConfig{.hops = 4});
+    models::ModelResult ld2 = models::TrainSpectralDecoupled(
+        dataset.graph, dataset.features, dataset.labels, dataset.splits,
+        config);
+
+    similarity::RewiringConfig rewire;
+    rewire.add_per_node = 4;
+    rewire.add_threshold = 0.6;
+    rewire.remove_threshold = 0.3;
+    core::Pipeline pipeline;
+    pipeline.AddEdit(core::MakeRewiringStage(rewire))
+        .SetModel("gcn", [](const graph::CsrGraph& g, const tensor::Matrix& x,
+                            std::span<const int> labels,
+                            const models::NodeSplits& splits,
+                            const nn::TrainConfig& c) {
+          return models::TrainGcn(g, x, labels, splits, c);
+        });
+    core::PipelineReport rewired = pipeline.Run(dataset, config);
+
+    std::printf("%-10.2f %-12.3f %-12.3f %-12.3f %-12.3f\n", h,
+                sgc.report.test_accuracy, ld2.report.test_accuracy,
+                rewired.model.report.test_accuracy,
+                graph::EdgeHomophily(dataset.graph, dataset.labels));
+  }
+  std::printf(
+      "\nExpected shape: sgc collapses near homophily = 1/3 (neutral "
+      "mixing) while the multi-channel and rewiring pipelines stay high; "
+      "rewiring trades a little accuracy on already-homophilous graphs, "
+      "where edge removal can only hurt.\n");
+  return 0;
+}

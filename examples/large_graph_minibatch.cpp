@@ -1,0 +1,67 @@
+// Mini-batch training on a larger graph (the §3.1.2 scenario).
+//
+// Full-batch GCN keeps whole-graph activations resident; the two classic
+// mini-batch families bound that working set:
+//   * GraphSAGE    — node-wise neighbour sampling (optionally LABOR),
+//   * Cluster-GCN  — multilevel partition batches.
+// The run prints accuracy plus the library's hardware-independent work
+// counters so the memory/computation trade-off is visible on a laptop.
+
+#include <cstdio>
+
+#include "core/dataset.h"
+#include "models/cluster_gcn.h"
+#include "models/gcn.h"
+#include "models/sage.h"
+
+int main() {
+  using namespace sgnn;
+
+  core::SbmDatasetConfig dconfig;
+  dconfig.sbm = {.num_nodes = 20000, .num_classes = 5, .avg_degree = 12,
+                 .homophily = 0.85};
+  dconfig.feature_dim = 16;
+  dconfig.feature_noise = 0.6;
+  std::printf("building SBM dataset (n=%u, ~%.0f avg degree)...\n",
+              dconfig.sbm.num_nodes, dconfig.sbm.avg_degree);
+  core::Dataset dataset = core::MakeSbmDataset(dconfig, 3);
+  std::printf("graph: %lld directed edges\n\n",
+              static_cast<long long>(dataset.graph.num_edges()));
+
+  nn::TrainConfig config;
+  config.epochs = 15;
+  config.hidden_dim = 32;
+  config.lr = 0.02;
+  config.patience = 8;
+  config.batch_size = 256;
+
+  auto print = [](const models::ModelResult& r) {
+    std::printf("%-14s test %.3f  epochs %2d  %6.2fs  %s\n", r.name.c_str(),
+                r.report.test_accuracy, r.report.epochs_run,
+                r.report.train_seconds, r.ops.ToString().c_str());
+  };
+
+  common::GlobalCounters().Reset();
+  print(models::TrainGcn(dataset.graph, dataset.features, dataset.labels,
+                         dataset.splits, config));
+
+  common::GlobalCounters().Reset();
+  print(models::TrainSage(dataset.graph, dataset.features, dataset.labels,
+                          dataset.splits, config,
+                          models::SageConfig{.fanouts = {10, 10}}));
+
+  common::GlobalCounters().Reset();
+  print(models::TrainSage(
+      dataset.graph, dataset.features, dataset.labels, dataset.splits, config,
+      models::SageConfig{.fanouts = {10, 10}, .use_labor = true}));
+
+  common::GlobalCounters().Reset();
+  print(models::TrainClusterGcn(
+      dataset.graph, dataset.features, dataset.labels, dataset.splits, config,
+      models::ClusterGcnConfig{.num_parts = 32, .parts_per_batch = 2}));
+
+  std::printf(
+      "\nExpected shape: all four reach similar accuracy; the mini-batch "
+      "methods trade extra sampled edges for a bounded resident set.\n");
+  return 0;
+}

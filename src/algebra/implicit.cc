@@ -1,0 +1,108 @@
+#include "algebra/implicit.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "tensor/ops.h"
+
+namespace sgnn::algebra {
+
+using tensor::Matrix;
+
+Matrix NeumannSolve(const graph::Propagator& prop, const Matrix& x,
+                    double gamma, double tol, int max_iters,
+                    SolveStats* stats) {
+  SGNN_CHECK(gamma >= 0.0 && gamma < 1.0);
+  SGNN_CHECK_GE(max_iters, 1);
+  Matrix z = x;        // Accumulated series.
+  Matrix term = x;     // (gamma S)^k X.
+  Matrix next;
+  SolveStats local;
+  for (int k = 0; k < max_iters; ++k) {
+    prop.Apply(term, &next);
+    tensor::Scale(static_cast<float>(gamma), &next);
+    term = std::move(next);
+    tensor::Axpy(1.0f, term, &z);
+    ++local.iterations;
+    double max_abs = 0.0;
+    for (int64_t i = 0; i < term.size(); ++i) {
+      max_abs = std::max(max_abs, std::fabs(static_cast<double>(term.data()[i])));
+    }
+    local.final_residual = max_abs;
+    if (max_abs < tol) {
+      local.converged = true;
+      break;
+    }
+  }
+  if (stats != nullptr) *stats = local;
+  return z;
+}
+
+Matrix PicardSolve(const graph::Propagator& prop, const Matrix& x,
+                   double gamma, double tol, int max_iters,
+                   SolveStats* stats) {
+  SGNN_CHECK(gamma >= 0.0 && gamma < 1.0);
+  SGNN_CHECK_GE(max_iters, 1);
+  Matrix z = x;
+  Matrix sz;
+  SolveStats local;
+  for (int k = 0; k < max_iters; ++k) {
+    prop.Apply(z, &sz);
+    tensor::Scale(static_cast<float>(gamma), &sz);
+    tensor::Axpy(1.0f, x, &sz);
+    ++local.iterations;
+    local.final_residual = tensor::MaxAbsDiff(z, sz);
+    z = std::move(sz);
+    if (local.final_residual < tol) {
+      local.converged = true;
+      break;
+    }
+  }
+  if (stats != nullptr) *stats = local;
+  return z;
+}
+
+Matrix MultiscaleImplicit(const graph::Propagator& prop, const Matrix& x,
+                          double gamma, const std::vector<int>& scales,
+                          double tol, int max_iters, SolveStats* stats) {
+  SGNN_CHECK(!scales.empty());
+  Matrix out(x.rows(), x.cols());
+  SolveStats total;
+  for (int m : scales) {
+    SGNN_CHECK_GE(m, 1);
+    // Solve Z = gamma S^m Z + X via Neumann on the m-hop operator.
+    Matrix z = x;
+    Matrix term = x;
+    Matrix hop;
+    SolveStats local;
+    for (int k = 0; k < max_iters; ++k) {
+      for (int h = 0; h < m; ++h) {
+        prop.Apply(term, &hop);
+        term = std::move(hop);
+      }
+      tensor::Scale(static_cast<float>(gamma), &term);
+      tensor::Axpy(1.0f, term, &z);
+      ++local.iterations;
+      double max_abs = 0.0;
+      for (int64_t i = 0; i < term.size(); ++i) {
+        max_abs =
+            std::max(max_abs, std::fabs(static_cast<double>(term.data()[i])));
+      }
+      local.final_residual = max_abs;
+      if (max_abs < tol) {
+        local.converged = true;
+        break;
+      }
+    }
+    tensor::Axpy(1.0f, z, &out);
+    total.iterations += local.iterations;
+    total.final_residual = std::max(total.final_residual, local.final_residual);
+    total.converged = (m == scales.front()) ? local.converged
+                                            : (total.converged && local.converged);
+  }
+  tensor::Scale(1.0f / static_cast<float>(scales.size()), &out);
+  if (stats != nullptr) *stats = total;
+  return out;
+}
+
+}  // namespace sgnn::algebra

@@ -1,0 +1,49 @@
+#ifndef SGNN_ALGEBRA_IMPLICIT_H_
+#define SGNN_ALGEBRA_IMPLICIT_H_
+
+#include "graph/propagate.h"
+#include "tensor/matrix.h"
+
+namespace sgnn::algebra {
+
+/// Graph-algebra (implicit GNN) solvers (§3.2.3).
+///
+/// Implicit GNNs define embeddings as the equilibrium of
+///   Z = gamma * S Z + X,
+/// whose solution Z* = (I - gamma S)^{-1} X captures *all* path lengths in
+/// a single "layer" — the multi-scale property EIGNN/MGNNI build on. With
+/// the symmetric normalisation, ||S||_2 <= 1, so any gamma < 1 makes the
+/// map a contraction and the Neumann series converges geometrically.
+
+struct SolveStats {
+  int iterations = 0;
+  double final_residual = 0.0;  ///< Max-abs of the last increment.
+  bool converged = false;
+};
+
+/// Solves Z = gamma S Z + X by the Neumann series
+/// Z = sum_k (gamma S)^k X, truncated when the increment's max-abs entry
+/// falls below `tol` (or after `max_iters` terms). Requires 0 <= gamma < 1.
+tensor::Matrix NeumannSolve(const graph::Propagator& prop,
+                            const tensor::Matrix& x, double gamma, double tol,
+                            int max_iters, SolveStats* stats = nullptr);
+
+/// Naive Picard iteration Z_{t+1} = gamma S Z_t + X from Z_0 = X; same
+/// fixed point, kept as the baseline implicit solver (each step costs one
+/// propagation but convergence is measured on iterates, not increments).
+tensor::Matrix PicardSolve(const graph::Propagator& prop,
+                           const tensor::Matrix& x, double gamma, double tol,
+                           int max_iters, SolveStats* stats = nullptr);
+
+/// MGNNI-style multiscale equilibrium: solves the implicit equation at
+/// several propagation scales m (Z_m = gamma S^m Z_m + X) and sums the
+/// solutions, widening the receptive field without deep stacking.
+/// `scales` are hop counts, e.g. {1, 2, 4}.
+tensor::Matrix MultiscaleImplicit(const graph::Propagator& prop,
+                                  const tensor::Matrix& x, double gamma,
+                                  const std::vector<int>& scales, double tol,
+                                  int max_iters, SolveStats* stats = nullptr);
+
+}  // namespace sgnn::algebra
+
+#endif  // SGNN_ALGEBRA_IMPLICIT_H_

@@ -1,0 +1,205 @@
+#include "coarsen/coarsen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <numeric>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "graph/propagate.h"
+#include "spectral/spectrum.h"
+
+namespace sgnn::coarsen {
+
+using graph::CsrGraph;
+using graph::NodeId;
+using tensor::Matrix;
+
+namespace {
+
+/// One heavy-edge matching pass; returns fine->coarse map and count.
+std::pair<std::vector<NodeId>, NodeId> MatchOnce(const CsrGraph& graph,
+                                                 common::Rng* rng) {
+  const NodeId n = graph.num_nodes();
+  std::vector<NodeId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  rng->Shuffle(&order);
+  std::vector<NodeId> match(n, graph::kInvalidNode);
+  for (NodeId u : order) {
+    if (match[u] != graph::kInvalidNode) continue;
+    NodeId best = graph::kInvalidNode;
+    float best_w = -1.0f;
+    auto nbrs = graph.Neighbors(u);
+    auto ws = graph.Weights(u);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      if (nbrs[i] == u || match[nbrs[i]] != graph::kInvalidNode) continue;
+      if (ws[i] > best_w) {
+        best_w = ws[i];
+        best = nbrs[i];
+      }
+    }
+    if (best == graph::kInvalidNode) {
+      match[u] = u;
+    } else {
+      match[u] = best;
+      match[best] = u;
+    }
+  }
+  std::vector<NodeId> coarse_of(n, graph::kInvalidNode);
+  NodeId next = 0;
+  for (NodeId u = 0; u < n; ++u) {
+    if (coarse_of[u] != graph::kInvalidNode) continue;
+    coarse_of[u] = next;
+    if (match[u] != u && match[u] != graph::kInvalidNode) {
+      coarse_of[match[u]] = next;
+    }
+    ++next;
+  }
+  return {std::move(coarse_of), next};
+}
+
+CsrGraph BuildCoarseGraph(const CsrGraph& fine,
+                          const std::vector<NodeId>& coarse_of,
+                          NodeId num_coarse) {
+  graph::EdgeListBuilder builder(num_coarse);
+  for (NodeId u = 0; u < fine.num_nodes(); ++u) {
+    auto nbrs = fine.Neighbors(u);
+    auto ws = fine.Weights(u);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      const NodeId cu = coarse_of[u], cv = coarse_of[nbrs[i]];
+      if (cu == cv) continue;
+      builder.AddEdge(cu, cv, ws[i]);
+    }
+  }
+  builder.Deduplicate();
+  return CsrGraph::FromBuilder(std::move(builder));
+}
+
+Coarsening Finalize(const CsrGraph& graph, std::vector<NodeId> coarse_of,
+                    NodeId num_coarse) {
+  Coarsening out;
+  out.cluster_size.assign(num_coarse, 0);
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    out.cluster_size[coarse_of[u]]++;
+  }
+  out.coarse = BuildCoarseGraph(graph, coarse_of, num_coarse);
+  out.coarse_of = std::move(coarse_of);
+  return out;
+}
+
+}  // namespace
+
+Coarsening HeavyEdgeCoarsen(const CsrGraph& graph, double target_ratio,
+                            uint64_t seed) {
+  SGNN_CHECK(target_ratio > 0.0 && target_ratio <= 1.0);
+  common::Rng rng(seed);
+  const NodeId target = std::max<NodeId>(
+      1, static_cast<NodeId>(target_ratio * graph.num_nodes()));
+
+  std::vector<NodeId> overall(graph.num_nodes());
+  std::iota(overall.begin(), overall.end(), 0);
+  CsrGraph current = graph;  // Copy; successive levels replace it.
+  NodeId current_n = graph.num_nodes();
+  while (current_n > target) {
+    auto [coarse_of, num_coarse] = MatchOnce(current, &rng);
+    if (num_coarse == current_n) break;  // No edges left to contract.
+    CsrGraph next = BuildCoarseGraph(current, coarse_of, num_coarse);
+    for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+      overall[u] = coarse_of[overall[u]];
+    }
+    current = std::move(next);
+    current_n = num_coarse;
+  }
+  return Finalize(graph, std::move(overall), current_n);
+}
+
+Coarsening StructuralCoarsen(const CsrGraph& graph) {
+  // Group nodes by their exact (sorted) neighbour list. Nodes with equal
+  // open neighbourhoods are structurally equivalent for propagation.
+  std::map<std::vector<NodeId>, std::vector<NodeId>> groups;
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    auto nbrs = graph.Neighbors(u);
+    std::vector<NodeId> key(nbrs.begin(), nbrs.end());
+    groups[std::move(key)].push_back(u);
+  }
+  std::vector<NodeId> coarse_of(graph.num_nodes(), graph::kInvalidNode);
+  NodeId next = 0;
+  for (const auto& [key, members] : groups) {
+    for (NodeId u : members) coarse_of[u] = next;
+    ++next;
+  }
+  return Finalize(graph, std::move(coarse_of), next);
+}
+
+Matrix RestrictFeatures(const Coarsening& coarsening, const Matrix& features) {
+  SGNN_CHECK_EQ(features.rows(),
+                static_cast<int64_t>(coarsening.coarse_of.size()));
+  Matrix out(static_cast<int64_t>(coarsening.num_coarse()), features.cols());
+  for (size_t u = 0; u < coarsening.coarse_of.size(); ++u) {
+    out.AccumulateRow(static_cast<int64_t>(coarsening.coarse_of[u]),
+                      features.Row(static_cast<int64_t>(u)));
+  }
+  for (NodeId c = 0; c < coarsening.num_coarse(); ++c) {
+    const float inv =
+        1.0f / static_cast<float>(coarsening.cluster_size[c]);
+    auto row = out.Row(static_cast<int64_t>(c));
+    for (float& v : row) v *= inv;
+  }
+  return out;
+}
+
+Matrix LiftFeatures(const Coarsening& coarsening,
+                    const Matrix& coarse_features) {
+  SGNN_CHECK_EQ(coarse_features.rows(),
+                static_cast<int64_t>(coarsening.num_coarse()));
+  Matrix out(static_cast<int64_t>(coarsening.coarse_of.size()),
+             coarse_features.cols());
+  for (size_t u = 0; u < coarsening.coarse_of.size(); ++u) {
+    auto src = coarse_features.Row(
+        static_cast<int64_t>(coarsening.coarse_of[u]));
+    std::copy(src.begin(), src.end(), out.Row(static_cast<int64_t>(u)).begin());
+  }
+  return out;
+}
+
+std::vector<int> RestrictLabels(const Coarsening& coarsening,
+                                std::span<const int> labels, int num_classes) {
+  SGNN_CHECK_EQ(labels.size(), coarsening.coarse_of.size());
+  SGNN_CHECK_GT(num_classes, 0);
+  std::vector<std::vector<int>> counts(
+      coarsening.num_coarse(), std::vector<int>(static_cast<size_t>(num_classes), 0));
+  for (size_t u = 0; u < labels.size(); ++u) {
+    SGNN_CHECK(labels[u] >= 0 && labels[u] < num_classes);
+    counts[coarsening.coarse_of[u]][static_cast<size_t>(labels[u])]++;
+  }
+  std::vector<int> out(coarsening.num_coarse());
+  for (NodeId c = 0; c < coarsening.num_coarse(); ++c) {
+    const auto& row = counts[c];
+    out[c] = static_cast<int>(std::max_element(row.begin(), row.end()) -
+                              row.begin());
+  }
+  return out;
+}
+
+double SpectralDistortion(const CsrGraph& graph, const Coarsening& coarsening,
+                          int num_probes, uint64_t seed) {
+  SGNN_CHECK_GE(num_probes, 1);
+  // Heuristic distortion: compare the low ends of the normalised-Laplacian
+  // spectra of the fine and coarse graphs via Lanczos Ritz values.
+  graph::Propagator fine_prop(graph, graph::Normalization::kSymmetric, false);
+  graph::Propagator coarse_prop(coarsening.coarse,
+                                graph::Normalization::kSymmetric, false);
+  const int steps = std::max(20, 4 * num_probes);
+  auto fine = spectral::LanczosLaplacianSpectrum(fine_prop, steps, seed);
+  auto coarse = spectral::LanczosLaplacianSpectrum(coarse_prop, steps, seed);
+  const size_t count = std::min({static_cast<size_t>(num_probes),
+                                 fine.size(), coarse.size()});
+  double acc = 0.0;
+  for (size_t i = 0; i < count; ++i) {
+    acc += std::fabs(fine[i] - coarse[i]);
+  }
+  return acc / static_cast<double>(count);
+}
+
+}  // namespace sgnn::coarsen

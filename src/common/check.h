@@ -1,0 +1,43 @@
+#ifndef SGNN_COMMON_CHECK_H_
+#define SGNN_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace sgnn::common::internal {
+
+/// Prints a fatal-check failure and aborts. Out-of-line so the macro body
+/// stays tiny on the happy path.
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr);
+
+}  // namespace sgnn::common::internal
+
+/// Aborts with a diagnostic if `cond` is false. Used for programming errors
+/// (contract violations), never for data-dependent failures, which return
+/// `sgnn::common::Status` instead.
+#define SGNN_CHECK(cond)                                              \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      ::sgnn::common::internal::CheckFailed(__FILE__, __LINE__, #cond); \
+    }                                                                 \
+  } while (false)
+
+/// `SGNN_CHECK` variants with the comparison rendered in the macro name so
+/// failure sites read naturally at the call site.
+#define SGNN_CHECK_EQ(a, b) SGNN_CHECK((a) == (b))
+#define SGNN_CHECK_NE(a, b) SGNN_CHECK((a) != (b))
+#define SGNN_CHECK_LT(a, b) SGNN_CHECK((a) < (b))
+#define SGNN_CHECK_LE(a, b) SGNN_CHECK((a) <= (b))
+#define SGNN_CHECK_GT(a, b) SGNN_CHECK((a) > (b))
+#define SGNN_CHECK_GE(a, b) SGNN_CHECK((a) >= (b))
+
+/// Debug-only check; compiled out in NDEBUG builds on hot paths.
+#ifdef NDEBUG
+#define SGNN_DCHECK(cond) \
+  do {                    \
+  } while (false)
+#else
+#define SGNN_DCHECK(cond) SGNN_CHECK(cond)
+#endif
+
+#endif  // SGNN_COMMON_CHECK_H_

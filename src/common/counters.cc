@@ -1,0 +1,22 @@
+#include "common/counters.h"
+
+#include <cstdio>
+
+namespace sgnn::common {
+
+OpCounters& GlobalCounters() {
+  static OpCounters counters;  // Trivially destructible POD: allowed static.
+  return counters;
+}
+
+std::string OpCounters::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "edges_touched=%llu floats_moved=%llu peak_resident=%llu",
+                static_cast<unsigned long long>(edges_touched),
+                static_cast<unsigned long long>(floats_moved),
+                static_cast<unsigned long long>(peak_resident_floats));
+  return std::string(buf);
+}
+
+}  // namespace sgnn::common

@@ -1,0 +1,73 @@
+#ifndef SGNN_COMMON_COUNTERS_H_
+#define SGNN_COMMON_COUNTERS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace sgnn::common {
+
+/// Hardware-independent scalability accounting.
+///
+/// The tutorial's scalability claims are about *data movement*, not wall
+/// clock on a particular device: how many edges a method touches, how many
+/// feature scalars it moves, and how large its resident working set gets.
+/// Library kernels increment these counters so benchmarks can report the
+/// quantities the paper reasons about directly.
+struct OpCounters {
+  /// Directed edge traversals (one neighbour visit = one).
+  uint64_t edges_touched = 0;
+  /// Scalar feature values read or written by propagation/NN kernels.
+  uint64_t floats_moved = 0;
+  /// High-water mark of simultaneously materialised feature scalars; a
+  /// proxy for peak (GPU) memory in the paper's discussions.
+  uint64_t peak_resident_floats = 0;
+  /// Currently materialised feature scalars (drives the peak).
+  uint64_t resident_floats = 0;
+
+  void Reset() { *this = OpCounters(); }
+
+  /// Registers an allocation of `n` feature scalars.
+  void Acquire(uint64_t n) {
+    resident_floats += n;
+    if (resident_floats > peak_resident_floats) {
+      peak_resident_floats = resident_floats;
+    }
+  }
+
+  /// Registers release of `n` feature scalars.
+  void Release(uint64_t n) {
+    resident_floats = (n > resident_floats) ? 0 : resident_floats - n;
+  }
+
+  std::string ToString() const;
+};
+
+/// Process-wide counter instance incremented by instrumented kernels.
+/// Plain (non-atomic) because the library is single-threaded by design.
+OpCounters& GlobalCounters();
+
+/// Captures the counter state at construction and exposes the delta since,
+/// so a caller can attribute work to a region without resetting globals.
+class ScopedCounterDelta {
+ public:
+  ScopedCounterDelta() : base_(GlobalCounters()) {}
+
+  /// Work done since construction. `peak_resident_floats` is reported as
+  /// the maximum observed during the scope, not a difference.
+  OpCounters Delta() const {
+    const OpCounters& now = GlobalCounters();
+    OpCounters d;
+    d.edges_touched = now.edges_touched - base_.edges_touched;
+    d.floats_moved = now.floats_moved - base_.floats_moved;
+    d.peak_resident_floats = now.peak_resident_floats;
+    d.resident_floats = now.resident_floats;
+    return d;
+  }
+
+ private:
+  OpCounters base_;
+};
+
+}  // namespace sgnn::common
+
+#endif  // SGNN_COMMON_COUNTERS_H_

@@ -1,0 +1,76 @@
+#ifndef SGNN_COMMON_RNG_H_
+#define SGNN_COMMON_RNG_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "common/check.h"
+
+namespace sgnn::common {
+
+/// Deterministic random number generator used throughout the library.
+///
+/// Every stochastic component (generators, samplers, initialisers) takes an
+/// explicit 64-bit seed and derives an `Rng`, so any run of the library is
+/// reproducible bit-for-bit given the seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform double in [0, 1).
+  double Uniform() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  }
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) {
+    SGNN_DCHECK(lo <= hi);
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  uint64_t UniformInt(uint64_t n) {
+    SGNN_DCHECK(n > 0);
+    return std::uniform_int_distribution<uint64_t>(0, n - 1)(engine_);
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool Bernoulli(double p) { return Uniform() < p; }
+
+  /// Standard normal draw scaled to N(mean, stddev^2).
+  double Gaussian(double mean, double stddev) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// Fisher-Yates shuffle of `items`.
+  template <typename T>
+  void Shuffle(std::vector<T>* items) {
+    if (items->size() < 2) return;
+    for (size_t i = items->size() - 1; i > 0; --i) {
+      size_t j = UniformInt(i + 1);
+      std::swap((*items)[i], (*items)[j]);
+    }
+  }
+
+  /// Samples `k` distinct indices from [0, n) uniformly (k <= n), in
+  /// unspecified order. Uses Floyd's algorithm for k << n.
+  std::vector<uint64_t> SampleWithoutReplacement(uint64_t n, uint64_t k);
+
+  /// Draws an index from an unnormalised non-negative weight vector.
+  /// Requires at least one strictly positive weight.
+  size_t Categorical(const std::vector<double>& weights);
+
+  /// Forks a child generator whose stream is decorrelated from this one;
+  /// used to give parallel or per-item components independent streams.
+  Rng Fork() { return Rng(engine_() ^ 0x9E3779B97F4A7C15ULL); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace sgnn::common
+
+#endif  // SGNN_COMMON_RNG_H_

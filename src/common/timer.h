@@ -1,0 +1,30 @@
+#ifndef SGNN_COMMON_TIMER_H_
+#define SGNN_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace sgnn::common {
+
+/// Monotonic wall-clock timer for coarse-grained measurement in reports and
+/// benchmarks. Starts on construction; `Restart()` resets the origin.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or the last `Restart()`.
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace sgnn::common
+
+#endif  // SGNN_COMMON_TIMER_H_

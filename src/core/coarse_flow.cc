@@ -1,0 +1,68 @@
+#include "core/coarse_flow.h"
+
+#include "common/timer.h"
+#include "graph/propagate.h"
+#include "models/gcn.h"
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+
+namespace sgnn::core {
+
+using graph::NodeId;
+using tensor::Matrix;
+
+CoarseTrainResult TrainOnCoarseGraph(const Dataset& dataset,
+                                     double target_ratio,
+                                     const nn::TrainConfig& config) {
+  common::ScopedCounterDelta counters;
+  common::WallTimer timer;
+  common::Rng rng(config.seed);
+
+  coarsen::Coarsening coarsening =
+      coarsen::HeavyEdgeCoarsen(dataset.graph, target_ratio, config.seed);
+  Matrix coarse_x = coarsen::RestrictFeatures(coarsening, dataset.features);
+  std::vector<int> coarse_labels = coarsen::RestrictLabels(
+      coarsening, dataset.labels, dataset.num_classes);
+
+  // Coarse-side split for early stopping (test side is evaluated on the
+  // fine graph, so any coarse test set would be redundant).
+  models::NodeSplits coarse_splits =
+      models::MakeSplits(coarsening.num_coarse(), 0.7, 0.29, config.seed);
+
+  graph::Propagator coarse_prop(coarsening.coarse,
+                                graph::Normalization::kSymmetric, true);
+  models::Gcn model(coarse_x.cols(), config.hidden_dim, dataset.num_classes,
+                    config.dropout, &rng);
+  nn::Adam opt(model.Params(), config.lr, 0.9, 0.999, 1e-8,
+               config.weight_decay);
+  models::EarlyStopTracker tracker(config.patience);
+
+  CoarseTrainResult result;
+  result.coarse_nodes = coarsening.num_coarse();
+  result.model.name = "coarse_gcn";
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    model.ZeroGrad();
+    result.model.report.final_train_loss = model.TrainStep(
+        coarse_prop, coarse_x, coarse_labels, coarse_splits.train, &rng);
+    opt.Step();
+    result.model.report.epochs_run = epoch + 1;
+
+    // Lift coarse logits to fine nodes and score on the FINE splits.
+    Matrix coarse_logits = model.Predict(coarse_prop, coarse_x);
+    Matrix fine_logits = coarsen::LiftFeatures(coarsening, coarse_logits);
+    const double val =
+        nn::Accuracy(fine_logits, dataset.labels, dataset.splits.val);
+    const double test =
+        nn::Accuracy(fine_logits, dataset.labels, dataset.splits.test);
+    if (tracker.Update(val, test)) break;
+  }
+  result.model.report.best_val_accuracy = tracker.best_val();
+  result.model.report.test_accuracy = tracker.test_at_best();
+  result.model.report.train_seconds = timer.Seconds();
+  result.model.ops = counters.Delta();
+  result.spectral_distortion =
+      coarsen::SpectralDistortion(dataset.graph, coarsening, 4, config.seed);
+  return result;
+}
+
+}  // namespace sgnn::core

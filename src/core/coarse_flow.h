@@ -1,0 +1,25 @@
+#ifndef SGNN_CORE_COARSE_FLOW_H_
+#define SGNN_CORE_COARSE_FLOW_H_
+
+#include "coarsen/coarsen.h"
+#include "core/dataset.h"
+
+namespace sgnn::core {
+
+/// Coarse-train / fine-infer flow (§3.3.4): coarsen the graph, train a GCN
+/// on the coarse graph with restricted features and majority labels, then
+/// lift the coarse logits back to fine nodes and evaluate on the original
+/// splits. The GNN never touches the full graph during training.
+struct CoarseTrainResult {
+  models::ModelResult model;     ///< Metrics measured on the FINE splits.
+  graph::NodeId coarse_nodes = 0;
+  double spectral_distortion = 0.0;
+};
+
+CoarseTrainResult TrainOnCoarseGraph(const Dataset& dataset,
+                                     double target_ratio,
+                                     const nn::TrainConfig& config);
+
+}  // namespace sgnn::core
+
+#endif  // SGNN_CORE_COARSE_FLOW_H_

@@ -1,0 +1,58 @@
+#include "core/dataset.h"
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace sgnn::core {
+
+namespace {
+
+tensor::Matrix PrototypeFeatures(const std::vector<int>& labels,
+                                 int num_classes, int64_t feature_dim,
+                                 double noise, common::Rng* rng) {
+  SGNN_CHECK_GE(feature_dim, num_classes);
+  tensor::Matrix x(static_cast<int64_t>(labels.size()), feature_dim);
+  for (size_t u = 0; u < labels.size(); ++u) {
+    auto row = x.Row(static_cast<int64_t>(u));
+    row[labels[u]] = 1.0f;
+    for (int64_t c = 0; c < feature_dim; ++c) {
+      row[c] += static_cast<float>(rng->Gaussian(0.0, noise));
+    }
+  }
+  return x;
+}
+
+}  // namespace
+
+Dataset MakeSbmDataset(const SbmDatasetConfig& config, uint64_t seed) {
+  common::Rng rng(seed);
+  graph::SbmGraph sbm =
+      graph::StochasticBlockModel(config.sbm, rng.engine()());
+  Dataset dataset;
+  dataset.num_classes = config.sbm.num_classes;
+  dataset.features =
+      PrototypeFeatures(sbm.labels, dataset.num_classes, config.feature_dim,
+                        config.feature_noise, &rng);
+  dataset.labels = std::move(sbm.labels);
+  dataset.graph = std::move(sbm.graph);
+  dataset.splits = models::MakeSplits(dataset.graph.num_nodes(),
+                                      config.train_frac, config.val_frac,
+                                      rng.engine()());
+  return dataset;
+}
+
+Dataset MakeKarateDataset(double feature_noise, uint64_t seed) {
+  common::Rng rng(seed);
+  graph::SbmGraph karate = graph::KarateClub();
+  Dataset dataset;
+  dataset.num_classes = 2;
+  dataset.features = PrototypeFeatures(karate.labels, 2, 4, feature_noise,
+                                       &rng);
+  dataset.labels = std::move(karate.labels);
+  dataset.graph = std::move(karate.graph);
+  dataset.splits =
+      models::MakeSplits(dataset.graph.num_nodes(), 0.5, 0.2, rng.engine()());
+  return dataset;
+}
+
+}  // namespace sgnn::core

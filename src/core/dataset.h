@@ -1,0 +1,43 @@
+#ifndef SGNN_CORE_DATASET_H_
+#define SGNN_CORE_DATASET_H_
+
+#include <vector>
+
+#include "graph/generators.h"
+#include "models/api.h"
+#include "tensor/matrix.h"
+
+namespace sgnn::core {
+
+/// A node-classification dataset: the unit every pipeline and benchmark
+/// consumes. Stands in for the ogbn/heterophily datasets the tutorial's
+/// cited systems evaluate on (see DESIGN.md substitution table).
+struct Dataset {
+  graph::CsrGraph graph;
+  tensor::Matrix features;
+  std::vector<int> labels;
+  int num_classes = 0;
+  models::NodeSplits splits;
+
+  graph::NodeId num_nodes() const { return graph.num_nodes(); }
+};
+
+/// Synthetic SBM dataset: graph from `StochasticBlockModel`, features are
+/// noisy class prototypes (`feature_dim` >= num_classes; prototype c is
+/// the one-hot of c padded with zeros), random splits.
+struct SbmDatasetConfig {
+  graph::SbmConfig sbm;
+  int64_t feature_dim = 16;
+  double feature_noise = 0.5;  ///< Gaussian sigma around the prototype.
+  double train_frac = 0.6;
+  double val_frac = 0.2;
+};
+Dataset MakeSbmDataset(const SbmDatasetConfig& config, uint64_t seed);
+
+/// Zachary's karate club with degree/one-hot-free features (prototype +
+/// noise like the SBM path) — the small smoke-test dataset.
+Dataset MakeKarateDataset(double feature_noise, uint64_t seed);
+
+}  // namespace sgnn::core
+
+#endif  // SGNN_CORE_DATASET_H_

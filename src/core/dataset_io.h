@@ -1,0 +1,22 @@
+#ifndef SGNN_CORE_DATASET_IO_H_
+#define SGNN_CORE_DATASET_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "core/dataset.h"
+
+namespace sgnn::core {
+
+/// Persists a dataset as a directory of text files: `graph.txt` (edge
+/// list, see graph::SaveEdgeList), `features.txt`, `labels.txt` and
+/// `splits.txt`. The directory must exist.
+common::Status SaveDataset(const Dataset& dataset, const std::string& dir);
+
+/// Loads a dataset written by `SaveDataset`. Validates cross-file
+/// consistency (row counts, label range, split disjointness).
+common::StatusOr<Dataset> LoadDataset(const std::string& dir);
+
+}  // namespace sgnn::core
+
+#endif  // SGNN_CORE_DATASET_IO_H_

@@ -1,0 +1,76 @@
+#include "core/distributed_sim.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace sgnn::core {
+
+using graph::CsrGraph;
+using graph::NodeId;
+
+DistributedReport SimulateDistributedEpoch(const CsrGraph& graph,
+                                           const partition::Partition& parts,
+                                           int64_t feature_dim,
+                                           const DistributedCostModel& cost) {
+  SGNN_CHECK_EQ(parts.part_of.size(), static_cast<size_t>(graph.num_nodes()));
+  SGNN_CHECK_GT(parts.k, 0);
+  SGNN_CHECK_GT(feature_dim, 0);
+
+  DistributedReport report;
+  report.num_workers = parts.k;
+  report.workers.assign(static_cast<size_t>(parts.k), WorkerLoad{});
+
+  // Halo sets: for each worker, the distinct remote nodes whose state it
+  // must receive (any remote neighbour of a local node).
+  std::vector<std::unordered_set<NodeId>> halo(static_cast<size_t>(parts.k));
+  std::vector<int64_t> local_nodes(static_cast<size_t>(parts.k), 0);
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    const int w = parts.part_of[u];
+    local_nodes[static_cast<size_t>(w)]++;
+    report.workers[static_cast<size_t>(w)].local_edges += graph.OutDegree(u);
+    for (NodeId v : graph.Neighbors(u)) {
+      if (parts.part_of[v] != w) halo[static_cast<size_t>(w)].insert(v);
+    }
+  }
+
+  double compute_sum = 0.0;
+  double max_compute = 0.0;
+  int64_t max_receive = 0;
+  int64_t replicated_nodes = 0;
+  for (int w = 0; w < parts.k; ++w) {
+    WorkerLoad& load = report.workers[static_cast<size_t>(w)];
+    load.halo_values =
+        static_cast<int64_t>(halo[static_cast<size_t>(w)].size()) * feature_dim;
+    const double compute =
+        cost.seconds_per_edge * static_cast<double>(load.local_edges);
+    compute_sum += compute;
+    max_compute = std::max(max_compute, compute);
+    max_receive = std::max(max_receive, load.halo_values);
+    replicated_nodes +=
+        static_cast<int64_t>(halo[static_cast<size_t>(w)].size());
+  }
+
+  report.compute_seconds_max = max_compute;
+  report.compute_seconds_avg = compute_sum / parts.k;
+  // BSP round: everyone computes, then the slowest receive dominates the
+  // exchange (full-duplex links, receives bound the round).
+  report.comm_seconds = cost.round_latency_seconds +
+                        cost.seconds_per_value *
+                            static_cast<double>(max_receive);
+  report.epoch_seconds = report.compute_seconds_max + report.comm_seconds;
+
+  const double single_worker =
+      cost.seconds_per_edge * static_cast<double>(graph.num_edges());
+  report.speedup =
+      report.epoch_seconds > 0.0 ? single_worker / report.epoch_seconds : 0.0;
+  report.replication_factor =
+      graph.num_nodes() > 0
+          ? static_cast<double>(replicated_nodes + graph.num_nodes()) /
+                static_cast<double>(graph.num_nodes())
+          : 0.0;
+  return report;
+}
+
+}  // namespace sgnn::core

@@ -1,0 +1,50 @@
+#ifndef SGNN_CORE_DISTRIBUTED_SIM_H_
+#define SGNN_CORE_DISTRIBUTED_SIM_H_
+
+#include <vector>
+
+#include "graph/csr_graph.h"
+#include "partition/partition.h"
+
+namespace sgnn::core {
+
+/// Distributed full-graph training simulator (§3.4.3 "Scalable Training
+/// Schemes and Systems"). Workers hold one partition each; an epoch is
+/// one synchronous round: every worker processes its local edges, then
+/// exchanges the boundary (halo) node states its neighbours need. The
+/// wire is simulated with an alpha-beta cost model — the quantities the
+/// tutorial's distributed discussion (and systems like SANCUS/ByteGNN)
+/// optimise are exactly the partition-induced compute balance and
+/// communication volume this reports.
+struct DistributedCostModel {
+  double seconds_per_edge = 2e-8;        ///< Aggregation cost per edge.
+  double seconds_per_value = 5e-9;       ///< Wire cost per replicated scalar.
+  double round_latency_seconds = 5e-4;   ///< Fixed per-sync-round latency.
+};
+
+struct WorkerLoad {
+  int64_t local_edges = 0;     ///< Edges whose source lives on the worker.
+  int64_t halo_values = 0;     ///< Remote scalars the worker must receive.
+};
+
+struct DistributedReport {
+  int num_workers = 0;
+  std::vector<WorkerLoad> workers;
+  double compute_seconds_max = 0.0;  ///< Slowest worker's compute.
+  double compute_seconds_avg = 0.0;
+  double comm_seconds = 0.0;         ///< Latency + max receive volume.
+  double epoch_seconds = 0.0;        ///< max-compute + comm (BSP round).
+  double speedup = 0.0;              ///< Single-worker epoch / this epoch.
+  double replication_factor = 0.0;   ///< (local + halo nodes) / n.
+};
+
+/// Simulates one synchronous epoch of full-graph message passing with
+/// `feature_dim`-wide node states under the given partition.
+DistributedReport SimulateDistributedEpoch(const graph::CsrGraph& graph,
+                                           const partition::Partition& parts,
+                                           int64_t feature_dim,
+                                           const DistributedCostModel& cost);
+
+}  // namespace sgnn::core
+
+#endif  // SGNN_CORE_DISTRIBUTED_SIM_H_

@@ -1,0 +1,95 @@
+#include "core/link_prediction.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "tensor/ops.h"
+
+namespace sgnn::core {
+
+using graph::CsrGraph;
+using graph::NodeId;
+
+LinkSplit SplitLinkPrediction(const CsrGraph& graph, double test_frac,
+                              uint64_t seed) {
+  SGNN_CHECK(test_frac > 0.0 && test_frac < 1.0);
+  SGNN_CHECK_GE(graph.num_nodes(), 2u);
+  common::Rng rng(seed);
+
+  std::vector<std::pair<NodeId, NodeId>> undirected;
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    for (NodeId v : graph.Neighbors(u)) {
+      if (u < v) undirected.emplace_back(u, v);
+    }
+  }
+  SGNN_CHECK(!undirected.empty());
+  rng.Shuffle(&undirected);
+  const size_t num_test = std::max<size_t>(
+      1, static_cast<size_t>(test_frac * static_cast<double>(undirected.size())));
+
+  LinkSplit split;
+  split.test_pos.assign(undirected.begin(),
+                        undirected.begin() + static_cast<int64_t>(num_test));
+
+  graph::EdgeListBuilder builder(graph.num_nodes());
+  for (size_t i = num_test; i < undirected.size(); ++i) {
+    builder.AddUndirectedEdge(undirected[i].first, undirected[i].second);
+  }
+  split.train_graph = CsrGraph::FromBuilder(std::move(builder));
+
+  // Negative pairs: uniform non-edges of the ORIGINAL graph (so a good
+  // embedding is not rewarded for predicting held-out positives as
+  // negatives).
+  split.test_neg.reserve(num_test);
+  while (split.test_neg.size() < num_test) {
+    const NodeId u = static_cast<NodeId>(rng.UniformInt(graph.num_nodes()));
+    const NodeId v = static_cast<NodeId>(rng.UniformInt(graph.num_nodes()));
+    if (u == v || graph.HasEdge(u, v)) continue;
+    split.test_neg.emplace_back(u, v);
+  }
+  return split;
+}
+
+double RocAuc(const std::vector<double>& positive_scores,
+              const std::vector<double>& negative_scores) {
+  SGNN_CHECK(!positive_scores.empty());
+  SGNN_CHECK(!negative_scores.empty());
+  // O((p+n) log(p+n)) rank-based computation.
+  std::vector<std::pair<double, int>> all;
+  all.reserve(positive_scores.size() + negative_scores.size());
+  for (double s : positive_scores) all.emplace_back(s, 1);
+  for (double s : negative_scores) all.emplace_back(s, 0);
+  std::sort(all.begin(), all.end());
+  double rank_sum_pos = 0.0;
+  size_t i = 0;
+  while (i < all.size()) {
+    size_t j = i;
+    while (j < all.size() && all[j].first == all[i].first) ++j;
+    // Average rank for ties (1-based ranks i+1 .. j).
+    const double avg_rank = 0.5 * static_cast<double>(i + 1 + j);
+    for (size_t k = i; k < j; ++k) {
+      if (all[k].second == 1) rank_sum_pos += avg_rank;
+    }
+    i = j;
+  }
+  const double p = static_cast<double>(positive_scores.size());
+  const double n = static_cast<double>(negative_scores.size());
+  return (rank_sum_pos - p * (p + 1.0) / 2.0) / (p * n);
+}
+
+double EmbeddingLinkAuc(const tensor::Matrix& embeddings,
+                        const LinkSplit& split) {
+  auto score = [&embeddings](const std::pair<NodeId, NodeId>& pair) {
+    return tensor::Dot(embeddings.Row(static_cast<int64_t>(pair.first)),
+                       embeddings.Row(static_cast<int64_t>(pair.second)));
+  };
+  std::vector<double> pos, neg;
+  pos.reserve(split.test_pos.size());
+  neg.reserve(split.test_neg.size());
+  for (const auto& pair : split.test_pos) pos.push_back(score(pair));
+  for (const auto& pair : split.test_neg) neg.push_back(score(pair));
+  return RocAuc(pos, neg);
+}
+
+}  // namespace sgnn::core

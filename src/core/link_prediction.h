@@ -1,0 +1,40 @@
+#ifndef SGNN_CORE_LINK_PREDICTION_H_
+#define SGNN_CORE_LINK_PREDICTION_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "graph/csr_graph.h"
+#include "tensor/matrix.h"
+
+namespace sgnn::core {
+
+/// Link prediction (§3.1.1's second canonical task): hold out a fraction
+/// of edges, embed nodes using the *training* graph only, and rank the
+/// held-out (positive) pairs against sampled non-edges by embedding
+/// similarity; quality is ROC-AUC.
+struct LinkSplit {
+  graph::CsrGraph train_graph;  ///< Original graph minus held-out edges.
+  std::vector<std::pair<graph::NodeId, graph::NodeId>> test_pos;
+  std::vector<std::pair<graph::NodeId, graph::NodeId>> test_neg;
+};
+
+/// Holds out `test_frac` of the undirected edges (both directions
+/// removed) and samples an equal number of non-edges as negatives.
+LinkSplit SplitLinkPrediction(const graph::CsrGraph& graph, double test_frac,
+                              uint64_t seed);
+
+/// ROC-AUC of positive scores against negative scores (probability a
+/// random positive outranks a random negative; ties count half).
+double RocAuc(const std::vector<double>& positive_scores,
+              const std::vector<double>& negative_scores);
+
+/// Scores every test pair by the dot product of its endpoint embedding
+/// rows and returns the AUC.
+double EmbeddingLinkAuc(const tensor::Matrix& embeddings,
+                        const LinkSplit& split);
+
+}  // namespace sgnn::core
+
+#endif  // SGNN_CORE_LINK_PREDICTION_H_

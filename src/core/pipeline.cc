@@ -1,0 +1,83 @@
+#include "core/pipeline.h"
+
+#include <cstdio>
+
+#include "common/check.h"
+#include "common/timer.h"
+
+namespace sgnn::core {
+
+std::string PipelineReport::ToString() const {
+  std::string out;
+  char buf[256];
+  for (const StageTiming& stage : stages) {
+    std::snprintf(buf, sizeof(buf), "stage %-24s %8.3fs\n",
+                  stage.name.c_str(), stage.seconds);
+    out += buf;
+  }
+  std::snprintf(buf, sizeof(buf),
+                "edges %lld -> %lld, feature cols %lld -> %lld\n",
+                static_cast<long long>(edges_before),
+                static_cast<long long>(edges_after),
+                static_cast<long long>(feature_cols_before),
+                static_cast<long long>(feature_cols_after));
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "model %-16s val %.4f test %.4f epochs %d (%.3fs)\n",
+                model.name.c_str(), model.report.best_val_accuracy,
+                model.report.test_accuracy, model.report.epochs_run,
+                model.report.train_seconds);
+  out += buf;
+  out += "ops: " + model.ops.ToString() + "\n";
+  return out;
+}
+
+Pipeline& Pipeline::AddEdit(std::unique_ptr<EditStage> stage) {
+  SGNN_CHECK(stage != nullptr);
+  edits_.push_back(std::move(stage));
+  return *this;
+}
+
+Pipeline& Pipeline::AddAnalytics(std::unique_ptr<AnalyticsStage> stage) {
+  SGNN_CHECK(stage != nullptr);
+  analytics_.push_back(std::move(stage));
+  return *this;
+}
+
+Pipeline& Pipeline::SetModel(std::string name, ModelFn model) {
+  SGNN_CHECK(model != nullptr);
+  model_name_ = std::move(name);
+  model_ = std::move(model);
+  return *this;
+}
+
+PipelineReport Pipeline::Run(const Dataset& dataset,
+                             const nn::TrainConfig& config) const {
+  SGNN_CHECK(model_ != nullptr);
+  PipelineReport report;
+  report.edges_before = dataset.graph.num_edges();
+  report.feature_cols_before = dataset.features.cols();
+
+  graph::CsrGraph graph = dataset.graph;
+  tensor::Matrix features = dataset.features;
+  for (const auto& stage : edits_) {
+    common::WallTimer timer;
+    graph = stage->Edit(graph, features);
+    report.stages.push_back({stage->name(), timer.Seconds()});
+  }
+  for (const auto& stage : analytics_) {
+    common::WallTimer timer;
+    features = stage->Augment(graph, features);
+    report.stages.push_back({stage->name(), timer.Seconds()});
+  }
+  report.edges_after = graph.num_edges();
+  report.feature_cols_after = features.cols();
+
+  common::WallTimer timer;
+  report.model =
+      model_(graph, features, dataset.labels, dataset.splits, config);
+  report.stages.push_back({"train:" + model_name_, timer.Seconds()});
+  return report;
+}
+
+}  // namespace sgnn::core

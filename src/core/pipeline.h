@@ -1,0 +1,82 @@
+#ifndef SGNN_CORE_PIPELINE_H_
+#define SGNN_CORE_PIPELINE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/dataset.h"
+
+namespace sgnn::core {
+
+/// The paper's two technique families as pipeline stages (Figure 1):
+/// *editing* stages rewrite the graph, *analytics* stages rewrite the
+/// features (embeddings); a model trains on whatever comes out.
+
+/// Rewrites the graph (sparsify, rewire, coarsen-project, ...). May read
+/// the features (e.g. similarity rewiring).
+class EditStage {
+ public:
+  virtual ~EditStage() = default;
+  virtual std::string name() const = 0;
+  virtual graph::CsrGraph Edit(const graph::CsrGraph& graph,
+                               const tensor::Matrix& features) = 0;
+};
+
+/// Rewrites the features (spectral embeddings, PPR smoothing, ...).
+class AnalyticsStage {
+ public:
+  virtual ~AnalyticsStage() = default;
+  virtual std::string name() const = 0;
+  virtual tensor::Matrix Augment(const graph::CsrGraph& graph,
+                                 const tensor::Matrix& features) = 0;
+};
+
+/// A trainer taking the (possibly edited/augmented) dataset pieces.
+using ModelFn = std::function<models::ModelResult(
+    const graph::CsrGraph&, const tensor::Matrix&, std::span<const int>,
+    const models::NodeSplits&, const nn::TrainConfig&)>;
+
+/// Per-stage timing entry of a pipeline run.
+struct StageTiming {
+  std::string name;
+  double seconds = 0.0;
+};
+
+struct PipelineReport {
+  std::vector<StageTiming> stages;
+  models::ModelResult model;
+  graph::EdgeIndex edges_before = 0;
+  graph::EdgeIndex edges_after = 0;
+  int64_t feature_cols_before = 0;
+  int64_t feature_cols_after = 0;
+
+  std::string ToString() const;
+};
+
+/// Composable scalable-GNN pipeline: edits run first (in insertion
+/// order), then analytics stages (each replacing the feature matrix),
+/// then the model trains.
+class Pipeline {
+ public:
+  Pipeline() = default;
+
+  Pipeline& AddEdit(std::unique_ptr<EditStage> stage);
+  Pipeline& AddAnalytics(std::unique_ptr<AnalyticsStage> stage);
+  Pipeline& SetModel(std::string name, ModelFn model);
+
+  /// Runs the full pipeline on a dataset. Requires a model to be set.
+  PipelineReport Run(const Dataset& dataset,
+                     const nn::TrainConfig& config) const;
+
+ private:
+  std::vector<std::unique_ptr<EditStage>> edits_;
+  std::vector<std::unique_ptr<AnalyticsStage>> analytics_;
+  std::string model_name_;
+  ModelFn model_;
+};
+
+}  // namespace sgnn::core
+
+#endif  // SGNN_CORE_PIPELINE_H_

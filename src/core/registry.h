@@ -1,0 +1,32 @@
+#ifndef SGNN_CORE_REGISTRY_H_
+#define SGNN_CORE_REGISTRY_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/dataset.h"
+
+namespace sgnn::core {
+
+/// A technique in the paper's Figure-1 taxonomy, with a runnable demo:
+/// calling `demo` exercises the implementing module on a dataset and
+/// returns a one-line summary statistic, so the taxonomy is executable,
+/// not just documentation (experiment E1).
+struct Technique {
+  std::string name;           ///< e.g. "hub-labeling".
+  std::string figure1_path;   ///< e.g. "analytics/node-pair-similarity".
+  std::string description;    ///< What it does and which papers it mirrors.
+  std::function<std::string(const Dataset&)> demo;
+};
+
+/// All registered techniques, in Figure-1 order (classic methods, then
+/// graph analytics, then graph editing).
+const std::vector<Technique>& TechniqueRegistry();
+
+/// Lookup by name; aborts on unknown names (programming error).
+const Technique& FindTechnique(const std::string& name);
+
+}  // namespace sgnn::core
+
+#endif  // SGNN_CORE_REGISTRY_H_

@@ -1,0 +1,141 @@
+#include "core/stages.h"
+
+#include "algebra/implicit.h"
+#include "graph/propagate.h"
+#include "sparsify/sparsify.h"
+#include "tensor/ops.h"
+
+namespace sgnn::core {
+
+namespace {
+
+class UniformSparsifyStage : public EditStage {
+ public:
+  UniformSparsifyStage(double keep_prob, uint64_t seed)
+      : keep_prob_(keep_prob), seed_(seed) {}
+  std::string name() const override { return "sparsify:uniform"; }
+  graph::CsrGraph Edit(const graph::CsrGraph& graph,
+                       const tensor::Matrix&) override {
+    return sparsify::UniformSparsify(graph, keep_prob_, /*reweight=*/true,
+                                     seed_);
+  }
+
+ private:
+  double keep_prob_;
+  uint64_t seed_;
+};
+
+class SpectralSparsifyStage : public EditStage {
+ public:
+  SpectralSparsifyStage(int64_t num_samples, uint64_t seed)
+      : num_samples_(num_samples), seed_(seed) {}
+  std::string name() const override { return "sparsify:spectral"; }
+  graph::CsrGraph Edit(const graph::CsrGraph& graph,
+                       const tensor::Matrix&) override {
+    return sparsify::SpectralSparsify(graph, num_samples_, seed_);
+  }
+
+ private:
+  int64_t num_samples_;
+  uint64_t seed_;
+};
+
+class RewiringStage : public EditStage {
+ public:
+  explicit RewiringStage(const similarity::RewiringConfig& config)
+      : config_(config) {}
+  std::string name() const override { return "edit:rewire"; }
+  graph::CsrGraph Edit(const graph::CsrGraph& graph,
+                       const tensor::Matrix& features) override {
+    return similarity::RewireBySimilarity(graph, features, config_).graph;
+  }
+
+ private:
+  similarity::RewiringConfig config_;
+};
+
+class CombinedEmbeddingStage : public AnalyticsStage {
+ public:
+  explicit CombinedEmbeddingStage(
+      const spectral::CombinedEmbeddingConfig& config)
+      : config_(config) {}
+  std::string name() const override { return "analytics:combined-embed"; }
+  tensor::Matrix Augment(const graph::CsrGraph& graph,
+                         const tensor::Matrix& features) override {
+    graph::Propagator prop(graph, graph::Normalization::kSymmetric, true);
+    return spectral::CombinedEmbeddings(prop, features, config_);
+  }
+
+ private:
+  spectral::CombinedEmbeddingConfig config_;
+};
+
+class PprSmoothingStage : public AnalyticsStage {
+ public:
+  PprSmoothingStage(double alpha, int hops) : alpha_(alpha), hops_(hops) {}
+  std::string name() const override { return "analytics:ppr-smooth"; }
+  tensor::Matrix Augment(const graph::CsrGraph& graph,
+                         const tensor::Matrix& features) override {
+    graph::Propagator prop(graph, graph::Normalization::kSymmetric, true);
+    return ppr::AppnpPropagate(prop, features, alpha_, hops_);
+  }
+
+ private:
+  double alpha_;
+  int hops_;
+};
+
+class ImplicitEmbeddingStage : public AnalyticsStage {
+ public:
+  ImplicitEmbeddingStage(double gamma, double tol, int max_iters)
+      : gamma_(gamma), tol_(tol), max_iters_(max_iters) {}
+  std::string name() const override { return "analytics:implicit"; }
+  tensor::Matrix Augment(const graph::CsrGraph& graph,
+                         const tensor::Matrix& features) override {
+    graph::Propagator prop(graph, graph::Normalization::kSymmetric, true);
+    tensor::Matrix z =
+        algebra::NeumannSolve(prop, features, gamma_, tol_, max_iters_);
+    tensor::NormalizeRows(2, &z);
+    return z;
+  }
+
+ private:
+  double gamma_;
+  double tol_;
+  int max_iters_;
+};
+
+}  // namespace
+
+std::unique_ptr<EditStage> MakeUniformSparsifyStage(double keep_prob,
+                                                    uint64_t seed) {
+  return std::make_unique<UniformSparsifyStage>(keep_prob, seed);
+}
+
+std::unique_ptr<EditStage> MakeSpectralSparsifyStage(int64_t num_samples,
+                                                     uint64_t seed) {
+  return std::make_unique<SpectralSparsifyStage>(num_samples, seed);
+}
+
+std::unique_ptr<EditStage> MakeRewiringStage(
+    const similarity::RewiringConfig& config) {
+  return std::make_unique<RewiringStage>(config);
+}
+
+std::unique_ptr<AnalyticsStage> MakeCombinedEmbeddingStage(
+    const spectral::CombinedEmbeddingConfig& config) {
+  return std::make_unique<CombinedEmbeddingStage>(config);
+}
+
+std::unique_ptr<AnalyticsStage> MakePprSmoothingStage(double alpha,
+                                                      int hops) {
+  return std::make_unique<PprSmoothingStage>(alpha, hops);
+}
+
+std::unique_ptr<AnalyticsStage> MakeImplicitEmbeddingStage(double gamma,
+                                                           double tol,
+                                                           int max_iters) {
+  return std::make_unique<ImplicitEmbeddingStage>(gamma, tol, max_iters);
+}
+
+}  // namespace sgnn::core

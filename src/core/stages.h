@@ -1,0 +1,42 @@
+#ifndef SGNN_CORE_STAGES_H_
+#define SGNN_CORE_STAGES_H_
+
+#include <memory>
+
+#include "core/pipeline.h"
+#include "ppr/feature_propagation.h"
+#include "similarity/rewiring.h"
+#include "spectral/embeddings.h"
+
+namespace sgnn::core {
+
+/// Ready-made pipeline stages wrapping the technique modules, so callers
+/// compose Figure-1 pipelines without writing subclasses.
+
+/// Uniform edge sparsification (editing / sparsification).
+std::unique_ptr<EditStage> MakeUniformSparsifyStage(double keep_prob,
+                                                    uint64_t seed);
+
+/// Effective-resistance-proxy spectral sparsification.
+std::unique_ptr<EditStage> MakeSpectralSparsifyStage(int64_t num_samples,
+                                                     uint64_t seed);
+
+/// DHGR-style similarity rewiring (analytics-informed editing).
+std::unique_ptr<EditStage> MakeRewiringStage(
+    const similarity::RewiringConfig& config);
+
+/// LD2-style combined spectral embeddings (analytics / spectral).
+std::unique_ptr<AnalyticsStage> MakeCombinedEmbeddingStage(
+    const spectral::CombinedEmbeddingConfig& config);
+
+/// APPNP/PPR feature smoothing (analytics / decoupled propagation).
+std::unique_ptr<AnalyticsStage> MakePprSmoothingStage(double alpha, int hops);
+
+/// Implicit-equilibrium embeddings (analytics / graph algebras).
+std::unique_ptr<AnalyticsStage> MakeImplicitEmbeddingStage(double gamma,
+                                                           double tol,
+                                                           int max_iters);
+
+}  // namespace sgnn::core
+
+#endif  // SGNN_CORE_STAGES_H_

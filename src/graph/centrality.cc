@@ -1,0 +1,180 @@
+#include "graph/centrality.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace sgnn::graph {
+
+std::vector<int64_t> TrianglesPerNode(const CsrGraph& graph) {
+  const NodeId n = graph.num_nodes();
+  // Rank nodes by (degree, id); orient each edge toward the higher rank
+  // and intersect forward-neighbour lists.
+  std::vector<NodeId> rank(n);
+  {
+    std::vector<NodeId> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&graph](NodeId a, NodeId b) {
+      const auto da = graph.OutDegree(a), db = graph.OutDegree(b);
+      return da != db ? da < db : a < b;
+    });
+    for (NodeId i = 0; i < n; ++i) rank[order[i]] = i;
+  }
+  std::vector<std::vector<NodeId>> forward(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v : graph.Neighbors(u)) {
+      if (rank[u] < rank[v]) forward[u].push_back(v);
+    }
+    std::sort(forward[u].begin(), forward[u].end());
+  }
+  std::vector<int64_t> triangles(n, 0);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v : forward[u]) {
+      // Triangles u-v-w with w in forward[u] ∩ forward[v].
+      const auto& fu = forward[u];
+      const auto& fv = forward[v];
+      size_t i = 0, j = 0;
+      while (i < fu.size() && j < fv.size()) {
+        if (fu[i] == fv[j]) {
+          triangles[u]++;
+          triangles[v]++;
+          triangles[fu[i]]++;
+          ++i;
+          ++j;
+        } else if (fu[i] < fv[j]) {
+          ++i;
+        } else {
+          ++j;
+        }
+      }
+    }
+  }
+  return triangles;
+}
+
+int64_t CountTriangles(const CsrGraph& graph) {
+  auto per_node = TrianglesPerNode(graph);
+  const int64_t total = std::accumulate(per_node.begin(), per_node.end(),
+                                        static_cast<int64_t>(0));
+  return total / 3;
+}
+
+std::vector<int> CoreNumbers(const CsrGraph& graph) {
+  const NodeId n = graph.num_nodes();
+  std::vector<int> degree(n);
+  int max_degree = 0;
+  for (NodeId u = 0; u < n; ++u) {
+    degree[u] = static_cast<int>(graph.OutDegree(u));
+    max_degree = std::max(max_degree, degree[u]);
+  }
+  // Bucket sort by degree (Batagelj–Zaveršnik peeling).
+  std::vector<int> bin(static_cast<size_t>(max_degree) + 2, 0);
+  for (NodeId u = 0; u < n; ++u) bin[static_cast<size_t>(degree[u])]++;
+  int start = 0;
+  for (size_t d = 0; d < bin.size(); ++d) {
+    const int count = bin[d];
+    bin[d] = start;
+    start += count;
+  }
+  std::vector<NodeId> sorted(n);
+  std::vector<int> position(n);
+  {
+    std::vector<int> cursor(bin.begin(), bin.end());
+    for (NodeId u = 0; u < n; ++u) {
+      position[u] = cursor[static_cast<size_t>(degree[u])]++;
+      sorted[static_cast<size_t>(position[u])] = u;
+    }
+  }
+  std::vector<int> core(n);
+  for (NodeId i = 0; i < n; ++i) {
+    const NodeId u = sorted[i];
+    core[u] = degree[u];
+    for (NodeId v : graph.Neighbors(u)) {
+      if (degree[v] <= degree[u]) continue;
+      // Move v one bucket down: swap with the first node of its bucket.
+      const int dv = degree[v];
+      const int pos_v = position[v];
+      const int pos_first = bin[static_cast<size_t>(dv)];
+      const NodeId first = sorted[static_cast<size_t>(pos_first)];
+      if (first != v) {
+        std::swap(sorted[static_cast<size_t>(pos_v)],
+                  sorted[static_cast<size_t>(pos_first)]);
+        position[v] = pos_first;
+        position[first] = pos_v;
+      }
+      bin[static_cast<size_t>(dv)]++;
+      degree[v]--;
+    }
+  }
+  return core;
+}
+
+std::vector<double> GlobalPageRank(const CsrGraph& graph, double alpha,
+                                   double tol, int max_iters) {
+  SGNN_CHECK(alpha > 0.0 && alpha < 1.0);
+  const NodeId n = graph.num_nodes();
+  SGNN_CHECK_GT(n, 0u);
+  std::vector<double> pr(n, 1.0 / n);
+  std::vector<double> next(n, 0.0);
+  for (int iter = 0; iter < max_iters; ++iter) {
+    double dangling = 0.0;
+    std::fill(next.begin(), next.end(), 0.0);
+    for (NodeId u = 0; u < n; ++u) {
+      const double wdeg = graph.WeightedDegree(u);
+      if (wdeg == 0.0) {
+        dangling += pr[u];
+        continue;
+      }
+      const double spread = (1.0 - alpha) * pr[u] / wdeg;
+      auto nbrs = graph.Neighbors(u);
+      auto ws = graph.Weights(u);
+      for (size_t i = 0; i < nbrs.size(); ++i) next[nbrs[i]] += spread * ws[i];
+    }
+    const double uniform = (alpha + (1.0 - alpha) * dangling) / n;
+    double diff = 0.0;
+    for (NodeId u = 0; u < n; ++u) {
+      next[u] += uniform;
+      diff += std::fabs(next[u] - pr[u]);
+    }
+    pr.swap(next);
+    if (diff < tol) break;
+  }
+  return pr;
+}
+
+std::vector<double> ImportanceWeights(const CsrGraph& graph,
+                                      ImportanceMetric metric) {
+  const NodeId n = graph.num_nodes();
+  std::vector<double> weights(n, 0.0);
+  switch (metric) {
+    case ImportanceMetric::kDegree:
+      for (NodeId u = 0; u < n; ++u) {
+        weights[u] = static_cast<double>(graph.OutDegree(u));
+      }
+      break;
+    case ImportanceMetric::kCore: {
+      auto core = CoreNumbers(graph);
+      for (NodeId u = 0; u < n; ++u) weights[u] = core[u];
+      break;
+    }
+    case ImportanceMetric::kTriangles: {
+      auto triangles = TrianglesPerNode(graph);
+      for (NodeId u = 0; u < n; ++u) {
+        weights[u] = static_cast<double>(triangles[u]);
+      }
+      break;
+    }
+    case ImportanceMetric::kPageRank:
+      weights = GlobalPageRank(graph, 0.15, 1e-10);
+      break;
+  }
+  const double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  if (total > 0.0) {
+    for (double& w : weights) w /= total;
+  }
+  return weights;
+}
+
+}  // namespace sgnn::graph

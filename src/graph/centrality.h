@@ -1,0 +1,39 @@
+#ifndef SGNN_GRAPH_CENTRALITY_H_
+#define SGNN_GRAPH_CENTRALITY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr_graph.h"
+
+namespace sgnn::graph {
+
+/// Centrality / importance metrics (§3.1.4: "graph centrality metrics can
+/// be utilized to measure the importance of components for sampling").
+
+/// Exact triangle count per node (each triangle counted once per corner)
+/// via the forward (degree-ordered) algorithm; O(m^{3/2}).
+std::vector<int64_t> TrianglesPerNode(const CsrGraph& graph);
+
+/// Total number of distinct triangles in the graph.
+int64_t CountTriangles(const CsrGraph& graph);
+
+/// Core number per node (the largest k such that the node survives in
+/// the k-core) via the standard peeling algorithm; O(m).
+std::vector<int> CoreNumbers(const CsrGraph& graph);
+
+/// Global (non-personalised) PageRank by power iteration to L1 tolerance
+/// `tol`; teleport probability `alpha` (mass `alpha` is redistributed
+/// uniformly each step). Dangling mass is redistributed uniformly.
+std::vector<double> GlobalPageRank(const CsrGraph& graph, double alpha,
+                                   double tol, int max_iters = 200);
+
+/// Importance weights for samplers: one of the above, normalised to sum
+/// to 1. Exposed as a convenience for importance-sampling pipelines.
+enum class ImportanceMetric { kDegree, kCore, kTriangles, kPageRank };
+std::vector<double> ImportanceWeights(const CsrGraph& graph,
+                                      ImportanceMetric metric);
+
+}  // namespace sgnn::graph
+
+#endif  // SGNN_GRAPH_CENTRALITY_H_

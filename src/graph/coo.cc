@@ -1,0 +1,52 @@
+#include "graph/coo.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace sgnn::graph {
+
+void EdgeListBuilder::AddEdge(NodeId src, NodeId dst, float weight) {
+  SGNN_CHECK_LT(src, num_nodes_);
+  SGNN_CHECK_LT(dst, num_nodes_);
+  edges_.push_back(Edge{src, dst, weight});
+}
+
+void EdgeListBuilder::AddUndirectedEdge(NodeId u, NodeId v, float weight) {
+  AddEdge(u, v, weight);
+  AddEdge(v, u, weight);
+}
+
+void EdgeListBuilder::Symmetrize() {
+  const size_t n = edges_.size();
+  edges_.reserve(2 * n);
+  for (size_t i = 0; i < n; ++i) {
+    const Edge& e = edges_[i];
+    if (e.src != e.dst) edges_.push_back(Edge{e.dst, e.src, e.weight});
+  }
+  Deduplicate();
+}
+
+void EdgeListBuilder::RemoveSelfLoops() {
+  edges_.erase(std::remove_if(edges_.begin(), edges_.end(),
+                              [](const Edge& e) { return e.src == e.dst; }),
+               edges_.end());
+}
+
+void EdgeListBuilder::Deduplicate() {
+  std::sort(edges_.begin(), edges_.end(), [](const Edge& a, const Edge& b) {
+    return a.src != b.src ? a.src < b.src : a.dst < b.dst;
+  });
+  std::vector<Edge> out;
+  out.reserve(edges_.size());
+  for (const Edge& e : edges_) {
+    if (!out.empty() && out.back().src == e.src && out.back().dst == e.dst) {
+      out.back().weight += e.weight;
+    } else {
+      out.push_back(e);
+    }
+  }
+  edges_ = std::move(out);
+}
+
+}  // namespace sgnn::graph

@@ -1,0 +1,53 @@
+#ifndef SGNN_GRAPH_COO_H_
+#define SGNN_GRAPH_COO_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace sgnn::graph {
+
+/// A single weighted directed edge in coordinate form.
+struct Edge {
+  NodeId src = 0;
+  NodeId dst = 0;
+  float weight = 1.0f;
+};
+
+/// Mutable coordinate-format edge list used to assemble graphs before
+/// freezing them into CSR. Append-only; structural clean-up (symmetrise,
+/// de-duplicate, drop self-loops) happens at build time.
+class EdgeListBuilder {
+ public:
+  /// `num_nodes` fixes the node-id universe [0, num_nodes).
+  explicit EdgeListBuilder(NodeId num_nodes) : num_nodes_(num_nodes) {}
+
+  NodeId num_nodes() const { return num_nodes_; }
+  size_t num_edges() const { return edges_.size(); }
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  /// Appends a directed edge; ids must be < num_nodes.
+  void AddEdge(NodeId src, NodeId dst, float weight = 1.0f);
+
+  /// Appends both (u,v) and (v,u).
+  void AddUndirectedEdge(NodeId u, NodeId v, float weight = 1.0f);
+
+  /// Adds the reverse of every present edge (idempotent after Deduplicate).
+  void Symmetrize();
+
+  /// Removes u->u edges.
+  void RemoveSelfLoops();
+
+  /// Collapses parallel edges, summing weights. Leaves edges sorted by
+  /// (src, dst).
+  void Deduplicate();
+
+ private:
+  NodeId num_nodes_;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace sgnn::graph
+
+#endif  // SGNN_GRAPH_COO_H_

@@ -1,0 +1,61 @@
+#include "graph/dynamic_graph.h"
+
+#include <algorithm>
+
+namespace sgnn::graph {
+
+DynamicGraph::DynamicGraph(NodeId num_nodes) : adjacency_(num_nodes) {}
+
+void DynamicGraph::AddUndirectedEdge(NodeId u, NodeId v, int64_t timestamp) {
+  SGNN_CHECK_LT(u, num_nodes());
+  SGNN_CHECK_LT(v, num_nodes());
+  SGNN_CHECK_GE(timestamp, last_timestamp_);  // Stream order.
+  last_timestamp_ = timestamp;
+  adjacency_[u].push_back(Arc{v, timestamp});
+  adjacency_[v].push_back(Arc{u, timestamp});
+  num_edges_ += 2;
+}
+
+CsrGraph DynamicGraph::SnapshotAt(int64_t timestamp) const {
+  EdgeListBuilder builder(num_nodes());
+  for (NodeId u = 0; u < num_nodes(); ++u) {
+    for (const Arc& arc : adjacency_[u]) {
+      if (arc.timestamp > timestamp) break;  // Arrival order per node.
+      builder.AddEdge(u, arc.to);
+    }
+  }
+  builder.Deduplicate();
+  return CsrGraph::FromBuilder(std::move(builder));
+}
+
+CsrGraph DynamicGraph::Snapshot() const { return SnapshotAt(last_timestamp_); }
+
+std::vector<NodeId> DynamicGraph::TemporalWalk(NodeId seed, int max_steps,
+                                               int64_t start_time,
+                                               common::Rng* rng) const {
+  SGNN_CHECK(rng != nullptr);
+  SGNN_CHECK_LT(seed, num_nodes());
+  SGNN_CHECK_GE(max_steps, 0);
+  std::vector<NodeId> walk = {seed};
+  NodeId cur = seed;
+  // First step accepts timestamps >= start_time; afterwards timestamps
+  // must strictly increase (otherwise the walk could bounce back along
+  // the edge it just took).
+  int64_t min_time = start_time;
+  for (int step = 0; step < max_steps; ++step) {
+    const auto& arcs = adjacency_[cur];
+    // Eligible arcs form a suffix (timestamps are in arrival order).
+    const auto first = std::lower_bound(
+        arcs.begin(), arcs.end(), min_time,
+        [](const Arc& arc, int64_t t) { return arc.timestamp < t; });
+    if (first == arcs.end()) break;
+    const size_t eligible = static_cast<size_t>(arcs.end() - first);
+    const Arc& pick = *(first + static_cast<int64_t>(rng->UniformInt(eligible)));
+    cur = pick.to;
+    min_time = pick.timestamp + 1;
+    walk.push_back(cur);
+  }
+  return walk;
+}
+
+}  // namespace sgnn::graph

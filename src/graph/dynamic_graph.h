@@ -1,0 +1,64 @@
+#ifndef SGNN_GRAPH_DYNAMIC_GRAPH_H_
+#define SGNN_GRAPH_DYNAMIC_GRAPH_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/csr_graph.h"
+
+namespace sgnn::graph {
+
+/// Append-only dynamic graph with edge timestamps: the streaming-graph
+/// substrate of §3.4.2 ("Dynamic graphs") and the setting GENTI's
+/// walk-based extraction targets. Edges arrive with non-decreasing
+/// timestamps; adjacency is maintained incrementally, and any past state
+/// can be frozen into a `CsrGraph` snapshot.
+class DynamicGraph {
+ public:
+  explicit DynamicGraph(NodeId num_nodes);
+
+  NodeId num_nodes() const { return static_cast<NodeId>(adjacency_.size()); }
+  int64_t num_edges() const { return num_edges_; }  ///< Directed count.
+
+  /// Appends an undirected edge at `timestamp`. Timestamps must be
+  /// non-decreasing across calls (stream order).
+  void AddUndirectedEdge(NodeId u, NodeId v, int64_t timestamp);
+
+  /// Current out-degree of u.
+  int64_t Degree(NodeId u) const {
+    SGNN_DCHECK(u < num_nodes());
+    return static_cast<int64_t>(adjacency_[u].size());
+  }
+
+  /// Snapshot of all edges with timestamp <= `timestamp` as a static
+  /// CSR graph (equal to building that prefix of the stream statically).
+  CsrGraph SnapshotAt(int64_t timestamp) const;
+
+  /// Snapshot of everything seen so far.
+  CsrGraph Snapshot() const;
+
+  /// One temporal random walk from `seed` starting at `start_time`:
+  /// the first step takes an edge with timestamp >= start_time, and each
+  /// later step an edge with a strictly larger timestamp than the one
+  /// just taken (time-respecting paths, CTDNE-style), chosen uniformly
+  /// among the eligible edges. Stops early when no eligible edge exists.
+  /// Returns visited nodes including the seed.
+  std::vector<NodeId> TemporalWalk(NodeId seed, int max_steps,
+                                   int64_t start_time,
+                                   common::Rng* rng) const;
+
+ private:
+  struct Arc {
+    NodeId to;
+    int64_t timestamp;
+  };
+  // Per node, arcs in arrival (= timestamp) order, so the eligible
+  // suffix for a temporal step is found by binary search.
+  std::vector<std::vector<Arc>> adjacency_;
+  int64_t num_edges_ = 0;
+  int64_t last_timestamp_ = 0;
+};
+
+}  // namespace sgnn::graph
+
+#endif  // SGNN_GRAPH_DYNAMIC_GRAPH_H_

@@ -1,0 +1,220 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sgnn::graph {
+
+namespace {
+
+CsrGraph Finish(EdgeListBuilder builder) {
+  builder.RemoveSelfLoops();
+  builder.Symmetrize();
+  return CsrGraph::FromBuilder(std::move(builder));
+}
+
+}  // namespace
+
+CsrGraph ErdosRenyi(NodeId num_nodes, int64_t num_edges, uint64_t seed) {
+  SGNN_CHECK_GE(num_nodes, 2u);
+  common::Rng rng(seed);
+  EdgeListBuilder builder(num_nodes);
+  for (int64_t i = 0; i < num_edges; ++i) {
+    NodeId u = static_cast<NodeId>(rng.UniformInt(num_nodes));
+    NodeId v = static_cast<NodeId>(rng.UniformInt(num_nodes));
+    if (u == v) continue;
+    builder.AddEdge(u, v);
+  }
+  return Finish(std::move(builder));
+}
+
+CsrGraph BarabasiAlbert(NodeId num_nodes, int edges_per_node, uint64_t seed) {
+  SGNN_CHECK_GE(edges_per_node, 1);
+  SGNN_CHECK_GT(num_nodes, static_cast<NodeId>(edges_per_node));
+  common::Rng rng(seed);
+  EdgeListBuilder builder(num_nodes);
+  // `targets` holds one entry per edge endpoint, so uniform draws from it
+  // realise preferential attachment.
+  std::vector<NodeId> targets;
+  targets.reserve(static_cast<size_t>(num_nodes) * edges_per_node * 2);
+  // Seed clique over the first edges_per_node + 1 nodes.
+  const NodeId seed_nodes = static_cast<NodeId>(edges_per_node) + 1;
+  for (NodeId u = 0; u < seed_nodes; ++u) {
+    for (NodeId v = u + 1; v < seed_nodes; ++v) {
+      builder.AddEdge(u, v);
+      targets.push_back(u);
+      targets.push_back(v);
+    }
+  }
+  for (NodeId u = seed_nodes; u < num_nodes; ++u) {
+    std::vector<NodeId> chosen;
+    while (static_cast<int>(chosen.size()) < edges_per_node) {
+      NodeId v = targets[rng.UniformInt(targets.size())];
+      if (v == u) continue;
+      if (std::find(chosen.begin(), chosen.end(), v) != chosen.end()) continue;
+      chosen.push_back(v);
+    }
+    for (NodeId v : chosen) {
+      builder.AddEdge(u, v);
+      targets.push_back(u);
+      targets.push_back(v);
+    }
+  }
+  return Finish(std::move(builder));
+}
+
+CsrGraph Rmat(NodeId num_nodes, int64_t num_edges, const RmatConfig& config,
+              uint64_t seed) {
+  SGNN_CHECK_GT(num_nodes, 0u);
+  SGNN_CHECK((num_nodes & (num_nodes - 1)) == 0);  // power of two
+  const double d = 1.0 - config.a - config.b - config.c;
+  SGNN_CHECK(d >= 0.0);
+  int scale = 0;
+  while ((NodeId(1) << scale) < num_nodes) ++scale;
+  common::Rng rng(seed);
+  EdgeListBuilder builder(num_nodes);
+  for (int64_t e = 0; e < num_edges; ++e) {
+    NodeId u = 0, v = 0;
+    for (int bit = 0; bit < scale; ++bit) {
+      const double r = rng.Uniform();
+      if (r < config.a) {
+        // top-left quadrant: no bits set
+      } else if (r < config.a + config.b) {
+        v |= NodeId(1) << bit;
+      } else if (r < config.a + config.b + config.c) {
+        u |= NodeId(1) << bit;
+      } else {
+        u |= NodeId(1) << bit;
+        v |= NodeId(1) << bit;
+      }
+    }
+    if (u == v) continue;
+    builder.AddEdge(u, v);
+  }
+  return Finish(std::move(builder));
+}
+
+SbmGraph StochasticBlockModel(const SbmConfig& config, uint64_t seed) {
+  SGNN_CHECK_GT(config.num_nodes, 0u);
+  SGNN_CHECK_GE(config.num_classes, 2);
+  SGNN_CHECK(config.homophily >= 0.0 && config.homophily <= 1.0);
+  common::Rng rng(seed);
+  const NodeId n = config.num_nodes;
+  const int k = config.num_classes;
+
+  // Round-robin class assignment keeps blocks balanced and deterministic.
+  std::vector<int> labels(n);
+  std::vector<std::vector<NodeId>> members(static_cast<size_t>(k));
+  for (NodeId u = 0; u < n; ++u) {
+    labels[u] = static_cast<int>(u % static_cast<NodeId>(k));
+    members[static_cast<size_t>(labels[u])].push_back(u);
+  }
+
+  // G(n, m)-style SBM: place the expected number of intra-/inter-class
+  // edges by sampling endpoint pairs uniformly within the class pair. This
+  // realises the target homophily in expectation and scales linearly in
+  // the edge count (a pairwise Bernoulli sweep would be quadratic).
+  const double total_edges = config.avg_degree * n / 2.0;
+  const int64_t intra_edges =
+      static_cast<int64_t>(std::llround(total_edges * config.homophily));
+  const int64_t inter_edges =
+      static_cast<int64_t>(std::llround(total_edges * (1.0 - config.homophily)));
+
+  EdgeListBuilder builder(n);
+  for (int64_t e = 0; e < intra_edges; ++e) {
+    const auto& block = members[rng.UniformInt(static_cast<uint64_t>(k))];
+    if (block.size() < 2) continue;
+    NodeId u = block[rng.UniformInt(block.size())];
+    NodeId v = block[rng.UniformInt(block.size())];
+    if (u == v) continue;
+    builder.AddEdge(u, v);
+  }
+  for (int64_t e = 0; e < inter_edges; ++e) {
+    uint64_t a = rng.UniformInt(static_cast<uint64_t>(k));
+    uint64_t b = rng.UniformInt(static_cast<uint64_t>(k - 1));
+    if (b >= a) ++b;
+    const auto& block_a = members[a];
+    const auto& block_b = members[b];
+    if (block_a.empty() || block_b.empty()) continue;
+    builder.AddEdge(block_a[rng.UniformInt(block_a.size())],
+                    block_b[rng.UniformInt(block_b.size())]);
+  }
+  SbmGraph out;
+  out.graph = Finish(std::move(builder));
+  out.labels = std::move(labels);
+  return out;
+}
+
+CsrGraph Path(NodeId num_nodes) {
+  EdgeListBuilder builder(num_nodes);
+  for (NodeId u = 0; u + 1 < num_nodes; ++u) builder.AddUndirectedEdge(u, u + 1);
+  return CsrGraph::FromBuilder(std::move(builder));
+}
+
+CsrGraph Cycle(NodeId num_nodes) {
+  SGNN_CHECK_GE(num_nodes, 3u);
+  EdgeListBuilder builder(num_nodes);
+  for (NodeId u = 0; u < num_nodes; ++u) {
+    builder.AddUndirectedEdge(u, (u + 1) % num_nodes);
+  }
+  return CsrGraph::FromBuilder(std::move(builder));
+}
+
+CsrGraph Star(NodeId num_leaves) {
+  EdgeListBuilder builder(num_leaves + 1);
+  for (NodeId leaf = 1; leaf <= num_leaves; ++leaf) {
+    builder.AddUndirectedEdge(0, leaf);
+  }
+  return CsrGraph::FromBuilder(std::move(builder));
+}
+
+CsrGraph Complete(NodeId num_nodes) {
+  EdgeListBuilder builder(num_nodes);
+  for (NodeId u = 0; u < num_nodes; ++u) {
+    for (NodeId v = u + 1; v < num_nodes; ++v) builder.AddUndirectedEdge(u, v);
+  }
+  return CsrGraph::FromBuilder(std::move(builder));
+}
+
+CsrGraph Grid(NodeId rows, NodeId cols) {
+  EdgeListBuilder builder(rows * cols);
+  auto id = [cols](NodeId r, NodeId c) { return r * cols + c; };
+  for (NodeId r = 0; r < rows; ++r) {
+    for (NodeId c = 0; c < cols; ++c) {
+      if (c + 1 < cols) builder.AddUndirectedEdge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) builder.AddUndirectedEdge(id(r, c), id(r + 1, c));
+    }
+  }
+  return CsrGraph::FromBuilder(std::move(builder));
+}
+
+SbmGraph KarateClub() {
+  // Zachary (1977), 0-indexed edge list.
+  static constexpr int kEdges[][2] = {
+      {0, 1},   {0, 2},   {0, 3},   {0, 4},   {0, 5},   {0, 6},   {0, 7},
+      {0, 8},   {0, 10},  {0, 11},  {0, 12},  {0, 13},  {0, 17},  {0, 19},
+      {0, 21},  {0, 31},  {1, 2},   {1, 3},   {1, 7},   {1, 13},  {1, 17},
+      {1, 19},  {1, 21},  {1, 30},  {2, 3},   {2, 7},   {2, 8},   {2, 9},
+      {2, 13},  {2, 27},  {2, 28},  {2, 32},  {3, 7},   {3, 12},  {3, 13},
+      {4, 6},   {4, 10},  {5, 6},   {5, 10},  {5, 16},  {6, 16},  {8, 30},
+      {8, 32},  {8, 33},  {9, 33},  {13, 33}, {14, 32}, {14, 33}, {15, 32},
+      {15, 33}, {18, 32}, {18, 33}, {19, 33}, {20, 32}, {20, 33}, {22, 32},
+      {22, 33}, {23, 25}, {23, 27}, {23, 29}, {23, 32}, {23, 33}, {24, 25},
+      {24, 27}, {24, 31}, {25, 31}, {26, 29}, {26, 33}, {27, 33}, {28, 31},
+      {28, 33}, {29, 32}, {29, 33}, {30, 32}, {30, 33}, {31, 32}, {31, 33},
+      {32, 33}};
+  static constexpr int kFaction[34] = {0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 0, 0,
+                                       0, 0, 1, 1, 0, 0, 1, 0, 1, 0, 1, 1,
+                                       1, 1, 1, 1, 1, 1, 1, 1, 1, 1};
+  EdgeListBuilder builder(34);
+  for (const auto& e : kEdges) {
+    builder.AddUndirectedEdge(static_cast<NodeId>(e[0]),
+                              static_cast<NodeId>(e[1]));
+  }
+  SbmGraph out;
+  out.graph = CsrGraph::FromBuilder(std::move(builder));
+  out.labels.assign(kFaction, kFaction + 34);
+  return out;
+}
+
+}  // namespace sgnn::graph

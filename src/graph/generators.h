@@ -1,0 +1,71 @@
+#ifndef SGNN_GRAPH_GENERATORS_H_
+#define SGNN_GRAPH_GENERATORS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/csr_graph.h"
+
+namespace sgnn::graph {
+
+/// Synthetic graph generators. All outputs are undirected (symmetrised),
+/// simple (no self loops, no parallel edges) and deterministic given the
+/// seed. These stand in for the real datasets the tutorial cites: every
+/// claim is parameterised by a graph *property* (scale, degree skew,
+/// homophily), which the generators control directly.
+
+/// G(n, m): `num_edges` undirected edges placed uniformly at random.
+CsrGraph ErdosRenyi(NodeId num_nodes, int64_t num_edges, uint64_t seed);
+
+/// Barabási–Albert preferential attachment: each incoming node attaches to
+/// `edges_per_node` existing nodes with probability proportional to degree.
+/// Produces the heavy-tailed degree distributions behind the tutorial's
+/// neighbourhood-explosion discussion.
+CsrGraph BarabasiAlbert(NodeId num_nodes, int edges_per_node, uint64_t seed);
+
+/// R-MAT recursive-matrix generator (Chakrabarti et al.): `num_nodes` must
+/// be a power of two. Skewed, community-ish graphs at large scale.
+struct RmatConfig {
+  double a = 0.57;
+  double b = 0.19;
+  double c = 0.19;  // d = 1 - a - b - c
+};
+CsrGraph Rmat(NodeId num_nodes, int64_t num_edges, const RmatConfig& config,
+              uint64_t seed);
+
+/// Stochastic block model with a single homophily dial.
+///
+/// `homophily` is the expected fraction of each node's edges that stay
+/// inside its own class: 1/num_classes is the uninformative level, values
+/// near 1 are homophilous (Cora-like), values near 0 are heterophilous
+/// (the anomaly-detection regime of §3.1.3 "Multi-scale").
+struct SbmConfig {
+  NodeId num_nodes = 0;
+  int num_classes = 2;
+  double avg_degree = 10.0;
+  double homophily = 0.8;
+};
+
+/// SBM sample: the graph plus the planted class of every node.
+struct SbmGraph {
+  CsrGraph graph;
+  std::vector<int> labels;
+};
+
+SbmGraph StochasticBlockModel(const SbmConfig& config, uint64_t seed);
+
+/// Deterministic fixtures for tests and small examples.
+CsrGraph Path(NodeId num_nodes);
+CsrGraph Cycle(NodeId num_nodes);
+CsrGraph Star(NodeId num_leaves);      ///< Node 0 is the hub.
+CsrGraph Complete(NodeId num_nodes);
+CsrGraph Grid(NodeId rows, NodeId cols);
+
+/// Zachary's karate club (34 nodes, 78 undirected edges) with the canonical
+/// two-faction labels; the classic community-structure fixture.
+SbmGraph KarateClub();
+
+}  // namespace sgnn::graph
+
+#endif  // SGNN_GRAPH_GENERATORS_H_

@@ -1,0 +1,23 @@
+#ifndef SGNN_GRAPH_IO_H_
+#define SGNN_GRAPH_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "graph/csr_graph.h"
+
+namespace sgnn::graph {
+
+/// Writes the graph as a whitespace-separated "src dst weight" text edge
+/// list (one directed edge per line), preceded by a "# nodes <n>" header.
+common::Status SaveEdgeList(const CsrGraph& graph, const std::string& path);
+
+/// Loads a graph written by `SaveEdgeList` (or any compatible edge list;
+/// missing weights default to 1). Lines starting with '#' other than the
+/// node-count header are ignored. Without a header the node count is
+/// 1 + max id.
+common::StatusOr<CsrGraph> LoadEdgeList(const std::string& path);
+
+}  // namespace sgnn::graph
+
+#endif  // SGNN_GRAPH_IO_H_

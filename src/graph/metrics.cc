@@ -1,0 +1,141 @@
+#include "graph/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "common/rng.h"
+
+namespace sgnn::graph {
+
+DegreeStats ComputeDegreeStats(const CsrGraph& graph) {
+  DegreeStats stats;
+  const NodeId n = graph.num_nodes();
+  if (n == 0) return stats;
+  stats.min = graph.OutDegree(0);
+  double sum = 0.0, sum_sq = 0.0;
+  for (NodeId u = 0; u < n; ++u) {
+    const EdgeIndex d = graph.OutDegree(u);
+    stats.min = std::min(stats.min, d);
+    stats.max = std::max(stats.max, d);
+    sum += static_cast<double>(d);
+    sum_sq += static_cast<double>(d) * static_cast<double>(d);
+  }
+  stats.mean = sum / n;
+  stats.stddev = std::sqrt(std::max(0.0, sum_sq / n - stats.mean * stats.mean));
+  return stats;
+}
+
+double EdgeHomophily(const CsrGraph& graph, std::span<const int> labels) {
+  SGNN_CHECK_EQ(labels.size(), static_cast<size_t>(graph.num_nodes()));
+  if (graph.num_edges() == 0) return 0.0;
+  int64_t same = 0;
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    for (NodeId v : graph.Neighbors(u)) {
+      if (labels[u] == labels[v]) ++same;
+    }
+  }
+  return static_cast<double>(same) / static_cast<double>(graph.num_edges());
+}
+
+Components ConnectedComponents(const CsrGraph& graph) {
+  Components out;
+  out.component_of.assign(graph.num_nodes(), -1);
+  std::queue<NodeId> frontier;
+  for (NodeId root = 0; root < graph.num_nodes(); ++root) {
+    if (out.component_of[root] != -1) continue;
+    const int comp = out.count++;
+    out.component_of[root] = comp;
+    frontier.push(root);
+    while (!frontier.empty()) {
+      const NodeId u = frontier.front();
+      frontier.pop();
+      for (NodeId v : graph.Neighbors(u)) {
+        if (out.component_of[v] == -1) {
+          out.component_of[v] = comp;
+          frontier.push(v);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<int> BfsDistances(const CsrGraph& graph, NodeId source) {
+  SGNN_CHECK_LT(source, graph.num_nodes());
+  std::vector<int> dist(graph.num_nodes(), -1);
+  dist[source] = 0;
+  std::queue<NodeId> frontier;
+  frontier.push(source);
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop();
+    for (NodeId v : graph.Neighbors(u)) {
+      if (dist[v] == -1) {
+        dist[v] = dist[u] + 1;
+        frontier.push(v);
+      }
+    }
+  }
+  return dist;
+}
+
+int DiameterLowerBound(const CsrGraph& graph, NodeId start) {
+  auto first = BfsDistances(graph, start);
+  NodeId far = start;
+  int best = 0;
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    if (first[u] > best) {
+      best = first[u];
+      far = u;
+    }
+  }
+  auto second = BfsDistances(graph, far);
+  for (int d : second) best = std::max(best, d);
+  return best;
+}
+
+double ClusteringCoefficient(const CsrGraph& graph, NodeId sample_size,
+                             uint64_t seed) {
+  const NodeId n = graph.num_nodes();
+  if (n == 0) return 0.0;
+  common::Rng rng(seed);
+  std::vector<NodeId> nodes;
+  if (sample_size >= n) {
+    nodes.resize(n);
+    for (NodeId u = 0; u < n; ++u) nodes[u] = u;
+  } else {
+    for (uint64_t idx : rng.SampleWithoutReplacement(n, sample_size)) {
+      nodes.push_back(static_cast<NodeId>(idx));
+    }
+  }
+  double acc = 0.0;
+  int64_t counted = 0;
+  for (NodeId u : nodes) {
+    auto nbrs = graph.Neighbors(u);
+    const size_t d = nbrs.size();
+    if (d < 2) continue;
+    int64_t closed = 0;
+    for (size_t i = 0; i < d; ++i) {
+      for (size_t j = i + 1; j < d; ++j) {
+        if (graph.HasEdge(nbrs[i], nbrs[j])) ++closed;
+      }
+    }
+    acc += 2.0 * static_cast<double>(closed) /
+           (static_cast<double>(d) * static_cast<double>(d - 1));
+    ++counted;
+  }
+  return counted == 0 ? 0.0 : acc / static_cast<double>(counted);
+}
+
+int64_t ReceptiveFieldSize(const CsrGraph& graph, NodeId source, int hops) {
+  SGNN_CHECK_GE(hops, 0);
+  auto dist = BfsDistances(graph, source);
+  int64_t count = 0;
+  for (int d : dist) {
+    if (d >= 0 && d <= hops) ++count;
+  }
+  return count;
+}
+
+}  // namespace sgnn::graph

@@ -1,0 +1,51 @@
+#ifndef SGNN_GRAPH_METRICS_H_
+#define SGNN_GRAPH_METRICS_H_
+
+#include <span>
+#include <vector>
+
+#include "graph/csr_graph.h"
+
+namespace sgnn::graph {
+
+/// Summary statistics of the degree distribution.
+struct DegreeStats {
+  EdgeIndex min = 0;
+  EdgeIndex max = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+
+DegreeStats ComputeDegreeStats(const CsrGraph& graph);
+
+/// Edge homophily: fraction of edges whose endpoints share a label.
+/// The quantity the tutorial's heterophily discussion (§3.1.3, §3.2) is
+/// parameterised by.
+double EdgeHomophily(const CsrGraph& graph, std::span<const int> labels);
+
+/// Connected components via BFS; returns the component id per node and the
+/// number of components.
+struct Components {
+  std::vector<int> component_of;
+  int count = 0;
+};
+Components ConnectedComponents(const CsrGraph& graph);
+
+/// BFS distances from `source` (-1 for unreachable nodes).
+std::vector<int> BfsDistances(const CsrGraph& graph, NodeId source);
+
+/// Lower bound on the diameter via a double-sweep BFS from `start`.
+int DiameterLowerBound(const CsrGraph& graph, NodeId start);
+
+/// Average local clustering coefficient over a node sample (exact for
+/// `sample_size >= n`). Deterministic given `seed`.
+double ClusteringCoefficient(const CsrGraph& graph, NodeId sample_size,
+                             uint64_t seed);
+
+/// Number of nodes reachable within `hops` of `source` (including it):
+/// the receptive-field size behind the neighbourhood-explosion claim (E2).
+int64_t ReceptiveFieldSize(const CsrGraph& graph, NodeId source, int hops);
+
+}  // namespace sgnn::graph
+
+#endif  // SGNN_GRAPH_METRICS_H_

@@ -1,0 +1,148 @@
+#include "graph/propagate.h"
+
+#include <cmath>
+
+#include "common/counters.h"
+
+namespace sgnn::graph {
+
+Propagator::Propagator(const CsrGraph& graph, Normalization norm,
+                       bool add_self_loops)
+    : graph_(graph), norm_(norm) {
+  const NodeId n = graph.num_nodes();
+  std::vector<double> degree(n, 0.0);
+  for (NodeId u = 0; u < n; ++u) {
+    degree[u] = graph.WeightedDegree(u) + (add_self_loops ? 1.0 : 0.0);
+  }
+  auto inv = [](double d) { return d > 0.0 ? 1.0 / d : 0.0; };
+  auto inv_sqrt = [](double d) { return d > 0.0 ? 1.0 / std::sqrt(d) : 0.0; };
+
+  coeff_.resize(static_cast<size_t>(graph.num_edges()));
+  for (NodeId u = 0; u < n; ++u) {
+    auto nbrs = graph.Neighbors(u);
+    auto ws = graph.Weights(u);
+    const EdgeIndex base = graph.OffsetOf(u);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      const NodeId v = nbrs[i];
+      double c = ws[i];
+      switch (norm_) {
+        case Normalization::kNone:
+          break;
+        case Normalization::kRow:
+          c *= inv(degree[u]);
+          break;
+        case Normalization::kColumn:
+          c *= inv(degree[v]);
+          break;
+        case Normalization::kSymmetric:
+          c *= inv_sqrt(degree[u]) * inv_sqrt(degree[v]);
+          break;
+      }
+      coeff_[static_cast<size_t>(base) + i] = static_cast<float>(c);
+    }
+  }
+  if (add_self_loops) {
+    self_loop_coeff_.resize(n);
+    for (NodeId u = 0; u < n; ++u) {
+      double c = 1.0;
+      switch (norm_) {
+        case Normalization::kNone:
+          break;
+        case Normalization::kRow:
+        case Normalization::kColumn:
+          c = inv(degree[u]);
+          break;
+        case Normalization::kSymmetric:
+          c = inv(degree[u]);  // 1/sqrt(d) * 1/sqrt(d)
+          break;
+      }
+      self_loop_coeff_[u] = static_cast<float>(c);
+    }
+  }
+}
+
+void Propagator::Apply(const tensor::Matrix& x, tensor::Matrix* out) const {
+  SGNN_CHECK(out != nullptr);
+  SGNN_CHECK_EQ(x.rows(), static_cast<int64_t>(graph_.num_nodes()));
+  const int64_t cols = x.cols();
+  *out = tensor::Matrix(x.rows(), cols);
+  for (NodeId u = 0; u < graph_.num_nodes(); ++u) {
+    auto nbrs = graph_.Neighbors(u);
+    const float* cs = coeff_.data() + graph_.OffsetOf(u);
+    float* orow = out->data() + static_cast<int64_t>(u) * cols;
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      const float c = cs[i];
+      if (c == 0.0f) continue;
+      const float* xrow = x.data() + static_cast<int64_t>(nbrs[i]) * cols;
+      for (int64_t j = 0; j < cols; ++j) orow[j] += c * xrow[j];
+    }
+    if (!self_loop_coeff_.empty() && self_loop_coeff_[u] != 0.0f) {
+      const float c = self_loop_coeff_[u];
+      const float* xrow = x.data() + static_cast<int64_t>(u) * cols;
+      for (int64_t j = 0; j < cols; ++j) orow[j] += c * xrow[j];
+    }
+  }
+  auto& counters = common::GlobalCounters();
+  counters.edges_touched += static_cast<uint64_t>(graph_.num_edges());
+  counters.floats_moved +=
+      static_cast<uint64_t>(graph_.num_edges()) * static_cast<uint64_t>(cols);
+}
+
+void Propagator::ApplyVector(const std::vector<double>& x,
+                             std::vector<double>* out) const {
+  SGNN_CHECK(out != nullptr);
+  SGNN_CHECK_EQ(x.size(), static_cast<size_t>(graph_.num_nodes()));
+  out->assign(x.size(), 0.0);
+  for (NodeId u = 0; u < graph_.num_nodes(); ++u) {
+    auto nbrs = graph_.Neighbors(u);
+    const float* cs = coeff_.data() + graph_.OffsetOf(u);
+    double acc = 0.0;
+    for (size_t i = 0; i < nbrs.size(); ++i) acc += cs[i] * x[nbrs[i]];
+    if (!self_loop_coeff_.empty()) acc += self_loop_coeff_[u] * x[u];
+    (*out)[u] = acc;
+  }
+  common::GlobalCounters().edges_touched +=
+      static_cast<uint64_t>(graph_.num_edges());
+}
+
+void Propagator::ApplyTranspose(const tensor::Matrix& x,
+                                tensor::Matrix* out) const {
+  SGNN_CHECK(out != nullptr);
+  SGNN_CHECK_EQ(x.rows(), static_cast<int64_t>(graph_.num_nodes()));
+  const int64_t cols = x.cols();
+  *out = tensor::Matrix(x.rows(), cols);
+  for (NodeId u = 0; u < graph_.num_nodes(); ++u) {
+    auto nbrs = graph_.Neighbors(u);
+    const float* cs = coeff_.data() + graph_.OffsetOf(u);
+    const float* xrow = x.data() + static_cast<int64_t>(u) * cols;
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      const float c = cs[i];
+      if (c == 0.0f) continue;
+      float* orow = out->data() + static_cast<int64_t>(nbrs[i]) * cols;
+      for (int64_t j = 0; j < cols; ++j) orow[j] += c * xrow[j];
+    }
+    if (!self_loop_coeff_.empty() && self_loop_coeff_[u] != 0.0f) {
+      const float c = self_loop_coeff_[u];
+      float* orow = out->data() + static_cast<int64_t>(u) * cols;
+      for (int64_t j = 0; j < cols; ++j) orow[j] += c * xrow[j];
+    }
+  }
+  auto& counters = common::GlobalCounters();
+  counters.edges_touched += static_cast<uint64_t>(graph_.num_edges());
+  counters.floats_moved +=
+      static_cast<uint64_t>(graph_.num_edges()) * static_cast<uint64_t>(cols);
+}
+
+tensor::Matrix PropagateKHops(const Propagator& prop, const tensor::Matrix& x,
+                              int hops) {
+  SGNN_CHECK_GE(hops, 0);
+  tensor::Matrix cur = x;
+  tensor::Matrix next;
+  for (int k = 0; k < hops; ++k) {
+    prop.Apply(cur, &next);
+    cur = std::move(next);
+  }
+  return cur;
+}
+
+}  // namespace sgnn::graph

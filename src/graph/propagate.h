@@ -1,0 +1,73 @@
+#ifndef SGNN_GRAPH_PROPAGATE_H_
+#define SGNN_GRAPH_PROPAGATE_H_
+
+#include <vector>
+
+#include "graph/csr_graph.h"
+#include "tensor/matrix.h"
+
+namespace sgnn::graph {
+
+/// Adjacency normalisation used by graph propagation.
+enum class Normalization {
+  kNone,       ///< A
+  kRow,        ///< D^-1 A            (random-walk / row-stochastic)
+  kColumn,     ///< A D^-1            (PPR transition transpose)
+  kSymmetric,  ///< D^-1/2 A D^-1/2   (GCN convolution)
+};
+
+/// Precomputed normalised sparse operator \hat{A}; the message-passing /
+/// propagation kernel shared by all GNN models and decoupled methods.
+///
+/// With `add_self_loops`, the operator is built on A + I with degrees
+/// incremented accordingly (the GCN "renormalisation trick"). Construction
+/// normalises by *weighted* degree; zero-degree nodes propagate nothing.
+class Propagator {
+ public:
+  Propagator(const CsrGraph& graph, Normalization norm, bool add_self_loops);
+
+  /// out = \hat{A} x, dense feature version. `out` is overwritten.
+  /// Instruments `common::GlobalCounters()` with edges touched and floats
+  /// moved.
+  void Apply(const tensor::Matrix& x, tensor::Matrix* out) const;
+
+  /// Double-precision vector version (used by PPR / spectral iteration).
+  void ApplyVector(const std::vector<double>& x, std::vector<double>* out) const;
+
+  /// Applies the transpose operator \hat{A}^T (needed for backward passes
+  /// on non-symmetric normalisations).
+  void ApplyTranspose(const tensor::Matrix& x, tensor::Matrix* out) const;
+
+  NodeId num_nodes() const { return graph_.num_nodes(); }
+  EdgeIndex num_edges() const { return graph_.num_edges(); }
+  Normalization normalization() const { return norm_; }
+  bool self_loops() const { return self_loop_coeff_.size() > 0; }
+
+  /// Normalised coefficient for the i-th stored edge of node u (aligned
+  /// with `graph().Neighbors(u)`).
+  std::span<const float> Coefficients(NodeId u) const {
+    return {coeff_.data() + graph_.OffsetOf(u),
+            static_cast<size_t>(graph_.OutDegree(u))};
+  }
+
+  /// Self-loop coefficient of node u (0 when self loops are disabled).
+  float SelfLoopCoefficient(NodeId u) const {
+    return self_loop_coeff_.empty() ? 0.0f : self_loop_coeff_[u];
+  }
+
+  const CsrGraph& graph() const { return graph_; }
+
+ private:
+  const CsrGraph& graph_;  // Not owned; must outlive the propagator.
+  Normalization norm_;
+  std::vector<float> coeff_;            // Per stored edge.
+  std::vector<float> self_loop_coeff_;  // Per node; empty if no self loops.
+};
+
+/// Convenience: returns \hat{A}^k x by repeated application.
+tensor::Matrix PropagateKHops(const Propagator& prop, const tensor::Matrix& x,
+                              int hops);
+
+}  // namespace sgnn::graph
+
+#endif  // SGNN_GRAPH_PROPAGATE_H_

@@ -1,0 +1,21 @@
+#ifndef SGNN_GRAPH_TYPES_H_
+#define SGNN_GRAPH_TYPES_H_
+
+#include <cstdint>
+
+namespace sgnn::graph {
+
+/// Node identifier. 32 bits covers the multi-million-node graphs this
+/// library targets while halving adjacency memory vs 64-bit ids.
+using NodeId = uint32_t;
+
+/// Edge-array index / count; 64-bit because edge counts exceed 2^32 on the
+/// graph scales the paper discusses.
+using EdgeIndex = int64_t;
+
+/// Invalid / "no node" sentinel.
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+
+}  // namespace sgnn::graph
+
+#endif  // SGNN_GRAPH_TYPES_H_

@@ -1,0 +1,64 @@
+#ifndef SGNN_MODELS_API_H_
+#define SGNN_MODELS_API_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/counters.h"
+#include "graph/csr_graph.h"
+#include "nn/trainer.h"
+#include "tensor/matrix.h"
+
+namespace sgnn::models {
+
+/// Train/validation/test node splits shared by every model.
+struct NodeSplits {
+  std::vector<graph::NodeId> train;
+  std::vector<graph::NodeId> val;
+  std::vector<graph::NodeId> test;
+};
+
+/// Random split with the given fractions (remainder becomes test).
+NodeSplits MakeSplits(graph::NodeId num_nodes, double train_frac,
+                      double val_frac, uint64_t seed);
+
+/// Uniform result record for the model zoo: training metrics plus the
+/// hardware-independent work counters accumulated during fit + final eval
+/// (the quantities E12/E13 compare across models).
+struct ModelResult {
+  std::string name;
+  nn::TrainReport report;
+  common::OpCounters ops;
+};
+
+/// Tracks the best validation accuracy and the test accuracy achieved at
+/// that point; signals early stop after `patience` non-improving updates.
+class EarlyStopTracker {
+ public:
+  explicit EarlyStopTracker(int patience) : patience_(patience) {}
+
+  /// Returns true when training should stop.
+  bool Update(double val_accuracy, double test_accuracy) {
+    if (val_accuracy > best_val_) {
+      best_val_ = val_accuracy;
+      test_at_best_ = test_accuracy;
+      since_best_ = 0;
+      return false;
+    }
+    return ++since_best_ >= patience_;
+  }
+
+  double best_val() const { return best_val_; }
+  double test_at_best() const { return test_at_best_; }
+
+ private:
+  int patience_;
+  int since_best_ = 0;
+  double best_val_ = 0.0;
+  double test_at_best_ = 0.0;
+};
+
+}  // namespace sgnn::models
+
+#endif  // SGNN_MODELS_API_H_

@@ -1,0 +1,110 @@
+#ifndef SGNN_MODELS_DECOUPLED_H_
+#define SGNN_MODELS_DECOUPLED_H_
+
+#include <span>
+
+#include "models/api.h"
+
+namespace sgnn::models {
+
+/// Decoupled models (§3.1.2 "Decoupled Graph Propagation", §3.2): graph
+/// propagation is performed once outside the training loop (or on logits
+/// only), so training itself is mini-batchable MLP work.
+
+/// SGC (Wu et al.): logistic regression / MLP on the precomputed
+/// K-hop-smoothed features S^K X.
+struct SgcConfig {
+  int hops = 2;
+};
+ModelResult TrainSgc(const graph::CsrGraph& graph, const tensor::Matrix& x,
+                     std::span<const int> labels, const NodeSplits& splits,
+                     const nn::TrainConfig& config,
+                     const SgcConfig& sgc = SgcConfig());
+
+/// APPNP (Klicpera et al.): logits = PPR_K(MLP(X)). The propagation is a
+/// fixed linear operator applied to the MLP output, so the backward pass
+/// applies the same (symmetric) operator to the loss gradient.
+struct AppnpConfig {
+  double alpha = 0.15;
+  int hops = 10;
+};
+ModelResult TrainAppnp(const graph::CsrGraph& graph, const tensor::Matrix& x,
+                       std::span<const int> labels, const NodeSplits& splits,
+                       const nn::TrainConfig& config,
+                       const AppnpConfig& appnp = AppnpConfig());
+
+/// LD2-style decoupled spectral model: multi-channel embeddings
+/// (identity + low-pass + high-pass) precomputed once, MLP on top; the
+/// heterophily-capable decoupled design of §3.2.1.
+struct SpectralDecoupledConfig {
+  int hops = 4;
+  double alpha = 0.15;
+  bool include_high_pass = true;
+};
+ModelResult TrainSpectralDecoupled(
+    const graph::CsrGraph& graph, const tensor::Matrix& x,
+    std::span<const int> labels, const NodeSplits& splits,
+    const nn::TrainConfig& config,
+    const SpectralDecoupledConfig& spectral = SpectralDecoupledConfig());
+
+/// Label propagation: no learned parameters at all — train labels are
+/// smoothed over the graph, Y_{t+1} = (1-alpha) S Y_t + alpha Y_0 with
+/// train rows clamped. The classical graph-data-management baseline for
+/// the insufficient-label regime of §3.4.2 ("Learning Data Efficiency"):
+/// with very few labels and noisy features it can beat trained models.
+struct LabelPropConfig {
+  double alpha = 0.1;  ///< Weight pulled back toward the clamped labels.
+  int iterations = 50;
+};
+ModelResult TrainLabelProp(const graph::CsrGraph& graph,
+                           const tensor::Matrix& x,
+                           std::span<const int> labels,
+                           const NodeSplits& splits,
+                           const nn::TrainConfig& config,
+                           const LabelPropConfig& lp = LabelPropConfig());
+
+/// PPRGo/SCARA-style top-k PPR model: each node's embedding is a sparse
+/// combination of the raw features of its top-k PPR neighbours (computed
+/// by forward push, so preprocessing is sublinear per node); an MLP head
+/// trains on the result. The node-level propagation-sparsification design
+/// of §3.3.1.
+struct PprgoConfig {
+  double alpha = 0.15;
+  int top_k = 32;
+  double r_max = 1e-4;
+};
+ModelResult TrainPprgo(const graph::CsrGraph& graph, const tensor::Matrix& x,
+                       std::span<const int> labels, const NodeSplits& splits,
+                       const nn::TrainConfig& config,
+                       const PprgoConfig& pprgo = PprgoConfig());
+
+/// SIGN/GAMLP-style multi-hop concatenation: embeddings are
+/// [X | SX | S^2 X | ... | S^K X]; the MLP head learns its own per-hop
+/// weighting (the learnable multi-scale attention GAMLP decouples,
+/// §3.3.1 "Subgraph-level").
+struct SignConfig {
+  int hops = 3;
+};
+ModelResult TrainSign(const graph::CsrGraph& graph, const tensor::Matrix& x,
+                      std::span<const int> labels, const NodeSplits& splits,
+                      const nn::TrainConfig& config,
+                      const SignConfig& sign = SignConfig());
+
+/// EIGNN/MGNNI-style implicit model: embeddings are the equilibrium
+/// (I - gamma S)^-1 X (optionally at several scales), then an MLP.
+struct ImplicitConfig {
+  double gamma = 0.8;
+  std::vector<int> scales = {1};
+  double tol = 1e-5;
+  int max_iters = 200;
+};
+ModelResult TrainImplicit(const graph::CsrGraph& graph,
+                          const tensor::Matrix& x,
+                          std::span<const int> labels,
+                          const NodeSplits& splits,
+                          const nn::TrainConfig& config,
+                          const ImplicitConfig& implicit = ImplicitConfig());
+
+}  // namespace sgnn::models
+
+#endif  // SGNN_MODELS_DECOUPLED_H_

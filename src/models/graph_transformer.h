@@ -1,0 +1,42 @@
+#ifndef SGNN_MODELS_GRAPH_TRANSFORMER_H_
+#define SGNN_MODELS_GRAPH_TRANSFORMER_H_
+
+#include <span>
+
+#include "models/api.h"
+
+namespace sgnn::models {
+
+/// DHIL-GT-style scalable graph Transformer (§3.2.2 hub labelling +
+/// §3.4.1 graph Transformers): node tokens attend to a small anchor set
+/// with an additive shortest-path-distance bias answered by a hub-label
+/// index, so topology enters through O(1) index queries instead of
+/// message passing, and attention cost is O(n * anchors), not O(n^2).
+///
+///   logits = (ReLU(Attn(X, X_anchors, -beta * SPD) + X W_skip)) W_out
+struct GraphTransformerConfig {
+  int num_anchors = 32;
+  /// Anchor selection: highest-degree nodes (the hub-label ordering) when
+  /// true, uniform random when false.
+  bool degree_anchors = true;
+  /// SPD bias strength; 0 disables the structural bias entirely (the
+  /// ablation of the DHIL-GT claim).
+  double spd_beta = 1.0;
+  /// Bias assigned to disconnected (unreachable) node-anchor pairs.
+  double unreachable_bias = -30.0;
+  /// DHIL-GT also derives *token* features from the label index: each
+  /// node token is extended with exp(-spd(u, anchor_j)/2) for the first
+  /// `spd_encoding_dim` anchors (a hub-label positional encoding).
+  /// 0 disables the encoding (tokens are raw features only).
+  int spd_encoding_dim = 8;
+};
+
+ModelResult TrainGraphTransformer(
+    const graph::CsrGraph& graph, const tensor::Matrix& x,
+    std::span<const int> labels, const NodeSplits& splits,
+    const nn::TrainConfig& config,
+    const GraphTransformerConfig& gt = GraphTransformerConfig());
+
+}  // namespace sgnn::models
+
+#endif  // SGNN_MODELS_GRAPH_TRANSFORMER_H_

@@ -1,0 +1,35 @@
+#ifndef SGNN_MODELS_SAINT_H_
+#define SGNN_MODELS_SAINT_H_
+
+#include <span>
+
+#include "models/api.h"
+
+namespace sgnn::models {
+
+/// GraphSAINT-style subgraph-sampled training (§3.3.2 "subgraph-level"):
+/// per step, draw a subgraph (random-walk or uniform-node sampler), run a
+/// full GCN step on it, and normalise the loss by estimated node
+/// inclusion probabilities so the mini-batch gradient stays (close to)
+/// unbiased. Completes the sampling family next to node-wise (SAGE) and
+/// layer-wise (FastGCN) training.
+struct SaintConfig {
+  enum class Sampler { kNode, kWalk };
+  Sampler sampler = Sampler::kWalk;
+  int64_t node_budget = 512;   ///< For the node sampler.
+  int walk_roots = 64;         ///< For the walk sampler.
+  int walk_length = 8;
+  int batches_per_epoch = 8;
+  /// Trials used to estimate inclusion probabilities for the loss
+  /// normalisation (0 disables normalisation).
+  int norm_trials = 20;
+};
+
+ModelResult TrainSaint(const graph::CsrGraph& graph, const tensor::Matrix& x,
+                       std::span<const int> labels, const NodeSplits& splits,
+                       const nn::TrainConfig& config,
+                       const SaintConfig& saint = SaintConfig());
+
+}  // namespace sgnn::models
+
+#endif  // SGNN_MODELS_SAINT_H_

@@ -1,0 +1,110 @@
+#include "nn/attention.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "tensor/ops.h"
+
+namespace sgnn::nn {
+
+using tensor::Matrix;
+
+AnchorAttention::AnchorAttention(int64_t in_dim, int64_t head_dim,
+                                 common::Rng* rng)
+    : wq_(in_dim, head_dim, rng),
+      wk_(in_dim, head_dim, rng),
+      wv_(in_dim, head_dim, rng) {}
+
+void AnchorAttention::Forward(const Matrix& node_tokens,
+                              const Matrix& anchor_tokens, const Matrix& bias,
+                              bool training, Matrix* out) {
+  SGNN_CHECK(out != nullptr);
+  SGNN_CHECK_EQ(node_tokens.cols(), wq_.in_dim());
+  SGNN_CHECK_EQ(anchor_tokens.cols(), wq_.in_dim());
+  SGNN_CHECK_EQ(bias.rows(), node_tokens.rows());
+  SGNN_CHECK_EQ(bias.cols(), anchor_tokens.rows());
+
+  Matrix q, k, v;
+  wq_.Forward(node_tokens, &q);
+  wk_.Forward(anchor_tokens, &k);
+  wv_.Forward(anchor_tokens, &v);
+
+  Matrix scores;
+  tensor::GemmTransposeB(q, k, &scores);  // n x m
+  const float scale =
+      1.0f / std::sqrt(static_cast<float>(wq_.out_dim()));
+  tensor::Scale(scale, &scores);
+  tensor::Axpy(1.0f, bias, &scores);
+  tensor::SoftmaxRows(&scores);
+
+  tensor::Gemm(scores, v, out);
+
+  if (training) {
+    node_tokens_ = node_tokens;
+    anchor_tokens_ = anchor_tokens;
+    q_ = std::move(q);
+    k_ = std::move(k);
+    v_ = std::move(v);
+    attn_ = std::move(scores);
+  }
+}
+
+void AnchorAttention::Backward(const Matrix& dout, Matrix* dnode_tokens,
+                               Matrix* danchor_tokens) {
+  SGNN_CHECK(!attn_.empty());  // Requires a training-mode Forward.
+  // out = A v  (A = attn_, n x m; v m x h)
+  Matrix dattn;
+  tensor::GemmTransposeB(dout, v_, &dattn);  // n x m
+  Matrix dv;
+  tensor::GemmTransposeA(attn_, dout, &dv);  // m x h
+
+  // Softmax backward per row: ds = A ⊙ (dA - rowsum(dA ⊙ A)).
+  Matrix dscores = dattn;
+  for (int64_t r = 0; r < dscores.rows(); ++r) {
+    auto arow = attn_.Row(r);
+    auto drow = dscores.Row(r);
+    double dot = 0.0;
+    for (int64_t c = 0; c < dscores.cols(); ++c) dot += drow[c] * arow[c];
+    for (int64_t c = 0; c < dscores.cols(); ++c) {
+      drow[c] = arow[c] * (drow[c] - static_cast<float>(dot));
+    }
+  }
+  const float scale =
+      1.0f / std::sqrt(static_cast<float>(wq_.out_dim()));
+  tensor::Scale(scale, &dscores);
+
+  // scores = q k^T: dq = ds k; dk = ds^T q.
+  Matrix dq, dk;
+  tensor::Gemm(dscores, k_, &dq);
+  tensor::GemmTransposeA(dscores, q_, &dk);
+
+  Matrix dnode_q;
+  wq_.Backward(node_tokens_, dq, dnode_tokens != nullptr ? &dnode_q : nullptr);
+  Matrix danchor_k, danchor_v;
+  wk_.Backward(anchor_tokens_, dk,
+               danchor_tokens != nullptr ? &danchor_k : nullptr);
+  wv_.Backward(anchor_tokens_, dv,
+               danchor_tokens != nullptr ? &danchor_v : nullptr);
+
+  if (dnode_tokens != nullptr) *dnode_tokens = std::move(dnode_q);
+  if (danchor_tokens != nullptr) {
+    tensor::Axpy(1.0f, danchor_v, &danchor_k);
+    *danchor_tokens = std::move(danchor_k);
+  }
+}
+
+void AnchorAttention::ZeroGrad() {
+  wq_.ZeroGrad();
+  wk_.ZeroGrad();
+  wv_.ZeroGrad();
+}
+
+std::vector<ParamRef> AnchorAttention::Params() {
+  std::vector<ParamRef> params;
+  for (auto* layer : {&wq_, &wk_, &wv_}) {
+    for (const ParamRef& p : layer->Params()) params.push_back(p);
+  }
+  return params;
+}
+
+}  // namespace sgnn::nn

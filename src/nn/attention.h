@@ -1,0 +1,52 @@
+#ifndef SGNN_NN_ATTENTION_H_
+#define SGNN_NN_ATTENTION_H_
+
+#include <vector>
+
+#include "nn/linear.h"
+
+namespace sgnn::nn {
+
+/// Single-head scaled dot-product attention from node tokens to a shared
+/// anchor set (the linear-cost attention pattern graph Transformers use
+/// at scale, §3.4.1): every node attends to the same m anchors instead of
+/// all n nodes, so cost is O(n * m) with an additive structural bias
+/// (e.g. shortest-path distances) injected into the scores.
+///
+///   out = softmax(Q K^T / sqrt(h) + bias) V,
+///   Q = X_nodes Wq, K = X_anchors Wk, V = X_anchors Wv.
+class AnchorAttention {
+ public:
+  AnchorAttention(int64_t in_dim, int64_t head_dim, common::Rng* rng);
+
+  int64_t head_dim() const { return wq_.out_dim(); }
+
+  /// `bias` is (num_nodes x num_anchors), added to the pre-softmax scores
+  /// (pass a zero matrix for unbiased attention). In training mode the
+  /// activations are cached for Backward.
+  void Forward(const tensor::Matrix& node_tokens,
+               const tensor::Matrix& anchor_tokens, const tensor::Matrix& bias,
+               bool training, tensor::Matrix* out);
+
+  /// Backward from d(loss)/d(out): accumulates parameter gradients and
+  /// writes gradients for both token matrices (either may be null).
+  void Backward(const tensor::Matrix& dout, tensor::Matrix* dnode_tokens,
+                tensor::Matrix* danchor_tokens);
+
+  void ZeroGrad();
+  std::vector<ParamRef> Params();
+
+ private:
+  Linear wq_;
+  Linear wk_;
+  Linear wv_;
+  // Training caches.
+  tensor::Matrix node_tokens_;
+  tensor::Matrix anchor_tokens_;
+  tensor::Matrix q_, k_, v_;
+  tensor::Matrix attn_;  ///< Softmaxed weights (n x m).
+};
+
+}  // namespace sgnn::nn
+
+#endif  // SGNN_NN_ATTENTION_H_

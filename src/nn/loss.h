@@ -1,0 +1,41 @@
+#ifndef SGNN_NN_LOSS_H_
+#define SGNN_NN_LOSS_H_
+
+#include <span>
+#include <vector>
+
+#include "graph/types.h"
+#include "tensor/matrix.h"
+
+namespace sgnn::nn {
+
+/// Masked softmax cross-entropy over the rows listed in `rows` (node ids
+/// into `logits`/`labels`). Returns the mean loss over those rows and
+/// writes d(loss)/d(logits) into `dlogits` (zero outside `rows`,
+/// already divided by |rows|). `dlogits` may be null for evaluation.
+double SoftmaxCrossEntropy(const tensor::Matrix& logits,
+                           std::span<const int> labels,
+                           std::span<const graph::NodeId> rows,
+                           tensor::Matrix* dlogits);
+
+/// Weighted variant: row `rows[i]` contributes with weight `weights[i]`
+/// (GraphSAINT-style inclusion-probability normalisation). The loss is
+/// sum_i w_i * CE_i / sum_i w_i and the gradient matches. `weights` must
+/// align with `rows` and contain at least one positive entry.
+double SoftmaxCrossEntropyWeighted(const tensor::Matrix& logits,
+                                   std::span<const int> labels,
+                                   std::span<const graph::NodeId> rows,
+                                   std::span<const float> weights,
+                                   tensor::Matrix* dlogits);
+
+/// Accuracy of argmax predictions over the listed rows.
+double Accuracy(const tensor::Matrix& logits, std::span<const int> labels,
+                std::span<const graph::NodeId> rows);
+
+/// Macro-averaged F1 over the listed rows with `num_classes` classes.
+double MacroF1(const tensor::Matrix& logits, std::span<const int> labels,
+               std::span<const graph::NodeId> rows, int num_classes);
+
+}  // namespace sgnn::nn
+
+#endif  // SGNN_NN_LOSS_H_

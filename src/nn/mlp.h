@@ -1,0 +1,52 @@
+#ifndef SGNN_NN_MLP_H_
+#define SGNN_NN_MLP_H_
+
+#include <memory>
+#include <vector>
+
+#include "nn/linear.h"
+
+namespace sgnn::nn {
+
+/// Multi-layer perceptron: Linear -> ReLU -> Dropout, repeated, with a
+/// final Linear producing logits. The training head of every decoupled
+/// model (SGC, APPNP, LD2-style, implicit), and the feature transform
+/// inside GCN/SAGE layers.
+class Mlp {
+ public:
+  /// `dims` = {in, hidden..., out}; at least {in, out}.
+  Mlp(const std::vector<int64_t>& dims, double dropout, common::Rng* rng);
+
+  Mlp(const Mlp&) = delete;
+  Mlp& operator=(const Mlp&) = delete;
+  Mlp(Mlp&&) = default;
+  Mlp& operator=(Mlp&&) = default;
+
+  /// Computes logits. In training mode, dropout is active and the
+  /// intermediate activations are cached for `Backward`.
+  void Forward(const tensor::Matrix& x, bool training, common::Rng* rng,
+               tensor::Matrix* logits);
+
+  /// Backpropagates from d(loss)/d(logits); accumulates parameter
+  /// gradients. If `dx` is non-null, also produces d(loss)/d(input).
+  /// Must follow a training-mode Forward.
+  void Backward(const tensor::Matrix& dlogits, tensor::Matrix* dx);
+
+  void ZeroGrad();
+  std::vector<ParamRef> Params();
+
+  int64_t in_dim() const { return layers_.front().in_dim(); }
+  int64_t out_dim() const { return layers_.back().out_dim(); }
+
+ private:
+  std::vector<Linear> layers_;
+  double dropout_;
+  // Training-mode caches (inputs to each layer, pre-activations, masks).
+  std::vector<tensor::Matrix> inputs_;
+  std::vector<tensor::Matrix> pre_activations_;
+  std::vector<tensor::Matrix> dropout_masks_;
+};
+
+}  // namespace sgnn::nn
+
+#endif  // SGNN_NN_MLP_H_

@@ -1,0 +1,68 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace sgnn::nn {
+
+Sgd::Sgd(std::vector<ParamRef> params, double lr, double weight_decay)
+    : params_(std::move(params)), lr_(lr), weight_decay_(weight_decay) {
+  SGNN_CHECK_GT(lr_, 0.0);
+  for (const ParamRef& p : params_) {
+    SGNN_CHECK(p.value != nullptr && p.grad != nullptr);
+    SGNN_CHECK_EQ(p.value->size(), p.grad->size());
+  }
+}
+
+void Sgd::Step() {
+  for (const ParamRef& p : params_) {
+    float* value = p.value->data();
+    const float* grad = p.grad->data();
+    for (int64_t i = 0; i < p.value->size(); ++i) {
+      value[i] -= static_cast<float>(
+          lr_ * (grad[i] + weight_decay_ * value[i]));
+    }
+  }
+}
+
+Adam::Adam(std::vector<ParamRef> params, double lr, double beta1, double beta2,
+           double eps, double weight_decay)
+    : params_(std::move(params)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weight_decay_(weight_decay) {
+  SGNN_CHECK_GT(lr_, 0.0);
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const ParamRef& p : params_) {
+    SGNN_CHECK(p.value != nullptr && p.grad != nullptr);
+    SGNN_CHECK_EQ(p.value->size(), p.grad->size());
+    m_.emplace_back(p.value->rows(), p.value->cols());
+    v_.emplace_back(p.value->rows(), p.value->cols());
+  }
+}
+
+void Adam::Step() {
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (size_t j = 0; j < params_.size(); ++j) {
+    float* value = params_[j].value->data();
+    const float* grad = params_[j].grad->data();
+    float* m = m_[j].data();
+    float* v = v_[j].data();
+    for (int64_t i = 0; i < params_[j].value->size(); ++i) {
+      const double g = grad[i] + weight_decay_ * value[i];
+      m[i] = static_cast<float>(beta1_ * m[i] + (1.0 - beta1_) * g);
+      v[i] = static_cast<float>(beta2_ * v[i] + (1.0 - beta2_) * g * g);
+      const double m_hat = m[i] / bc1;
+      const double v_hat = v[i] / bc2;
+      value[i] -= static_cast<float>(lr_ * m_hat / (std::sqrt(v_hat) + eps_));
+    }
+  }
+}
+
+}  // namespace sgnn::nn

@@ -1,0 +1,50 @@
+#ifndef SGNN_NN_TRAINER_H_
+#define SGNN_NN_TRAINER_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/types.h"
+#include "nn/mlp.h"
+#include "tensor/matrix.h"
+
+namespace sgnn::nn {
+
+/// Configuration shared by all trainers in the library.
+struct TrainConfig {
+  int epochs = 200;
+  double lr = 0.01;
+  double weight_decay = 5e-4;
+  double dropout = 0.5;
+  int64_t hidden_dim = 64;
+  int patience = 30;      ///< Early stop after this many non-improving epochs.
+  uint64_t seed = 1;
+  int batch_size = 0;     ///< 0 = full batch (where applicable).
+};
+
+/// Per-run training summary.
+struct TrainReport {
+  double best_val_accuracy = 0.0;
+  double test_accuracy = 0.0;
+  double final_train_loss = 0.0;
+  int epochs_run = 0;
+  double train_seconds = 0.0;
+};
+
+/// Trains an MLP classifier on fixed (precomputed) row embeddings — the
+/// decoupled-training loop shared by SGC, spectral and implicit models:
+/// mini-batches over training rows, Adam, early stopping on validation
+/// accuracy (best weights are NOT restored; the report carries best-val).
+/// Returns the report; `mlp` ends in its final state and can be used for
+/// inference via `Mlp::Forward`.
+TrainReport TrainMlpOnEmbeddings(Mlp* mlp, const tensor::Matrix& embeddings,
+                                 std::span<const int> labels,
+                                 std::span<const graph::NodeId> train_nodes,
+                                 std::span<const graph::NodeId> val_nodes,
+                                 std::span<const graph::NodeId> test_nodes,
+                                 const TrainConfig& config);
+
+}  // namespace sgnn::nn
+
+#endif  // SGNN_NN_TRAINER_H_

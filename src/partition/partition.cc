@@ -1,0 +1,429 @@
+#include "partition/partition.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <unordered_set>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace sgnn::partition {
+
+using graph::CsrGraph;
+using graph::NodeId;
+
+PartitionQuality EvaluatePartition(const CsrGraph& graph,
+                                   const Partition& partition) {
+  SGNN_CHECK_EQ(partition.part_of.size(),
+                static_cast<size_t>(graph.num_nodes()));
+  SGNN_CHECK_GT(partition.k, 0);
+  PartitionQuality q;
+  int64_t cut_directed = 0;
+  std::vector<int64_t> sizes(static_cast<size_t>(partition.k), 0);
+  std::unordered_set<int> remote;
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    const int pu = partition.part_of[u];
+    SGNN_CHECK(pu >= 0 && pu < partition.k);
+    sizes[static_cast<size_t>(pu)]++;
+    remote.clear();
+    for (NodeId v : graph.Neighbors(u)) {
+      const int pv = partition.part_of[v];
+      if (pv != pu) {
+        ++cut_directed;
+        remote.insert(pv);
+      }
+    }
+    q.comm_volume += static_cast<int64_t>(remote.size());
+  }
+  q.edge_cut = cut_directed / 2;
+  const double avg =
+      static_cast<double>(graph.num_nodes()) / partition.k;
+  const int64_t max_size = *std::max_element(sizes.begin(), sizes.end());
+  q.imbalance = avg > 0.0 ? static_cast<double>(max_size) / avg : 0.0;
+  return q;
+}
+
+Partition RandomPartition(const CsrGraph& graph, int k, uint64_t seed) {
+  SGNN_CHECK_GT(k, 0);
+  common::Rng rng(seed);
+  Partition p;
+  p.k = k;
+  p.part_of.resize(graph.num_nodes());
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    p.part_of[u] = static_cast<int>(rng.UniformInt(static_cast<uint64_t>(k)));
+  }
+  return p;
+}
+
+namespace {
+
+std::vector<NodeId> RandomOrder(NodeId n, common::Rng* rng) {
+  std::vector<NodeId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  rng->Shuffle(&order);
+  return order;
+}
+
+/// Counts already-placed neighbours of u per part into `scratch` (sized k,
+/// zeroed on entry and re-zeroed before return for reuse).
+void NeighborCounts(const CsrGraph& graph, const std::vector<int>& part_of,
+                    NodeId u, std::vector<double>* scratch,
+                    std::vector<int>* touched) {
+  touched->clear();
+  for (NodeId v : graph.Neighbors(u)) {
+    const int pv = part_of[v];
+    if (pv < 0) continue;
+    if ((*scratch)[static_cast<size_t>(pv)] == 0.0) touched->push_back(pv);
+    (*scratch)[static_cast<size_t>(pv)] += 1.0;
+  }
+}
+
+}  // namespace
+
+Partition LdgPartition(const CsrGraph& graph, int k, double slack,
+                       uint64_t seed) {
+  SGNN_CHECK_GT(k, 0);
+  SGNN_CHECK_GE(slack, 1.0);
+  common::Rng rng(seed);
+  const double capacity =
+      slack * static_cast<double>(graph.num_nodes()) / k;
+  Partition p;
+  p.k = k;
+  p.part_of.assign(graph.num_nodes(), -1);
+  std::vector<int64_t> sizes(static_cast<size_t>(k), 0);
+  std::vector<double> counts(static_cast<size_t>(k), 0.0);
+  std::vector<int> touched;
+  for (NodeId u : RandomOrder(graph.num_nodes(), &rng)) {
+    NeighborCounts(graph, p.part_of, u, &counts, &touched);
+    int best = -1;
+    double best_score = -1.0;
+    for (int part = 0; part < k; ++part) {
+      if (static_cast<double>(sizes[static_cast<size_t>(part)]) >= capacity) {
+        continue;
+      }
+      const double fullness =
+          1.0 - static_cast<double>(sizes[static_cast<size_t>(part)]) / capacity;
+      const double score = counts[static_cast<size_t>(part)] * fullness;
+      if (score > best_score) {
+        best_score = score;
+        best = part;
+      }
+    }
+    if (best == -1) {
+      // All parts at capacity (possible with slack == 1 and rounding):
+      // place on the smallest.
+      best = static_cast<int>(std::min_element(sizes.begin(), sizes.end()) -
+                              sizes.begin());
+    }
+    p.part_of[u] = best;
+    sizes[static_cast<size_t>(best)]++;
+    for (int t : touched) counts[static_cast<size_t>(t)] = 0.0;
+  }
+  return p;
+}
+
+Partition FennelPartition(const CsrGraph& graph, int k, double gamma,
+                          uint64_t seed) {
+  SGNN_CHECK_GT(k, 0);
+  SGNN_CHECK_GT(gamma, 1.0);
+  common::Rng rng(seed);
+  const double n = static_cast<double>(graph.num_nodes());
+  const double m = static_cast<double>(graph.num_edges()) / 2.0;
+  const double alpha =
+      m * std::pow(static_cast<double>(k), gamma - 1.0) / std::pow(n, gamma);
+  // Fennel's hard balance cap.
+  const double capacity = 1.1 * n / k + 1.0;
+  Partition p;
+  p.k = k;
+  p.part_of.assign(graph.num_nodes(), -1);
+  std::vector<int64_t> sizes(static_cast<size_t>(k), 0);
+  std::vector<double> counts(static_cast<size_t>(k), 0.0);
+  std::vector<int> touched;
+  for (NodeId u : RandomOrder(graph.num_nodes(), &rng)) {
+    NeighborCounts(graph, p.part_of, u, &counts, &touched);
+    int best = -1;
+    double best_score = 0.0;
+    for (int part = 0; part < k; ++part) {
+      const double size =
+          static_cast<double>(sizes[static_cast<size_t>(part)]);
+      if (size >= capacity) continue;
+      const double score = counts[static_cast<size_t>(part)] -
+                           alpha * gamma * std::pow(size, gamma - 1.0);
+      if (best == -1 || score > best_score) {
+        best_score = score;
+        best = part;
+      }
+    }
+    if (best == -1) {
+      best = static_cast<int>(std::min_element(sizes.begin(), sizes.end()) -
+                              sizes.begin());
+    }
+    p.part_of[u] = best;
+    sizes[static_cast<size_t>(best)]++;
+    for (int t : touched) counts[static_cast<size_t>(t)] = 0.0;
+  }
+  return p;
+}
+
+namespace {
+
+/// One coarsening level produced by heavy-edge matching.
+struct CoarseLevel {
+  CsrGraph graph;                  ///< Coarse graph with summed edge weights.
+  std::vector<NodeId> coarse_of;   ///< Fine node -> coarse node.
+  std::vector<int64_t> node_weight;  ///< Coarse node -> merged fine count.
+};
+
+CoarseLevel CoarsenOnce(const CsrGraph& graph,
+                        const std::vector<int64_t>& node_weight,
+                        common::Rng* rng) {
+  const NodeId n = graph.num_nodes();
+  std::vector<NodeId> match(n, graph::kInvalidNode);
+  for (NodeId u : RandomOrder(n, rng)) {
+    if (match[u] != graph::kInvalidNode) continue;
+    // Heaviest unmatched neighbour.
+    NodeId best = graph::kInvalidNode;
+    float best_w = -1.0f;
+    auto nbrs = graph.Neighbors(u);
+    auto ws = graph.Weights(u);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      const NodeId v = nbrs[i];
+      if (v == u || match[v] != graph::kInvalidNode) continue;
+      if (ws[i] > best_w) {
+        best_w = ws[i];
+        best = v;
+      }
+    }
+    if (best == graph::kInvalidNode) {
+      match[u] = u;  // Stays single.
+    } else {
+      match[u] = best;
+      match[best] = u;
+    }
+  }
+  CoarseLevel level;
+  level.coarse_of.assign(n, graph::kInvalidNode);
+  NodeId next = 0;
+  for (NodeId u = 0; u < n; ++u) {
+    if (level.coarse_of[u] != graph::kInvalidNode) continue;
+    level.coarse_of[u] = next;
+    const NodeId mate = match[u];
+    if (mate != u && mate != graph::kInvalidNode) level.coarse_of[mate] = next;
+    ++next;
+  }
+  level.node_weight.assign(next, 0);
+  for (NodeId u = 0; u < n; ++u) {
+    level.node_weight[level.coarse_of[u]] += node_weight[u];
+  }
+  graph::EdgeListBuilder builder(next);
+  for (NodeId u = 0; u < n; ++u) {
+    const NodeId cu = level.coarse_of[u];
+    auto nbrs = graph.Neighbors(u);
+    auto ws = graph.Weights(u);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      const NodeId cv = level.coarse_of[nbrs[i]];
+      if (cu == cv) continue;
+      builder.AddEdge(cu, cv, ws[i]);
+    }
+  }
+  builder.Deduplicate();  // Sums parallel weights.
+  level.graph = CsrGraph::FromBuilder(std::move(builder));
+  return level;
+}
+
+/// Weight-aware initial partition of the coarsest graph: grows each part
+/// by BFS from a high-degree seed until it reaches the weight target, so
+/// parts start contiguous and balanced before refinement.
+std::vector<int> GrowInitialPartition(const CsrGraph& graph,
+                                      const std::vector<int64_t>& node_weight,
+                                      int k) {
+  const NodeId n = graph.num_nodes();
+  int64_t total_weight = 0;
+  for (int64_t w : node_weight) total_weight += w;
+  const double target = static_cast<double>(total_weight) / k;
+
+  std::vector<int> part_of(n, -1);
+  std::vector<NodeId> by_degree(n);
+  std::iota(by_degree.begin(), by_degree.end(), 0);
+  std::sort(by_degree.begin(), by_degree.end(), [&graph](NodeId a, NodeId b) {
+    return graph.OutDegree(a) > graph.OutDegree(b);
+  });
+
+  size_t seed_cursor = 0;
+  for (int part = 0; part < k; ++part) {
+    double weight = 0.0;
+    std::vector<NodeId> frontier;
+    while (weight < target) {
+      if (frontier.empty()) {
+        while (seed_cursor < by_degree.size() &&
+               part_of[by_degree[seed_cursor]] != -1) {
+          ++seed_cursor;
+        }
+        if (seed_cursor >= by_degree.size()) break;  // Everything assigned.
+        frontier.push_back(by_degree[seed_cursor]);
+        part_of[by_degree[seed_cursor]] = part;
+        weight += static_cast<double>(node_weight[by_degree[seed_cursor]]);
+      }
+      std::vector<NodeId> next;
+      for (NodeId u : frontier) {
+        for (NodeId v : graph.Neighbors(u)) {
+          if (part_of[v] != -1 || weight >= target) continue;
+          part_of[v] = part;
+          weight += static_cast<double>(node_weight[v]);
+          next.push_back(v);
+        }
+      }
+      if (next.empty() && weight < target) {
+        frontier.clear();  // Region exhausted: reseed.
+      } else {
+        frontier = std::move(next);
+      }
+    }
+  }
+  // Any stragglers go to the last part (refinement rebalances).
+  for (NodeId u = 0; u < n; ++u) {
+    if (part_of[u] == -1) part_of[u] = k - 1;
+  }
+  return part_of;
+}
+
+/// Greedy boundary refinement: move nodes to the neighbouring part with
+/// the largest cut gain while respecting the weighted balance cap.
+void RefineLevel(const CsrGraph& graph, const std::vector<int64_t>& node_weight,
+                 int k, double max_imbalance, int passes,
+                 std::vector<int>* part_of) {
+  const NodeId n = graph.num_nodes();
+  int64_t total_weight = 0;
+  std::vector<int64_t> part_weight(static_cast<size_t>(k), 0);
+  for (NodeId u = 0; u < n; ++u) {
+    part_weight[static_cast<size_t>((*part_of)[u])] += node_weight[u];
+    total_weight += node_weight[u];
+  }
+  const double cap = max_imbalance * static_cast<double>(total_weight) / k;
+  std::vector<double> gain(static_cast<size_t>(k), 0.0);
+  std::vector<int> touched;
+  for (int pass = 0; pass < passes; ++pass) {
+    bool moved = false;
+    for (NodeId u = 0; u < n; ++u) {
+      const int pu = (*part_of)[u];
+      touched.clear();
+      double internal = 0.0;
+      auto nbrs = graph.Neighbors(u);
+      auto ws = graph.Weights(u);
+      for (size_t i = 0; i < nbrs.size(); ++i) {
+        const int pv = (*part_of)[nbrs[i]];
+        if (pv == pu) {
+          internal += ws[i];
+          continue;
+        }
+        if (gain[static_cast<size_t>(pv)] == 0.0) touched.push_back(pv);
+        gain[static_cast<size_t>(pv)] += ws[i];
+      }
+      int best = -1;
+      double best_gain = 0.0;
+      for (int t : touched) {
+        const double g = gain[static_cast<size_t>(t)] - internal;
+        if (g > best_gain &&
+            static_cast<double>(part_weight[static_cast<size_t>(t)] +
+                                node_weight[u]) <= cap) {
+          best_gain = g;
+          best = t;
+        }
+        gain[static_cast<size_t>(t)] = 0.0;
+      }
+      if (best != -1) {
+        part_weight[static_cast<size_t>(pu)] -= node_weight[u];
+        part_weight[static_cast<size_t>(best)] += node_weight[u];
+        (*part_of)[u] = best;
+        moved = true;
+      }
+    }
+    if (!moved) break;
+  }
+}
+
+}  // namespace
+
+Partition MultilevelPartition(const CsrGraph& graph, int k,
+                              const MultilevelConfig& config, uint64_t seed) {
+  SGNN_CHECK_GT(k, 0);
+  SGNN_CHECK_GE(config.coarsest_nodes, k);
+  common::Rng rng(seed);
+
+  // Coarsening phase.
+  std::vector<CoarseLevel> levels;
+  const CsrGraph* current = &graph;
+  std::vector<int64_t> weights(graph.num_nodes(), 1);
+  while (current->num_nodes() >
+             static_cast<NodeId>(config.coarsest_nodes) &&
+         levels.size() < 40) {
+    CoarseLevel level = CoarsenOnce(*current, weights, &rng);
+    if (level.graph.num_nodes() == current->num_nodes()) break;  // Stalled.
+    weights = level.node_weight;
+    levels.push_back(std::move(level));
+    current = &levels.back().graph;
+  }
+
+  // Weight-aware initial partition of the coarsest graph.
+  std::vector<int> part_of = GrowInitialPartition(*current, weights, k);
+  RefineLevel(*current, weights, k, config.max_imbalance,
+              config.refine_passes, &part_of);
+
+  // Uncoarsening with refinement at each level.
+  for (size_t li = levels.size(); li-- > 0;) {
+    const CoarseLevel& level = levels[li];
+    const CsrGraph& fine =
+        (li == 0) ? graph : levels[li - 1].graph;
+    std::vector<int> fine_part(fine.num_nodes());
+    for (NodeId u = 0; u < fine.num_nodes(); ++u) {
+      fine_part[u] = part_of[level.coarse_of[u]];
+    }
+    std::vector<int64_t> fine_weights;
+    if (li == 0) {
+      fine_weights.assign(graph.num_nodes(), 1);
+    } else {
+      fine_weights = levels[li - 1].node_weight;
+    }
+    RefineLevel(fine, fine_weights, k, config.max_imbalance,
+                config.refine_passes, &fine_part);
+    part_of = std::move(fine_part);
+  }
+
+  Partition p;
+  p.k = k;
+  p.part_of = std::move(part_of);
+  return p;
+}
+
+std::vector<std::vector<NodeId>> ClusterBatches(const Partition& partition,
+                                                int parts_per_batch,
+                                                uint64_t seed) {
+  SGNN_CHECK_GT(parts_per_batch, 0);
+  SGNN_CHECK_GT(partition.k, 0);
+  common::Rng rng(seed);
+  std::vector<int> order(static_cast<size_t>(partition.k));
+  std::iota(order.begin(), order.end(), 0);
+  rng.Shuffle(&order);
+
+  std::vector<std::vector<NodeId>> members(static_cast<size_t>(partition.k));
+  for (NodeId u = 0; u < partition.part_of.size(); ++u) {
+    members[static_cast<size_t>(partition.part_of[u])].push_back(u);
+  }
+  std::vector<std::vector<NodeId>> batches;
+  for (size_t i = 0; i < order.size(); i += static_cast<size_t>(parts_per_batch)) {
+    std::vector<NodeId> batch;
+    for (size_t j = i;
+         j < std::min(order.size(), i + static_cast<size_t>(parts_per_batch));
+         ++j) {
+      const auto& part = members[static_cast<size_t>(order[j])];
+      batch.insert(batch.end(), part.begin(), part.end());
+    }
+    if (batch.empty()) continue;
+    std::sort(batch.begin(), batch.end());
+    batches.push_back(std::move(batch));
+  }
+  return batches;
+}
+
+}  // namespace sgnn::partition

@@ -1,0 +1,67 @@
+#ifndef SGNN_PARTITION_PARTITION_H_
+#define SGNN_PARTITION_PARTITION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr_graph.h"
+
+namespace sgnn::partition {
+
+/// Graph partitioning for distributed/mini-batch GNN training (§3.1.2).
+/// A partition assigns every node one of k parts; quality is judged by the
+/// communication it induces (edge cut, communication volume) and the load
+/// balance across parts.
+
+struct Partition {
+  std::vector<int> part_of;  ///< Per node, in [0, k).
+  int k = 0;
+};
+
+/// Fraction-free quality metrics.
+struct PartitionQuality {
+  int64_t edge_cut = 0;        ///< Undirected edges crossing parts.
+  int64_t comm_volume = 0;     ///< Sum over nodes of distinct remote parts
+                               ///< among their neighbours (replication cost).
+  double imbalance = 0.0;      ///< max part size / (n / k); 1.0 is perfect.
+};
+
+PartitionQuality EvaluatePartition(const graph::CsrGraph& graph,
+                                   const Partition& partition);
+
+/// Uniform random assignment: the no-information baseline.
+Partition RandomPartition(const graph::CsrGraph& graph, int k, uint64_t seed);
+
+/// Linear Deterministic Greedy streaming partitioner (Stanton & Kliot):
+/// nodes arrive in random order; each goes to the part holding most of its
+/// already-placed neighbours, damped by a fullness penalty
+/// (1 - |P|/capacity). `slack` >= 1 scales the per-part capacity.
+Partition LdgPartition(const graph::CsrGraph& graph, int k, double slack,
+                       uint64_t seed);
+
+/// Fennel streaming partitioner (Tsourakakis et al.): interpolates between
+/// edge-cut and balance objectives with score
+///   |N(v) ∩ P| - alpha * gamma * |P|^(gamma-1).
+Partition FennelPartition(const graph::CsrGraph& graph, int k, double gamma,
+                          uint64_t seed);
+
+/// Multilevel partitioner: heavy-edge-matching coarsening, LDG on the
+/// coarsest graph, then boundary refinement on each uncoarsening level
+/// (greedy gain moves under a balance cap). The strongest baseline here,
+/// analogous to METIS in the tutorial's discussion.
+struct MultilevelConfig {
+  int coarsest_nodes = 200;      ///< Stop coarsening near this size.
+  int refine_passes = 4;         ///< Gain passes per level.
+  double max_imbalance = 1.1;    ///< Allowed max-part/avg ratio.
+};
+Partition MultilevelPartition(const graph::CsrGraph& graph, int k,
+                              const MultilevelConfig& config, uint64_t seed);
+
+/// Cluster-GCN batching: groups the k parts into batches of `parts_per_batch`
+/// random parts each; returns per batch the sorted node list.
+std::vector<std::vector<graph::NodeId>> ClusterBatches(
+    const Partition& partition, int parts_per_batch, uint64_t seed);
+
+}  // namespace sgnn::partition
+
+#endif  // SGNN_PARTITION_PARTITION_H_

@@ -1,0 +1,161 @@
+#include "ppr/ppr.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "common/check.h"
+#include "common/counters.h"
+#include "common/rng.h"
+
+namespace sgnn::ppr {
+
+using graph::CsrGraph;
+using graph::NodeId;
+
+PushResult ForwardPush(const CsrGraph& graph, NodeId source, double alpha,
+                       double r_max) {
+  SGNN_CHECK(alpha > 0.0 && alpha < 1.0);
+  SGNN_CHECK_GT(r_max, 0.0);
+  SGNN_CHECK_LT(source, graph.num_nodes());
+
+  std::vector<double> p(graph.num_nodes(), 0.0);
+  std::vector<double> r(graph.num_nodes(), 0.0);
+  std::vector<bool> queued(graph.num_nodes(), false);
+  std::queue<NodeId> active;
+
+  r[source] = 1.0;
+  active.push(source);
+  queued[source] = true;
+
+  PushResult result;
+  while (!active.empty()) {
+    const NodeId u = active.front();
+    active.pop();
+    queued[u] = false;
+    const auto deg = graph.OutDegree(u);
+    if (deg == 0) {
+      // Dangling node: all residual mass settles here.
+      p[u] += r[u];
+      r[u] = 0.0;
+      continue;
+    }
+    if (r[u] <= r_max * static_cast<double>(deg)) continue;
+    const double ru = r[u];
+    p[u] += alpha * ru;
+    r[u] = 0.0;
+    ++result.pushes;
+    result.edges_touched += deg;
+    const double w_deg = graph.WeightedDegree(u);
+    const double spread = (1.0 - alpha) * ru / w_deg;
+    auto nbrs = graph.Neighbors(u);
+    auto ws = graph.Weights(u);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      const NodeId v = nbrs[i];
+      r[v] += spread * ws[i];
+      if (!queued[v] && r[v] > r_max * static_cast<double>(graph.OutDegree(v))) {
+        active.push(v);
+        queued[v] = true;
+      }
+    }
+  }
+
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    if (p[v] > 0.0) result.estimate.emplace_back(v, p[v]);
+  }
+  common::GlobalCounters().edges_touched +=
+      static_cast<uint64_t>(result.edges_touched);
+  return result;
+}
+
+std::vector<double> PowerIterationPpr(const CsrGraph& graph, NodeId source,
+                                      double alpha, double tol,
+                                      int max_iters) {
+  SGNN_CHECK(alpha > 0.0 && alpha < 1.0);
+  SGNN_CHECK_LT(source, graph.num_nodes());
+  const NodeId n = graph.num_nodes();
+  std::vector<double> pi(n, 0.0);
+  std::vector<double> next(n, 0.0);
+  pi[source] = 1.0;
+  for (int iter = 0; iter < max_iters; ++iter) {
+    std::fill(next.begin(), next.end(), 0.0);
+    // next = (1-alpha) * P pi + alpha * e_s, with P spreading mass from
+    // each node to its out-neighbours proportionally to edge weight.
+    for (NodeId u = 0; u < n; ++u) {
+      if (pi[u] == 0.0) continue;
+      const double w_deg = graph.WeightedDegree(u);
+      if (w_deg == 0.0) {
+        next[u] += (1.0 - alpha) * pi[u];  // Dangling mass stays put.
+        continue;
+      }
+      const double spread = (1.0 - alpha) * pi[u] / w_deg;
+      auto nbrs = graph.Neighbors(u);
+      auto ws = graph.Weights(u);
+      for (size_t i = 0; i < nbrs.size(); ++i) next[nbrs[i]] += spread * ws[i];
+    }
+    next[source] += alpha;
+    common::GlobalCounters().edges_touched +=
+        static_cast<uint64_t>(graph.num_edges());
+    double diff = 0.0;
+    for (NodeId v = 0; v < n; ++v) diff += std::fabs(next[v] - pi[v]);
+    pi.swap(next);
+    if (diff < tol) break;
+  }
+  // The fixed point of the update above is alpha * sum (1-alpha)^k P^k e_s
+  // scaled by 1/alpha contributions; normalise exactly: the iteration as
+  // written already converges to the PPR distribution (mass 1).
+  return pi;
+}
+
+std::vector<double> MonteCarloPpr(const CsrGraph& graph, NodeId source,
+                                  double alpha, int64_t num_walks,
+                                  uint64_t seed) {
+  SGNN_CHECK(alpha > 0.0 && alpha < 1.0);
+  SGNN_CHECK_GT(num_walks, 0);
+  SGNN_CHECK_LT(source, graph.num_nodes());
+  common::Rng rng(seed);
+  std::vector<int64_t> stops(graph.num_nodes(), 0);
+  for (int64_t w = 0; w < num_walks; ++w) {
+    NodeId cur = source;
+    while (!rng.Bernoulli(alpha)) {
+      auto nbrs = graph.Neighbors(cur);
+      if (nbrs.empty()) break;  // Dangling: terminate here.
+      // Weight-proportional step, consistent with the push/power-iteration
+      // transition D^-1 A on weighted graphs.
+      auto ws = graph.Weights(cur);
+      const double pick = rng.Uniform() * graph.WeightedDegree(cur);
+      double acc = 0.0;
+      size_t idx = nbrs.size() - 1;
+      for (size_t i = 0; i < ws.size(); ++i) {
+        acc += ws[i];
+        if (pick < acc) {
+          idx = i;
+          break;
+        }
+      }
+      cur = nbrs[idx];
+      common::GlobalCounters().edges_touched += 1;
+    }
+    stops[cur]++;
+  }
+  std::vector<double> pi(graph.num_nodes(), 0.0);
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    pi[v] = static_cast<double>(stops[v]) / static_cast<double>(num_walks);
+  }
+  return pi;
+}
+
+std::vector<std::pair<NodeId, double>> TopKPpr(const CsrGraph& graph,
+                                               NodeId source, double alpha,
+                                               int k, double r_max) {
+  SGNN_CHECK_GT(k, 0);
+  PushResult push = ForwardPush(graph, source, alpha, r_max);
+  auto& est = push.estimate;
+  std::sort(est.begin(), est.end(), [](const auto& a, const auto& b) {
+    return a.second != b.second ? a.second > b.second : a.first < b.first;
+  });
+  if (static_cast<int>(est.size()) > k) est.resize(static_cast<size_t>(k));
+  return est;
+}
+
+}  // namespace sgnn::ppr

@@ -1,0 +1,55 @@
+#ifndef SGNN_PPR_PPR_H_
+#define SGNN_PPR_PPR_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "graph/csr_graph.h"
+
+namespace sgnn::ppr {
+
+/// Personalised PageRank with restart probability `alpha` over the
+/// row-stochastic random-walk transition: for source s,
+///   pi_s = alpha * sum_k (1-alpha)^k P^k e_s,  P = (D^-1 A)^T acting on
+/// distributions. This is the graph-analytics primitive behind APPNP,
+/// PPRGo and SCARA (§3.1.2 "decoupled propagation").
+
+/// Result of an approximate single-source computation.
+struct PushResult {
+  /// Estimate p(v) for nodes with non-zero mass (unsorted sparse form).
+  std::vector<std::pair<graph::NodeId, double>> estimate;
+  /// Number of push operations performed.
+  int64_t pushes = 0;
+  /// Directed edges traversed; the sublinearity measure of E3.
+  int64_t edges_touched = 0;
+};
+
+/// Andersen-Chung-Lang forward push. Pushes node u while its residual
+/// exceeds `r_max * degree(u)`; the returned estimate satisfies
+/// |pi_s(v) - p(v)| <= r_max * degree(v) for all v.
+/// Requires 0 < alpha < 1 and r_max > 0. Zero-degree sources return all
+/// mass on the source.
+PushResult ForwardPush(const graph::CsrGraph& graph, graph::NodeId source,
+                       double alpha, double r_max);
+
+/// Dense power iteration to additive tolerance `tol` (L1); the exact
+/// baseline the approximate methods are validated against.
+std::vector<double> PowerIterationPpr(const graph::CsrGraph& graph,
+                                      graph::NodeId source, double alpha,
+                                      double tol, int max_iters = 1000);
+
+/// Monte-Carlo estimate from `num_walks` alpha-terminated random walks.
+std::vector<double> MonteCarloPpr(const graph::CsrGraph& graph,
+                                  graph::NodeId source, double alpha,
+                                  int64_t num_walks, uint64_t seed);
+
+/// Top-k PPR neighbours of `source` by approximate mass, descending
+/// (ties by node id). Uses forward push at `r_max`.
+std::vector<std::pair<graph::NodeId, double>> TopKPpr(
+    const graph::CsrGraph& graph, graph::NodeId source, double alpha, int k,
+    double r_max);
+
+}  // namespace sgnn::ppr
+
+#endif  // SGNN_PPR_PPR_H_

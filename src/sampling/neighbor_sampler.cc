@@ -1,0 +1,187 @@
+#include "sampling/neighbor_sampler.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/check.h"
+
+namespace sgnn::sampling {
+
+using graph::CsrGraph;
+using graph::NodeId;
+
+namespace {
+
+/// Assembles a LayerSample from per-destination sampled (neighbour, weight)
+/// lists. `src` = dst (prefix, same order) followed by newly seen
+/// neighbours in first-appearance order.
+LayerSample BuildLayer(
+    std::span<const NodeId> dst,
+    const std::vector<std::vector<std::pair<NodeId, float>>>& edges) {
+  SGNN_CHECK_EQ(dst.size(), edges.size());
+  LayerSample layer;
+  layer.dst.assign(dst.begin(), dst.end());
+  layer.src = layer.dst;
+  std::unordered_map<NodeId, uint32_t> local;
+  local.reserve(dst.size() * 2);
+  for (size_t i = 0; i < dst.size(); ++i) {
+    local.emplace(dst[i], static_cast<uint32_t>(i));
+  }
+  layer.offsets.push_back(0);
+  for (size_t i = 0; i < dst.size(); ++i) {
+    for (const auto& [v, w] : edges[i]) {
+      auto [it, inserted] =
+          local.emplace(v, static_cast<uint32_t>(layer.src.size()));
+      if (inserted) layer.src.push_back(v);
+      layer.src_local.push_back(it->second);
+      layer.weights.push_back(w);
+    }
+    layer.offsets.push_back(static_cast<graph::EdgeIndex>(layer.src_local.size()));
+  }
+  return layer;
+}
+
+/// Runs `sample_one_layer` from the seeds inward and packages the blocks
+/// innermost-first.
+template <typename SampleLayerFn>
+MiniBatch BuildBatch(std::span<const NodeId> seeds, int num_layers,
+                     SampleLayerFn&& sample_one_layer) {
+  SGNN_CHECK_GE(num_layers, 1);
+  SGNN_CHECK(!seeds.empty());
+  std::vector<LayerSample> outer_first;
+  std::vector<NodeId> frontier(seeds.begin(), seeds.end());
+  for (int l = 0; l < num_layers; ++l) {
+    LayerSample layer = sample_one_layer(l, frontier);
+    frontier = layer.src;
+    outer_first.push_back(std::move(layer));
+  }
+  MiniBatch batch;
+  batch.layers.assign(std::make_move_iterator(outer_first.rbegin()),
+                      std::make_move_iterator(outer_first.rend()));
+  return batch;
+}
+
+}  // namespace
+
+MiniBatch SampleNodeWise(const CsrGraph& graph,
+                         std::span<const NodeId> seeds,
+                         std::span<const int> fanouts, common::Rng* rng) {
+  SGNN_CHECK(rng != nullptr);
+  return BuildBatch(
+      seeds, static_cast<int>(fanouts.size()),
+      [&graph, &fanouts, rng](int l, const std::vector<NodeId>& dst) {
+        const int fanout = fanouts[static_cast<size_t>(l)];
+        SGNN_CHECK_GE(fanout, 1);
+        std::vector<std::vector<std::pair<NodeId, float>>> edges(dst.size());
+        for (size_t i = 0; i < dst.size(); ++i) {
+          auto nbrs = graph.Neighbors(dst[i]);
+          if (nbrs.empty()) continue;
+          if (static_cast<int>(nbrs.size()) <= fanout) {
+            const float w = 1.0f / static_cast<float>(nbrs.size());
+            for (NodeId v : nbrs) edges[i].emplace_back(v, w);
+          } else {
+            auto picks = rng->SampleWithoutReplacement(nbrs.size(),
+                                                       static_cast<uint64_t>(fanout));
+            const float w = 1.0f / static_cast<float>(fanout);
+            for (uint64_t p : picks) edges[i].emplace_back(nbrs[p], w);
+          }
+        }
+        return BuildLayer(dst, edges);
+      });
+}
+
+MiniBatch SampleLabor(const CsrGraph& graph, std::span<const NodeId> seeds,
+                      std::span<const int> fanouts, common::Rng* rng) {
+  SGNN_CHECK(rng != nullptr);
+  return BuildBatch(
+      seeds, static_cast<int>(fanouts.size()),
+      [&graph, &fanouts, rng](int l, const std::vector<NodeId>& dst) {
+        const int fanout = fanouts[static_cast<size_t>(l)];
+        SGNN_CHECK_GE(fanout, 1);
+        // One uniform variate per candidate source vertex, shared by every
+        // destination in this layer: the LABOR trick.
+        std::unordered_map<NodeId, double> variate;
+        auto variate_of = [&variate, rng](NodeId v) {
+          auto it = variate.find(v);
+          if (it != variate.end()) return it->second;
+          const double r = rng->Uniform();
+          variate.emplace(v, r);
+          return r;
+        };
+        std::vector<std::vector<std::pair<NodeId, float>>> edges(dst.size());
+        for (size_t i = 0; i < dst.size(); ++i) {
+          auto nbrs = graph.Neighbors(dst[i]);
+          if (nbrs.empty()) continue;
+          const double degree = static_cast<double>(nbrs.size());
+          const double p = std::min(1.0, static_cast<double>(fanout) / degree);
+          const float w = static_cast<float>(1.0 / (degree * p));
+          for (NodeId v : nbrs) {
+            if (variate_of(v) < p) edges[i].emplace_back(v, w);
+          }
+        }
+        return BuildLayer(dst, edges);
+      });
+}
+
+MiniBatch SampleLayerWise(const CsrGraph& graph,
+                          std::span<const NodeId> seeds,
+                          std::span<const int> layer_sizes, common::Rng* rng) {
+  SGNN_CHECK(rng != nullptr);
+  // Degree-proportional proposal over all nodes (FastGCN's q).
+  const double total_degree = static_cast<double>(graph.num_edges());
+  SGNN_CHECK_GT(total_degree, 0.0);
+  // Cumulative degree array for O(log n) inverse-CDF sampling.
+  std::vector<double> cdf(graph.num_nodes());
+  double acc = 0.0;
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    acc += static_cast<double>(graph.OutDegree(u));
+    cdf[u] = acc;
+  }
+  return BuildBatch(
+      seeds, static_cast<int>(layer_sizes.size()),
+      [&graph, &layer_sizes, rng, &cdf,
+       total_degree](int l, const std::vector<NodeId>& dst) {
+        const int m = layer_sizes[static_cast<size_t>(l)];
+        SGNN_CHECK_GE(m, 1);
+        // Sample m nodes with replacement from q(v) = deg(v) / 2|E|.
+        std::unordered_map<NodeId, int> counts;
+        for (int s = 0; s < m; ++s) {
+          const double r = rng->Uniform() * total_degree;
+          const auto it = std::lower_bound(cdf.begin(), cdf.end(), r);
+          counts[static_cast<NodeId>(it - cdf.begin())]++;
+        }
+        std::vector<std::vector<std::pair<NodeId, float>>> edges(dst.size());
+        for (size_t i = 0; i < dst.size(); ++i) {
+          auto nbrs = graph.Neighbors(dst[i]);
+          if (nbrs.empty()) continue;
+          const double inv_deg = 1.0 / static_cast<double>(nbrs.size());
+          for (NodeId v : nbrs) {
+            auto it = counts.find(v);
+            if (it == counts.end()) continue;
+            const double q = static_cast<double>(graph.OutDegree(v)) /
+                             total_degree;
+            const double w =
+                static_cast<double>(it->second) / (m * q) * inv_deg;
+            edges[i].emplace_back(v, static_cast<float>(w));
+          }
+        }
+        return BuildLayer(dst, edges);
+      });
+}
+
+MiniBatch FullNeighborhood(const CsrGraph& graph,
+                           std::span<const NodeId> seeds, int num_layers) {
+  return BuildBatch(
+      seeds, num_layers, [&graph](int, const std::vector<NodeId>& dst) {
+        std::vector<std::vector<std::pair<NodeId, float>>> edges(dst.size());
+        for (size_t i = 0; i < dst.size(); ++i) {
+          auto nbrs = graph.Neighbors(dst[i]);
+          if (nbrs.empty()) continue;
+          const float w = 1.0f / static_cast<float>(nbrs.size());
+          for (NodeId v : nbrs) edges[i].emplace_back(v, w);
+        }
+        return BuildLayer(dst, edges);
+      });
+}
+
+}  // namespace sgnn::sampling

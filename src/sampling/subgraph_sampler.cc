@@ -1,0 +1,130 @@
+#include "sampling/subgraph_sampler.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace sgnn::sampling {
+
+using graph::CsrGraph;
+using graph::NodeId;
+
+namespace {
+
+SampledSubgraph Materialize(const CsrGraph& graph,
+                            std::unordered_set<NodeId> node_set) {
+  SampledSubgraph out;
+  out.nodes.assign(node_set.begin(), node_set.end());
+  std::sort(out.nodes.begin(), out.nodes.end());
+  out.subgraph = graph.InducedSubgraph(out.nodes);
+  return out;
+}
+
+}  // namespace
+
+SampledSubgraph SampleSubgraphNodes(const CsrGraph& graph, int64_t budget,
+                                    common::Rng* rng) {
+  SGNN_CHECK(rng != nullptr);
+  SGNN_CHECK_GE(budget, 1);
+  budget = std::min<int64_t>(budget, graph.num_nodes());
+  std::unordered_set<NodeId> nodes;
+  for (uint64_t idx : rng->SampleWithoutReplacement(
+           graph.num_nodes(), static_cast<uint64_t>(budget))) {
+    nodes.insert(static_cast<NodeId>(idx));
+  }
+  return Materialize(graph, std::move(nodes));
+}
+
+SampledSubgraph SampleSubgraphImportance(const CsrGraph& graph,
+                                         int64_t budget,
+                                         std::span<const double> weights,
+                                         common::Rng* rng) {
+  SGNN_CHECK(rng != nullptr);
+  SGNN_CHECK_GE(budget, 1);
+  SGNN_CHECK_EQ(weights.size(), static_cast<size_t>(graph.num_nodes()));
+  budget = std::min<int64_t>(budget, graph.num_nodes());
+  // Cumulative weights for inverse-CDF draws; rejection handles repeats
+  // (fine while budget << n; falls back to including everything positive
+  // if the distribution is too concentrated to fill the budget).
+  std::vector<double> cdf(weights.size());
+  double acc = 0.0;
+  int64_t positive = 0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    SGNN_CHECK_GE(weights[i], 0.0);
+    if (weights[i] > 0.0) ++positive;
+    acc += weights[i];
+    cdf[i] = acc;
+  }
+  SGNN_CHECK_GT(acc, 0.0);
+  budget = std::min<int64_t>(budget, positive);
+  std::unordered_set<NodeId> nodes;
+  int64_t attempts = 0;
+  const int64_t max_attempts = 50 * budget + 1000;
+  while (static_cast<int64_t>(nodes.size()) < budget &&
+         attempts++ < max_attempts) {
+    const double r = rng->Uniform() * acc;
+    const auto it = std::lower_bound(cdf.begin(), cdf.end(), r);
+    nodes.insert(static_cast<NodeId>(it - cdf.begin()));
+  }
+  return Materialize(graph, std::move(nodes));
+}
+
+SampledSubgraph SampleSubgraphEdges(const CsrGraph& graph, int64_t num_edges,
+                                    common::Rng* rng) {
+  SGNN_CHECK(rng != nullptr);
+  SGNN_CHECK_GE(num_edges, 1);
+  SGNN_CHECK_GT(graph.num_edges(), 0);
+  std::unordered_set<NodeId> nodes;
+  // Uniform edge draws via a uniform position in the flat neighbour array.
+  for (int64_t e = 0; e < num_edges; ++e) {
+    const uint64_t pos =
+        rng->UniformInt(static_cast<uint64_t>(graph.num_edges()));
+    // Find the source whose adjacency block contains `pos`.
+    const auto& offsets = graph.offsets();
+    const auto it = std::upper_bound(offsets.begin(), offsets.end(),
+                                     static_cast<graph::EdgeIndex>(pos));
+    const NodeId u = static_cast<NodeId>(it - offsets.begin() - 1);
+    nodes.insert(u);
+    nodes.insert(graph.neighbors()[pos]);
+  }
+  return Materialize(graph, std::move(nodes));
+}
+
+SampledSubgraph SampleSubgraphWalks(const CsrGraph& graph, int num_roots,
+                                    int walk_length, common::Rng* rng) {
+  SGNN_CHECK(rng != nullptr);
+  SGNN_CHECK_GE(num_roots, 1);
+  SGNN_CHECK_GE(walk_length, 0);
+  std::unordered_set<NodeId> nodes;
+  for (int r = 0; r < num_roots; ++r) {
+    NodeId cur = static_cast<NodeId>(rng->UniformInt(graph.num_nodes()));
+    nodes.insert(cur);
+    for (int step = 0; step < walk_length; ++step) {
+      auto nbrs = graph.Neighbors(cur);
+      if (nbrs.empty()) break;
+      cur = nbrs[rng->UniformInt(nbrs.size())];
+      nodes.insert(cur);
+    }
+  }
+  return Materialize(graph, std::move(nodes));
+}
+
+std::vector<double> EstimateInclusionProbabilities(const CsrGraph& graph,
+                                                   int64_t budget, int trials,
+                                                   common::Rng* rng) {
+  SGNN_CHECK(rng != nullptr);
+  SGNN_CHECK_GE(trials, 1);
+  std::vector<int64_t> hits(graph.num_nodes(), 0);
+  for (int t = 0; t < trials; ++t) {
+    SampledSubgraph s = SampleSubgraphNodes(graph, budget, rng);
+    for (NodeId u : s.nodes) hits[u]++;
+  }
+  std::vector<double> probs(graph.num_nodes());
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    probs[u] = static_cast<double>(hits[u]) / trials;
+  }
+  return probs;
+}
+
+}  // namespace sgnn::sampling

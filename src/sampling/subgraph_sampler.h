@@ -1,0 +1,53 @@
+#ifndef SGNN_SAMPLING_SUBGRAPH_SAMPLER_H_
+#define SGNN_SAMPLING_SUBGRAPH_SAMPLER_H_
+
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/csr_graph.h"
+
+namespace sgnn::sampling {
+
+/// Subgraph-level sampling (GraphSAINT family, §3.3.2): draw a node set,
+/// train a full GNN on its induced subgraph. The returned `nodes` maps
+/// local ids back to global ids.
+struct SampledSubgraph {
+  std::vector<graph::NodeId> nodes;  ///< Sorted global ids; local id = index.
+  graph::CsrGraph subgraph;          ///< Induced subgraph over `nodes`.
+};
+
+/// Uniform-node sampler: `budget` distinct nodes uniformly at random.
+SampledSubgraph SampleSubgraphNodes(const graph::CsrGraph& graph,
+                                    int64_t budget, common::Rng* rng);
+
+/// Importance node sampler (GraphSAINT-N proper): `budget` distinct nodes
+/// drawn without replacement with probability proportional to `weights`
+/// (see graph::ImportanceWeights for degree/core/triangle/PageRank
+/// choices). Weights must be non-negative with a positive sum.
+SampledSubgraph SampleSubgraphImportance(const graph::CsrGraph& graph,
+                                         int64_t budget,
+                                         std::span<const double> weights,
+                                         common::Rng* rng);
+
+/// Edge sampler: draws `num_edges` edges uniformly and keeps all their
+/// endpoints (GraphSAINT-E); biased toward high-degree regions.
+SampledSubgraph SampleSubgraphEdges(const graph::CsrGraph& graph,
+                                    int64_t num_edges, common::Rng* rng);
+
+/// Random-walk sampler (GraphSAINT-RW): `num_roots` uniform roots, one
+/// walk of `walk_length` steps each; node set is the union of visits.
+SampledSubgraph SampleSubgraphWalks(const graph::CsrGraph& graph,
+                                    int num_roots, int walk_length,
+                                    common::Rng* rng);
+
+/// Per-node inclusion frequencies estimated from `trials` repeated
+/// subgraph draws; GraphSAINT uses these to normalise the loss so the
+/// mini-batch estimator stays unbiased.
+std::vector<double> EstimateInclusionProbabilities(
+    const graph::CsrGraph& graph, int64_t budget, int trials,
+    common::Rng* rng);
+
+}  // namespace sgnn::sampling
+
+#endif  // SGNN_SAMPLING_SUBGRAPH_SAMPLER_H_

@@ -1,0 +1,73 @@
+#include "similarity/cosine.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "tensor/ops.h"
+
+namespace sgnn::similarity {
+
+using graph::CsrGraph;
+using graph::NodeId;
+
+double TopologyCosine(const CsrGraph& graph, NodeId u, NodeId v) {
+  SGNN_CHECK_LT(u, graph.num_nodes());
+  SGNN_CHECK_LT(v, graph.num_nodes());
+  auto nu = graph.Neighbors(u);
+  auto nv = graph.Neighbors(v);
+  if (nu.empty() || nv.empty()) return 0.0;
+  size_t i = 0, j = 0, common = 0;
+  while (i < nu.size() && j < nv.size()) {
+    if (nu[i] == nv[j]) {
+      ++common;
+      ++i;
+      ++j;
+    } else if (nu[i] < nv[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return static_cast<double>(common) /
+         std::sqrt(static_cast<double>(nu.size()) *
+                   static_cast<double>(nv.size()));
+}
+
+double AttributeCosine(const tensor::Matrix& features, NodeId u, NodeId v) {
+  SGNN_CHECK_LT(static_cast<int64_t>(u), features.rows());
+  SGNN_CHECK_LT(static_cast<int64_t>(v), features.rows());
+  auto ru = features.Row(u);
+  auto rv = features.Row(v);
+  const double nu = tensor::Norm2(ru);
+  const double nv = tensor::Norm2(rv);
+  if (nu == 0.0 || nv == 0.0) return 0.0;
+  return tensor::Dot(ru, rv) / (nu * nv);
+}
+
+double BlendedSimilarity(const CsrGraph& graph, const tensor::Matrix& features,
+                         NodeId u, NodeId v, double topology_weight) {
+  SGNN_CHECK(topology_weight >= 0.0 && topology_weight <= 1.0);
+  return topology_weight * TopologyCosine(graph, u, v) +
+         (1.0 - topology_weight) * AttributeCosine(features, u, v);
+}
+
+std::vector<std::pair<NodeId, double>> TopKAttributeSimilar(
+    const tensor::Matrix& features, NodeId source, int k) {
+  SGNN_CHECK_GT(k, 0);
+  std::vector<std::pair<NodeId, double>> scored;
+  scored.reserve(static_cast<size_t>(features.rows()));
+  for (int64_t v = 0; v < features.rows(); ++v) {
+    if (static_cast<NodeId>(v) == source) continue;
+    scored.emplace_back(static_cast<NodeId>(v),
+                        AttributeCosine(features, source,
+                                        static_cast<NodeId>(v)));
+  }
+  std::sort(scored.begin(), scored.end(), [](const auto& a, const auto& b) {
+    return a.second != b.second ? a.second > b.second : a.first < b.first;
+  });
+  if (static_cast<int>(scored.size()) > k) scored.resize(static_cast<size_t>(k));
+  return scored;
+}
+
+}  // namespace sgnn::similarity

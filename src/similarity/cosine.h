@@ -1,0 +1,38 @@
+#ifndef SGNN_SIMILARITY_COSINE_H_
+#define SGNN_SIMILARITY_COSINE_H_
+
+#include <utility>
+#include <vector>
+
+#include "graph/csr_graph.h"
+#include "tensor/matrix.h"
+
+namespace sgnn::similarity {
+
+/// Cosine similarities used for DHGR-style rewiring (§3.2.2): topology
+/// similarity compares adjacency rows, attribute similarity compares
+/// feature rows.
+
+/// |N(u) ∩ N(v)| / sqrt(d(u) d(v)); 0 when either side is isolated.
+/// Exploits sorted adjacency for a linear merge.
+double TopologyCosine(const graph::CsrGraph& graph, graph::NodeId u,
+                      graph::NodeId v);
+
+/// Cosine of feature rows u and v; 0 when either row is all-zero.
+double AttributeCosine(const tensor::Matrix& features, graph::NodeId u,
+                       graph::NodeId v);
+
+/// Blended node-pair score: `topology_weight` * topology +
+/// (1 - `topology_weight`) * attribute.
+double BlendedSimilarity(const graph::CsrGraph& graph,
+                         const tensor::Matrix& features, graph::NodeId u,
+                         graph::NodeId v, double topology_weight);
+
+/// Top-k most attribute-similar nodes to `source` (exact scan over all
+/// nodes, excluding the source). Descending score, ties by id.
+std::vector<std::pair<graph::NodeId, double>> TopKAttributeSimilar(
+    const tensor::Matrix& features, graph::NodeId source, int k);
+
+}  // namespace sgnn::similarity
+
+#endif  // SGNN_SIMILARITY_COSINE_H_

@@ -1,0 +1,49 @@
+#ifndef SGNN_SIMILARITY_HUB_LABELING_H_
+#define SGNN_SIMILARITY_HUB_LABELING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr_graph.h"
+
+namespace sgnn::similarity {
+
+/// Pruned landmark labelling (Akiba et al.): a 2-hop hub-label index over
+/// an unweighted graph answering exact shortest-path-distance queries in
+/// O(|label(u)| + |label(v)|). This is the indexing structure CFGNN and
+/// DHIL-GT (§3.2.2) build their hierarchy/bias queries on.
+class HubLabeling {
+ public:
+  /// Builds the index. Landmarks are processed in descending-degree order
+  /// (ties by id), the standard heuristic that keeps labels small on
+  /// skewed graphs.
+  explicit HubLabeling(const graph::CsrGraph& graph);
+
+  /// Exact hop distance between u and v, or -1 if disconnected.
+  int Query(graph::NodeId u, graph::NodeId v) const;
+
+  /// Total number of (hub, distance) entries across all labels.
+  int64_t TotalLabelEntries() const;
+
+  /// Label size of one node.
+  int64_t LabelSize(graph::NodeId u) const {
+    return static_cast<int64_t>(labels_[u].size());
+  }
+
+  /// Hubs of `u`'s label in insertion (descending-rank) order; the
+  /// "cores" CFGNN treats distinctively.
+  std::vector<graph::NodeId> Hubs(graph::NodeId u) const;
+
+ private:
+  struct Entry {
+    graph::NodeId hub;  // Rank-space id (position in the landmark order).
+    int dist;
+  };
+  // Per node: entries sorted by hub rank (insertion order is rank order).
+  std::vector<std::vector<Entry>> labels_;
+  std::vector<graph::NodeId> rank_to_node_;
+};
+
+}  // namespace sgnn::similarity
+
+#endif  // SGNN_SIMILARITY_HUB_LABELING_H_

@@ -1,0 +1,60 @@
+#include "similarity/rewiring.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/check.h"
+#include "similarity/cosine.h"
+
+namespace sgnn::similarity {
+
+using graph::CsrGraph;
+using graph::NodeId;
+
+RewiringResult RewireBySimilarity(const CsrGraph& graph,
+                                  const tensor::Matrix& features,
+                                  const RewiringConfig& config) {
+  SGNN_CHECK_EQ(features.rows(), static_cast<int64_t>(graph.num_nodes()));
+  SGNN_CHECK_GE(config.add_per_node, 0);
+
+  graph::EdgeListBuilder builder(graph.num_nodes());
+  RewiringResult result{CsrGraph(0), 0, 0};
+
+  // Keep existing edges whose endpoints are similar enough.
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    auto nbrs = graph.Neighbors(u);
+    auto ws = graph.Weights(u);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      const double sim = BlendedSimilarity(graph, features, u, nbrs[i],
+                                           config.topology_weight);
+      if (sim < config.remove_threshold) {
+        ++result.edges_removed;
+      } else {
+        builder.AddEdge(u, nbrs[i], ws[i]);
+      }
+    }
+  }
+
+  // Add top-k attribute-similar pairs per node, each undirected pair once.
+  if (config.add_per_node > 0) {
+    std::unordered_set<uint64_t> added;
+    for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+      auto top = TopKAttributeSimilar(features, u, config.add_per_node);
+      for (const auto& [v, sim] : top) {
+        if (sim < config.add_threshold) continue;
+        if (graph.HasEdge(u, v)) continue;
+        const NodeId lo = std::min(u, v), hi = std::max(u, v);
+        const uint64_t key = (static_cast<uint64_t>(lo) << 32) | hi;
+        if (!added.insert(key).second) continue;
+        builder.AddUndirectedEdge(u, v);
+        result.edges_added += 2;
+      }
+    }
+  }
+
+  builder.Symmetrize();  // Also deduplicates double-added pairs.
+  result.graph = CsrGraph::FromBuilder(std::move(builder));
+  return result;
+}
+
+}  // namespace sgnn::similarity

@@ -1,0 +1,37 @@
+#ifndef SGNN_SIMILARITY_REWIRING_H_
+#define SGNN_SIMILARITY_REWIRING_H_
+
+#include "graph/csr_graph.h"
+#include "tensor/matrix.h"
+
+namespace sgnn::similarity {
+
+/// DHGR-style similarity rewiring (§3.2.2): add edges between highly
+/// similar node pairs (recovering multi-scale same-class links that
+/// heterophilous graphs lack) and drop edges between dissimilar endpoints.
+struct RewiringConfig {
+  /// Edges added per node toward its most attribute-similar peers.
+  int add_per_node = 2;
+  /// Only add a pair when its similarity is at least this.
+  double add_threshold = 0.5;
+  /// Remove existing edges whose endpoint similarity is below this.
+  double remove_threshold = 0.0;
+  /// Blend between topology (1.0) and attribute (0.0) similarity for the
+  /// removal decision.
+  double topology_weight = 0.0;
+};
+
+struct RewiringResult {
+  graph::CsrGraph graph;
+  int64_t edges_added = 0;    ///< Directed count.
+  int64_t edges_removed = 0;  ///< Directed count.
+};
+
+/// Rewires an undirected graph; the result is symmetrised and simple.
+RewiringResult RewireBySimilarity(const graph::CsrGraph& graph,
+                                  const tensor::Matrix& features,
+                                  const RewiringConfig& config);
+
+}  // namespace sgnn::similarity
+
+#endif  // SGNN_SIMILARITY_REWIRING_H_

@@ -1,0 +1,130 @@
+#include "similarity/simrank.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace sgnn::similarity {
+
+using graph::CsrGraph;
+using graph::NodeId;
+
+std::vector<double> AllPairsSimRank(const CsrGraph& graph, double c,
+                                    int iterations) {
+  SGNN_CHECK(c > 0.0 && c < 1.0);
+  SGNN_CHECK_GE(iterations, 1);
+  const size_t n = graph.num_nodes();
+  std::vector<double> s(n * n, 0.0);
+  for (size_t i = 0; i < n; ++i) s[i * n + i] = 1.0;
+
+  // One iteration is S' = c * P S P^T with unit diagonal, where P = D^-1 A.
+  // Computed as two sparse-dense products, O(m n) each.
+  std::vector<double> t(n * n, 0.0);
+  std::vector<double> next(n * n, 0.0);
+  for (int iter = 0; iter < iterations; ++iter) {
+    // t = P * s : row u of t is the neighbour-average of rows of s.
+    std::fill(t.begin(), t.end(), 0.0);
+    for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+      auto nbrs = graph.Neighbors(u);
+      if (nbrs.empty()) continue;
+      const double inv = 1.0 / static_cast<double>(nbrs.size());
+      double* trow = t.data() + static_cast<size_t>(u) * n;
+      for (NodeId a : nbrs) {
+        const double* srow = s.data() + static_cast<size_t>(a) * n;
+        for (size_t j = 0; j < n; ++j) trow[j] += inv * srow[j];
+      }
+    }
+    // next = c * t * P^T : column v of next is neighbour-average of columns
+    // of t (exploiting (t P^T)[u][v] = mean_{b in N(v)} t[u][b]).
+    std::fill(next.begin(), next.end(), 0.0);
+    for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+      auto nbrs = graph.Neighbors(v);
+      if (nbrs.empty()) continue;
+      const double factor = c / static_cast<double>(nbrs.size());
+      for (NodeId b : nbrs) {
+        const double* tcol_base = t.data() + b;  // t[*][b] strided.
+        double* ncol_base = next.data() + v;
+        for (size_t u = 0; u < n; ++u) {
+          ncol_base[u * n] += factor * tcol_base[u * n];
+        }
+      }
+    }
+    for (size_t i = 0; i < n; ++i) next[i * n + i] = 1.0;
+    s.swap(next);
+  }
+  return s;
+}
+
+namespace {
+
+/// One uniform step on the graph; returns false at a dangling node.
+bool Step(const CsrGraph& graph, common::Rng* rng, NodeId* pos) {
+  auto nbrs = graph.Neighbors(*pos);
+  if (nbrs.empty()) return false;
+  *pos = nbrs[rng->UniformInt(nbrs.size())];
+  return true;
+}
+
+}  // namespace
+
+double SimRankMonteCarlo(const CsrGraph& graph, NodeId u, NodeId v, double c,
+                         int num_walk_pairs, int max_length, uint64_t seed) {
+  SGNN_CHECK(c > 0.0 && c < 1.0);
+  SGNN_CHECK_GE(num_walk_pairs, 1);
+  SGNN_CHECK_GE(max_length, 1);
+  SGNN_CHECK_LT(u, graph.num_nodes());
+  SGNN_CHECK_LT(v, graph.num_nodes());
+  if (u == v) return 1.0;
+  common::Rng rng(seed);
+  double acc = 0.0;
+  for (int w = 0; w < num_walk_pairs; ++w) {
+    NodeId a = u, b = v;
+    for (int step = 1; step <= max_length; ++step) {
+      if (!Step(graph, &rng, &a) || !Step(graph, &rng, &b)) break;
+      if (a == b) {
+        acc += std::pow(c, step);
+        break;
+      }
+    }
+  }
+  return acc / static_cast<double>(num_walk_pairs);
+}
+
+std::vector<std::pair<NodeId, double>> TopKSimRank(
+    const CsrGraph& graph, NodeId source, double c, int k, int num_walk_pairs,
+    int max_length, int extra_candidates, uint64_t seed) {
+  SGNN_CHECK_GT(k, 0);
+  SGNN_CHECK_LT(source, graph.num_nodes());
+  common::Rng rng(seed);
+
+  // Candidate pool: 2-hop neighbourhood plus random probes, so distant
+  // similar nodes remain reachable.
+  std::unordered_set<NodeId> candidates;
+  for (NodeId a : graph.Neighbors(source)) {
+    candidates.insert(a);
+    for (NodeId b : graph.Neighbors(a)) candidates.insert(b);
+  }
+  for (int i = 0; i < extra_candidates; ++i) {
+    candidates.insert(static_cast<NodeId>(rng.UniformInt(graph.num_nodes())));
+  }
+  candidates.erase(source);
+
+  std::vector<std::pair<NodeId, double>> scored;
+  scored.reserve(candidates.size());
+  for (NodeId v : candidates) {
+    const double score = SimRankMonteCarlo(graph, source, v, c,
+                                           num_walk_pairs, max_length,
+                                           rng.engine()());
+    if (score > 0.0) scored.emplace_back(v, score);
+  }
+  std::sort(scored.begin(), scored.end(), [](const auto& a, const auto& b) {
+    return a.second != b.second ? a.second > b.second : a.first < b.first;
+  });
+  if (static_cast<int>(scored.size()) > k) scored.resize(static_cast<size_t>(k));
+  return scored;
+}
+
+}  // namespace sgnn::similarity

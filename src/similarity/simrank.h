@@ -1,0 +1,40 @@
+#ifndef SGNN_SIMILARITY_SIMRANK_H_
+#define SGNN_SIMILARITY_SIMRANK_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "graph/csr_graph.h"
+
+namespace sgnn::similarity {
+
+/// SimRank (Jeh & Widom): s(u,u) = 1 and
+///   s(u,v) = c / (d(u) d(v)) * sum_{a in N(u), b in N(v)} s(a, b).
+/// The structural node-pair similarity SIMGA (§3.2.2) uses to discover
+/// same-class far-apart nodes under heterophily.
+
+/// Exact-by-iteration all-pairs SimRank. O(n^2) memory and
+/// O(iters * sum_u sum_v d(u) d(v)) time: intended for graphs with up to a
+/// few thousand nodes (tests, small pipelines). Row-major n x n result.
+std::vector<double> AllPairsSimRank(const graph::CsrGraph& graph, double c,
+                                    int iterations);
+
+/// Monte-Carlo single-pair estimate: simulates `num_walk_pairs` pairs of
+/// sqrt(c)-decayed reverse random walks and scores first-meeting times.
+/// Unbiased for the walk-based SimRank definition s(u,v) = E[c^{tau}].
+double SimRankMonteCarlo(const graph::CsrGraph& graph, graph::NodeId u,
+                         graph::NodeId v, double c, int num_walk_pairs,
+                         int max_length, uint64_t seed);
+
+/// Top-k most SimRank-similar nodes to `source` (excluding itself),
+/// decoupled-precomputation style: candidates are gathered from the 2-hop
+/// neighbourhood plus `extra_candidates` random nodes, scored by Monte
+/// Carlo, and ranked. Returns (node, score) sorted descending.
+std::vector<std::pair<graph::NodeId, double>> TopKSimRank(
+    const graph::CsrGraph& graph, graph::NodeId source, double c, int k,
+    int num_walk_pairs, int max_length, int extra_candidates, uint64_t seed);
+
+}  // namespace sgnn::similarity
+
+#endif  // SGNN_SIMILARITY_SIMRANK_H_

@@ -1,0 +1,141 @@
+#include "sparsify/sparsify.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace sgnn::sparsify {
+
+using graph::CsrGraph;
+using graph::Edge;
+using graph::NodeId;
+
+namespace {
+
+/// Undirected edge list (u < v) of a symmetric graph.
+std::vector<Edge> UndirectedEdges(const CsrGraph& graph) {
+  std::vector<Edge> out;
+  out.reserve(static_cast<size_t>(graph.num_edges() / 2));
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    auto nbrs = graph.Neighbors(u);
+    auto ws = graph.Weights(u);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      if (u < nbrs[i]) out.push_back(Edge{u, nbrs[i], ws[i]});
+    }
+  }
+  return out;
+}
+
+CsrGraph FromUndirected(NodeId num_nodes, const std::vector<Edge>& edges) {
+  graph::EdgeListBuilder builder(num_nodes);
+  for (const Edge& e : edges) builder.AddUndirectedEdge(e.src, e.dst, e.weight);
+  builder.Deduplicate();
+  return CsrGraph::FromBuilder(std::move(builder));
+}
+
+}  // namespace
+
+CsrGraph UniformSparsify(const CsrGraph& graph, double keep_prob,
+                         bool reweight, uint64_t seed) {
+  SGNN_CHECK(keep_prob > 0.0 && keep_prob <= 1.0);
+  common::Rng rng(seed);
+  std::vector<Edge> kept;
+  for (const Edge& e : UndirectedEdges(graph)) {
+    if (!rng.Bernoulli(keep_prob)) continue;
+    Edge copy = e;
+    if (reweight) copy.weight = static_cast<float>(copy.weight / keep_prob);
+    kept.push_back(copy);
+  }
+  return FromUndirected(graph.num_nodes(), kept);
+}
+
+CsrGraph SpectralSparsify(const CsrGraph& graph, int64_t num_samples,
+                          uint64_t seed) {
+  SGNN_CHECK_GE(num_samples, 1);
+  common::Rng rng(seed);
+  const std::vector<Edge> edges = UndirectedEdges(graph);
+  SGNN_CHECK(!edges.empty());
+
+  // Sampling distribution p_e ∝ w_e * (1/d(u) + 1/d(v)).
+  std::vector<double> score(edges.size());
+  double total = 0.0;
+  for (size_t i = 0; i < edges.size(); ++i) {
+    const double du = static_cast<double>(graph.OutDegree(edges[i].src));
+    const double dv = static_cast<double>(graph.OutDegree(edges[i].dst));
+    score[i] = edges[i].weight * (1.0 / du + 1.0 / dv);
+    total += score[i];
+  }
+  std::vector<double> cdf(edges.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < edges.size(); ++i) {
+    acc += score[i];
+    cdf[i] = acc;
+  }
+
+  // num_samples draws with replacement; accumulate w/(q * p) per edge.
+  std::vector<double> weight_acc(edges.size(), 0.0);
+  for (int64_t s = 0; s < num_samples; ++s) {
+    const double r = rng.Uniform() * total;
+    const size_t idx = static_cast<size_t>(
+        std::lower_bound(cdf.begin(), cdf.end(), r) - cdf.begin());
+    const double p = score[idx] / total;
+    weight_acc[idx] += edges[idx].weight / (num_samples * p);
+  }
+  std::vector<Edge> kept;
+  for (size_t i = 0; i < edges.size(); ++i) {
+    if (weight_acc[i] <= 0.0) continue;
+    kept.push_back(Edge{edges[i].src, edges[i].dst,
+                        static_cast<float>(weight_acc[i])});
+  }
+  return FromUndirected(graph.num_nodes(), kept);
+}
+
+CsrGraph DegreeAwarePrune(const CsrGraph& graph,
+                          graph::EdgeIndex degree_threshold, int keep_per_hub,
+                          DegreeAwareStats* stats) {
+  SGNN_CHECK_GE(keep_per_hub, 1);
+  DegreeAwareStats local;
+  local.edges_before = graph.num_edges();
+
+  // For each node, mark which of its incident undirected edges it wants.
+  // An edge survives if either endpoint wants it.
+  std::vector<Edge> kept;
+  auto wants = [&](NodeId u, NodeId v, float w) {
+    auto deg = graph.OutDegree(u);
+    if (deg <= degree_threshold) return true;
+    // Hub: wants v only if (w, v) ranks in its top keep_per_hub by weight
+    // (ties by smaller neighbour id first).
+    auto nbrs = graph.Neighbors(u);
+    auto ws = graph.Weights(u);
+    int better = 0;
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      if (ws[i] > w || (ws[i] == w && nbrs[i] < v)) ++better;
+      if (better >= keep_per_hub) return false;
+    }
+    return true;
+  };
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    if (graph.OutDegree(u) > degree_threshold) ++local.hubs;
+  }
+  for (const Edge& e : UndirectedEdges(graph)) {
+    if (wants(e.src, e.dst, e.weight) || wants(e.dst, e.src, e.weight)) {
+      kept.push_back(e);
+    }
+  }
+  CsrGraph out = FromUndirected(graph.num_nodes(), kept);
+  local.edges_after = out.num_edges();
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+CsrGraph ThresholdPrune(const CsrGraph& graph, float min_weight) {
+  std::vector<Edge> kept;
+  for (const Edge& e : UndirectedEdges(graph)) {
+    if (e.weight >= min_weight) kept.push_back(e);
+  }
+  return FromUndirected(graph.num_nodes(), kept);
+}
+
+}  // namespace sgnn::sparsify

@@ -1,0 +1,48 @@
+#ifndef SGNN_SPARSIFY_SPARSIFY_H_
+#define SGNN_SPARSIFY_SPARSIFY_H_
+
+#include <cstdint>
+
+#include "graph/csr_graph.h"
+
+namespace sgnn::sparsify {
+
+/// Graph sparsification (§3.3.1): shrink the edge set while preserving the
+/// properties propagation depends on. Every routine treats the input as
+/// undirected (both directions of an edge are kept or dropped together)
+/// and returns a simple undirected graph.
+
+/// Keeps each undirected edge independently with probability `keep_prob`.
+/// With `reweight`, surviving edges are scaled by 1/keep_prob so the
+/// expected adjacency (hence expected propagation) is unchanged.
+graph::CsrGraph UniformSparsify(const graph::CsrGraph& graph,
+                                double keep_prob, bool reweight,
+                                uint64_t seed);
+
+/// Spielman–Srivastava-flavoured spectral sparsifier with the degree-based
+/// effective-resistance proxy R(u,v) ≈ 1/d(u) + 1/d(v): draws
+/// `num_samples` edges with probability proportional to w * R and
+/// accumulates weight w/(num_samples * p) per draw, approximately
+/// preserving the Laplacian quadratic form (tested via Rayleigh quotients).
+graph::CsrGraph SpectralSparsify(const graph::CsrGraph& graph,
+                                 int64_t num_samples, uint64_t seed);
+
+/// ATP-style degree-aware pruning: hubs (degree > `degree_threshold`) keep
+/// only their `keep_per_hub` heaviest edges; low-degree nodes keep
+/// everything. An edge survives if either endpoint wants it.
+struct DegreeAwareStats {
+  int64_t hubs = 0;
+  int64_t edges_before = 0;  ///< Directed.
+  int64_t edges_after = 0;   ///< Directed.
+};
+graph::CsrGraph DegreeAwarePrune(const graph::CsrGraph& graph,
+                                 graph::EdgeIndex degree_threshold,
+                                 int keep_per_hub, DegreeAwareStats* stats);
+
+/// Drops undirected edges with weight below `min_weight`.
+graph::CsrGraph ThresholdPrune(const graph::CsrGraph& graph,
+                               float min_weight);
+
+}  // namespace sgnn::sparsify
+
+#endif  // SGNN_SPARSIFY_SPARSIFY_H_

@@ -1,0 +1,138 @@
+#include "spectral/dense_linalg.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace sgnn::spectral {
+
+SymmetricEigenResult JacobiEigen(std::vector<double> a, int n, int max_sweeps,
+                                 double tol) {
+  SGNN_CHECK_GE(n, 1);
+  SGNN_CHECK_EQ(a.size(), static_cast<size_t>(n) * n);
+  std::vector<double> v(static_cast<size_t>(n) * n, 0.0);
+  for (int i = 0; i < n; ++i) v[static_cast<size_t>(i) * n + i] = 1.0;
+
+  auto at = [&](std::vector<double>& m, int r, int c) -> double& {
+    return m[static_cast<size_t>(r) * n + c];
+  };
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (int p = 0; p < n; ++p) {
+      for (int q = p + 1; q < n; ++q) off += at(a, p, q) * at(a, p, q);
+    }
+    if (off < tol) break;
+    for (int p = 0; p < n; ++p) {
+      for (int q = p + 1; q < n; ++q) {
+        const double apq = at(a, p, q);
+        if (std::fabs(apq) < 1e-300) continue;
+        const double theta = (at(a, q, q) - at(a, p, p)) / (2.0 * apq);
+        const double t = (theta >= 0 ? 1.0 : -1.0) /
+                         (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        for (int i = 0; i < n; ++i) {
+          const double aip = at(a, i, p), aiq = at(a, i, q);
+          at(a, i, p) = c * aip - s * aiq;
+          at(a, i, q) = s * aip + c * aiq;
+        }
+        for (int i = 0; i < n; ++i) {
+          const double api = at(a, p, i), aqi = at(a, q, i);
+          at(a, p, i) = c * api - s * aqi;
+          at(a, q, i) = s * api + c * aqi;
+        }
+        for (int i = 0; i < n; ++i) {
+          const double vip = at(v, i, p), viq = at(v, i, q);
+          at(v, i, p) = c * vip - s * viq;
+          at(v, i, q) = s * vip + c * viq;
+        }
+      }
+    }
+  }
+
+  SymmetricEigenResult result;
+  result.eigenvalues.resize(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    result.eigenvalues[static_cast<size_t>(i)] = at(a, i, i);
+  }
+  // Sort ascending, permuting eigenvector columns to match.
+  std::vector<int> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int x, int y) {
+    return result.eigenvalues[static_cast<size_t>(x)] <
+           result.eigenvalues[static_cast<size_t>(y)];
+  });
+  std::vector<double> sorted_vals(static_cast<size_t>(n));
+  std::vector<double> sorted_vecs(static_cast<size_t>(n) * n);
+  for (int j = 0; j < n; ++j) {
+    sorted_vals[static_cast<size_t>(j)] =
+        result.eigenvalues[static_cast<size_t>(order[j])];
+    for (int i = 0; i < n; ++i) {
+      sorted_vecs[static_cast<size_t>(i) * n + j] =
+          v[static_cast<size_t>(i) * n + order[j]];
+    }
+  }
+  result.eigenvalues = std::move(sorted_vals);
+  result.eigenvectors = std::move(sorted_vecs);
+  return result;
+}
+
+std::vector<double> SolveLinearSystem(std::vector<double> a,
+                                      std::vector<double> b, int n) {
+  SGNN_CHECK_EQ(a.size(), static_cast<size_t>(n) * n);
+  SGNN_CHECK_EQ(b.size(), static_cast<size_t>(n));
+  auto at = [&](int r, int c) -> double& {
+    return a[static_cast<size_t>(r) * n + c];
+  };
+  for (int col = 0; col < n; ++col) {
+    int pivot = col;
+    for (int r = col + 1; r < n; ++r) {
+      if (std::fabs(at(r, col)) > std::fabs(at(pivot, col))) pivot = r;
+    }
+    if (pivot != col) {
+      for (int c = 0; c < n; ++c) std::swap(at(col, c), at(pivot, c));
+      std::swap(b[static_cast<size_t>(col)], b[static_cast<size_t>(pivot)]);
+    }
+    if (std::fabs(at(col, col)) < 1e-14) at(col, col) += 1e-12;
+    const double inv = 1.0 / at(col, col);
+    for (int r = col + 1; r < n; ++r) {
+      const double f = at(r, col) * inv;
+      if (f == 0.0) continue;
+      for (int c = col; c < n; ++c) at(r, c) -= f * at(col, c);
+      b[static_cast<size_t>(r)] -= f * b[static_cast<size_t>(col)];
+    }
+  }
+  std::vector<double> x(static_cast<size_t>(n), 0.0);
+  for (int r = n - 1; r >= 0; --r) {
+    double acc = b[static_cast<size_t>(r)];
+    for (int c = r + 1; c < n; ++c) acc -= at(r, c) * x[static_cast<size_t>(c)];
+    x[static_cast<size_t>(r)] = acc / at(r, r);
+  }
+  return x;
+}
+
+std::vector<double> LeastSquares(const std::vector<double>& m, int rows,
+                                 int cols, const std::vector<double>& y,
+                                 double ridge) {
+  SGNN_CHECK_EQ(m.size(), static_cast<size_t>(rows) * cols);
+  SGNN_CHECK_EQ(y.size(), static_cast<size_t>(rows));
+  SGNN_CHECK_GE(rows, cols);
+  std::vector<double> mtm(static_cast<size_t>(cols) * cols, 0.0);
+  std::vector<double> mty(static_cast<size_t>(cols), 0.0);
+  for (int r = 0; r < rows; ++r) {
+    const double* row = m.data() + static_cast<size_t>(r) * cols;
+    for (int i = 0; i < cols; ++i) {
+      mty[static_cast<size_t>(i)] += row[i] * y[static_cast<size_t>(r)];
+      for (int j = 0; j < cols; ++j) {
+        mtm[static_cast<size_t>(i) * cols + j] += row[i] * row[j];
+      }
+    }
+  }
+  for (int i = 0; i < cols; ++i) mtm[static_cast<size_t>(i) * cols + i] += ridge;
+  return SolveLinearSystem(std::move(mtm), std::move(mty), cols);
+}
+
+}  // namespace sgnn::spectral

@@ -1,0 +1,40 @@
+#ifndef SGNN_SPECTRAL_DENSE_LINALG_H_
+#define SGNN_SPECTRAL_DENSE_LINALG_H_
+
+#include <vector>
+
+namespace sgnn::spectral {
+
+/// Small dense double-precision helpers for the spectral module. These are
+/// for k x k problems with k in the tens (Lanczos tridiagonals, filter
+/// least-squares), not for graph-sized matrices.
+
+/// Column-major-free simple dense symmetric matrix: row-major n*n vector.
+struct SymmetricEigenResult {
+  std::vector<double> eigenvalues;    ///< Ascending.
+  std::vector<double> eigenvectors;   ///< Row-major n x n; column j pairs
+                                      ///< with eigenvalues[j].
+};
+
+/// Cyclic Jacobi rotation eigensolver for a dense symmetric matrix
+/// (row-major `a`, size n x n). O(n^3) per sweep; intended for n <= ~200.
+SymmetricEigenResult JacobiEigen(std::vector<double> a, int n,
+                                 int max_sweeps = 50, double tol = 1e-12);
+
+/// Solves A x = b via Gaussian elimination with partial pivoting.
+/// `a` is row-major n x n and is consumed. Returns x. Near-singular pivots
+/// are regularised by a tiny ridge, so the call always produces a result;
+/// callers needing strict solvability should check the residual.
+std::vector<double> SolveLinearSystem(std::vector<double> a,
+                                      std::vector<double> b, int n);
+
+/// Least squares fit: finds x minimising ||M x - y||_2 for row-major
+/// `m` of shape rows x cols (rows >= cols) via normal equations with a
+/// small ridge for conditioning.
+std::vector<double> LeastSquares(const std::vector<double>& m, int rows,
+                                 int cols, const std::vector<double>& y,
+                                 double ridge = 1e-10);
+
+}  // namespace sgnn::spectral
+
+#endif  // SGNN_SPECTRAL_DENSE_LINALG_H_

@@ -1,0 +1,57 @@
+#include "spectral/embeddings.h"
+
+#include "common/check.h"
+#include "tensor/ops.h"
+
+namespace sgnn::spectral {
+
+using tensor::Matrix;
+
+Matrix CombinedEmbeddings(const graph::Propagator& prop, const Matrix& x,
+                          const CombinedEmbeddingConfig& config) {
+  SGNN_CHECK_GE(config.hops, 1);
+  SGNN_CHECK(config.alpha > 0.0 && config.alpha <= 1.0);
+  SGNN_CHECK(config.include_identity || config.include_low_pass ||
+             config.include_high_pass);
+
+  Matrix out;
+  auto append = [&out, &config](Matrix channel) {
+    if (config.l2_normalize) tensor::NormalizeRows(2, &channel);
+    out = out.empty() ? std::move(channel)
+                      : tensor::ConcatCols(out, channel);
+  };
+
+  if (config.include_identity) append(x);
+
+  if (config.include_low_pass) {
+    // z_{k+1} = (1-alpha) S z_k + alpha x : the APPNP/PPR smoothing.
+    Matrix z = x;
+    Matrix sz;
+    for (int k = 0; k < config.hops; ++k) {
+      prop.Apply(z, &sz);
+      tensor::Scale(static_cast<float>(1.0 - config.alpha), &sz);
+      tensor::Axpy(static_cast<float>(config.alpha), x, &sz);
+      z = std::move(sz);
+    }
+    append(std::move(z));
+  }
+
+  if (config.include_high_pass) {
+    // h_{k+1} = (h_k - S h_k) / 2 = (L/2) h_k : amplifies disagreement
+    // between a node and its neighbourhood, the informative direction
+    // under heterophily.
+    Matrix h = x;
+    Matrix sh;
+    for (int k = 0; k < config.hops; ++k) {
+      prop.Apply(h, &sh);
+      tensor::Scale(-0.5f, &sh);
+      tensor::Axpy(0.5f, h, &sh);
+      h = std::move(sh);
+    }
+    append(std::move(h));
+  }
+
+  return out;
+}
+
+}  // namespace sgnn::spectral

@@ -1,0 +1,32 @@
+#ifndef SGNN_SPECTRAL_EMBEDDINGS_H_
+#define SGNN_SPECTRAL_EMBEDDINGS_H_
+
+#include "graph/propagate.h"
+#include "tensor/matrix.h"
+
+namespace sgnn::spectral {
+
+/// LD2-style combined multi-scale embeddings (§3.2.1 "Combined
+/// Embeddings"): several decoupled spectral channels are precomputed once
+/// and concatenated, so downstream training is a plain mini-batchable MLP
+/// over fixed rows — whole-graph information without graph ops in the
+/// training loop.
+struct CombinedEmbeddingConfig {
+  int hops = 4;           ///< Propagation depth per channel.
+  double alpha = 0.15;    ///< Restart weight of the low-pass channel.
+  bool include_identity = true;   ///< Raw features channel.
+  bool include_low_pass = true;   ///< PPR-weighted smoothing channel.
+  bool include_high_pass = true;  ///< (L/2)^K channel: heterophily signal.
+  bool l2_normalize = true;       ///< Row-normalise each channel.
+};
+
+/// Computes the concatenated embedding. `prop` must be the kSymmetric
+/// normalisation. Output has x.cols() times the number of enabled channels
+/// columns.
+tensor::Matrix CombinedEmbeddings(const graph::Propagator& prop,
+                                  const tensor::Matrix& x,
+                                  const CombinedEmbeddingConfig& config);
+
+}  // namespace sgnn::spectral
+
+#endif  // SGNN_SPECTRAL_EMBEDDINGS_H_

@@ -1,0 +1,170 @@
+#include "spectral/filters.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "spectral/dense_linalg.h"
+#include "tensor/ops.h"
+
+namespace sgnn::spectral {
+
+namespace {
+
+/// Three-term recurrence P_{k+1}(m) = (cx*m + c0) P_k(m) + cprev P_{k-1}(m)
+/// in the variable m = lambda - 1 in [-1, 1].
+struct Recurrence {
+  double cx = 0.0;
+  double c0 = 0.0;
+  double cprev = 0.0;
+};
+
+/// First-degree polynomial P_1(m) = dx*m + d0.
+struct FirstTerm {
+  double dx = 0.0;
+  double d0 = 0.0;
+};
+
+FirstTerm FirstOf(const PolyFilter& f) {
+  switch (f.basis) {
+    case PolyBasis::kMonomialAdj:
+      // S = I - L has eigenvalue 1 - lambda = -m, so S^1 -> -m.
+      return {-1.0, 0.0};
+    case PolyBasis::kChebyshev:
+      return {1.0, 0.0};
+    case PolyBasis::kJacobi:
+      return {(f.jacobi_a + f.jacobi_b + 2.0) / 2.0,
+              (f.jacobi_a - f.jacobi_b) / 2.0};
+  }
+  return {0.0, 0.0};
+}
+
+/// Recurrence producing P_{k+1} from P_k, P_{k-1} (valid for k >= 1).
+Recurrence RecurrenceOf(const PolyFilter& f, int k) {
+  switch (f.basis) {
+    case PolyBasis::kMonomialAdj:
+      return {-1.0, 0.0, 0.0};
+    case PolyBasis::kChebyshev:
+      return {2.0, 0.0, -1.0};
+    case PolyBasis::kJacobi: {
+      const double a = f.jacobi_a, b = f.jacobi_b;
+      const double n = static_cast<double>(k) + 1.0;
+      const double denom = 2.0 * n * (n + a + b) * (2.0 * n + a + b - 2.0);
+      SGNN_CHECK_NE(denom, 0.0);
+      Recurrence r;
+      r.cx = (2.0 * n + a + b - 1.0) * (2.0 * n + a + b) *
+             (2.0 * n + a + b - 2.0) / denom;
+      r.c0 = (2.0 * n + a + b - 1.0) * (a * a - b * b) / denom;
+      r.cprev = -2.0 * (n + a - 1.0) * (n + b - 1.0) * (2.0 * n + a + b) /
+                denom;
+      return r;
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+tensor::Matrix ApplyFilter(const graph::Propagator& prop,
+                           const PolyFilter& filter, const tensor::Matrix& x) {
+  SGNN_CHECK(!filter.coeffs.empty());
+  SGNN_CHECK(prop.normalization() == graph::Normalization::kSymmetric);
+  const int degree = static_cast<int>(filter.coeffs.size()) - 1;
+
+  // Applies m-multiplication: M y = (L - I) y = -S y.
+  auto apply_m = [&prop](const tensor::Matrix& in, tensor::Matrix* out) {
+    prop.Apply(in, out);
+    tensor::Scale(-1.0f, out);
+  };
+
+  tensor::Matrix z = x;
+  tensor::Scale(static_cast<float>(filter.coeffs[0]), &z);
+  if (degree == 0) return z;
+
+  tensor::Matrix p_prev = x;  // P_0 X
+  tensor::Matrix p_cur;       // P_1 X
+  const FirstTerm first = FirstOf(filter);
+  apply_m(x, &p_cur);
+  tensor::Scale(static_cast<float>(first.dx), &p_cur);
+  tensor::Axpy(static_cast<float>(first.d0), x, &p_cur);
+  tensor::Axpy(static_cast<float>(filter.coeffs[1]), p_cur, &z);
+
+  tensor::Matrix mp;
+  for (int k = 1; k < degree; ++k) {
+    const Recurrence r = RecurrenceOf(filter, k);
+    apply_m(p_cur, &mp);
+    tensor::Matrix p_next = std::move(mp);
+    tensor::Scale(static_cast<float>(r.cx), &p_next);
+    tensor::Axpy(static_cast<float>(r.c0), p_cur, &p_next);
+    tensor::Axpy(static_cast<float>(r.cprev), p_prev, &p_next);
+    tensor::Axpy(static_cast<float>(filter.coeffs[static_cast<size_t>(k) + 1]),
+                 p_next, &z);
+    p_prev = std::move(p_cur);
+    p_cur = std::move(p_next);
+    mp = tensor::Matrix();
+  }
+  return z;
+}
+
+double EvaluateResponse(const PolyFilter& filter, double lambda) {
+  SGNN_CHECK(!filter.coeffs.empty());
+  const double m = lambda - 1.0;
+  double acc = filter.coeffs[0];
+  if (filter.coeffs.size() == 1) return acc;
+  const FirstTerm first = FirstOf(filter);
+  double p_prev = 1.0;
+  double p_cur = first.dx * m + first.d0;
+  acc += filter.coeffs[1] * p_cur;
+  for (size_t k = 1; k + 1 < filter.coeffs.size(); ++k) {
+    const Recurrence r = RecurrenceOf(filter, static_cast<int>(k));
+    const double p_next = (r.cx * m + r.c0) * p_cur + r.cprev * p_prev;
+    acc += filter.coeffs[k + 1] * p_next;
+    p_prev = p_cur;
+    p_cur = p_next;
+  }
+  return acc;
+}
+
+PolyFilter FitFilter(PolyBasis basis, int degree,
+                     const std::function<double(double)>& target,
+                     int grid_points, double jacobi_a, double jacobi_b) {
+  SGNN_CHECK_GE(degree, 0);
+  SGNN_CHECK_GT(grid_points, degree);
+  PolyFilter probe;
+  probe.basis = basis;
+  probe.jacobi_a = jacobi_a;
+  probe.jacobi_b = jacobi_b;
+
+  const int cols = degree + 1;
+  std::vector<double> design(static_cast<size_t>(grid_points) * cols);
+  std::vector<double> y(static_cast<size_t>(grid_points));
+  for (int g = 0; g < grid_points; ++g) {
+    const double lambda = 2.0 * (static_cast<double>(g) + 0.5) / grid_points;
+    y[static_cast<size_t>(g)] = target(lambda);
+    // Row g: value of each basis polynomial at lambda, extracted by
+    // evaluating unit-coefficient filters incrementally via the recurrence.
+    const double m = lambda - 1.0;
+    double p_prev = 1.0;
+    design[static_cast<size_t>(g) * cols + 0] = 1.0;
+    if (degree >= 1) {
+      const FirstTerm first = FirstOf(probe);
+      double p_cur = first.dx * m + first.d0;
+      design[static_cast<size_t>(g) * cols + 1] = p_cur;
+      for (int k = 1; k < degree; ++k) {
+        const Recurrence r = RecurrenceOf(probe, k);
+        const double p_next = (r.cx * m + r.c0) * p_cur + r.cprev * p_prev;
+        design[static_cast<size_t>(g) * cols + k + 1] = p_next;
+        p_prev = p_cur;
+        p_cur = p_next;
+      }
+    }
+  }
+  PolyFilter out = probe;
+  out.coeffs = LeastSquares(design, grid_points, cols, y);
+  return out;
+}
+
+double LowPassResponse(double lambda) { return 1.0 - lambda / 2.0; }
+double HighPassResponse(double lambda) { return lambda / 2.0; }
+double BandRejectResponse(double lambda) { return std::fabs(1.0 - lambda); }
+
+}  // namespace sgnn::spectral

@@ -1,0 +1,63 @@
+#ifndef SGNN_SPECTRAL_FILTERS_H_
+#define SGNN_SPECTRAL_FILTERS_H_
+
+#include <functional>
+#include <vector>
+
+#include "graph/propagate.h"
+#include "tensor/matrix.h"
+
+namespace sgnn::spectral {
+
+/// Polynomial spectral graph filters (§3.2.1).
+///
+/// All filters act on the symmetric-normalised operator
+///   S = D^-1/2 A D^-1/2 (optionally with self loops), whose spectrum lies
+/// in [-1, 1]; the normalised Laplacian is L = I - S with spectrum [0, 2].
+/// A filter g is parameterised by coefficients over a polynomial basis and
+/// applied as Z = g(L) X using only repeated S-multiplications, so cost is
+/// O(K |E| d) regardless of basis — the scalability property the tutorial
+/// highlights for spectral methods.
+
+enum class PolyBasis {
+  kMonomialAdj,  ///< sum_k theta_k S^k            (SGC/GPR-GNN style)
+  kChebyshev,    ///< sum_k theta_k T_k(L - I)     (ChebNet style)
+  kJacobi,       ///< sum_k theta_k P_k^{(a,b)}(L - I)  (universal basis)
+};
+
+/// A filter: basis + coefficients (+ Jacobi parameters when applicable).
+struct PolyFilter {
+  PolyBasis basis = PolyBasis::kMonomialAdj;
+  std::vector<double> coeffs;  ///< coeffs[k] multiplies basis polynomial k.
+  double jacobi_a = 0.0;
+  double jacobi_b = 0.0;
+};
+
+/// Applies the filter to a feature matrix using `prop`, which must be the
+/// kSymmetric normalisation of the graph.
+tensor::Matrix ApplyFilter(const graph::Propagator& prop,
+                           const PolyFilter& filter, const tensor::Matrix& x);
+
+/// Evaluates the filter's scalar frequency response g(lambda) at a
+/// normalised-Laplacian eigenvalue lambda in [0, 2]. `ApplyFilter` realises
+/// exactly this response on each eigencomponent (tested property).
+double EvaluateResponse(const PolyFilter& filter, double lambda);
+
+/// Fits coefficients of `degree`+1 basis polynomials so the filter's
+/// response approximates `target` over lambda in [0, 2] (least squares on
+/// `grid_points` uniform samples). This is the AdaptKry-style adaptive
+/// basis: one fitting routine serves any heterophily level by choosing the
+/// target response.
+PolyFilter FitFilter(PolyBasis basis, int degree,
+                     const std::function<double(double)>& target,
+                     int grid_points = 64, double jacobi_a = 0.0,
+                     double jacobi_b = 0.0);
+
+/// Canonical target responses.
+double LowPassResponse(double lambda);   ///< (1 - lambda/2): homophily.
+double HighPassResponse(double lambda);  ///< lambda/2: heterophily.
+double BandRejectResponse(double lambda);  ///< |1 - lambda|: mid-band notch.
+
+}  // namespace sgnn::spectral
+
+#endif  // SGNN_SPECTRAL_FILTERS_H_

@@ -1,0 +1,145 @@
+#include "spectral/spectrum.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "spectral/dense_linalg.h"
+
+namespace sgnn::spectral {
+
+namespace {
+
+using Vec = std::vector<double>;
+
+double Dot(const Vec& a, const Vec& b) {
+  double acc = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+double Norm(const Vec& a) { return std::sqrt(Dot(a, a)); }
+
+void Scale(double s, Vec* a) {
+  for (double& x : *a) x *= s;
+}
+
+void Axpy(double s, const Vec& x, Vec* y) {
+  for (size_t i = 0; i < x.size(); ++i) (*y)[i] += s * x[i];
+}
+
+/// y = L x = x - S x.
+void ApplyLaplacian(const graph::Propagator& prop, const Vec& x, Vec* y) {
+  prop.ApplyVector(x, y);
+  for (size_t i = 0; i < x.size(); ++i) (*y)[i] = x[i] - (*y)[i];
+}
+
+Vec RandomUnit(size_t n, uint64_t seed) {
+  sgnn::common::Rng rng(seed);
+  Vec v(n);
+  for (double& x : v) x = rng.Gaussian(0.0, 1.0);
+  const double norm = Norm(v);
+  SGNN_CHECK_GT(norm, 0.0);
+  Scale(1.0 / norm, &v);
+  return v;
+}
+
+/// Trivial (lambda = 0) eigenvector of the normalised Laplacian:
+/// proportional to sqrt(degree + self_loop) per node.
+Vec TrivialEigenvector(const graph::Propagator& prop) {
+  const auto& g = prop.graph();
+  Vec v(g.num_nodes());
+  const double self = prop.self_loops() ? 1.0 : 0.0;
+  for (graph::NodeId u = 0; u < g.num_nodes(); ++u) {
+    v[u] = std::sqrt(g.WeightedDegree(u) + self);
+  }
+  const double norm = Norm(v);
+  if (norm > 0.0) Scale(1.0 / norm, &v);
+  return v;
+}
+
+/// Lanczos with full reorthogonalisation; returns ascending Ritz values of
+/// L. If `deflate` is non-null, the process runs in its orthogonal
+/// complement.
+std::vector<double> LanczosRitz(const graph::Propagator& prop, int steps,
+                                uint64_t seed, const Vec* deflate) {
+  const size_t n = prop.graph().num_nodes();
+  SGNN_CHECK_GE(n, 1u);
+  steps = std::min<int>(steps, static_cast<int>(n));
+  SGNN_CHECK_GE(steps, 1);
+
+  std::vector<Vec> basis;
+  Vec q = RandomUnit(n, seed);
+  if (deflate != nullptr) {
+    Axpy(-Dot(q, *deflate), *deflate, &q);
+    const double norm = Norm(q);
+    SGNN_CHECK_GT(norm, 1e-12);
+    Scale(1.0 / norm, &q);
+  }
+  basis.push_back(q);
+
+  std::vector<double> alpha, beta;
+  Vec w(n);
+  for (int j = 0; j < steps; ++j) {
+    ApplyLaplacian(prop, basis.back(), &w);
+    const double a = Dot(w, basis.back());
+    alpha.push_back(a);
+    // Full reorthogonalisation keeps the tridiagonal faithful despite
+    // floating-point drift.
+    for (const Vec& b : basis) Axpy(-Dot(w, b), b, &w);
+    for (const Vec& b : basis) Axpy(-Dot(w, b), b, &w);
+    if (deflate != nullptr) Axpy(-Dot(w, *deflate), *deflate, &w);
+    const double bnorm = Norm(w);
+    if (j + 1 == steps || bnorm < 1e-10) break;
+    beta.push_back(bnorm);
+    Vec next = w;
+    Scale(1.0 / bnorm, &next);
+    basis.push_back(std::move(next));
+  }
+
+  const int k = static_cast<int>(alpha.size());
+  std::vector<double> tri(static_cast<size_t>(k) * k, 0.0);
+  for (int i = 0; i < k; ++i) {
+    tri[static_cast<size_t>(i) * k + i] = alpha[static_cast<size_t>(i)];
+    if (i + 1 < k) {
+      tri[static_cast<size_t>(i) * k + i + 1] = beta[static_cast<size_t>(i)];
+      tri[static_cast<size_t>(i + 1) * k + i] = beta[static_cast<size_t>(i)];
+    }
+  }
+  return JacobiEigen(std::move(tri), k).eigenvalues;
+}
+
+}  // namespace
+
+double PowerMethodDominant(const graph::Propagator& prop, int iters,
+                           uint64_t seed) {
+  SGNN_CHECK_GE(iters, 1);
+  const size_t n = prop.graph().num_nodes();
+  Vec v = RandomUnit(n, seed);
+  Vec w(n);
+  double rayleigh = 0.0;
+  for (int i = 0; i < iters; ++i) {
+    prop.ApplyVector(v, &w);
+    const double norm = Norm(w);
+    if (norm < 1e-300) return 0.0;
+    rayleigh = Dot(v, w);
+    v = w;
+    Scale(1.0 / norm, &v);
+  }
+  return rayleigh;
+}
+
+std::vector<double> LanczosLaplacianSpectrum(const graph::Propagator& prop,
+                                             int steps, uint64_t seed) {
+  return LanczosRitz(prop, steps, seed, nullptr);
+}
+
+double SpectralGap(const graph::Propagator& prop, int steps, uint64_t seed) {
+  const Vec trivial = TrivialEigenvector(prop);
+  auto ritz = LanczosRitz(prop, steps, seed, &trivial);
+  SGNN_CHECK(!ritz.empty());
+  return ritz.front();
+}
+
+}  // namespace sgnn::spectral

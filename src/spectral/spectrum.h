@@ -1,0 +1,33 @@
+#ifndef SGNN_SPECTRAL_SPECTRUM_H_
+#define SGNN_SPECTRAL_SPECTRUM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/propagate.h"
+
+namespace sgnn::spectral {
+
+/// Spectrum estimation for the normalised Laplacian L = I - S, the
+/// quantity behind coarsening-distortion metrics (E10) and adaptive filter
+/// design (§3.2.1).
+
+/// Dominant eigenvalue (by magnitude) of the operator S via power method.
+/// Returns the Rayleigh-quotient estimate after `iters` iterations.
+double PowerMethodDominant(const graph::Propagator& prop, int iters,
+                           uint64_t seed);
+
+/// Ritz approximations to eigenvalues of L = I - S from a `steps`-step
+/// Lanczos process with full reorthogonalisation (exact when
+/// steps >= num_nodes). Ascending order. The extreme Ritz values converge
+/// to the extreme Laplacian eigenvalues.
+std::vector<double> LanczosLaplacianSpectrum(const graph::Propagator& prop,
+                                             int steps, uint64_t seed);
+
+/// Spectral gap estimate: the smallest non-trivial Laplacian eigenvalue
+/// (lambda_2) from a Lanczos run with the trivial eigenvector deflated.
+double SpectralGap(const graph::Propagator& prop, int steps, uint64_t seed);
+
+}  // namespace sgnn::spectral
+
+#endif  // SGNN_SPECTRAL_SPECTRUM_H_

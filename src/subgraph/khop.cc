@@ -1,0 +1,42 @@
+#include "subgraph/khop.h"
+
+#include <queue>
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace sgnn::subgraph {
+
+using graph::CsrGraph;
+using graph::NodeId;
+
+EgoNet ExtractKHop(const CsrGraph& graph, NodeId center, int hops,
+                   int64_t node_budget) {
+  SGNN_CHECK_LT(center, graph.num_nodes());
+  SGNN_CHECK_GE(hops, 0);
+  SGNN_CHECK_GE(node_budget, 0);
+  EgoNet out;
+  out.nodes.push_back(center);
+  std::unordered_set<NodeId> seen = {center};
+  std::queue<std::pair<NodeId, int>> frontier;
+  frontier.emplace(center, 0);
+  while (!frontier.empty()) {
+    const auto [u, depth] = frontier.front();
+    frontier.pop();
+    if (depth >= hops) continue;
+    for (NodeId v : graph.Neighbors(u)) {
+      if (node_budget > 0 &&
+          static_cast<int64_t>(out.nodes.size()) >= node_budget) {
+        break;
+      }
+      if (!seen.insert(v).second) continue;
+      out.nodes.push_back(v);
+      out.hops_reached = depth + 1;
+      frontier.emplace(v, depth + 1);
+    }
+  }
+  out.subgraph = graph.InducedSubgraph(out.nodes);
+  return out;
+}
+
+}  // namespace sgnn::subgraph

@@ -1,0 +1,26 @@
+#ifndef SGNN_SUBGRAPH_KHOP_H_
+#define SGNN_SUBGRAPH_KHOP_H_
+
+#include <vector>
+
+#include "graph/csr_graph.h"
+
+namespace sgnn::subgraph {
+
+/// k-hop ego-network extraction (§3.3.3): the materialised-subgraph
+/// baseline that walk-based storage is compared against.
+struct EgoNet {
+  std::vector<graph::NodeId> nodes;  ///< BFS order, nodes[0] == center.
+  graph::CsrGraph subgraph;          ///< Induced subgraph over `nodes`.
+  int hops_reached = 0;              ///< Depth actually explored.
+};
+
+/// Extracts the `hops`-hop neighbourhood of `center`, truncating the BFS
+/// frontier once `node_budget` nodes are collected (budget includes the
+/// center; a budget of 0 means unlimited).
+EgoNet ExtractKHop(const graph::CsrGraph& graph, graph::NodeId center,
+                   int hops, int64_t node_budget);
+
+}  // namespace sgnn::subgraph
+
+#endif  // SGNN_SUBGRAPH_KHOP_H_

@@ -1,0 +1,87 @@
+#include "subgraph/walk_store.h"
+
+#include <unordered_map>
+
+#include "common/check.h"
+
+namespace sgnn::subgraph {
+
+using graph::CsrGraph;
+using graph::NodeId;
+
+size_t WalkStore::CheckBundle(int bundle) const {
+  SGNN_CHECK(bundle >= 0 && bundle < num_seeds());
+  return static_cast<size_t>(bundle);
+}
+
+int WalkStore::AddSeed(const CsrGraph& graph, NodeId seed, int num_walks,
+                       int walk_length, common::Rng* rng) {
+  SGNN_CHECK(rng != nullptr);
+  SGNN_CHECK_LT(seed, graph.num_nodes());
+  SGNN_CHECK_GE(num_walks, 1);
+  SGNN_CHECK_GE(walk_length, 0);
+
+  std::unordered_map<NodeId, uint16_t> local;
+  auto local_of = [this, &local](NodeId v) {
+    auto [it, inserted] =
+        local.emplace(v, static_cast<uint16_t>(local.size()));
+    if (inserted) {
+      // 16-bit local ids cap a bundle's distinct nodes at 65536, ample for
+      // walk bundles (num_walks * (walk_length+1) distinct visits max).
+      SGNN_CHECK_LE(local.size(), 65536u);
+      node_pool_.push_back(v);
+    }
+    return it->second;
+  };
+
+  local_of(seed);  // Node set starts with the seed.
+  for (int w = 0; w < num_walks; ++w) {
+    NodeId cur = seed;
+    index_pool_.push_back(local_of(cur));
+    for (int step = 0; step < walk_length; ++step) {
+      auto nbrs = graph.Neighbors(cur);
+      if (nbrs.empty()) break;
+      cur = nbrs[rng->UniformInt(nbrs.size())];
+      index_pool_.push_back(local_of(cur));
+    }
+    walk_offsets_.push_back(static_cast<int64_t>(index_pool_.size()));
+  }
+
+  seeds_.push_back(seed);
+  num_walks_.push_back(num_walks);
+  node_offsets_.push_back(static_cast<int64_t>(node_pool_.size()));
+  bundle_walk_start_.push_back(
+      static_cast<int64_t>(walk_offsets_.size()) - 1);
+  return num_seeds() - 1;
+}
+
+std::span<const NodeId> WalkStore::NodeSet(int bundle) const {
+  const size_t b = CheckBundle(bundle);
+  return {node_pool_.data() + node_offsets_[b],
+          static_cast<size_t>(node_offsets_[b + 1] - node_offsets_[b])};
+}
+
+std::vector<NodeId> WalkStore::Walk(int bundle, int w) const {
+  const size_t b = CheckBundle(bundle);
+  SGNN_CHECK(w >= 0 && w < num_walks_[b]);
+  const int64_t walk_idx = bundle_walk_start_[b] + w;
+  const int64_t begin = walk_offsets_[static_cast<size_t>(walk_idx)];
+  const int64_t end = walk_offsets_[static_cast<size_t>(walk_idx) + 1];
+  const NodeId* pool = node_pool_.data() + node_offsets_[b];
+  std::vector<NodeId> out;
+  out.reserve(static_cast<size_t>(end - begin));
+  for (int64_t i = begin; i < end; ++i) {
+    out.push_back(pool[index_pool_[static_cast<size_t>(i)]]);
+  }
+  return out;
+}
+
+WalkStore::StorageStats WalkStore::Stats() const {
+  StorageStats stats;
+  stats.dense_slots = static_cast<int64_t>(index_pool_.size());
+  stats.pool_entries = static_cast<int64_t>(node_pool_.size());
+  stats.index_entries = static_cast<int64_t>(index_pool_.size());
+  return stats;
+}
+
+}  // namespace sgnn::subgraph

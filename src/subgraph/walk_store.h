@@ -1,0 +1,73 @@
+#ifndef SGNN_SUBGRAPH_WALK_STORE_H_
+#define SGNN_SUBGRAPH_WALK_STORE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/csr_graph.h"
+
+namespace sgnn::subgraph {
+
+/// SUREL-style walk-set storage (§3.3.3 "Subgraph Storage"): per seed, a
+/// bundle of random walks is stored as (a) the deduplicated set of visited
+/// nodes and (b) the walks themselves as small local indices into that
+/// set. Repeated visits to the same node cost one pool entry plus an
+/// index, so storage shrinks exactly where ego-nets overlap — the
+/// algorithm/system co-design claim of SUREL/SUREL+.
+class WalkStore {
+ public:
+  WalkStore() = default;
+
+  /// Samples `num_walks` uniform walks of `walk_length` steps from `seed`
+  /// and appends the bundle. Returns the bundle's index.
+  int AddSeed(const graph::CsrGraph& graph, graph::NodeId seed, int num_walks,
+              int walk_length, common::Rng* rng);
+
+  int num_seeds() const { return static_cast<int>(seeds_.size()); }
+  graph::NodeId seed(int bundle) const { return seeds_[CheckBundle(bundle)]; }
+
+  /// Deduplicated visited-node set of a bundle (first-visit order,
+  /// starting with the seed itself).
+  std::span<const graph::NodeId> NodeSet(int bundle) const;
+
+  /// Reconstructs walk `w` of a bundle as global node ids. Walks may be
+  /// shorter than requested if they hit a dangling node.
+  std::vector<graph::NodeId> Walk(int bundle, int w) const;
+
+  int NumWalks(int bundle) const { return num_walks_[CheckBundle(bundle)]; }
+
+  /// Storage accounting: `dense_slots` is what naive per-walk node storage
+  /// would use; `pool_entries` + `index_entries` is what the store uses.
+  struct StorageStats {
+    int64_t dense_slots = 0;
+    int64_t pool_entries = 0;
+    int64_t index_entries = 0;
+
+    /// Bytes assuming 4-byte node ids and 2-byte local indices.
+    int64_t dense_bytes() const { return dense_slots * 4; }
+    int64_t stored_bytes() const {
+      return pool_entries * 4 + index_entries * 2;
+    }
+  };
+  StorageStats Stats() const;
+
+ private:
+  size_t CheckBundle(int bundle) const;
+
+  std::vector<graph::NodeId> seeds_;
+  std::vector<int> num_walks_;
+  // Deduplicated node pool across bundles, with per-bundle offsets.
+  std::vector<graph::NodeId> node_pool_;
+  std::vector<int64_t> node_offsets_ = {0};
+  // Walk index pool: local 16-bit indices into the bundle's node set, with
+  // per-walk offsets (walks can terminate early at dangling nodes).
+  std::vector<uint16_t> index_pool_;
+  std::vector<int64_t> walk_offsets_ = {0};
+  std::vector<int64_t> bundle_walk_start_ = {0};  ///< Into walk_offsets_.
+};
+
+}  // namespace sgnn::subgraph
+
+#endif  // SGNN_SUBGRAPH_WALK_STORE_H_

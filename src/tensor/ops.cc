@@ -1,0 +1,221 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/counters.h"
+
+namespace sgnn::tensor {
+
+namespace {
+
+void CountMoved(uint64_t n) {
+  sgnn::common::GlobalCounters().floats_moved += n;
+}
+
+}  // namespace
+
+void Gemm(const Matrix& a, const Matrix& b, Matrix* out) {
+  SGNN_CHECK(out != nullptr);
+  SGNN_CHECK_EQ(a.cols(), b.rows());
+  const int64_t m = a.rows(), k = a.cols(), n = b.cols();
+  *out = Matrix(m, n);
+  // i-k-j loop order: streams through b and out rows contiguously.
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = a.data() + i * k;
+    float* orow = out->data() + i * n;
+    for (int64_t p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      const float* brow = b.data() + p * n;
+      for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+  CountMoved(static_cast<uint64_t>(m) * k * n);
+}
+
+void GemmTransposeA(const Matrix& a, const Matrix& b, Matrix* out) {
+  SGNN_CHECK(out != nullptr);
+  SGNN_CHECK_EQ(a.rows(), b.rows());
+  const int64_t m = a.cols(), k = a.rows(), n = b.cols();
+  *out = Matrix(m, n);
+  for (int64_t p = 0; p < k; ++p) {
+    const float* arow = a.data() + p * a.cols();
+    const float* brow = b.data() + p * n;
+    for (int64_t i = 0; i < m; ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      float* orow = out->data() + i * n;
+      for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+  CountMoved(static_cast<uint64_t>(m) * k * n);
+}
+
+void GemmTransposeB(const Matrix& a, const Matrix& b, Matrix* out) {
+  SGNN_CHECK(out != nullptr);
+  SGNN_CHECK_EQ(a.cols(), b.cols());
+  const int64_t m = a.rows(), k = a.cols(), n = b.rows();
+  *out = Matrix(m, n);
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = a.data() + i * k;
+    float* orow = out->data() + i * n;
+    for (int64_t j = 0; j < n; ++j) {
+      const float* brow = b.data() + j * k;
+      double acc = 0.0;
+      for (int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      orow[j] = static_cast<float>(acc);
+    }
+  }
+  CountMoved(static_cast<uint64_t>(m) * k * n);
+}
+
+Matrix Transpose(const Matrix& m) {
+  Matrix out(m.cols(), m.rows());
+  for (int64_t r = 0; r < m.rows(); ++r) {
+    for (int64_t c = 0; c < m.cols(); ++c) out.at(c, r) = m.at(r, c);
+  }
+  return out;
+}
+
+void Axpy(float alpha, const Matrix& other, Matrix* m) {
+  SGNN_CHECK(m != nullptr);
+  SGNN_CHECK_EQ(m->rows(), other.rows());
+  SGNN_CHECK_EQ(m->cols(), other.cols());
+  for (int64_t i = 0; i < m->size(); ++i) m->data()[i] += alpha * other.data()[i];
+  CountMoved(static_cast<uint64_t>(m->size()));
+}
+
+void Scale(float alpha, Matrix* m) {
+  SGNN_CHECK(m != nullptr);
+  for (int64_t i = 0; i < m->size(); ++i) m->data()[i] *= alpha;
+}
+
+void Hadamard(const Matrix& other, Matrix* m) {
+  SGNN_CHECK(m != nullptr);
+  SGNN_CHECK_EQ(m->rows(), other.rows());
+  SGNN_CHECK_EQ(m->cols(), other.cols());
+  for (int64_t i = 0; i < m->size(); ++i) m->data()[i] *= other.data()[i];
+}
+
+void AddBiasRow(std::span<const float> bias, Matrix* m) {
+  SGNN_CHECK(m != nullptr);
+  SGNN_CHECK_EQ(static_cast<int64_t>(bias.size()), m->cols());
+  for (int64_t r = 0; r < m->rows(); ++r) {
+    auto row = m->Row(r);
+    for (int64_t c = 0; c < m->cols(); ++c) row[c] += bias[c];
+  }
+}
+
+void Relu(Matrix* m) {
+  SGNN_CHECK(m != nullptr);
+  for (int64_t i = 0; i < m->size(); ++i) {
+    if (m->data()[i] < 0.0f) m->data()[i] = 0.0f;
+  }
+}
+
+void ReluBackward(const Matrix& pre_activation, Matrix* grad) {
+  SGNN_CHECK(grad != nullptr);
+  SGNN_CHECK_EQ(grad->rows(), pre_activation.rows());
+  SGNN_CHECK_EQ(grad->cols(), pre_activation.cols());
+  for (int64_t i = 0; i < grad->size(); ++i) {
+    if (pre_activation.data()[i] <= 0.0f) grad->data()[i] = 0.0f;
+  }
+}
+
+void SoftmaxRows(Matrix* m) {
+  SGNN_CHECK(m != nullptr);
+  for (int64_t r = 0; r < m->rows(); ++r) {
+    auto row = m->Row(r);
+    float mx = *std::max_element(row.begin(), row.end());
+    double sum = 0.0;
+    for (float& v : row) {
+      v = std::exp(v - mx);
+      sum += v;
+    }
+    const float inv = static_cast<float>(1.0 / sum);
+    for (float& v : row) v *= inv;
+  }
+}
+
+void LogSoftmaxRows(Matrix* m) {
+  SGNN_CHECK(m != nullptr);
+  for (int64_t r = 0; r < m->rows(); ++r) {
+    auto row = m->Row(r);
+    float mx = *std::max_element(row.begin(), row.end());
+    double sum = 0.0;
+    for (float v : row) sum += std::exp(static_cast<double>(v - mx));
+    const float lse = mx + static_cast<float>(std::log(sum));
+    for (float& v : row) v -= lse;
+  }
+}
+
+void NormalizeRows(int p, Matrix* m) {
+  SGNN_CHECK(m != nullptr);
+  SGNN_CHECK(p == 1 || p == 2);
+  for (int64_t r = 0; r < m->rows(); ++r) {
+    auto row = m->Row(r);
+    double norm = 0.0;
+    for (float v : row) norm += (p == 1) ? std::fabs(v) : static_cast<double>(v) * v;
+    if (p == 2) norm = std::sqrt(norm);
+    if (norm == 0.0) continue;
+    const float inv = static_cast<float>(1.0 / norm);
+    for (float& v : row) v *= inv;
+  }
+}
+
+std::vector<int64_t> ArgmaxRows(const Matrix& m) {
+  std::vector<int64_t> out(static_cast<size_t>(m.rows()));
+  for (int64_t r = 0; r < m.rows(); ++r) {
+    auto row = m.Row(r);
+    out[static_cast<size_t>(r)] =
+        std::max_element(row.begin(), row.end()) - row.begin();
+  }
+  return out;
+}
+
+Matrix ConcatCols(const Matrix& a, const Matrix& b) {
+  SGNN_CHECK_EQ(a.rows(), b.rows());
+  Matrix out(a.rows(), a.cols() + b.cols());
+  for (int64_t r = 0; r < a.rows(); ++r) {
+    auto arow = a.Row(r);
+    auto brow = b.Row(r);
+    auto orow = out.Row(r);
+    std::copy(arow.begin(), arow.end(), orow.begin());
+    std::copy(brow.begin(), brow.end(), orow.begin() + a.cols());
+  }
+  return out;
+}
+
+double FrobeniusNorm(const Matrix& m) {
+  double acc = 0.0;
+  for (int64_t i = 0; i < m.size(); ++i) {
+    acc += static_cast<double>(m.data()[i]) * m.data()[i];
+  }
+  return std::sqrt(acc);
+}
+
+double MaxAbsDiff(const Matrix& a, const Matrix& b) {
+  SGNN_CHECK_EQ(a.rows(), b.rows());
+  SGNN_CHECK_EQ(a.cols(), b.cols());
+  double mx = 0.0;
+  for (int64_t i = 0; i < a.size(); ++i) {
+    mx = std::max(mx, std::fabs(static_cast<double>(a.data()[i]) - b.data()[i]));
+  }
+  return mx;
+}
+
+double Dot(std::span<const float> a, std::span<const float> b) {
+  SGNN_CHECK_EQ(a.size(), b.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) acc += static_cast<double>(a[i]) * b[i];
+  return acc;
+}
+
+double Norm2(std::span<const float> v) {
+  double acc = 0.0;
+  for (float x : v) acc += static_cast<double>(x) * x;
+  return std::sqrt(acc);
+}
+
+}  // namespace sgnn::tensor

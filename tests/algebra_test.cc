@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include "algebra/implicit.h"
+#include "graph/generators.h"
+#include "graph/propagate.h"
+#include "tensor/ops.h"
+
+namespace sgnn::algebra {
+namespace {
+
+using graph::CsrGraph;
+using graph::Normalization;
+using graph::Propagator;
+using tensor::Matrix;
+
+Matrix RandomFeatures(int64_t n, int64_t d, uint64_t seed) {
+  common::Rng rng(seed);
+  return Matrix::Gaussian(n, d, 0, 1, &rng);
+}
+
+TEST(NeumannSolveTest, GammaZeroIsIdentity) {
+  CsrGraph g = graph::Cycle(10);
+  Propagator prop(g, Normalization::kSymmetric, false);
+  Matrix x = RandomFeatures(10, 3, 1);
+  Matrix z = NeumannSolve(prop, x, 0.0, 1e-8, 50);
+  EXPECT_LT(tensor::MaxAbsDiff(z, x), 1e-6);
+}
+
+TEST(NeumannSolveTest, SatisfiesFixedPointEquation) {
+  CsrGraph g = graph::ErdosRenyi(40, 160, 3);
+  Propagator prop(g, Normalization::kSymmetric, true);
+  Matrix x = RandomFeatures(40, 4, 2);
+  SolveStats stats;
+  Matrix z = NeumannSolve(prop, x, 0.6, 1e-8, 500, &stats);
+  EXPECT_TRUE(stats.converged);
+  Matrix sz;
+  prop.Apply(z, &sz);
+  tensor::Scale(0.6f, &sz);
+  tensor::Axpy(1.0f, x, &sz);
+  EXPECT_LT(tensor::MaxAbsDiff(z, sz), 1e-4);
+}
+
+TEST(NeumannSolveTest, AgreesWithPicard) {
+  CsrGraph g = graph::BarabasiAlbert(100, 3, 5);
+  Propagator prop(g, Normalization::kSymmetric, true);
+  Matrix x = RandomFeatures(100, 2, 3);
+  Matrix zn = NeumannSolve(prop, x, 0.5, 1e-9, 500);
+  Matrix zp = PicardSolve(prop, x, 0.5, 1e-9, 500);
+  EXPECT_LT(tensor::MaxAbsDiff(zn, zp), 1e-4);
+}
+
+TEST(NeumannSolveTest, LargerGammaNeedsMoreIterations) {
+  CsrGraph g = graph::ErdosRenyi(60, 240, 7);
+  Propagator prop(g, Normalization::kSymmetric, true);
+  Matrix x = RandomFeatures(60, 2, 4);
+  SolveStats lo, hi;
+  NeumannSolve(prop, x, 0.3, 1e-8, 1000, &lo);
+  NeumannSolve(prop, x, 0.9, 1e-8, 1000, &hi);
+  EXPECT_TRUE(lo.converged);
+  EXPECT_TRUE(hi.converged);
+  EXPECT_GT(hi.iterations, lo.iterations);
+}
+
+TEST(NeumannSolveTest, ReportsNonConvergenceWhenTruncated) {
+  CsrGraph g = graph::Complete(20);
+  Propagator prop(g, Normalization::kSymmetric, true);
+  Matrix x = RandomFeatures(20, 2, 5);
+  SolveStats stats;
+  NeumannSolve(prop, x, 0.95, 1e-12, 3, &stats);
+  EXPECT_FALSE(stats.converged);
+  EXPECT_EQ(stats.iterations, 3);
+  EXPECT_GT(stats.final_residual, 1e-12);
+}
+
+TEST(PicardSolveTest, FixedPointOnPath) {
+  CsrGraph g = graph::Path(12);
+  Propagator prop(g, Normalization::kSymmetric, true);
+  Matrix x = RandomFeatures(12, 3, 6);
+  SolveStats stats;
+  Matrix z = PicardSolve(prop, x, 0.7, 1e-9, 1000, &stats);
+  EXPECT_TRUE(stats.converged);
+  Matrix sz;
+  prop.Apply(z, &sz);
+  tensor::Scale(0.7f, &sz);
+  tensor::Axpy(1.0f, x, &sz);
+  EXPECT_LT(tensor::MaxAbsDiff(z, sz), 1e-4);
+}
+
+TEST(ImplicitReceptiveFieldTest, EquilibriumSeesWholeChain) {
+  // The headline implicit-GNN property (E8): signal injected at one end of
+  // a long path reaches the far end through a single equilibrium solve,
+  // whereas K-hop propagation strictly cannot pass distance K.
+  const int n = 30;
+  CsrGraph g = graph::Path(n);
+  Propagator prop(g, Normalization::kSymmetric, true);
+  Matrix x(n, 1);
+  x.at(0, 0) = 1.0f;
+
+  Matrix z = NeumannSolve(prop, x, 0.9, 1e-10, 2000);
+  EXPECT_GT(z.at(n - 1, 0), 0.0f);  // Far end is reached.
+
+  // 5-hop explicit propagation leaves the far end at exactly zero.
+  Matrix k5 = graph::PropagateKHops(prop, x, 5);
+  EXPECT_FLOAT_EQ(k5.at(n - 1, 0), 0.0f);
+}
+
+TEST(MultiscaleImplicitTest, SingleScaleOneMatchesNeumann) {
+  CsrGraph g = graph::ErdosRenyi(30, 120, 9);
+  Propagator prop(g, Normalization::kSymmetric, true);
+  Matrix x = RandomFeatures(30, 3, 7);
+  Matrix single = MultiscaleImplicit(prop, x, 0.5, {1}, 1e-9, 500);
+  Matrix direct = NeumannSolve(prop, x, 0.5, 1e-9, 500);
+  EXPECT_LT(tensor::MaxAbsDiff(single, direct), 1e-5);
+}
+
+TEST(MultiscaleImplicitTest, ScalesWidenReceptiveFieldFaster) {
+  // With scale m, each Neumann term advances m hops: distant mass appears
+  // with fewer iterations at larger scales.
+  const int n = 24;
+  CsrGraph g = graph::Path(n);
+  Propagator prop(g, Normalization::kSymmetric, true);
+  Matrix x(n, 1);
+  x.at(0, 0) = 1.0f;
+  SolveStats s1, s4;
+  MultiscaleImplicit(prop, x, 0.8, {1}, 1e-8, 2000, &s1);
+  MultiscaleImplicit(prop, x, 0.8, {4}, 1e-8, 2000, &s4);
+  EXPECT_TRUE(s1.converged);
+  EXPECT_TRUE(s4.converged);
+  EXPECT_LT(s4.iterations, s1.iterations);
+}
+
+TEST(MultiscaleImplicitTest, CombinedScalesAreAveraged) {
+  CsrGraph g = graph::Cycle(16);
+  Propagator prop(g, Normalization::kSymmetric, true);
+  Matrix x = RandomFeatures(16, 2, 8);
+  Matrix m1 = MultiscaleImplicit(prop, x, 0.5, {1}, 1e-10, 1000);
+  Matrix m2 = MultiscaleImplicit(prop, x, 0.5, {2}, 1e-10, 1000);
+  Matrix both = MultiscaleImplicit(prop, x, 0.5, {1, 2}, 1e-10, 1000);
+  Matrix avg = m1;
+  tensor::Axpy(1.0f, m2, &avg);
+  tensor::Scale(0.5f, &avg);
+  EXPECT_LT(tensor::MaxAbsDiff(both, avg), 1e-5);
+}
+
+}  // namespace
+}  // namespace sgnn::algebra

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "graph/centrality.h"
+#include "graph/generators.h"
+
+namespace sgnn::graph {
+namespace {
+
+TEST(TrianglesTest, CompleteGraphCountsChoose3) {
+  // K5 has C(5,3) = 10 triangles; each node corners C(4,2) = 6.
+  CsrGraph g = Complete(5);
+  EXPECT_EQ(CountTriangles(g), 10);
+  for (int64_t t : TrianglesPerNode(g)) EXPECT_EQ(t, 6);
+}
+
+TEST(TrianglesTest, TreesAndCyclesHaveNone) {
+  EXPECT_EQ(CountTriangles(Path(10)), 0);
+  EXPECT_EQ(CountTriangles(Star(8)), 0);
+  EXPECT_EQ(CountTriangles(Cycle(5)), 0);
+  EXPECT_EQ(CountTriangles(Cycle(3)), 1);  // The 3-cycle IS a triangle.
+}
+
+TEST(TrianglesTest, MatchesClusteringStructureOnSbm) {
+  // Homophilous SBM has more triangles than a degree-matched ER graph.
+  auto sbm = StochasticBlockModel(
+      SbmConfig{.num_nodes = 600, .num_classes = 3, .avg_degree = 14,
+                .homophily = 0.95},
+      3);
+  CsrGraph er = ErdosRenyi(600, sbm.graph.num_edges() / 2, 3);
+  EXPECT_GT(CountTriangles(sbm.graph), CountTriangles(er));
+}
+
+TEST(CoreNumbersTest, CompleteGraphIsOneCore) {
+  auto core = CoreNumbers(Complete(6));
+  for (int c : core) EXPECT_EQ(c, 5);
+}
+
+TEST(CoreNumbersTest, PathPeelsToOne) {
+  auto core = CoreNumbers(Path(6));
+  for (int c : core) EXPECT_EQ(c, 1);
+}
+
+TEST(CoreNumbersTest, StarHubAndLeavesAreOneCore) {
+  // Peeling the leaves (degree 1) drags the hub down with them.
+  auto core = CoreNumbers(Star(10));
+  for (int c : core) EXPECT_EQ(c, 1);
+}
+
+TEST(CoreNumbersTest, CliqueWithTailSeparatesCores) {
+  // K4 on {0,1,2,3} plus a tail 3-4-5: clique nodes have core 3, tail 1.
+  EdgeListBuilder b(6);
+  for (NodeId u = 0; u < 4; ++u) {
+    for (NodeId v = u + 1; v < 4; ++v) b.AddUndirectedEdge(u, v);
+  }
+  b.AddUndirectedEdge(3, 4);
+  b.AddUndirectedEdge(4, 5);
+  auto core = CoreNumbers(CsrGraph::FromBuilder(std::move(b)));
+  EXPECT_EQ(core[0], 3);
+  EXPECT_EQ(core[3], 3);
+  EXPECT_EQ(core[4], 1);
+  EXPECT_EQ(core[5], 1);
+}
+
+TEST(CoreNumbersTest, CoreIsAtMostDegree) {
+  CsrGraph g = BarabasiAlbert(500, 4, 7);
+  auto core = CoreNumbers(g);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    EXPECT_LE(core[u], static_cast<int>(g.OutDegree(u)));
+    EXPECT_GE(core[u], 1);  // BA graphs are connected with min degree >= m.
+  }
+}
+
+TEST(GlobalPageRankTest, SumsToOneAndUniformOnRegularGraphs) {
+  CsrGraph g = Cycle(20);
+  auto pr = GlobalPageRank(g, 0.15, 1e-12);
+  EXPECT_NEAR(std::accumulate(pr.begin(), pr.end(), 0.0), 1.0, 1e-9);
+  for (double v : pr) EXPECT_NEAR(v, 1.0 / 20, 1e-9);
+}
+
+TEST(GlobalPageRankTest, HubOutranksLeaves) {
+  auto pr = GlobalPageRank(Star(20), 0.15, 1e-12);
+  for (size_t leaf = 1; leaf < pr.size(); ++leaf) {
+    EXPECT_GT(pr[0], pr[leaf]);
+  }
+}
+
+TEST(GlobalPageRankTest, DanglingMassRedistributed) {
+  // Directed edge 0->1 only: node 1 is dangling; mass must still sum to 1.
+  EdgeListBuilder b(3);
+  b.AddEdge(0, 1);
+  auto pr = GlobalPageRank(CsrGraph::FromBuilder(std::move(b)), 0.15, 1e-12);
+  EXPECT_NEAR(std::accumulate(pr.begin(), pr.end(), 0.0), 1.0, 1e-9);
+  EXPECT_GT(pr[1], pr[2]);  // 1 receives from 0; 2 only teleports.
+}
+
+TEST(ImportanceWeightsTest, AllMetricsNormalizeToOne) {
+  CsrGraph g = BarabasiAlbert(300, 3, 9);
+  for (auto metric :
+       {ImportanceMetric::kDegree, ImportanceMetric::kCore,
+        ImportanceMetric::kTriangles, ImportanceMetric::kPageRank}) {
+    auto w = ImportanceWeights(g, metric);
+    EXPECT_NEAR(std::accumulate(w.begin(), w.end(), 0.0), 1.0, 1e-6);
+    for (double x : w) EXPECT_GE(x, 0.0);
+  }
+}
+
+TEST(ImportanceWeightsTest, DegreeAndPageRankAgreeOnHubs) {
+  CsrGraph g = BarabasiAlbert(500, 3, 11);
+  auto by_degree = ImportanceWeights(g, ImportanceMetric::kDegree);
+  auto by_pr = ImportanceWeights(g, ImportanceMetric::kPageRank);
+  // The max-degree node should also be (nearly) the max-PageRank node.
+  const auto hub = std::max_element(by_degree.begin(), by_degree.end()) -
+                   by_degree.begin();
+  const auto pr_top =
+      std::max_element(by_pr.begin(), by_pr.end()) - by_pr.begin();
+  EXPECT_EQ(hub, pr_top);
+}
+
+}  // namespace
+}  // namespace sgnn::graph

@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "coarsen/coarsen.h"
+#include "graph/generators.h"
+#include "tensor/ops.h"
+
+namespace sgnn::coarsen {
+namespace {
+
+using graph::CsrGraph;
+using graph::NodeId;
+using tensor::Matrix;
+
+void CheckCoarseningInvariants(const Coarsening& c, NodeId fine_n) {
+  ASSERT_EQ(c.coarse_of.size(), static_cast<size_t>(fine_n));
+  int64_t total = 0;
+  for (int64_t s : c.cluster_size) {
+    EXPECT_GE(s, 1);
+    total += s;
+  }
+  EXPECT_EQ(total, static_cast<int64_t>(fine_n));
+  for (NodeId u = 0; u < fine_n; ++u) {
+    EXPECT_LT(c.coarse_of[u], c.num_coarse());
+  }
+  EXPECT_EQ(c.coarse.num_nodes(), c.num_coarse());
+  // Coarse graph has no self loops (intra-cluster edges are dropped).
+  for (NodeId a = 0; a < c.coarse.num_nodes(); ++a) {
+    EXPECT_FALSE(c.coarse.HasEdge(a, a));
+  }
+}
+
+class CoarsenRatioSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(CoarsenRatioSweep, HeavyEdgeReachesTargetRatio) {
+  const double ratio = GetParam();
+  CsrGraph g = graph::ErdosRenyi(800, 4800, 1);
+  Coarsening c = HeavyEdgeCoarsen(g, ratio, 7);
+  CheckCoarseningInvariants(c, g.num_nodes());
+  // Each matching level at most halves the node count; the result must be
+  // at or below target (within one halving) and above ratio/2.
+  EXPECT_LE(c.num_coarse(), static_cast<NodeId>(ratio * 800) + 1);
+  EXPECT_GE(c.num_coarse(), static_cast<NodeId>(ratio * 800 / 2) - 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ratios, CoarsenRatioSweep,
+                         ::testing::Values(0.5, 0.25, 0.1));
+
+TEST(HeavyEdgeCoarsenTest, PreservesTotalCrossWeight) {
+  // Coarse edge weights are the summed fine weights across clusters.
+  CsrGraph g = graph::ErdosRenyi(200, 1000, 3);
+  Coarsening c = HeavyEdgeCoarsen(g, 0.3, 5);
+  double coarse_weight = 0.0;
+  for (NodeId a = 0; a < c.coarse.num_nodes(); ++a) {
+    coarse_weight += c.coarse.WeightedDegree(a);
+  }
+  double cross_weight = 0.0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    auto nbrs = g.Neighbors(u);
+    auto ws = g.Weights(u);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      if (c.coarse_of[u] != c.coarse_of[nbrs[i]]) cross_weight += ws[i];
+    }
+  }
+  EXPECT_NEAR(coarse_weight, cross_weight, 1e-3);
+}
+
+TEST(HeavyEdgeCoarsenTest, DisconnectedGraphStalls) {
+  CsrGraph g(10);  // No edges: nothing to contract.
+  Coarsening c = HeavyEdgeCoarsen(g, 0.1, 1);
+  EXPECT_EQ(c.num_coarse(), 10u);
+}
+
+TEST(StructuralCoarsenTest, MergesTwinLeaves) {
+  // All leaves of a star have the identical neighbour set {hub}.
+  CsrGraph g = graph::Star(10);
+  Coarsening c = StructuralCoarsen(g);
+  CheckCoarseningInvariants(c, 11);
+  EXPECT_EQ(c.num_coarse(), 2u);  // Hub + merged leaves.
+}
+
+TEST(StructuralCoarsenTest, NoTwinsMeansNoChange) {
+  CsrGraph g = graph::Path(6);  // All neighbour sets distinct.
+  Coarsening c = StructuralCoarsen(g);
+  EXPECT_EQ(c.num_coarse(), 6u);
+}
+
+TEST(RestrictFeaturesTest, ClusterMeans) {
+  CsrGraph g = graph::Star(3);  // Nodes 0..3; leaves 1,2,3 are twins.
+  Coarsening c = StructuralCoarsen(g);
+  Matrix x = Matrix::FromRows({{10}, {1}, {2}, {3}});
+  Matrix coarse = RestrictFeatures(c, x);
+  ASSERT_EQ(coarse.rows(), 2);
+  // One supernode holds the hub (10), the other the leaf mean (2).
+  const float a = coarse.at(0, 0), b = coarse.at(1, 0);
+  EXPECT_TRUE((a == 10.0f && b == 2.0f) || (a == 2.0f && b == 10.0f));
+}
+
+TEST(LiftFeaturesTest, RoundTripOnClusterConstantInput) {
+  CsrGraph g = graph::ErdosRenyi(60, 240, 9);
+  Coarsening c = HeavyEdgeCoarsen(g, 0.4, 11);
+  common::Rng rng(1);
+  Matrix coarse = Matrix::Gaussian(static_cast<int64_t>(c.num_coarse()), 3, 0,
+                                   1, &rng);
+  // Lift then restrict is the identity (restrict averages equal rows).
+  Matrix lifted = LiftFeatures(c, coarse);
+  Matrix back = RestrictFeatures(c, lifted);
+  EXPECT_LT(tensor::MaxAbsDiff(coarse, back), 1e-5);
+}
+
+TEST(RestrictLabelsTest, MajorityWins) {
+  CsrGraph g = graph::Star(4);
+  Coarsening c = StructuralCoarsen(g);
+  // Leaves 1..4 labelled {1,1,1,0}: majority 1. Hub labelled 0.
+  std::vector<int> labels = {0, 1, 1, 1, 0};
+  auto coarse_labels = RestrictLabels(c, labels, 2);
+  ASSERT_EQ(coarse_labels.size(), 2u);
+  // One cluster is the hub (label 0), the other the leaves (majority 1).
+  EXPECT_NE(coarse_labels[0], coarse_labels[1]);
+}
+
+TEST(SpectralDistortionTest, MilderCoarseningDistortsLess) {
+  auto sbm = graph::StochasticBlockModel(
+      graph::SbmConfig{.num_nodes = 500, .num_classes = 2, .avg_degree = 12,
+                       .homophily = 0.9},
+      13);
+  Coarsening mild = HeavyEdgeCoarsen(sbm.graph, 0.5, 15);
+  Coarsening aggressive = HeavyEdgeCoarsen(sbm.graph, 0.05, 15);
+  const double d_mild = SpectralDistortion(sbm.graph, mild, 5, 1);
+  const double d_aggr = SpectralDistortion(sbm.graph, aggressive, 5, 1);
+  EXPECT_LE(d_mild, d_aggr + 0.05);
+}
+
+TEST(SpectralDistortionTest, CommunityStructureSurvivesCoarsening) {
+  // Coarsening a 2-community graph to 10% keeps the small spectral gap:
+  // the community split lives at the coarse level too.
+  auto sbm = graph::StochasticBlockModel(
+      graph::SbmConfig{.num_nodes = 600, .num_classes = 2, .avg_degree = 14,
+                       .homophily = 0.95},
+      17);
+  Coarsening c = HeavyEdgeCoarsen(sbm.graph, 0.1, 19);
+  const double distortion = SpectralDistortion(sbm.graph, c, 3, 2);
+  EXPECT_LT(distortion, 0.35);
+}
+
+}  // namespace
+}  // namespace sgnn::coarsen

@@ -1,0 +1,219 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "common/counters.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/timer.h"
+
+namespace sgnn::common {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad k");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad k");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad k");
+}
+
+TEST(StatusTest, AllFactoriesProduceMatchingCodes) {
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::IOError("x").code(), StatusCode::kIOError);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+Status FailsThenUnreachable(bool fail, bool* reached_end) {
+  SGNN_RETURN_IF_ERROR(fail ? Status::Internal("boom") : Status::OK());
+  *reached_end = true;
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnIfErrorMacroShortCircuits) {
+  bool reached = false;
+  Status s = FailsThenUnreachable(true, &reached);
+  EXPECT_FALSE(s.ok());
+  EXPECT_FALSE(reached);
+  s = FailsThenUnreachable(false, &reached);
+  EXPECT_TRUE(s.ok());
+  EXPECT_TRUE(reached);
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = Status::NotFound("nope");
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+}
+
+TEST(RngTest, DeterministicGivenSeed) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.UniformInt(1000), b.UniformInt(1000));
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.UniformInt(1 << 30) == b.UniformInt(1 << 30)) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    double x = rng.Uniform(-2.0, 5.0);
+    EXPECT_GE(x, -2.0);
+    EXPECT_LT(x, 5.0);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRange) {
+  Rng rng(11);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.UniformInt(5));
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_EQ(*seen.rbegin(), 4u);
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(5);
+  int hits = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.3, 0.02);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(9);
+  double sum = 0, sum_sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double x = rng.Gaussian(2.0, 3.0);
+    sum += x;
+    sum_sq += x * x;
+  }
+  double mean = sum / n;
+  double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.1);
+  EXPECT_NEAR(std::sqrt(var), 3.0, 0.1);
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinctAndInRange) {
+  Rng rng(13);
+  for (uint64_t n : {10ULL, 100ULL, 1000ULL}) {
+    for (uint64_t k : std::vector<uint64_t>{0, 1, 5, n / 2, n}) {
+      auto sample = rng.SampleWithoutReplacement(n, k);
+      EXPECT_EQ(sample.size(), k);
+      std::set<uint64_t> unique(sample.begin(), sample.end());
+      EXPECT_EQ(unique.size(), k);
+      for (uint64_t v : sample) EXPECT_LT(v, n);
+    }
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementIsUniformish) {
+  // Each element of [0,20) should appear in a 10-sample about half the time.
+  std::vector<int> counts(20, 0);
+  const int reps = 4000;
+  Rng rng(17);
+  for (int r = 0; r < reps; ++r) {
+    for (uint64_t v : rng.SampleWithoutReplacement(20, 10)) counts[v]++;
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / reps, 0.5, 0.05);
+  }
+}
+
+TEST(RngTest, CategoricalRespectsWeights) {
+  Rng rng(21);
+  std::vector<double> w = {1.0, 0.0, 3.0};
+  std::vector<int> counts(3, 0);
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) counts[rng.Categorical(w)]++;
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[0]) / trials, 0.25, 0.02);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / trials, 0.75, 0.02);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(23);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.Shuffle(&v);
+  auto copy = v;
+  std::sort(copy.begin(), copy.end());
+  EXPECT_EQ(copy, sorted);
+}
+
+TEST(RngTest, ForkDecorrelates) {
+  Rng parent(31);
+  Rng child = parent.Fork();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (parent.UniformInt(1 << 30) == child.UniformInt(1 << 30)) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(CountersTest, AcquireReleaseTracksPeak) {
+  OpCounters c;
+  c.Acquire(100);
+  c.Acquire(50);
+  EXPECT_EQ(c.peak_resident_floats, 150u);
+  c.Release(120);
+  EXPECT_EQ(c.resident_floats, 30u);
+  c.Acquire(10);
+  EXPECT_EQ(c.peak_resident_floats, 150u);  // Peak unchanged.
+  c.Release(1000);                          // Over-release clamps to zero.
+  EXPECT_EQ(c.resident_floats, 0u);
+}
+
+TEST(CountersTest, ScopedDeltaMeasuresOnlyScope) {
+  GlobalCounters().Reset();
+  GlobalCounters().edges_touched = 10;
+  ScopedCounterDelta scope;
+  GlobalCounters().edges_touched += 7;
+  EXPECT_EQ(scope.Delta().edges_touched, 7u);
+}
+
+TEST(CountersTest, ToStringMentionsFields) {
+  OpCounters c;
+  c.edges_touched = 3;
+  EXPECT_NE(c.ToString().find("edges_touched=3"), std::string::npos);
+}
+
+TEST(TimerTest, MeasuresForwardTime) {
+  WallTimer t;
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) {
+    sink = sink + std::sqrt(static_cast<double>(i));
+  }
+  EXPECT_GE(t.Seconds(), 0.0);
+  EXPECT_GE(t.Millis(), t.Seconds());  // ms >= s numerically for t>0
+}
+
+}  // namespace
+}  // namespace sgnn::common

@@ -1,0 +1,299 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <set>
+
+#include "core/coarse_flow.h"
+#include "core/dataset.h"
+#include "core/dataset_io.h"
+#include "core/pipeline.h"
+#include "core/registry.h"
+#include "core/stages.h"
+#include "graph/metrics.h"
+#include "models/decoupled.h"
+#include "models/gcn.h"
+#include "tensor/ops.h"
+
+namespace sgnn::core {
+namespace {
+
+Dataset SmallDataset(uint64_t seed = 1) {
+  SbmDatasetConfig config;
+  config.sbm = {.num_nodes = 300, .num_classes = 3, .avg_degree = 10,
+                .homophily = 0.85};
+  config.feature_dim = 8;
+  config.feature_noise = 0.5;
+  return MakeSbmDataset(config, seed);
+}
+
+nn::TrainConfig FastConfig() {
+  nn::TrainConfig config;
+  config.epochs = 40;
+  config.hidden_dim = 32;
+  config.patience = 15;
+  config.lr = 0.02;
+  return config;
+}
+
+TEST(DatasetTest, SbmDatasetIsConsistent) {
+  Dataset d = SmallDataset();
+  EXPECT_EQ(d.num_nodes(), 300u);
+  EXPECT_EQ(d.labels.size(), 300u);
+  EXPECT_EQ(d.features.rows(), 300);
+  EXPECT_EQ(d.num_classes, 3);
+  for (int label : d.labels) {
+    EXPECT_GE(label, 0);
+    EXPECT_LT(label, 3);
+  }
+  EXPECT_EQ(d.splits.train.size() + d.splits.val.size() +
+                d.splits.test.size(),
+            300u);
+}
+
+TEST(DatasetTest, FeaturesCorrelateWithLabels) {
+  Dataset d = SmallDataset();
+  // Prototype features: the label coordinate should be largest on average.
+  double own = 0.0, other = 0.0;
+  for (graph::NodeId u = 0; u < d.num_nodes(); ++u) {
+    auto row = d.features.Row(static_cast<int64_t>(u));
+    own += row[d.labels[u]];
+    other += row[(d.labels[u] + 1) % 3];
+  }
+  EXPECT_GT(own / d.num_nodes(), other / d.num_nodes() + 0.5);
+}
+
+TEST(DatasetTest, DeterministicGivenSeed) {
+  Dataset a = SmallDataset(42);
+  Dataset b = SmallDataset(42);
+  EXPECT_TRUE(a.features.Equals(b.features));
+  EXPECT_EQ(a.labels, b.labels);
+  EXPECT_EQ(a.graph.num_edges(), b.graph.num_edges());
+  EXPECT_EQ(a.splits.train, b.splits.train);
+}
+
+TEST(DatasetTest, KarateDatasetLoads) {
+  Dataset d = MakeKarateDataset(0.2, 3);
+  EXPECT_EQ(d.num_nodes(), 34u);
+  EXPECT_EQ(d.num_classes, 2);
+  EXPECT_FALSE(d.splits.train.empty());
+}
+
+TEST(PipelineTest, ModelOnlyPipelineMatchesDirectCall) {
+  Dataset d = SmallDataset();
+  Pipeline pipeline;
+  pipeline.SetModel("gcn", [](const graph::CsrGraph& g,
+                              const tensor::Matrix& x,
+                              std::span<const int> labels,
+                              const models::NodeSplits& splits,
+                              const nn::TrainConfig& config) {
+    return models::TrainGcn(g, x, labels, splits, config);
+  });
+  PipelineReport report = pipeline.Run(d, FastConfig());
+  models::ModelResult direct =
+      models::TrainGcn(d.graph, d.features, d.labels, d.splits, FastConfig());
+  EXPECT_DOUBLE_EQ(report.model.report.test_accuracy,
+                   direct.report.test_accuracy);
+  EXPECT_EQ(report.edges_before, report.edges_after);
+}
+
+TEST(PipelineTest, SparsifyStageReducesEdges) {
+  Dataset d = SmallDataset();
+  Pipeline pipeline;
+  pipeline.AddEdit(MakeUniformSparsifyStage(0.5, 7))
+      .SetModel("sgc", [](const graph::CsrGraph& g, const tensor::Matrix& x,
+                          std::span<const int> labels,
+                          const models::NodeSplits& splits,
+                          const nn::TrainConfig& config) {
+        return models::TrainSgc(g, x, labels, splits, config);
+      });
+  PipelineReport report = pipeline.Run(d, FastConfig());
+  EXPECT_LT(report.edges_after, report.edges_before);
+  EXPECT_GT(report.model.report.test_accuracy, 0.7);
+  ASSERT_EQ(report.stages.size(), 2u);
+  EXPECT_EQ(report.stages[0].name, "sparsify:uniform");
+}
+
+TEST(PipelineTest, AnalyticsStageWidensFeatures) {
+  Dataset d = SmallDataset();
+  Pipeline pipeline;
+  spectral::CombinedEmbeddingConfig embed;
+  pipeline.AddAnalytics(MakeCombinedEmbeddingStage(embed))
+      .SetModel("sgc", [](const graph::CsrGraph& g, const tensor::Matrix& x,
+                          std::span<const int> labels,
+                          const models::NodeSplits& splits,
+                          const nn::TrainConfig& config) {
+        return models::TrainSgc(g, x, labels, splits, config,
+                                models::SgcConfig{.hops = 0});
+      });
+  PipelineReport report = pipeline.Run(d, FastConfig());
+  EXPECT_EQ(report.feature_cols_after, 3 * report.feature_cols_before);
+  EXPECT_GT(report.model.report.test_accuracy, 0.8);
+}
+
+TEST(PipelineTest, StagesComposeInOrder) {
+  Dataset d = SmallDataset();
+  Pipeline pipeline;
+  pipeline.AddEdit(MakeUniformSparsifyStage(0.7, 3))
+      .AddAnalytics(MakePprSmoothingStage(0.15, 4))
+      .SetModel("sgc", [](const graph::CsrGraph& g, const tensor::Matrix& x,
+                          std::span<const int> labels,
+                          const models::NodeSplits& splits,
+                          const nn::TrainConfig& config) {
+        return models::TrainSgc(g, x, labels, splits, config,
+                                models::SgcConfig{.hops = 0});
+      });
+  PipelineReport report = pipeline.Run(d, FastConfig());
+  ASSERT_EQ(report.stages.size(), 3u);
+  EXPECT_EQ(report.stages[0].name, "sparsify:uniform");
+  EXPECT_EQ(report.stages[1].name, "analytics:ppr-smooth");
+  EXPECT_GT(report.model.report.test_accuracy, 0.75);
+  EXPECT_FALSE(report.ToString().empty());
+}
+
+TEST(PipelineTest, SpectralSparsifyStagePreservesAccuracyAtHalfBudget) {
+  Dataset d = SmallDataset();
+  Pipeline pipeline;
+  pipeline
+      .AddEdit(MakeSpectralSparsifyStage(d.graph.num_edges() / 4, 11))
+      .SetModel("sgc", [](const graph::CsrGraph& g, const tensor::Matrix& x,
+                          std::span<const int> labels,
+                          const models::NodeSplits& splits,
+                          const nn::TrainConfig& config) {
+        return models::TrainSgc(g, x, labels, splits, config);
+      });
+  PipelineReport report = pipeline.Run(d, FastConfig());
+  EXPECT_LT(report.edges_after, report.edges_before);
+  EXPECT_GT(report.model.report.test_accuracy, 0.8);
+}
+
+TEST(PipelineTest, ImplicitEmbeddingStageWorks) {
+  Dataset d = SmallDataset();
+  Pipeline pipeline;
+  pipeline.AddAnalytics(MakeImplicitEmbeddingStage(0.8, 1e-5, 200))
+      .SetModel("sgc", [](const graph::CsrGraph& g, const tensor::Matrix& x,
+                          std::span<const int> labels,
+                          const models::NodeSplits& splits,
+                          const nn::TrainConfig& config) {
+        return models::TrainSgc(g, x, labels, splits, config,
+                                models::SgcConfig{.hops = 0});
+      });
+  PipelineReport report = pipeline.Run(d, FastConfig());
+  EXPECT_GT(report.model.report.test_accuracy, 0.8);
+}
+
+TEST(PipelineTest, RewiringStageImprovesHeterophilousHomophily) {
+  SbmDatasetConfig config;
+  config.sbm = {.num_nodes = 300, .num_classes = 3, .avg_degree = 10,
+                .homophily = 0.1};
+  config.feature_noise = 0.2;  // Informative features for rewiring.
+  Dataset d = MakeSbmDataset(config, 11);
+  similarity::RewiringConfig rewire;
+  rewire.add_per_node = 3;
+  rewire.add_threshold = 0.8;
+  rewire.remove_threshold = 0.5;
+  auto stage = MakeRewiringStage(rewire);
+  graph::CsrGraph edited = stage->Edit(d.graph, d.features);
+  EXPECT_GT(graph::EdgeHomophily(edited, d.labels),
+            graph::EdgeHomophily(d.graph, d.labels) + 0.2);
+}
+
+TEST(CoarseFlowTest, CoarseTrainingRetainsMostAccuracy) {
+  SbmDatasetConfig config;
+  config.sbm = {.num_nodes = 800, .num_classes = 3, .avg_degree = 12,
+                .homophily = 0.9};
+  config.feature_noise = 0.4;
+  Dataset d = MakeSbmDataset(config, 19);
+  nn::TrainConfig train = FastConfig();
+  models::ModelResult direct =
+      models::TrainGcn(d.graph, d.features, d.labels, d.splits, train);
+  CoarseTrainResult coarse = TrainOnCoarseGraph(d, 0.3, train);
+  EXPECT_LT(coarse.coarse_nodes, 300u);
+  // Training on <=30% of the nodes keeps accuracy within 10 points.
+  EXPECT_GT(coarse.model.report.test_accuracy,
+            direct.report.test_accuracy - 0.10);
+}
+
+TEST(CoarseFlowTest, AggressiveRatioDegradesGracefully) {
+  SbmDatasetConfig config;
+  config.sbm = {.num_nodes = 600, .num_classes = 2, .avg_degree = 10,
+                .homophily = 0.9};
+  Dataset d = MakeSbmDataset(config, 23);
+  nn::TrainConfig train = FastConfig();
+  CoarseTrainResult mild = TrainOnCoarseGraph(d, 0.5, train);
+  CoarseTrainResult aggressive = TrainOnCoarseGraph(d, 0.05, train);
+  EXPECT_LT(aggressive.coarse_nodes, mild.coarse_nodes);
+  // Even at 5% nodes the lifted predictor beats chance decisively.
+  EXPECT_GT(aggressive.model.report.test_accuracy, 0.7);
+}
+
+TEST(DatasetIoTest, SaveLoadRoundTrip) {
+  Dataset d = SmallDataset(29);
+  const std::string dir = ::testing::TempDir() + "/sgnn_dataset";
+  std::filesystem::create_directories(dir);
+  ASSERT_TRUE(SaveDataset(d, dir).ok());
+  auto loaded = LoadDataset(dir);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const Dataset& d2 = loaded.value();
+  EXPECT_EQ(d2.num_nodes(), d.num_nodes());
+  EXPECT_EQ(d2.graph.num_edges(), d.graph.num_edges());
+  EXPECT_EQ(d2.labels, d.labels);
+  EXPECT_EQ(d2.num_classes, d.num_classes);
+  EXPECT_EQ(d2.splits.train, d.splits.train);
+  EXPECT_EQ(d2.splits.test, d.splits.test);
+  EXPECT_LT(tensor::MaxAbsDiff(d2.features, d.features), 1e-4);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(DatasetIoTest, LoadMissingDirectoryFails) {
+  auto result = LoadDataset("/nonexistent/sgnn");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), common::StatusCode::kIOError);
+}
+
+TEST(DatasetIoTest, RejectsInconsistentLabelCount) {
+  Dataset d = SmallDataset(31);
+  const std::string dir = ::testing::TempDir() + "/sgnn_dataset_bad";
+  std::filesystem::create_directories(dir);
+  ASSERT_TRUE(SaveDataset(d, dir).ok());
+  // Corrupt: rewrite labels with wrong count.
+  std::ofstream(dir + "/labels.txt") << "2 3\n0\n1\n";
+  auto result = LoadDataset(dir);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), common::StatusCode::kInvalidArgument);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(RegistryTest, CoversAllFigure1Branches) {
+  const auto& registry = TechniqueRegistry();
+  EXPECT_GE(registry.size(), 20u);
+  std::set<std::string> paths;
+  for (const Technique& t : registry) {
+    EXPECT_FALSE(t.name.empty());
+    EXPECT_FALSE(t.description.empty());
+    EXPECT_NE(t.figure1_path.find('/'), std::string::npos);
+    paths.insert(t.figure1_path.substr(0, t.figure1_path.find('/')));
+  }
+  // The three top-level Figure-1 families plus the future-directions row.
+  EXPECT_TRUE(paths.count("classic"));
+  EXPECT_TRUE(paths.count("analytics"));
+  EXPECT_TRUE(paths.count("editing"));
+  EXPECT_TRUE(paths.count("future"));
+}
+
+TEST(RegistryTest, FindTechniqueReturnsMatch) {
+  const Technique& t = FindTechnique("hub-labeling");
+  EXPECT_EQ(t.name, "hub-labeling");
+  EXPECT_NE(t.figure1_path.find("node-pair"), std::string::npos);
+}
+
+TEST(RegistryTest, EveryDemoRunsOnASmallDataset) {
+  Dataset d = SmallDataset(17);
+  for (const Technique& t : TechniqueRegistry()) {
+    const std::string result = t.demo(d);
+    EXPECT_FALSE(result.empty()) << t.name;
+  }
+}
+
+}  // namespace
+}  // namespace sgnn::core

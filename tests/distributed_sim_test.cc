@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include "core/distributed_sim.h"
+#include "graph/generators.h"
+
+namespace sgnn::core {
+namespace {
+
+using graph::CsrGraph;
+using partition::Partition;
+
+DistributedCostModel TestCost() {
+  DistributedCostModel cost;
+  cost.seconds_per_edge = 1e-6;
+  cost.seconds_per_value = 1e-7;
+  cost.round_latency_seconds = 1e-4;
+  return cost;
+}
+
+TEST(DistributedSimTest, SingleWorkerHasNoCommunication) {
+  CsrGraph g = graph::ErdosRenyi(200, 800, 1);
+  Partition p{std::vector<int>(200, 0), 1};
+  DistributedReport report = SimulateDistributedEpoch(g, p, 16, TestCost());
+  EXPECT_EQ(report.num_workers, 1);
+  EXPECT_EQ(report.workers[0].halo_values, 0);
+  EXPECT_DOUBLE_EQ(report.replication_factor, 1.0);
+  // Only round latency separates epoch time from pure compute.
+  EXPECT_NEAR(report.epoch_seconds - report.compute_seconds_max,
+              TestCost().round_latency_seconds, 1e-12);
+}
+
+TEST(DistributedSimTest, LoadsAccountForEveryEdge) {
+  CsrGraph g = graph::ErdosRenyi(300, 1500, 3);
+  Partition p = partition::RandomPartition(g, 4, 5);
+  DistributedReport report = SimulateDistributedEpoch(g, p, 8, TestCost());
+  int64_t total_edges = 0;
+  for (const auto& w : report.workers) total_edges += w.local_edges;
+  EXPECT_EQ(total_edges, g.num_edges());
+}
+
+TEST(DistributedSimTest, BetterPartitionsCommunicateLess) {
+  auto sbm = graph::StochasticBlockModel(
+      graph::SbmConfig{.num_nodes = 2000, .num_classes = 4,
+                       .avg_degree = 14, .homophily = 0.92},
+      7);
+  Partition random = partition::RandomPartition(sbm.graph, 4, 9);
+  Partition ml = partition::MultilevelPartition(sbm.graph, 4,
+                                                partition::MultilevelConfig{},
+                                                9);
+  auto report_random = SimulateDistributedEpoch(sbm.graph, random, 16,
+                                                TestCost());
+  auto report_ml = SimulateDistributedEpoch(sbm.graph, ml, 16, TestCost());
+  EXPECT_LT(report_ml.comm_seconds, report_random.comm_seconds);
+  EXPECT_LT(report_ml.replication_factor, report_random.replication_factor);
+  EXPECT_GT(report_ml.speedup, report_random.speedup);
+}
+
+TEST(DistributedSimTest, SpeedupGrowsThenSaturatesWithWorkers) {
+  auto sbm = graph::StochasticBlockModel(
+      graph::SbmConfig{.num_nodes = 4000, .num_classes = 8,
+                       .avg_degree = 12, .homophily = 0.9},
+      11);
+  double prev_speedup = 0.0;
+  double best = 0.0;
+  for (int k : {2, 4, 8}) {
+    Partition p = partition::MultilevelPartition(
+        sbm.graph, k, partition::MultilevelConfig{}, 13);
+    auto report = SimulateDistributedEpoch(sbm.graph, p, 16, TestCost());
+    EXPECT_LE(report.speedup, k + 1e-9);  // Can't beat perfect scaling.
+    best = std::max(best, report.speedup);
+    prev_speedup = report.speedup;
+  }
+  EXPECT_GT(best, 1.5);  // Parallelism does pay off on this graph.
+  (void)prev_speedup;
+}
+
+TEST(DistributedSimTest, ReplicationFactorBoundedByWorkers) {
+  CsrGraph g = graph::Complete(40);  // Worst case: everyone needs everyone.
+  Partition p = partition::RandomPartition(g, 4, 15);
+  auto report = SimulateDistributedEpoch(g, p, 4, TestCost());
+  // Each worker's halo is at most the whole remote node set.
+  EXPECT_LE(report.replication_factor, 4.0);
+  EXPECT_GT(report.replication_factor, 3.0);  // Complete graph: near max.
+}
+
+}  // namespace
+}  // namespace sgnn::core

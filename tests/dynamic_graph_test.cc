@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/dynamic_graph.h"
+#include "graph/generators.h"
+
+namespace sgnn::graph {
+namespace {
+
+TEST(DynamicGraphTest, StartsEmpty) {
+  DynamicGraph g(5);
+  EXPECT_EQ(g.num_nodes(), 5u);
+  EXPECT_EQ(g.num_edges(), 0);
+  EXPECT_EQ(g.Degree(0), 0);
+}
+
+TEST(DynamicGraphTest, IncrementalDegreesMatchInsertions) {
+  DynamicGraph g(4);
+  g.AddUndirectedEdge(0, 1, 1);
+  g.AddUndirectedEdge(0, 2, 2);
+  g.AddUndirectedEdge(0, 3, 3);
+  EXPECT_EQ(g.Degree(0), 3);
+  EXPECT_EQ(g.Degree(1), 1);
+  EXPECT_EQ(g.num_edges(), 6);
+}
+
+TEST(DynamicGraphTest, SnapshotMatchesStaticConstruction) {
+  // Stream a random edge sequence; the final snapshot must equal the
+  // statically built graph over the same edges.
+  CsrGraph reference = ErdosRenyi(100, 300, 3);
+  DynamicGraph dynamic(100);
+  int64_t t = 0;
+  for (NodeId u = 0; u < reference.num_nodes(); ++u) {
+    for (NodeId v : reference.Neighbors(u)) {
+      if (u < v) dynamic.AddUndirectedEdge(u, v, ++t);
+    }
+  }
+  CsrGraph snapshot = dynamic.Snapshot();
+  ASSERT_EQ(snapshot.num_edges(), reference.num_edges());
+  for (NodeId u = 0; u < 100; ++u) {
+    auto a = snapshot.Neighbors(u);
+    auto b = reference.Neighbors(u);
+    ASSERT_EQ(a.size(), b.size()) << u;
+    EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin()));
+  }
+}
+
+TEST(DynamicGraphTest, SnapshotAtHonoursTimestamps) {
+  DynamicGraph g(4);
+  g.AddUndirectedEdge(0, 1, 10);
+  g.AddUndirectedEdge(1, 2, 20);
+  g.AddUndirectedEdge(2, 3, 30);
+  CsrGraph early = g.SnapshotAt(15);
+  EXPECT_TRUE(early.HasEdge(0, 1));
+  EXPECT_FALSE(early.HasEdge(1, 2));
+  EXPECT_EQ(early.num_edges(), 2);
+  CsrGraph all = g.SnapshotAt(100);
+  EXPECT_EQ(all.num_edges(), 6);
+}
+
+TEST(DynamicGraphTest, RejectsOutOfOrderTimestamps) {
+  DynamicGraph g(3);
+  g.AddUndirectedEdge(0, 1, 5);
+  EXPECT_DEATH(g.AddUndirectedEdge(1, 2, 3), "SGNN_CHECK");
+}
+
+TEST(TemporalWalkTest, WalksRespectTimeOrdering) {
+  // Path 0-1-2-3 with strictly increasing edge times: a walk from 0 at
+  // time 0 can only move forward along the chain.
+  DynamicGraph g(4);
+  g.AddUndirectedEdge(0, 1, 1);
+  g.AddUndirectedEdge(1, 2, 2);
+  g.AddUndirectedEdge(2, 3, 3);
+  common::Rng rng(1);
+  for (int trial = 0; trial < 20; ++trial) {
+    auto walk = g.TemporalWalk(0, 10, 0, &rng);
+    // The only time-respecting maximal walk is 0,1,2,3.
+    std::vector<NodeId> expected = {0, 1, 2, 3};
+    EXPECT_EQ(walk, expected);
+  }
+}
+
+TEST(TemporalWalkTest, StartTimeFiltersOldEdges) {
+  DynamicGraph g(3);
+  g.AddUndirectedEdge(0, 1, 1);
+  g.AddUndirectedEdge(0, 2, 10);
+  common::Rng rng(2);
+  for (int trial = 0; trial < 20; ++trial) {
+    auto walk = g.TemporalWalk(0, 1, 5, &rng);
+    ASSERT_EQ(walk.size(), 2u);
+    EXPECT_EQ(walk[1], 2u);  // The t=1 edge is in the past.
+  }
+}
+
+TEST(TemporalWalkTest, StopsWhenNoEligibleEdge) {
+  DynamicGraph g(3);
+  g.AddUndirectedEdge(0, 1, 1);
+  common::Rng rng(3);
+  auto walk = g.TemporalWalk(2, 5, 0, &rng);  // Isolated node.
+  EXPECT_EQ(walk.size(), 1u);
+  auto stale = g.TemporalWalk(0, 5, 100, &rng);  // Everything in the past.
+  EXPECT_EQ(stale.size(), 1u);
+}
+
+TEST(TemporalWalkTest, VisitsOnlyAdjacentNodes) {
+  CsrGraph base = BarabasiAlbert(200, 3, 5);
+  DynamicGraph g(200);
+  int64_t t = 0;
+  for (NodeId u = 0; u < 200; ++u) {
+    for (NodeId v : base.Neighbors(u)) {
+      if (u < v) g.AddUndirectedEdge(u, v, ++t);
+    }
+  }
+  common::Rng rng(7);
+  for (int trial = 0; trial < 10; ++trial) {
+    auto walk = g.TemporalWalk(static_cast<NodeId>(trial * 13), 6, 0, &rng);
+    for (size_t i = 1; i < walk.size(); ++i) {
+      EXPECT_TRUE(base.HasEdge(walk[i - 1], walk[i]));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sgnn::graph

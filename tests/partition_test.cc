@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "graph/generators.h"
+#include "partition/partition.h"
+
+namespace sgnn::partition {
+namespace {
+
+using graph::CsrGraph;
+using graph::NodeId;
+
+void CheckValidPartition(const Partition& p, NodeId n, int k) {
+  ASSERT_EQ(p.k, k);
+  ASSERT_EQ(p.part_of.size(), static_cast<size_t>(n));
+  for (int part : p.part_of) {
+    EXPECT_GE(part, 0);
+    EXPECT_LT(part, k);
+  }
+}
+
+class PartitionerSweep
+    : public ::testing::TestWithParam<std::tuple<int, uint64_t>> {};
+
+TEST_P(PartitionerSweep, AllPartitionersProduceValidBalancedPartitions) {
+  const auto [k, seed] = GetParam();
+  auto sbm = graph::StochasticBlockModel(
+      graph::SbmConfig{.num_nodes = 600, .num_classes = 4, .avg_degree = 10,
+                       .homophily = 0.8},
+      seed);
+  const CsrGraph& g = sbm.graph;
+  for (auto [name, p] : std::vector<std::pair<const char*, Partition>>{
+           {"random", RandomPartition(g, k, seed)},
+           {"ldg", LdgPartition(g, k, 1.1, seed)},
+           {"fennel", FennelPartition(g, k, 1.5, seed)},
+           {"multilevel",
+            MultilevelPartition(g, k, MultilevelConfig{}, seed)}}) {
+    CheckValidPartition(p, g.num_nodes(), k);
+    PartitionQuality q = EvaluatePartition(g, p);
+    // Random partitions balance statistically; streaming/multilevel are
+    // capacity-capped. Allow generous slack for the random baseline.
+    EXPECT_LT(q.imbalance, 1.5) << name << " k=" << k;
+    EXPECT_GE(q.edge_cut, 0) << name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KAndSeed, PartitionerSweep,
+    ::testing::Combine(::testing::Values(2, 4, 8),
+                       ::testing::Values(1ULL, 7ULL)));
+
+TEST(EvaluatePartitionTest, HandComputedCut) {
+  // Path 0-1-2-3 split {0,1} | {2,3}: one cut edge (1,2).
+  CsrGraph g = graph::Path(4);
+  Partition p{{0, 0, 1, 1}, 2};
+  PartitionQuality q = EvaluatePartition(g, p);
+  EXPECT_EQ(q.edge_cut, 1);
+  EXPECT_EQ(q.comm_volume, 2);  // Nodes 1 and 2 each see one remote part.
+  EXPECT_DOUBLE_EQ(q.imbalance, 1.0);
+}
+
+TEST(EvaluatePartitionTest, AllInOnePartHasZeroCut) {
+  CsrGraph g = graph::Complete(6);
+  Partition p{std::vector<int>(6, 0), 2};
+  PartitionQuality q = EvaluatePartition(g, p);
+  EXPECT_EQ(q.edge_cut, 0);
+  EXPECT_EQ(q.comm_volume, 0);
+  EXPECT_DOUBLE_EQ(q.imbalance, 2.0);  // One part holds everything.
+}
+
+TEST(LdgTest, BeatsRandomOnCommunityGraph) {
+  auto sbm = graph::StochasticBlockModel(
+      graph::SbmConfig{.num_nodes = 1000, .num_classes = 4, .avg_degree = 12,
+                       .homophily = 0.9},
+      3);
+  auto random = EvaluatePartition(sbm.graph,
+                                  RandomPartition(sbm.graph, 4, 5));
+  auto ldg = EvaluatePartition(sbm.graph, LdgPartition(sbm.graph, 4, 1.1, 5));
+  EXPECT_LT(ldg.edge_cut, random.edge_cut);
+}
+
+TEST(FennelTest, BeatsRandomOnCommunityGraph) {
+  auto sbm = graph::StochasticBlockModel(
+      graph::SbmConfig{.num_nodes = 1000, .num_classes = 4, .avg_degree = 12,
+                       .homophily = 0.9},
+      9);
+  auto random = EvaluatePartition(sbm.graph,
+                                  RandomPartition(sbm.graph, 4, 11));
+  auto fennel =
+      EvaluatePartition(sbm.graph, FennelPartition(sbm.graph, 4, 1.5, 11));
+  EXPECT_LT(fennel.edge_cut, random.edge_cut);
+}
+
+TEST(MultilevelTest, RecoversPlantedCommunities) {
+  // With strong homophily and k = #classes, the multilevel cut should be a
+  // small fraction of the random cut.
+  auto sbm = graph::StochasticBlockModel(
+      graph::SbmConfig{.num_nodes = 2000, .num_classes = 4, .avg_degree = 16,
+                       .homophily = 0.95},
+      13);
+  auto random = EvaluatePartition(sbm.graph,
+                                  RandomPartition(sbm.graph, 4, 17));
+  auto ml = EvaluatePartition(
+      sbm.graph, MultilevelPartition(sbm.graph, 4, MultilevelConfig{}, 17));
+  EXPECT_LT(ml.edge_cut, random.edge_cut / 3);
+  EXPECT_LT(ml.imbalance, 1.2);
+}
+
+TEST(MultilevelTest, BeatsStreamingOnAverage) {
+  auto sbm = graph::StochasticBlockModel(
+      graph::SbmConfig{.num_nodes = 1500, .num_classes = 8, .avg_degree = 14,
+                       .homophily = 0.9},
+      19);
+  int64_t ml_total = 0, ldg_total = 0;
+  for (uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    ml_total += EvaluatePartition(sbm.graph,
+                                  MultilevelPartition(sbm.graph, 8,
+                                                      MultilevelConfig{}, seed))
+                    .edge_cut;
+    ldg_total += EvaluatePartition(sbm.graph,
+                                   LdgPartition(sbm.graph, 8, 1.1, seed))
+                     .edge_cut;
+  }
+  EXPECT_LE(ml_total, ldg_total);
+}
+
+TEST(MultilevelTest, WorksOnTinyGraphs) {
+  CsrGraph g = graph::Cycle(8);
+  Partition p = MultilevelPartition(g, 2, MultilevelConfig{}, 1);
+  CheckValidPartition(p, 8, 2);
+  // Optimal 2-cut of a cycle is 2.
+  EXPECT_LE(EvaluatePartition(g, p).edge_cut, 4);
+}
+
+TEST(MultilevelTest, DeterministicGivenSeed) {
+  CsrGraph g = graph::ErdosRenyi(400, 1600, 21);
+  Partition a = MultilevelPartition(g, 4, MultilevelConfig{}, 99);
+  Partition b = MultilevelPartition(g, 4, MultilevelConfig{}, 99);
+  EXPECT_EQ(a.part_of, b.part_of);
+}
+
+TEST(ClusterBatchesTest, CoversAllNodesExactlyOnce) {
+  auto sbm = graph::StochasticBlockModel(
+      graph::SbmConfig{.num_nodes = 300, .num_classes = 3, .avg_degree = 8,
+                       .homophily = 0.8},
+      23);
+  Partition p = LdgPartition(sbm.graph, 6, 1.1, 25);
+  auto batches = ClusterBatches(p, 2, 27);
+  EXPECT_EQ(batches.size(), 3u);
+  std::set<NodeId> seen;
+  for (const auto& batch : batches) {
+    EXPECT_TRUE(std::is_sorted(batch.begin(), batch.end()));
+    for (NodeId u : batch) EXPECT_TRUE(seen.insert(u).second);
+  }
+  EXPECT_EQ(seen.size(), 300u);
+}
+
+TEST(ClusterBatchesTest, SingleGroupReturnsWholeGraph) {
+  CsrGraph g = graph::Cycle(12);
+  Partition p = RandomPartition(g, 3, 1);
+  auto batches = ClusterBatches(p, 3, 2);
+  ASSERT_EQ(batches.size(), 1u);
+  EXPECT_EQ(batches[0].size(), 12u);
+}
+
+}  // namespace
+}  // namespace sgnn::partition

@@ -1,0 +1,228 @@
+// Cross-module property sweeps: invariants that must hold for every graph
+// family, parameter setting and seed in the sweep, exercised via
+// TEST_P / INSTANTIATE_TEST_SUITE_P.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "graph/generators.h"
+#include "graph/propagate.h"
+#include "ppr/ppr.h"
+#include "sampling/variance.h"
+#include "spectral/filters.h"
+#include "tensor/ops.h"
+
+namespace sgnn {
+namespace {
+
+using graph::CsrGraph;
+using graph::NodeId;
+
+enum class GraphFamily { kErdosRenyi, kBarabasiAlbert, kRmat, kSbm, kGrid };
+
+CsrGraph MakeGraph(GraphFamily family, uint64_t seed) {
+  switch (family) {
+    case GraphFamily::kErdosRenyi:
+      return graph::ErdosRenyi(300, 1500, seed);
+    case GraphFamily::kBarabasiAlbert:
+      return graph::BarabasiAlbert(300, 4, seed);
+    case GraphFamily::kRmat:
+      return graph::Rmat(256, 1500, graph::RmatConfig{}, seed);
+    case GraphFamily::kSbm:
+      return graph::StochasticBlockModel(
+                 graph::SbmConfig{.num_nodes = 300, .num_classes = 3,
+                                  .avg_degree = 10, .homophily = 0.7},
+                 seed)
+          .graph;
+    case GraphFamily::kGrid:
+      return graph::Grid(15, 20);
+  }
+  return CsrGraph(0);
+}
+
+std::string FamilyName(GraphFamily family) {
+  switch (family) {
+    case GraphFamily::kErdosRenyi: return "er";
+    case GraphFamily::kBarabasiAlbert: return "ba";
+    case GraphFamily::kRmat: return "rmat";
+    case GraphFamily::kSbm: return "sbm";
+    case GraphFamily::kGrid: return "grid";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------- PPR --
+
+class PprBoundSweep
+    : public ::testing::TestWithParam<std::tuple<GraphFamily, double>> {};
+
+TEST_P(PprBoundSweep, PushErrorWithinDegreeBoundEverywhere) {
+  const auto [family, alpha] = GetParam();
+  CsrGraph g = MakeGraph(family, 7);
+  const double r_max = 1e-4;
+  for (NodeId source : {NodeId(0), NodeId(13)}) {
+    auto exact = ppr::PowerIterationPpr(g, source, alpha, 1e-12, 5000);
+    auto push = ppr::ForwardPush(g, source, alpha, r_max);
+    std::vector<double> approx(g.num_nodes(), 0.0);
+    for (const auto& [v, mass] : push.estimate) approx[v] = mass;
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      const double bound =
+          r_max * std::max<double>(1.0, static_cast<double>(g.OutDegree(v)));
+      EXPECT_LE(std::fabs(exact[v] - approx[v]), bound + 1e-9)
+          << FamilyName(family) << " alpha=" << alpha << " node " << v;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FamiliesAndAlphas, PprBoundSweep,
+    ::testing::Combine(::testing::Values(GraphFamily::kErdosRenyi,
+                                         GraphFamily::kBarabasiAlbert,
+                                         GraphFamily::kRmat,
+                                         GraphFamily::kSbm,
+                                         GraphFamily::kGrid),
+                       ::testing::Values(0.1, 0.3, 0.6)));
+
+// ------------------------------------------------------------ spectral --
+
+class FilterRealizationSweep
+    : public ::testing::TestWithParam<std::tuple<spectral::PolyBasis, int>> {};
+
+TEST_P(FilterRealizationSweep, OperatorRealizesScalarResponseOnCycle) {
+  // On a cycle (no self loops), cos(2*pi*j*u/n) is an exact eigenvector;
+  // applying any polynomial filter must scale it by the scalar response.
+  const auto [basis, degree] = GetParam();
+  const int n = 24;
+  CsrGraph g = graph::Cycle(n);
+  graph::Propagator prop(g, graph::Normalization::kSymmetric, false);
+
+  spectral::PolyFilter filter;
+  filter.basis = basis;
+  filter.jacobi_a = 0.5;
+  filter.jacobi_b = 0.5;
+  common::Rng rng(degree);
+  filter.coeffs.resize(static_cast<size_t>(degree) + 1);
+  for (double& c : filter.coeffs) c = rng.Uniform(-1.0, 1.0);
+
+  for (int j : {1, 5, 9}) {
+    tensor::Matrix v(n, 1);
+    for (int u = 0; u < n; ++u) {
+      v.at(u, 0) = static_cast<float>(std::cos(2.0 * M_PI * j * u / n));
+    }
+    const double lambda = 1.0 - std::cos(2.0 * M_PI * j / n);
+    const double gain = spectral::EvaluateResponse(filter, lambda);
+    tensor::Matrix filtered = spectral::ApplyFilter(prop, filter, v);
+    for (int u = 0; u < n; ++u) {
+      EXPECT_NEAR(filtered.at(u, 0), gain * v.at(u, 0), 2e-3)
+          << "basis " << static_cast<int>(basis) << " degree " << degree
+          << " mode " << j;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BasesAndDegrees, FilterRealizationSweep,
+    ::testing::Combine(::testing::Values(spectral::PolyBasis::kMonomialAdj,
+                                         spectral::PolyBasis::kChebyshev,
+                                         spectral::PolyBasis::kJacobi),
+                       ::testing::Values(1, 3, 6, 10)));
+
+// ------------------------------------------------------------ sampling --
+
+class SamplerUnbiasednessSweep
+    : public ::testing::TestWithParam<
+          std::tuple<GraphFamily, sampling::SamplerKind>> {};
+
+TEST_P(SamplerUnbiasednessSweep, OneLayerAggregationIsUnbiased) {
+  const auto [family, kind] = GetParam();
+  CsrGraph g = MakeGraph(family, 11);
+  common::Rng rng(1);
+  tensor::Matrix x = tensor::Matrix::Gaussian(g.num_nodes(), 3, 0, 1, &rng);
+  std::vector<NodeId> seeds;
+  for (NodeId u = 0; u < 20; ++u) seeds.push_back(u * 7);
+  const int budget =
+      kind == sampling::SamplerKind::kLayerWise ? 150 : 4;
+  auto report = sampling::MeasureSamplerVariance(g, x, seeds, kind, budget,
+                                                 800, 13);
+  // Bias shrinks as 1/sqrt(trials * seeds * dims): 0.03 is ~4 sigma here
+  // for node-wise/LABOR; layer-wise gets slack for its higher variance.
+  const double tol =
+      kind == sampling::SamplerKind::kLayerWise ? 0.08 : 0.03;
+  EXPECT_NEAR(report.mean_bias, 0.0, tol) << FamilyName(family);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FamiliesAndSamplers, SamplerUnbiasednessSweep,
+    ::testing::Combine(::testing::Values(GraphFamily::kErdosRenyi,
+                                         GraphFamily::kBarabasiAlbert,
+                                         GraphFamily::kSbm),
+                       ::testing::Values(sampling::SamplerKind::kNodeWise,
+                                         sampling::SamplerKind::kLabor,
+                                         sampling::SamplerKind::kLayerWise)));
+
+// ----------------------------------------------------------- propagate --
+
+class PropagatorSweep : public ::testing::TestWithParam<GraphFamily> {};
+
+TEST_P(PropagatorSweep, RowNormalizedRowsSumToOneOnNonIsolatedNodes) {
+  CsrGraph g = MakeGraph(GetParam(), 17);
+  graph::Propagator prop(g, graph::Normalization::kRow, false);
+  tensor::Matrix ones(g.num_nodes(), 1, 1.0f);
+  tensor::Matrix out;
+  prop.Apply(ones, &out);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    if (g.OutDegree(u) == 0) {
+      EXPECT_FLOAT_EQ(out.at(u, 0), 0.0f);
+    } else {
+      EXPECT_NEAR(out.at(u, 0), 1.0, 1e-5) << FamilyName(GetParam());
+    }
+  }
+}
+
+TEST_P(PropagatorSweep, SymmetricOperatorIsSelfAdjoint) {
+  // <S x, y> == <x, S y> for the kSymmetric normalisation.
+  CsrGraph g = MakeGraph(GetParam(), 19);
+  graph::Propagator prop(g, graph::Normalization::kSymmetric, true);
+  common::Rng rng(2);
+  tensor::Matrix x = tensor::Matrix::Gaussian(g.num_nodes(), 1, 0, 1, &rng);
+  tensor::Matrix y = tensor::Matrix::Gaussian(g.num_nodes(), 1, 0, 1, &rng);
+  tensor::Matrix sx, sy;
+  prop.Apply(x, &sx);
+  prop.Apply(y, &sy);
+  double sx_y = 0.0, x_sy = 0.0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    sx_y += static_cast<double>(sx.at(u, 0)) * y.at(u, 0);
+    x_sy += static_cast<double>(x.at(u, 0)) * sy.at(u, 0);
+  }
+  EXPECT_NEAR(sx_y, x_sy, 1e-3) << FamilyName(GetParam());
+}
+
+TEST_P(PropagatorSweep, SpectralRadiusAtMostOne) {
+  // ||S x|| <= ||x|| for the symmetric normalisation (eigenvalues in
+  // [-1, 1]); checked via repeated application.
+  CsrGraph g = MakeGraph(GetParam(), 23);
+  graph::Propagator prop(g, graph::Normalization::kSymmetric, true);
+  common::Rng rng(3);
+  tensor::Matrix x = tensor::Matrix::Gaussian(g.num_nodes(), 1, 0, 1, &rng);
+  double prev = tensor::FrobeniusNorm(x);
+  tensor::Matrix next;
+  for (int k = 0; k < 5; ++k) {
+    prop.Apply(x, &next);
+    const double norm = tensor::FrobeniusNorm(next);
+    EXPECT_LE(norm, prev * (1.0 + 1e-5)) << FamilyName(GetParam());
+    x = std::move(next);
+    prev = norm;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, PropagatorSweep,
+                         ::testing::Values(GraphFamily::kErdosRenyi,
+                                           GraphFamily::kBarabasiAlbert,
+                                           GraphFamily::kRmat,
+                                           GraphFamily::kSbm,
+                                           GraphFamily::kGrid));
+
+}  // namespace
+}  // namespace sgnn

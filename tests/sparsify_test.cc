@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.h"
+#include "graph/metrics.h"
+#include "graph/propagate.h"
+#include "spectral/spectrum.h"
+#include "sparsify/sparsify.h"
+
+namespace sgnn::sparsify {
+namespace {
+
+using graph::CsrGraph;
+using graph::NodeId;
+
+TEST(UniformSparsifyTest, KeepAllIsIdentityUpToWeights) {
+  CsrGraph g = graph::ErdosRenyi(100, 400, 1);
+  CsrGraph s = UniformSparsify(g, 1.0, false, 2);
+  EXPECT_EQ(s.num_edges(), g.num_edges());
+}
+
+TEST(UniformSparsifyTest, KeepRatioApproximatelyRealized) {
+  CsrGraph g = graph::ErdosRenyi(500, 4000, 3);
+  for (double p : {0.25, 0.5, 0.75}) {
+    CsrGraph s = UniformSparsify(g, p, false, 5);
+    const double ratio = static_cast<double>(s.num_edges()) /
+                         static_cast<double>(g.num_edges());
+    EXPECT_NEAR(ratio, p, 0.05) << "p=" << p;
+  }
+}
+
+TEST(UniformSparsifyTest, ReweightPreservesExpectedWeightedDegree) {
+  CsrGraph g = graph::Complete(40);
+  // Average over several seeds: reweighted degree should match original.
+  double acc = 0.0;
+  const int trials = 20;
+  for (int t = 0; t < trials; ++t) {
+    CsrGraph s = UniformSparsify(g, 0.5, true, 100 + t);
+    acc += s.WeightedDegree(0);
+  }
+  EXPECT_NEAR(acc / trials, g.WeightedDegree(0), 4.0);
+}
+
+TEST(UniformSparsifyTest, KeepsEdgesSymmetric) {
+  CsrGraph g = graph::ErdosRenyi(80, 320, 7);
+  CsrGraph s = UniformSparsify(g, 0.4, false, 9);
+  for (NodeId u = 0; u < s.num_nodes(); ++u) {
+    for (NodeId v : s.Neighbors(u)) EXPECT_TRUE(s.HasEdge(v, u));
+  }
+}
+
+TEST(SpectralSparsifyTest, PreservesSpectralGapBetterThanUniform) {
+  // The E9 spectral claim: resistance-weighted sampling preserves the
+  // Laplacian quadratic form; uniform sampling of the same edge budget
+  // distorts the gap more on skewed graphs.
+  CsrGraph g = graph::BarabasiAlbert(600, 6, 11);
+  graph::Propagator orig_prop(g, graph::Normalization::kSymmetric, false);
+  const double gap_orig = spectral::SpectralGap(orig_prop, 40, 1);
+
+  const int64_t budget = g.num_edges() / 4;  // Directed/2 = undirected draws.
+  CsrGraph spectral_sparse = SpectralSparsify(g, budget, 13);
+  CsrGraph uniform_sparse = UniformSparsify(
+      g, static_cast<double>(spectral_sparse.num_edges()) / g.num_edges(),
+      true, 13);
+
+  graph::Propagator sp(spectral_sparse, graph::Normalization::kSymmetric,
+                       false);
+  graph::Propagator up(uniform_sparse, graph::Normalization::kSymmetric,
+                       false);
+  const double gap_spectral = spectral::SpectralGap(sp, 40, 1);
+  const double gap_uniform = spectral::SpectralGap(up, 40, 1);
+  EXPECT_LT(std::fabs(gap_spectral - gap_orig),
+            std::fabs(gap_uniform - gap_orig) + 0.05);
+}
+
+TEST(SpectralSparsifyTest, EdgeCountBoundedBySamples) {
+  CsrGraph g = graph::ErdosRenyi(300, 2400, 15);
+  CsrGraph s = SpectralSparsify(g, 500, 17);
+  EXPECT_LE(s.num_edges(), 2 * 500);
+  EXPECT_GT(s.num_edges(), 0);
+  EXPECT_EQ(s.num_nodes(), g.num_nodes());
+}
+
+TEST(SpectralSparsifyTest, TotalWeightApproximatelyPreserved) {
+  CsrGraph g = graph::ErdosRenyi(200, 1600, 19);
+  double orig_weight = 0.0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) orig_weight += g.WeightedDegree(u);
+  CsrGraph s = SpectralSparsify(g, 2000, 21);
+  double new_weight = 0.0;
+  for (NodeId u = 0; u < s.num_nodes(); ++u) new_weight += s.WeightedDegree(u);
+  EXPECT_NEAR(new_weight / orig_weight, 1.0, 0.15);
+}
+
+TEST(DegreeAwarePruneTest, LowDegreeNodesKeepEverything) {
+  CsrGraph g = graph::Cycle(20);  // All degree 2.
+  DegreeAwareStats stats;
+  CsrGraph s = DegreeAwarePrune(g, 5, 1, &stats);
+  EXPECT_EQ(stats.hubs, 0);
+  EXPECT_EQ(s.num_edges(), g.num_edges());
+}
+
+TEST(DegreeAwarePruneTest, HubsAreTrimmed) {
+  CsrGraph g = graph::Star(100);
+  DegreeAwareStats stats;
+  CsrGraph s = DegreeAwarePrune(g, 10, 5, &stats);
+  EXPECT_EQ(stats.hubs, 1);
+  // Hub wants 5 edges; every leaf (degree 1) wants its hub edge, so all
+  // edges survive via the leaf side: the "either endpoint" rule protects
+  // low-degree nodes from isolation (the ATP insight).
+  EXPECT_EQ(s.num_edges(), g.num_edges());
+}
+
+TEST(DegreeAwarePruneTest, TrimsHubHubEdges) {
+  // Two hubs connected to each other and to many leaves; hub-hub edge has
+  // low weight so both hubs drop it.
+  graph::EdgeListBuilder b(42);
+  for (NodeId leaf = 2; leaf < 22; ++leaf) b.AddUndirectedEdge(0, leaf, 2.0f);
+  for (NodeId leaf = 22; leaf < 42; ++leaf) b.AddUndirectedEdge(1, leaf, 2.0f);
+  b.AddUndirectedEdge(0, 1, 0.1f);
+  CsrGraph g = CsrGraph::FromBuilder(std::move(b));
+  DegreeAwareStats stats;
+  CsrGraph s = DegreeAwarePrune(g, 10, 5, &stats);
+  EXPECT_EQ(stats.hubs, 2);
+  EXPECT_FALSE(s.HasEdge(0, 1));
+  // Leaf edges survive through the leaves.
+  EXPECT_TRUE(s.HasEdge(0, 2));
+  EXPECT_TRUE(s.HasEdge(1, 22));
+}
+
+TEST(ThresholdPruneTest, DropsLightEdges) {
+  graph::EdgeListBuilder b(4);
+  b.AddUndirectedEdge(0, 1, 1.0f);
+  b.AddUndirectedEdge(1, 2, 0.2f);
+  b.AddUndirectedEdge(2, 3, 0.8f);
+  CsrGraph g = CsrGraph::FromBuilder(std::move(b));
+  CsrGraph s = ThresholdPrune(g, 0.5f);
+  EXPECT_TRUE(s.HasEdge(0, 1));
+  EXPECT_FALSE(s.HasEdge(1, 2));
+  EXPECT_TRUE(s.HasEdge(2, 3));
+}
+
+TEST(ThresholdPruneTest, ZeroThresholdKeepsAll) {
+  CsrGraph g = graph::ErdosRenyi(50, 200, 23);
+  EXPECT_EQ(ThresholdPrune(g, 0.0f).num_edges(), g.num_edges());
+}
+
+}  // namespace
+}  // namespace sgnn::sparsify

@@ -1,0 +1,299 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.h"
+#include "graph/propagate.h"
+#include "spectral/dense_linalg.h"
+#include "spectral/embeddings.h"
+#include "spectral/filters.h"
+#include "spectral/spectrum.h"
+#include "tensor/ops.h"
+
+namespace sgnn::spectral {
+namespace {
+
+using graph::CsrGraph;
+using graph::Normalization;
+using graph::Propagator;
+using tensor::Matrix;
+
+TEST(JacobiEigenTest, DiagonalMatrix) {
+  std::vector<double> a = {3, 0, 0, 0, 1, 0, 0, 0, 2};
+  auto result = JacobiEigen(a, 3);
+  ASSERT_EQ(result.eigenvalues.size(), 3u);
+  EXPECT_NEAR(result.eigenvalues[0], 1.0, 1e-10);
+  EXPECT_NEAR(result.eigenvalues[1], 2.0, 1e-10);
+  EXPECT_NEAR(result.eigenvalues[2], 3.0, 1e-10);
+}
+
+TEST(JacobiEigenTest, KnownTwoByTwo) {
+  // [[2,1],[1,2]] has eigenvalues 1 and 3.
+  auto result = JacobiEigen({2, 1, 1, 2}, 2);
+  EXPECT_NEAR(result.eigenvalues[0], 1.0, 1e-10);
+  EXPECT_NEAR(result.eigenvalues[1], 3.0, 1e-10);
+}
+
+TEST(JacobiEigenTest, EigenvectorsSatisfyDefinition) {
+  std::vector<double> a = {4, 1, 0, 1, 3, 1, 0, 1, 2};
+  auto original = a;
+  auto result = JacobiEigen(a, 3);
+  // Check A v_j = lambda_j v_j for each column j.
+  for (int j = 0; j < 3; ++j) {
+    for (int i = 0; i < 3; ++i) {
+      double av = 0.0;
+      for (int k = 0; k < 3; ++k) {
+        av += original[static_cast<size_t>(i) * 3 + k] *
+              result.eigenvectors[static_cast<size_t>(k) * 3 + j];
+      }
+      EXPECT_NEAR(av,
+                  result.eigenvalues[static_cast<size_t>(j)] *
+                      result.eigenvectors[static_cast<size_t>(i) * 3 + j],
+                  1e-9);
+    }
+  }
+}
+
+TEST(SolveLinearSystemTest, SolvesKnownSystem) {
+  // x + 2y = 5; 3x + 4y = 11 -> x=1, y=2.
+  auto x = SolveLinearSystem({1, 2, 3, 4}, {5, 11}, 2);
+  EXPECT_NEAR(x[0], 1.0, 1e-9);
+  EXPECT_NEAR(x[1], 2.0, 1e-9);
+}
+
+TEST(SolveLinearSystemTest, PivotingHandlesZeroLeadingEntry) {
+  // 0x + y = 2; x + 0y = 3.
+  auto x = SolveLinearSystem({0, 1, 1, 0}, {2, 3}, 2);
+  EXPECT_NEAR(x[0], 3.0, 1e-9);
+  EXPECT_NEAR(x[1], 2.0, 1e-9);
+}
+
+TEST(LeastSquaresTest, ExactFitForConsistentSystem) {
+  // y = 2 + 3t sampled at t = 0..3 with design [1, t].
+  std::vector<double> design = {1, 0, 1, 1, 1, 2, 1, 3};
+  std::vector<double> y = {2, 5, 8, 11};
+  auto coef = LeastSquares(design, 4, 2, y);
+  EXPECT_NEAR(coef[0], 2.0, 1e-6);
+  EXPECT_NEAR(coef[1], 3.0, 1e-6);
+}
+
+TEST(FilterResponseTest, MonomialMatchesClosedForm) {
+  PolyFilter f;
+  f.basis = PolyBasis::kMonomialAdj;
+  f.coeffs = {0.5, 0.25, 0.125};  // g(lambda) = sum theta_k (1-lambda)^k
+  for (double lambda : {0.0, 0.5, 1.0, 1.7, 2.0}) {
+    const double t = 1.0 - lambda;
+    EXPECT_NEAR(EvaluateResponse(f, lambda), 0.5 + 0.25 * t + 0.125 * t * t,
+                1e-12);
+  }
+}
+
+TEST(FilterResponseTest, ChebyshevMatchesTrigIdentity) {
+  PolyFilter f;
+  f.basis = PolyBasis::kChebyshev;
+  f.coeffs = {0.0, 0.0, 0.0, 1.0};  // pure T_3
+  for (double m : {-0.9, -0.3, 0.0, 0.4, 0.8}) {
+    const double expected = std::cos(3.0 * std::acos(m));
+    EXPECT_NEAR(EvaluateResponse(f, m + 1.0), expected, 1e-10);
+  }
+}
+
+TEST(FilterResponseTest, JacobiReducesToLegendreAtZeroParams) {
+  // P_2 Legendre: (3x^2 - 1)/2.
+  PolyFilter f;
+  f.basis = PolyBasis::kJacobi;
+  f.coeffs = {0.0, 0.0, 1.0};
+  for (double m : {-0.5, 0.0, 0.7}) {
+    EXPECT_NEAR(EvaluateResponse(f, m + 1.0), (3.0 * m * m - 1.0) / 2.0,
+                1e-10);
+  }
+}
+
+TEST(ApplyFilterTest, RealizesResponseOnEigenvector) {
+  // On a cycle, v_j(u) = cos(2 pi j u / n) is an eigenvector of S (no self
+  // loops) with eigenvalue cos(2 pi j / n); the filter must scale it by
+  // g(1 - eigval).
+  const int n = 16;
+  CsrGraph g = graph::Cycle(n);
+  Propagator prop(g, Normalization::kSymmetric, false);
+  PolyFilter f;
+  f.basis = PolyBasis::kChebyshev;
+  f.coeffs = {0.3, -0.4, 0.2, 0.1};
+  const int j = 3;
+  Matrix v(n, 1);
+  for (int u = 0; u < n; ++u) {
+    v.at(u, 0) = static_cast<float>(std::cos(2.0 * M_PI * j * u / n));
+  }
+  const double s_eig = std::cos(2.0 * M_PI * j / n);
+  const double lambda = 1.0 - s_eig;
+  Matrix filtered = ApplyFilter(prop, f, v);
+  const double gain = EvaluateResponse(f, lambda);
+  for (int u = 0; u < n; ++u) {
+    EXPECT_NEAR(filtered.at(u, 0), gain * v.at(u, 0), 1e-4);
+  }
+}
+
+TEST(ApplyFilterTest, BasesAgreeWhenFittedToSameResponse) {
+  CsrGraph g = graph::ErdosRenyi(60, 240, 7);
+  Propagator prop(g, Normalization::kSymmetric, true);
+  common::Rng rng(1);
+  Matrix x = Matrix::Gaussian(60, 2, 0, 1, &rng);
+  PolyFilter cheb = FitFilter(PolyBasis::kChebyshev, 8, LowPassResponse);
+  PolyFilter mono = FitFilter(PolyBasis::kMonomialAdj, 8, LowPassResponse);
+  Matrix zc = ApplyFilter(prop, cheb, x);
+  Matrix zm = ApplyFilter(prop, mono, x);
+  // Both 8-degree fits of the same response: outputs nearly identical.
+  EXPECT_LT(tensor::MaxAbsDiff(zc, zm), 0.05 * tensor::FrobeniusNorm(x));
+}
+
+TEST(FitFilterTest, FitReproducesTargetResponse) {
+  for (PolyBasis basis :
+       {PolyBasis::kMonomialAdj, PolyBasis::kChebyshev, PolyBasis::kJacobi}) {
+    PolyFilter f = FitFilter(basis, 10, HighPassResponse, 128, 1.0, 1.0);
+    for (double lambda : {0.1, 0.7, 1.3, 1.9}) {
+      EXPECT_NEAR(EvaluateResponse(f, lambda), HighPassResponse(lambda), 0.02)
+          << "basis " << static_cast<int>(basis) << " lambda " << lambda;
+    }
+  }
+}
+
+TEST(FitFilterTest, BandRejectNeedsHighDegree) {
+  PolyFilter low = FitFilter(PolyBasis::kChebyshev, 2, BandRejectResponse);
+  PolyFilter high = FitFilter(PolyBasis::kChebyshev, 16, BandRejectResponse);
+  double err_low = 0.0, err_high = 0.0;
+  for (int i = 0; i < 50; ++i) {
+    const double lambda = 2.0 * (i + 0.5) / 50;
+    err_low += std::fabs(EvaluateResponse(low, lambda) -
+                         BandRejectResponse(lambda));
+    err_high += std::fabs(EvaluateResponse(high, lambda) -
+                          BandRejectResponse(lambda));
+  }
+  EXPECT_LT(err_high, err_low / 2.0);
+}
+
+TEST(SpectrumTest, PowerMethodFindsDominantEigenvalueOfS) {
+  // Without self loops, S of a connected non-bipartite graph has dominant
+  // eigenvalue 1 (the trivial one).
+  CsrGraph g = graph::Complete(10);
+  Propagator prop(g, Normalization::kSymmetric, false);
+  EXPECT_NEAR(PowerMethodDominant(prop, 200, 3), 1.0, 1e-6);
+}
+
+TEST(SpectrumTest, LanczosRecoversCompleteGraphSpectrum) {
+  // K_n (no self loops): L eigenvalues are 0 and n/(n-1) (multiplicity n-1).
+  const int n = 12;
+  CsrGraph g = graph::Complete(n);
+  Propagator prop(g, Normalization::kSymmetric, false);
+  auto ritz = LanczosLaplacianSpectrum(prop, n, 5);
+  ASSERT_GE(ritz.size(), 2u);
+  // Propagator coefficients are single precision; allow float-level slack.
+  EXPECT_NEAR(ritz.front(), 0.0, 1e-6);
+  EXPECT_NEAR(ritz.back(), static_cast<double>(n) / (n - 1), 1e-6);
+}
+
+TEST(SpectrumTest, RitzValuesWithinLaplacianRange) {
+  CsrGraph g = graph::ErdosRenyi(100, 400, 11);
+  Propagator prop(g, Normalization::kSymmetric, true);
+  auto ritz = LanczosLaplacianSpectrum(prop, 30, 7);
+  for (double v : ritz) {
+    EXPECT_GE(v, -1e-8);
+    EXPECT_LE(v, 2.0 + 1e-8);
+  }
+}
+
+TEST(SpectrumTest, SpectralGapDetectsCommunityStructure) {
+  // Strongly homophilous SBM has a much smaller gap than a random graph of
+  // the same density.
+  auto sbm = graph::StochasticBlockModel(
+      graph::SbmConfig{.num_nodes = 400, .num_classes = 2, .avg_degree = 16,
+                       .homophily = 0.95},
+      13);
+  CsrGraph er = graph::ErdosRenyi(400, 3200, 13);
+  Propagator p_sbm(sbm.graph, Normalization::kSymmetric, false);
+  Propagator p_er(er, Normalization::kSymmetric, false);
+  const double gap_sbm = SpectralGap(p_sbm, 60, 1);
+  const double gap_er = SpectralGap(p_er, 60, 1);
+  EXPECT_LT(gap_sbm, gap_er / 2.0);
+}
+
+TEST(CombinedEmbeddingsTest, ShapeMatchesEnabledChannels) {
+  CsrGraph g = graph::ErdosRenyi(40, 160, 17);
+  Propagator prop(g, Normalization::kSymmetric, true);
+  common::Rng rng(2);
+  Matrix x = Matrix::Gaussian(40, 5, 0, 1, &rng);
+  CombinedEmbeddingConfig config;
+  Matrix all = CombinedEmbeddings(prop, x, config);
+  EXPECT_EQ(all.cols(), 15);
+  config.include_high_pass = false;
+  EXPECT_EQ(CombinedEmbeddings(prop, x, config).cols(), 10);
+  config.include_identity = false;
+  EXPECT_EQ(CombinedEmbeddings(prop, x, config).cols(), 5);
+}
+
+TEST(CombinedEmbeddingsTest, RowsAreUnitNormPerChannel) {
+  CsrGraph g = graph::ErdosRenyi(30, 120, 19);
+  Propagator prop(g, Normalization::kSymmetric, true);
+  common::Rng rng(3);
+  Matrix x = Matrix::Gaussian(30, 4, 0, 1, &rng);
+  CombinedEmbeddingConfig config;
+  config.include_low_pass = false;
+  config.include_high_pass = false;
+  Matrix id_only = CombinedEmbeddings(prop, x, config);
+  for (int64_t r = 0; r < id_only.rows(); ++r) {
+    EXPECT_NEAR(tensor::Norm2(id_only.Row(r)), 1.0, 1e-5);
+  }
+}
+
+TEST(CombinedEmbeddingsTest, HighPassSeparatesHeterophilousClasses) {
+  // On a heterophilous SBM with class-mean features, the high-pass channel
+  // preserves class signal that pure low-pass smoothing destroys.
+  auto sbm = graph::StochasticBlockModel(
+      graph::SbmConfig{.num_nodes = 600, .num_classes = 2, .avg_degree = 12,
+                       .homophily = 0.05},
+      23);
+  const auto n = sbm.graph.num_nodes();
+  common::Rng rng(5);
+  Matrix x(n, 2);
+  for (graph::NodeId u = 0; u < n; ++u) {
+    x.at(u, sbm.labels[u]) = 1.0f;
+    x.at(u, 0) += static_cast<float>(rng.Gaussian(0, 0.3));
+    x.at(u, 1) += static_cast<float>(rng.Gaussian(0, 0.3));
+  }
+  Propagator prop(sbm.graph, Normalization::kSymmetric, true);
+
+  auto class_separation = [&](const Matrix& z) {
+    // Distance between class means relative to within-class scatter.
+    std::vector<double> mean0(z.cols(), 0.0), mean1(z.cols(), 0.0);
+    int n0 = 0, n1 = 0;
+    for (graph::NodeId u = 0; u < n; ++u) {
+      auto row = z.Row(u);
+      auto& mean = sbm.labels[u] == 0 ? mean0 : mean1;
+      (sbm.labels[u] == 0 ? n0 : n1)++;
+      for (int64_t c = 0; c < z.cols(); ++c) mean[c] += row[c];
+    }
+    double dist = 0.0;
+    for (int64_t c = 0; c < z.cols(); ++c) {
+      const double d = mean0[c] / n0 - mean1[c] / n1;
+      dist += d * d;
+    }
+    return std::sqrt(dist);
+  };
+
+  CombinedEmbeddingConfig low_only{.hops = 6,
+                                   .alpha = 0.05,
+                                   .include_identity = false,
+                                   .include_low_pass = true,
+                                   .include_high_pass = false,
+                                   .l2_normalize = false};
+  CombinedEmbeddingConfig high_only = low_only;
+  high_only.include_low_pass = false;
+  high_only.include_high_pass = true;
+  const double sep_low = class_separation(
+      CombinedEmbeddings(prop, x, low_only));
+  const double sep_high = class_separation(
+      CombinedEmbeddings(prop, x, high_only));
+  EXPECT_GT(sep_high, sep_low);
+}
+
+}  // namespace
+}  // namespace sgnn::spectral
