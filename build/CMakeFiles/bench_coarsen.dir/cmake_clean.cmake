@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_coarsen.dir/bench/bench_coarsen.cc.o"
+  "CMakeFiles/bench_coarsen.dir/bench/bench_coarsen.cc.o.d"
+  "bench/bench_coarsen"
+  "bench/bench_coarsen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_coarsen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ppr.dir/bench/bench_ppr.cc.o"
+  "CMakeFiles/bench_ppr.dir/bench/bench_ppr.cc.o.d"
+  "bench/bench_ppr"
+  "bench/bench_ppr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ppr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

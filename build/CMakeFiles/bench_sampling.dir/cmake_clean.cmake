@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sampling.dir/bench/bench_sampling.cc.o"
+  "CMakeFiles/bench_sampling.dir/bench/bench_sampling.cc.o.d"
+  "bench/bench_sampling"
+  "bench/bench_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sparsify.dir/bench/bench_sparsify.cc.o"
+  "CMakeFiles/bench_sparsify.dir/bench/bench_sparsify.cc.o.d"
+  "bench/bench_sparsify"
+  "bench/bench_sparsify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sparsify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

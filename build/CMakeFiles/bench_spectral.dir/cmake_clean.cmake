@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_spectral.dir/bench/bench_spectral.cc.o"
+  "CMakeFiles/bench_spectral.dir/bench/bench_spectral.cc.o.d"
+  "bench/bench_spectral"
+  "bench/bench_spectral.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_spectral.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

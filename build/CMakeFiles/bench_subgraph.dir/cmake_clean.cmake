@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_subgraph.dir/bench/bench_subgraph.cc.o"
+  "CMakeFiles/bench_subgraph.dir/bench/bench_subgraph.cc.o.d"
+  "bench/bench_subgraph"
+  "bench/bench_subgraph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_subgraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_transformer.dir/bench/bench_transformer.cc.o"
+  "CMakeFiles/bench_transformer.dir/bench/bench_transformer.cc.o.d"
+  "bench/bench_transformer"
+  "bench/bench_transformer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_transformer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

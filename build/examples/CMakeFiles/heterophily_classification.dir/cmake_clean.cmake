@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heterophily_classification.dir/heterophily_classification.cpp.o"
+  "CMakeFiles/heterophily_classification.dir/heterophily_classification.cpp.o.d"
+  "heterophily_classification"
+  "heterophily_classification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heterophily_classification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for heterophily_classification.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/large_graph_minibatch.dir/large_graph_minibatch.cpp.o"
+  "CMakeFiles/large_graph_minibatch.dir/large_graph_minibatch.cpp.o.d"
+  "large_graph_minibatch"
+  "large_graph_minibatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/large_graph_minibatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppr_recommendation.dir/ppr_recommendation.cpp.o"
+  "CMakeFiles/ppr_recommendation.dir/ppr_recommendation.cpp.o.d"
+  "ppr_recommendation"
+  "ppr_recommendation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppr_recommendation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

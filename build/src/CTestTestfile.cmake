@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("tensor")
+subdirs("graph")
+subdirs("ppr")
+subdirs("spectral")
+subdirs("similarity")
+subdirs("algebra")
+subdirs("sampling")
+subdirs("partition")
+subdirs("sparsify")
+subdirs("coarsen")
+subdirs("subgraph")
+subdirs("nn")
+subdirs("models")
+subdirs("core")

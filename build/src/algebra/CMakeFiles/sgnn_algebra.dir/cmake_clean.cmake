@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgnn_algebra.dir/implicit.cc.o"
+  "CMakeFiles/sgnn_algebra.dir/implicit.cc.o.d"
+  "libsgnn_algebra.a"
+  "libsgnn_algebra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgnn_algebra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

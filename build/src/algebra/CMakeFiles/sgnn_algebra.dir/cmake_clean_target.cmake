@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsgnn_algebra.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgnn_coarsen.dir/coarsen.cc.o"
+  "CMakeFiles/sgnn_coarsen.dir/coarsen.cc.o.d"
+  "libsgnn_coarsen.a"
+  "libsgnn_coarsen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgnn_coarsen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

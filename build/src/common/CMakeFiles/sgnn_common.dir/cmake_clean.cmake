@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgnn_common.dir/counters.cc.o"
+  "CMakeFiles/sgnn_common.dir/counters.cc.o.d"
+  "CMakeFiles/sgnn_common.dir/rng.cc.o"
+  "CMakeFiles/sgnn_common.dir/rng.cc.o.d"
+  "CMakeFiles/sgnn_common.dir/status.cc.o"
+  "CMakeFiles/sgnn_common.dir/status.cc.o.d"
+  "libsgnn_common.a"
+  "libsgnn_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgnn_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

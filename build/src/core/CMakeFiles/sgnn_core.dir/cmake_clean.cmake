@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgnn_core.dir/coarse_flow.cc.o"
+  "CMakeFiles/sgnn_core.dir/coarse_flow.cc.o.d"
+  "CMakeFiles/sgnn_core.dir/dataset.cc.o"
+  "CMakeFiles/sgnn_core.dir/dataset.cc.o.d"
+  "CMakeFiles/sgnn_core.dir/dataset_io.cc.o"
+  "CMakeFiles/sgnn_core.dir/dataset_io.cc.o.d"
+  "CMakeFiles/sgnn_core.dir/distributed_sim.cc.o"
+  "CMakeFiles/sgnn_core.dir/distributed_sim.cc.o.d"
+  "CMakeFiles/sgnn_core.dir/link_prediction.cc.o"
+  "CMakeFiles/sgnn_core.dir/link_prediction.cc.o.d"
+  "CMakeFiles/sgnn_core.dir/pipeline.cc.o"
+  "CMakeFiles/sgnn_core.dir/pipeline.cc.o.d"
+  "CMakeFiles/sgnn_core.dir/registry.cc.o"
+  "CMakeFiles/sgnn_core.dir/registry.cc.o.d"
+  "CMakeFiles/sgnn_core.dir/stages.cc.o"
+  "CMakeFiles/sgnn_core.dir/stages.cc.o.d"
+  "libsgnn_core.a"
+  "libsgnn_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgnn_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

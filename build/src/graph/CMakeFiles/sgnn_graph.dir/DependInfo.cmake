@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/centrality.cc" "src/graph/CMakeFiles/sgnn_graph.dir/centrality.cc.o" "gcc" "src/graph/CMakeFiles/sgnn_graph.dir/centrality.cc.o.d"
+  "/root/repo/src/graph/coo.cc" "src/graph/CMakeFiles/sgnn_graph.dir/coo.cc.o" "gcc" "src/graph/CMakeFiles/sgnn_graph.dir/coo.cc.o.d"
+  "/root/repo/src/graph/csr_graph.cc" "src/graph/CMakeFiles/sgnn_graph.dir/csr_graph.cc.o" "gcc" "src/graph/CMakeFiles/sgnn_graph.dir/csr_graph.cc.o.d"
+  "/root/repo/src/graph/dynamic_graph.cc" "src/graph/CMakeFiles/sgnn_graph.dir/dynamic_graph.cc.o" "gcc" "src/graph/CMakeFiles/sgnn_graph.dir/dynamic_graph.cc.o.d"
+  "/root/repo/src/graph/generators.cc" "src/graph/CMakeFiles/sgnn_graph.dir/generators.cc.o" "gcc" "src/graph/CMakeFiles/sgnn_graph.dir/generators.cc.o.d"
+  "/root/repo/src/graph/io.cc" "src/graph/CMakeFiles/sgnn_graph.dir/io.cc.o" "gcc" "src/graph/CMakeFiles/sgnn_graph.dir/io.cc.o.d"
+  "/root/repo/src/graph/metrics.cc" "src/graph/CMakeFiles/sgnn_graph.dir/metrics.cc.o" "gcc" "src/graph/CMakeFiles/sgnn_graph.dir/metrics.cc.o.d"
+  "/root/repo/src/graph/propagate.cc" "src/graph/CMakeFiles/sgnn_graph.dir/propagate.cc.o" "gcc" "src/graph/CMakeFiles/sgnn_graph.dir/propagate.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sgnn_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/sgnn_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgnn_graph.dir/centrality.cc.o"
+  "CMakeFiles/sgnn_graph.dir/centrality.cc.o.d"
+  "CMakeFiles/sgnn_graph.dir/coo.cc.o"
+  "CMakeFiles/sgnn_graph.dir/coo.cc.o.d"
+  "CMakeFiles/sgnn_graph.dir/csr_graph.cc.o"
+  "CMakeFiles/sgnn_graph.dir/csr_graph.cc.o.d"
+  "CMakeFiles/sgnn_graph.dir/dynamic_graph.cc.o"
+  "CMakeFiles/sgnn_graph.dir/dynamic_graph.cc.o.d"
+  "CMakeFiles/sgnn_graph.dir/generators.cc.o"
+  "CMakeFiles/sgnn_graph.dir/generators.cc.o.d"
+  "CMakeFiles/sgnn_graph.dir/io.cc.o"
+  "CMakeFiles/sgnn_graph.dir/io.cc.o.d"
+  "CMakeFiles/sgnn_graph.dir/metrics.cc.o"
+  "CMakeFiles/sgnn_graph.dir/metrics.cc.o.d"
+  "CMakeFiles/sgnn_graph.dir/propagate.cc.o"
+  "CMakeFiles/sgnn_graph.dir/propagate.cc.o.d"
+  "libsgnn_graph.a"
+  "libsgnn_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgnn_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/api.cc" "src/models/CMakeFiles/sgnn_models.dir/api.cc.o" "gcc" "src/models/CMakeFiles/sgnn_models.dir/api.cc.o.d"
+  "/root/repo/src/models/cluster_gcn.cc" "src/models/CMakeFiles/sgnn_models.dir/cluster_gcn.cc.o" "gcc" "src/models/CMakeFiles/sgnn_models.dir/cluster_gcn.cc.o.d"
+  "/root/repo/src/models/decoupled.cc" "src/models/CMakeFiles/sgnn_models.dir/decoupled.cc.o" "gcc" "src/models/CMakeFiles/sgnn_models.dir/decoupled.cc.o.d"
+  "/root/repo/src/models/gcn.cc" "src/models/CMakeFiles/sgnn_models.dir/gcn.cc.o" "gcc" "src/models/CMakeFiles/sgnn_models.dir/gcn.cc.o.d"
+  "/root/repo/src/models/graph_transformer.cc" "src/models/CMakeFiles/sgnn_models.dir/graph_transformer.cc.o" "gcc" "src/models/CMakeFiles/sgnn_models.dir/graph_transformer.cc.o.d"
+  "/root/repo/src/models/sage.cc" "src/models/CMakeFiles/sgnn_models.dir/sage.cc.o" "gcc" "src/models/CMakeFiles/sgnn_models.dir/sage.cc.o.d"
+  "/root/repo/src/models/saint.cc" "src/models/CMakeFiles/sgnn_models.dir/saint.cc.o" "gcc" "src/models/CMakeFiles/sgnn_models.dir/saint.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/algebra/CMakeFiles/sgnn_algebra.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/sgnn_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/sgnn_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/sgnn_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/ppr/CMakeFiles/sgnn_ppr.dir/DependInfo.cmake"
+  "/root/repo/build/src/sampling/CMakeFiles/sgnn_sampling.dir/DependInfo.cmake"
+  "/root/repo/build/src/similarity/CMakeFiles/sgnn_similarity.dir/DependInfo.cmake"
+  "/root/repo/build/src/spectral/CMakeFiles/sgnn_spectral.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/sgnn_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sgnn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

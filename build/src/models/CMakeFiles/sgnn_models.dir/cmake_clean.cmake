@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgnn_models.dir/api.cc.o"
+  "CMakeFiles/sgnn_models.dir/api.cc.o.d"
+  "CMakeFiles/sgnn_models.dir/cluster_gcn.cc.o"
+  "CMakeFiles/sgnn_models.dir/cluster_gcn.cc.o.d"
+  "CMakeFiles/sgnn_models.dir/decoupled.cc.o"
+  "CMakeFiles/sgnn_models.dir/decoupled.cc.o.d"
+  "CMakeFiles/sgnn_models.dir/gcn.cc.o"
+  "CMakeFiles/sgnn_models.dir/gcn.cc.o.d"
+  "CMakeFiles/sgnn_models.dir/graph_transformer.cc.o"
+  "CMakeFiles/sgnn_models.dir/graph_transformer.cc.o.d"
+  "CMakeFiles/sgnn_models.dir/sage.cc.o"
+  "CMakeFiles/sgnn_models.dir/sage.cc.o.d"
+  "CMakeFiles/sgnn_models.dir/saint.cc.o"
+  "CMakeFiles/sgnn_models.dir/saint.cc.o.d"
+  "libsgnn_models.a"
+  "libsgnn_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgnn_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/attention.cc" "src/nn/CMakeFiles/sgnn_nn.dir/attention.cc.o" "gcc" "src/nn/CMakeFiles/sgnn_nn.dir/attention.cc.o.d"
+  "/root/repo/src/nn/linear.cc" "src/nn/CMakeFiles/sgnn_nn.dir/linear.cc.o" "gcc" "src/nn/CMakeFiles/sgnn_nn.dir/linear.cc.o.d"
+  "/root/repo/src/nn/loss.cc" "src/nn/CMakeFiles/sgnn_nn.dir/loss.cc.o" "gcc" "src/nn/CMakeFiles/sgnn_nn.dir/loss.cc.o.d"
+  "/root/repo/src/nn/mlp.cc" "src/nn/CMakeFiles/sgnn_nn.dir/mlp.cc.o" "gcc" "src/nn/CMakeFiles/sgnn_nn.dir/mlp.cc.o.d"
+  "/root/repo/src/nn/optimizer.cc" "src/nn/CMakeFiles/sgnn_nn.dir/optimizer.cc.o" "gcc" "src/nn/CMakeFiles/sgnn_nn.dir/optimizer.cc.o.d"
+  "/root/repo/src/nn/trainer.cc" "src/nn/CMakeFiles/sgnn_nn.dir/trainer.cc.o" "gcc" "src/nn/CMakeFiles/sgnn_nn.dir/trainer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/sgnn_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/sgnn_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sgnn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgnn_nn.dir/attention.cc.o"
+  "CMakeFiles/sgnn_nn.dir/attention.cc.o.d"
+  "CMakeFiles/sgnn_nn.dir/linear.cc.o"
+  "CMakeFiles/sgnn_nn.dir/linear.cc.o.d"
+  "CMakeFiles/sgnn_nn.dir/loss.cc.o"
+  "CMakeFiles/sgnn_nn.dir/loss.cc.o.d"
+  "CMakeFiles/sgnn_nn.dir/mlp.cc.o"
+  "CMakeFiles/sgnn_nn.dir/mlp.cc.o.d"
+  "CMakeFiles/sgnn_nn.dir/optimizer.cc.o"
+  "CMakeFiles/sgnn_nn.dir/optimizer.cc.o.d"
+  "CMakeFiles/sgnn_nn.dir/trainer.cc.o"
+  "CMakeFiles/sgnn_nn.dir/trainer.cc.o.d"
+  "libsgnn_nn.a"
+  "libsgnn_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgnn_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

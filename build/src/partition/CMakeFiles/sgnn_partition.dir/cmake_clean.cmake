@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgnn_partition.dir/partition.cc.o"
+  "CMakeFiles/sgnn_partition.dir/partition.cc.o.d"
+  "libsgnn_partition.a"
+  "libsgnn_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgnn_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

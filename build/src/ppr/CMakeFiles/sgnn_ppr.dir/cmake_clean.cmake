@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgnn_ppr.dir/feature_propagation.cc.o"
+  "CMakeFiles/sgnn_ppr.dir/feature_propagation.cc.o.d"
+  "CMakeFiles/sgnn_ppr.dir/ppr.cc.o"
+  "CMakeFiles/sgnn_ppr.dir/ppr.cc.o.d"
+  "libsgnn_ppr.a"
+  "libsgnn_ppr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgnn_ppr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sampling/historical_cache.cc" "src/sampling/CMakeFiles/sgnn_sampling.dir/historical_cache.cc.o" "gcc" "src/sampling/CMakeFiles/sgnn_sampling.dir/historical_cache.cc.o.d"
+  "/root/repo/src/sampling/neighbor_sampler.cc" "src/sampling/CMakeFiles/sgnn_sampling.dir/neighbor_sampler.cc.o" "gcc" "src/sampling/CMakeFiles/sgnn_sampling.dir/neighbor_sampler.cc.o.d"
+  "/root/repo/src/sampling/subgraph_sampler.cc" "src/sampling/CMakeFiles/sgnn_sampling.dir/subgraph_sampler.cc.o" "gcc" "src/sampling/CMakeFiles/sgnn_sampling.dir/subgraph_sampler.cc.o.d"
+  "/root/repo/src/sampling/variance.cc" "src/sampling/CMakeFiles/sgnn_sampling.dir/variance.cc.o" "gcc" "src/sampling/CMakeFiles/sgnn_sampling.dir/variance.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/sgnn_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/sgnn_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sgnn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

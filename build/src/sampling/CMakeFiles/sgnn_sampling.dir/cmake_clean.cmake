@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgnn_sampling.dir/historical_cache.cc.o"
+  "CMakeFiles/sgnn_sampling.dir/historical_cache.cc.o.d"
+  "CMakeFiles/sgnn_sampling.dir/neighbor_sampler.cc.o"
+  "CMakeFiles/sgnn_sampling.dir/neighbor_sampler.cc.o.d"
+  "CMakeFiles/sgnn_sampling.dir/subgraph_sampler.cc.o"
+  "CMakeFiles/sgnn_sampling.dir/subgraph_sampler.cc.o.d"
+  "CMakeFiles/sgnn_sampling.dir/variance.cc.o"
+  "CMakeFiles/sgnn_sampling.dir/variance.cc.o.d"
+  "libsgnn_sampling.a"
+  "libsgnn_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgnn_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

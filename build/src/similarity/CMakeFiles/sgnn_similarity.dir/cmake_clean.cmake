@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgnn_similarity.dir/cosine.cc.o"
+  "CMakeFiles/sgnn_similarity.dir/cosine.cc.o.d"
+  "CMakeFiles/sgnn_similarity.dir/hub_labeling.cc.o"
+  "CMakeFiles/sgnn_similarity.dir/hub_labeling.cc.o.d"
+  "CMakeFiles/sgnn_similarity.dir/rewiring.cc.o"
+  "CMakeFiles/sgnn_similarity.dir/rewiring.cc.o.d"
+  "CMakeFiles/sgnn_similarity.dir/simrank.cc.o"
+  "CMakeFiles/sgnn_similarity.dir/simrank.cc.o.d"
+  "libsgnn_similarity.a"
+  "libsgnn_similarity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgnn_similarity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgnn_sparsify.dir/sparsify.cc.o"
+  "CMakeFiles/sgnn_sparsify.dir/sparsify.cc.o.d"
+  "libsgnn_sparsify.a"
+  "libsgnn_sparsify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgnn_sparsify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for sgnn_sparsify.
+# This may be replaced when dependencies are built.

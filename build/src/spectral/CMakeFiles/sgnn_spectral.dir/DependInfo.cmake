@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spectral/dense_linalg.cc" "src/spectral/CMakeFiles/sgnn_spectral.dir/dense_linalg.cc.o" "gcc" "src/spectral/CMakeFiles/sgnn_spectral.dir/dense_linalg.cc.o.d"
+  "/root/repo/src/spectral/embeddings.cc" "src/spectral/CMakeFiles/sgnn_spectral.dir/embeddings.cc.o" "gcc" "src/spectral/CMakeFiles/sgnn_spectral.dir/embeddings.cc.o.d"
+  "/root/repo/src/spectral/filters.cc" "src/spectral/CMakeFiles/sgnn_spectral.dir/filters.cc.o" "gcc" "src/spectral/CMakeFiles/sgnn_spectral.dir/filters.cc.o.d"
+  "/root/repo/src/spectral/spectrum.cc" "src/spectral/CMakeFiles/sgnn_spectral.dir/spectrum.cc.o" "gcc" "src/spectral/CMakeFiles/sgnn_spectral.dir/spectrum.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/sgnn_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/sgnn_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sgnn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

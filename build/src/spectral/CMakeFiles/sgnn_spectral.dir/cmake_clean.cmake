@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgnn_spectral.dir/dense_linalg.cc.o"
+  "CMakeFiles/sgnn_spectral.dir/dense_linalg.cc.o.d"
+  "CMakeFiles/sgnn_spectral.dir/embeddings.cc.o"
+  "CMakeFiles/sgnn_spectral.dir/embeddings.cc.o.d"
+  "CMakeFiles/sgnn_spectral.dir/filters.cc.o"
+  "CMakeFiles/sgnn_spectral.dir/filters.cc.o.d"
+  "CMakeFiles/sgnn_spectral.dir/spectrum.cc.o"
+  "CMakeFiles/sgnn_spectral.dir/spectrum.cc.o.d"
+  "libsgnn_spectral.a"
+  "libsgnn_spectral.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgnn_spectral.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

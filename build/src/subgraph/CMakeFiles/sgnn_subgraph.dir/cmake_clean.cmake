@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgnn_subgraph.dir/khop.cc.o"
+  "CMakeFiles/sgnn_subgraph.dir/khop.cc.o.d"
+  "CMakeFiles/sgnn_subgraph.dir/walk_store.cc.o"
+  "CMakeFiles/sgnn_subgraph.dir/walk_store.cc.o.d"
+  "libsgnn_subgraph.a"
+  "libsgnn_subgraph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgnn_subgraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgnn_tensor.dir/matrix.cc.o"
+  "CMakeFiles/sgnn_tensor.dir/matrix.cc.o.d"
+  "CMakeFiles/sgnn_tensor.dir/ops.cc.o"
+  "CMakeFiles/sgnn_tensor.dir/ops.cc.o.d"
+  "libsgnn_tensor.a"
+  "libsgnn_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgnn_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core_test.cc" "tests/CMakeFiles/core_test.dir/core_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sgnn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/coarsen/CMakeFiles/sgnn_coarsen.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/sgnn_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/algebra/CMakeFiles/sgnn_algebra.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/sgnn_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/sgnn_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/ppr/CMakeFiles/sgnn_ppr.dir/DependInfo.cmake"
+  "/root/repo/build/src/sampling/CMakeFiles/sgnn_sampling.dir/DependInfo.cmake"
+  "/root/repo/build/src/similarity/CMakeFiles/sgnn_similarity.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparsify/CMakeFiles/sgnn_sparsify.dir/DependInfo.cmake"
+  "/root/repo/build/src/spectral/CMakeFiles/sgnn_spectral.dir/DependInfo.cmake"
+  "/root/repo/build/src/subgraph/CMakeFiles/sgnn_subgraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/sgnn_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/sgnn_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sgnn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

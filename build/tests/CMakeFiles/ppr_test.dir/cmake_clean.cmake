@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppr_test.dir/ppr_test.cc.o"
+  "CMakeFiles/ppr_test.dir/ppr_test.cc.o.d"
+  "ppr_test"
+  "ppr_test.pdb"
+  "ppr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
