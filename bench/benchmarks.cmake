@@ -1,10 +1,12 @@
 # One google-benchmark binary per experiment in DESIGN.md's index
-# (E1..E16). Included from the top-level CMakeLists so that build/bench/
+# (E1..E17). Included from the top-level CMakeLists so that build/bench/
 # contains ONLY the benchmark binaries (the canonical run command is
-# `for b in build/bench/*; do $b; done`).
+# `for b in build/bench/*; do $b; done`). Extra arguments are additional
+# libraries to link beyond sgnn_core.
 function(sgnn_add_bench name)
   add_executable(${name} bench/${name}.cc)
-  target_link_libraries(${name} PRIVATE sgnn_core benchmark::benchmark)
+  target_link_libraries(${name} PRIVATE sgnn_core ${ARGN}
+                        benchmark::benchmark)
   set_target_properties(${name} PROPERTIES
     RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
 endfunction()
@@ -25,3 +27,4 @@ sgnn_add_bench(bench_memory)      # E13
 sgnn_add_bench(bench_ablation)   # E14
 sgnn_add_bench(bench_distributed) # E15
 sgnn_add_bench(bench_transformer) # E16
+sgnn_add_bench(bench_serve sgnn_serve) # E17

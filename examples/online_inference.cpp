@@ -1,0 +1,93 @@
+// Online inference serving (the deployment story).
+//
+// Train a decoupled SGC model offline, freeze its MLP head, and stand up a
+// BatchingServer that answers single-node classification requests online:
+// requests queue into dynamic micro-batches, k-hop ego-net propagation
+// computes embeddings on demand, and the historical embedding cache turns
+// repeat traffic into propagation-free hits. The printed metrics show the
+// serving-side levers: batch size amortises the MLP forward, the cache
+// amortises the graph gather.
+
+#include <cstdio>
+#include <future>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/dataset.h"
+#include "core/pipeline.h"
+#include "models/decoupled.h"
+#include "serve/batching_server.h"
+#include "serve/handoff.h"
+
+int main() {
+  using namespace sgnn;
+
+  // --- Offline: train the model as usual. ---
+  core::SbmDatasetConfig dconfig;
+  dconfig.sbm = {.num_nodes = 5000, .num_classes = 4, .avg_degree = 12,
+                 .homophily = 0.85};
+  dconfig.feature_dim = 16;
+  dconfig.feature_noise = 0.6;
+  core::Dataset dataset = core::MakeSbmDataset(dconfig, 11);
+
+  nn::TrainConfig config;
+  config.epochs = 60;
+  config.hidden_dim = 32;
+  config.lr = 0.02;
+
+  const int hops = 2;
+  core::Pipeline pipeline;
+  pipeline.SetModel(
+      "sgc", [&](const graph::CsrGraph& g, const tensor::Matrix& x,
+                 std::span<const int> labels, const models::NodeSplits& splits,
+                 const nn::TrainConfig& train_config) {
+        return models::TrainSgc(g, x, labels, splits, train_config,
+                                models::SgcConfig{.hops = hops});
+      });
+  core::PipelineReport report = pipeline.Run(dataset, config);
+  std::printf("offline training:\n%s\n", report.ToString().c_str());
+
+  // --- Online: freeze the head and serve. ---
+  serve::ServeConfig serve_config;
+  serve_config.max_batch = 16;
+  serve_config.max_delay_micros = 500;
+  serve_config.num_workers = 2;
+  auto server_or = serve::ServePipeline(dataset, report, hops, serve_config);
+  if (!server_or.ok()) {
+    std::printf("handoff failed: %s\n", server_or.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<serve::BatchingServer> server =
+      std::move(server_or).value();
+
+  // Simulate a client: two passes over a hot set of nodes. The second
+  // pass is served from the embedding cache without touching the graph.
+  common::Rng rng(7);
+  std::vector<graph::NodeId> hot;
+  for (int i = 0; i < 400; ++i) {
+    hot.push_back(static_cast<graph::NodeId>(
+        rng.UniformInt(static_cast<uint64_t>(dataset.num_nodes()) / 10)));
+  }
+  int correct = 0;
+  for (int pass = 0; pass < 2; ++pass) {
+    std::vector<std::future<serve::InferenceResponse>> futures;
+    for (graph::NodeId u : hot) {
+      auto future_or = server->Submit(u);
+      if (future_or.ok()) futures.push_back(std::move(future_or).value());
+    }
+    for (auto& future : futures) {
+      serve::InferenceResponse response = future.get();
+      if (pass == 1 &&
+          response.predicted_class == dataset.labels[response.node]) {
+        ++correct;
+      }
+    }
+  }
+  server->Shutdown();
+
+  serve::ServeMetricsSnapshot snap = server->Metrics();
+  std::printf("online serving:\n%s\n", snap.ToString().c_str());
+  std::printf("hot-set accuracy %.3f (train/test accuracy above)\n",
+              static_cast<double>(correct) / static_cast<double>(hot.size()));
+  return 0;
+}

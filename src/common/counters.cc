@@ -1,12 +1,61 @@
 #include "common/counters.h"
 
+#include <algorithm>
 #include <cstdio>
+#include <mutex>
+#include <vector>
 
 namespace sgnn::common {
 
+namespace {
+
+/// Book-keeping shared by all threads' counter slots. Live slots are listed
+/// so `AggregateThreadCounters` can read them; a thread's totals move into
+/// `retired` when the thread exits so its work is never lost.
+struct CounterRegistry {
+  std::mutex mu;
+  std::vector<const OpCounters*> live;
+  OpCounters retired;
+};
+
+CounterRegistry& Registry() {
+  static CounterRegistry* registry = new CounterRegistry();  // Never freed:
+  return *registry;  // thread slots may unregister during process teardown.
+}
+
+/// One thread's counter instance; registers on first use, retires its
+/// totals on thread exit.
+struct ThreadCounterSlot {
+  OpCounters counters;
+
+  ThreadCounterSlot() {
+    CounterRegistry& registry = Registry();
+    std::lock_guard<std::mutex> lock(registry.mu);
+    registry.live.push_back(&counters);
+  }
+
+  ~ThreadCounterSlot() {
+    CounterRegistry& registry = Registry();
+    std::lock_guard<std::mutex> lock(registry.mu);
+    registry.retired.MergeFrom(counters);
+    auto it = std::find(registry.live.begin(), registry.live.end(), &counters);
+    if (it != registry.live.end()) registry.live.erase(it);
+  }
+};
+
+}  // namespace
+
 OpCounters& GlobalCounters() {
-  static OpCounters counters;  // Trivially destructible POD: allowed static.
-  return counters;
+  thread_local ThreadCounterSlot slot;
+  return slot.counters;
+}
+
+OpCounters AggregateThreadCounters() {
+  CounterRegistry& registry = Registry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  OpCounters total = registry.retired;
+  for (const OpCounters* c : registry.live) total.MergeFrom(*c);
+  return total;
 }
 
 std::string OpCounters::ToString() const {

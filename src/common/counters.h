@@ -39,15 +39,34 @@ struct OpCounters {
     resident_floats = (n > resident_floats) ? 0 : resident_floats - n;
   }
 
+  /// Accumulates `other` into this counter set. Peaks add (the sum of
+  /// per-thread peaks upper-bounds the true simultaneous peak).
+  void MergeFrom(const OpCounters& other) {
+    edges_touched += other.edges_touched;
+    floats_moved += other.floats_moved;
+    peak_resident_floats += other.peak_resident_floats;
+    resident_floats += other.resident_floats;
+  }
+
   std::string ToString() const;
 };
 
-/// Process-wide counter instance incremented by instrumented kernels.
-/// Plain (non-atomic) because the library is single-threaded by design.
+/// Per-thread counter instance incremented by instrumented kernels. Each
+/// thread owns a private (plain, uncontended) instance, so kernels stay as
+/// cheap as the historical single-threaded globals and a single-threaded
+/// program observes exactly the historical values.
 OpCounters& GlobalCounters();
+
+/// Sums the counters of every thread that ever called `GlobalCounters()`:
+/// live threads contribute their current values, exited threads the values
+/// they retired with. Counts from threads still running are a relaxed
+/// snapshot (they may be mid-increment); for exact totals, call after the
+/// workers of interest have quiesced or joined.
+OpCounters AggregateThreadCounters();
 
 /// Captures the counter state at construction and exposes the delta since,
 /// so a caller can attribute work to a region without resetting globals.
+/// Thread-scoped: it observes only the calling thread's counters.
 class ScopedCounterDelta {
  public:
   ScopedCounterDelta() : base_(GlobalCounters()) {}

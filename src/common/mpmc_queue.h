@@ -1,0 +1,107 @@
+#ifndef SGNN_COMMON_MPMC_QUEUE_H_
+#define SGNN_COMMON_MPMC_QUEUE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+
+#include "common/check.h"
+#include "common/status.h"
+
+namespace sgnn::common {
+
+/// Bounded multi-producer / multi-consumer queue with reject-on-full
+/// backpressure: producers never block, they get `kUnavailable` when the
+/// queue is at capacity so the caller can shed load or retry. Consumers
+/// wait with a deadline, which is what a micro-batching drain loop needs.
+template <typename T>
+class BoundedMpmcQueue {
+ public:
+  explicit BoundedMpmcQueue(size_t capacity) : capacity_(capacity) {
+    SGNN_CHECK_GT(capacity, 0u);
+  }
+
+  BoundedMpmcQueue(const BoundedMpmcQueue&) = delete;
+  BoundedMpmcQueue& operator=(const BoundedMpmcQueue&) = delete;
+
+  /// Enqueues without blocking. `kUnavailable` when full (backpressure),
+  /// `kFailedPrecondition` after `Close()`.
+  Status TryPush(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_) {
+        return Status::FailedPrecondition("queue is closed");
+      }
+      if (items_.size() >= capacity_) {
+        return Status::Unavailable("queue is full");
+      }
+      items_.push_back(std::move(item));
+    }
+    not_empty_.notify_one();
+    return Status::OK();
+  }
+
+  /// Dequeues into `*out`, waiting up to `timeout`. Returns false on
+  /// timeout, or when the queue is closed and drained; spurious wakeups are
+  /// absorbed internally.
+  template <typename Rep, typename Period>
+  bool WaitPop(T* out, std::chrono::duration<Rep, Period> timeout) {
+    SGNN_CHECK(out != nullptr);
+    std::unique_lock<std::mutex> lock(mu_);
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    while (items_.empty()) {
+      if (closed_) return false;
+      if (not_empty_.wait_until(lock, deadline) == std::cv_status::timeout &&
+          items_.empty()) {
+        return false;
+      }
+    }
+    *out = std::move(items_.front());
+    items_.pop_front();
+    return true;
+  }
+
+  /// Non-blocking dequeue; false when empty.
+  bool TryPop(T* out) {
+    SGNN_CHECK(out != nullptr);
+    std::lock_guard<std::mutex> lock(mu_);
+    if (items_.empty()) return false;
+    *out = std::move(items_.front());
+    items_.pop_front();
+    return true;
+  }
+
+  /// Rejects all future pushes and wakes blocked consumers; already-queued
+  /// items remain poppable (drain-then-stop shutdown).
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace sgnn::common
+
+#endif  // SGNN_COMMON_MPMC_QUEUE_H_

@@ -17,6 +17,7 @@ enum class StatusCode {
   kFailedPrecondition,
   kIOError,
   kInternal,
+  kUnavailable,
 };
 
 /// Returns a short human-readable name such as "InvalidArgument".
@@ -58,6 +59,10 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  /// Transient overload (e.g. a full request queue): the caller may retry.
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,52 @@
+#ifndef SGNN_COMMON_THREAD_POOL_H_
+#define SGNN_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sgnn::common {
+
+/// Fixed-size worker pool executing submitted closures FIFO. The internal
+/// task list is unbounded; callers that need backpressure bound their own
+/// admission (see `BoundedMpmcQueue` and `serve::BatchingServer`).
+///
+/// Destruction drains: queued tasks still run before the workers join, so
+/// work submitted before shutdown is never silently dropped.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Schedules `fn` on some worker. Must not be called after `Shutdown`.
+  void Submit(std::function<void()> fn);
+
+  /// Blocks until every queued and running task has finished.
+  void WaitIdle();
+
+  /// Drains remaining tasks and joins the workers; idempotent.
+  void Shutdown();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> tasks_;
+  std::vector<std::thread> workers_;
+  int active_ = 0;      ///< Tasks currently executing.
+  bool stopping_ = false;
+};
+
+}  // namespace sgnn::common
+
+#endif  // SGNN_COMMON_THREAD_POOL_H_

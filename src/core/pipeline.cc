@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "common/check.h"
+#include "common/counters.h"
 #include "common/timer.h"
 
 namespace sgnn::core {
@@ -11,8 +12,9 @@ std::string PipelineReport::ToString() const {
   std::string out;
   char buf[256];
   for (const StageTiming& stage : stages) {
-    std::snprintf(buf, sizeof(buf), "stage %-24s %8.3fs\n",
-                  stage.name.c_str(), stage.seconds);
+    std::snprintf(buf, sizeof(buf), "stage %-24s %8.3fs  [%s]\n",
+                  stage.name.c_str(), stage.seconds,
+                  stage.ops.ToString().c_str());
     out += buf;
   }
   std::snprintf(buf, sizeof(buf),
@@ -61,22 +63,28 @@ PipelineReport Pipeline::Run(const Dataset& dataset,
   graph::CsrGraph graph = dataset.graph;
   tensor::Matrix features = dataset.features;
   for (const auto& stage : edits_) {
+    common::ScopedCounterDelta counters;
     common::WallTimer timer;
     graph = stage->Edit(graph, features);
-    report.stages.push_back({stage->name(), timer.Seconds()});
+    report.stages.push_back(
+        {stage->name(), timer.Seconds(), counters.Delta()});
   }
   for (const auto& stage : analytics_) {
+    common::ScopedCounterDelta counters;
     common::WallTimer timer;
     features = stage->Augment(graph, features);
-    report.stages.push_back({stage->name(), timer.Seconds()});
+    report.stages.push_back(
+        {stage->name(), timer.Seconds(), counters.Delta()});
   }
   report.edges_after = graph.num_edges();
   report.feature_cols_after = features.cols();
 
+  common::ScopedCounterDelta counters;
   common::WallTimer timer;
   report.model =
       model_(graph, features, dataset.labels, dataset.splits, config);
-  report.stages.push_back({"train:" + model_name_, timer.Seconds()});
+  report.stages.push_back(
+      {"train:" + model_name_, timer.Seconds(), counters.Delta()});
   return report;
 }
 

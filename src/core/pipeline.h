@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/counters.h"
 #include "core/dataset.h"
 
 namespace sgnn::core {
@@ -38,10 +39,13 @@ using ModelFn = std::function<models::ModelResult(
     const graph::CsrGraph&, const tensor::Matrix&, std::span<const int>,
     const models::NodeSplits&, const nn::TrainConfig&)>;
 
-/// Per-stage timing entry of a pipeline run.
+/// Per-stage timing entry of a pipeline run, with the work-counter delta
+/// the stage accounted for (`ScopedCounterDelta`), so preprocessing,
+/// training, and serving all report in the same units.
 struct StageTiming {
   std::string name;
   double seconds = 0.0;
+  common::OpCounters ops;
 };
 
 struct PipelineReport {

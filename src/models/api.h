@@ -2,6 +2,7 @@
 #define SGNN_MODELS_API_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -30,6 +31,12 @@ struct ModelResult {
   std::string name;
   nn::TrainReport report;
   common::OpCounters ops;
+  /// The fitted classification head, populated by decoupled trainers whose
+  /// inference path is "propagate, then MLP" (SGC, SIGN, PPRGo, spectral,
+  /// implicit). Shared so results stay copyable; null for models whose
+  /// forward pass is not a plain MLP over precomputed embeddings. This is
+  /// the hook `serve::FrozenModel` freezes for online inference.
+  std::shared_ptr<nn::Mlp> fitted_head;
 };
 
 /// Tracks the best validation accuracy and the test accuracy achieved at

@@ -26,23 +26,26 @@ int NumClasses(std::span<const int> labels) {
 }
 
 /// Shared tail for precompute-style models: train an MLP head on fixed
-/// embeddings and package the result.
+/// embeddings and package the result, keeping the fitted head so the run
+/// can be frozen into an inference artifact (`serve::FrozenModel`).
 ModelResult FitHead(const char* name, const Matrix& embeddings,
                     std::span<const int> labels, const NodeSplits& splits,
                     const nn::TrainConfig& config,
                     common::ScopedCounterDelta* counters,
                     common::WallTimer* timer) {
   common::Rng rng(config.seed);
-  nn::Mlp head({embeddings.cols(), config.hidden_dim,
-                static_cast<int64_t>(NumClasses(labels))},
-               config.dropout, &rng);
+  auto head = std::make_shared<nn::Mlp>(
+      std::vector<int64_t>{embeddings.cols(), config.hidden_dim,
+                           static_cast<int64_t>(NumClasses(labels))},
+      config.dropout, &rng);
   ModelResult result;
   result.name = name;
-  result.report = nn::TrainMlpOnEmbeddings(&head, embeddings, labels,
+  result.report = nn::TrainMlpOnEmbeddings(head.get(), embeddings, labels,
                                            splits.train, splits.val,
                                            splits.test, config);
   result.report.train_seconds = timer->Seconds();
   result.ops = counters->Delta();
+  result.fitted_head = std::move(head);
   return result;
 }
 

@@ -38,6 +38,10 @@ class Mlp {
   int64_t in_dim() const { return layers_.front().in_dim(); }
   int64_t out_dim() const { return layers_.back().out_dim(); }
 
+  /// Read access to the fitted layers, so inference artifacts
+  /// (`serve::FrozenModel`) can snapshot the weights without mutating them.
+  const std::vector<Linear>& layers() const { return layers_; }
+
  private:
   std::vector<Linear> layers_;
   double dropout_;

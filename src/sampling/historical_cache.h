@@ -20,6 +20,9 @@ class HistoricalEmbeddingCache {
   HistoricalEmbeddingCache(graph::NodeId num_nodes, int64_t dim);
 
   int64_t dim() const { return store_.cols(); }
+  graph::NodeId num_nodes() const {
+    return static_cast<graph::NodeId>(written_at_.size());
+  }
 
   bool Has(graph::NodeId u) const { return written_at_[u] >= 0; }
 

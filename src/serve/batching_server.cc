@@ -1,0 +1,179 @@
+#include "serve/batching_server.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+#include "common/counters.h"
+
+namespace sgnn::serve {
+
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+double MicrosSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::micro>(Clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+BatchingServer::BatchingServer(FrozenModel model, EmbeddingFn embed_fn,
+                               graph::NodeId num_nodes,
+                               const ServeConfig& config)
+    : config_(config),
+      model_(std::move(model)),
+      embed_fn_(std::move(embed_fn)),
+      queue_(config.queue_capacity),
+      pool_(std::make_unique<common::ThreadPool>(config.num_workers)),
+      cache_(num_nodes, model_.in_dim()) {
+  SGNN_CHECK_GE(config.max_batch, 1);
+  SGNN_CHECK_GE(config.max_delay_micros, 0);
+  SGNN_CHECK_GE(config.num_workers, 1);
+  SGNN_CHECK_GE(config.max_staleness, 0);
+  SGNN_CHECK(embed_fn_ != nullptr);
+  base_ops_ = common::AggregateThreadCounters();
+  batcher_ = std::thread([this] { BatcherLoop(); });
+}
+
+BatchingServer::~BatchingServer() { Shutdown(); }
+
+common::StatusOr<std::future<InferenceResponse>> BatchingServer::Submit(
+    graph::NodeId node) {
+  if (node >= cache_.num_nodes()) {
+    return common::Status::InvalidArgument("node id out of range");
+  }
+  Request request;
+  request.node = node;
+  request.enqueue_time = Clock::now();
+  std::future<InferenceResponse> future = request.promise.get_future();
+  common::Status status = queue_.TryPush(std::move(request));
+  if (!status.ok()) {
+    if (status.code() == common::StatusCode::kUnavailable) {
+      metrics_.RecordRejected();
+    }
+    return status;
+  }
+  return future;
+}
+
+void BatchingServer::WarmCache(const tensor::Matrix& embeddings) {
+  SGNN_CHECK_EQ(embeddings.rows(), static_cast<int64_t>(cache_.num_nodes()));
+  SGNN_CHECK_EQ(embeddings.cols(), model_.in_dim());
+  const int64_t step = step_.load(std::memory_order_relaxed);
+  std::unique_lock<std::shared_mutex> lock(cache_mu_);
+  for (int64_t u = 0; u < embeddings.rows(); ++u) {
+    cache_.Put(static_cast<graph::NodeId>(u), embeddings.Row(u), step);
+  }
+}
+
+ServeMetricsSnapshot BatchingServer::Metrics() const {
+  ServeMetricsSnapshot snap = metrics_.Snapshot();
+  const common::OpCounters now = common::AggregateThreadCounters();
+  snap.ops.edges_touched = now.edges_touched - base_ops_.edges_touched;
+  snap.ops.floats_moved = now.floats_moved - base_ops_.floats_moved;
+  snap.ops.peak_resident_floats = now.peak_resident_floats;
+  snap.ops.resident_floats = now.resident_floats;
+  return snap;
+}
+
+void BatchingServer::Shutdown() {
+  bool expected = false;
+  if (!shutdown_.compare_exchange_strong(expected, true)) return;
+  queue_.Close();
+  if (batcher_.joinable()) batcher_.join();
+  pool_->Shutdown();  // Drains submitted batches before joining.
+}
+
+void BatchingServer::BatcherLoop() {
+  const auto max_delay = std::chrono::microseconds(config_.max_delay_micros);
+  const auto idle_poll = std::chrono::milliseconds(5);
+  for (;;) {
+    Request first;
+    if (!queue_.WaitPop(&first, idle_poll)) {
+      // Timeout, or closed-and-drained: only the latter ends the loop (no
+      // new item can arrive after Close, so this is a stable condition).
+      if (queue_.closed() && queue_.size() == 0) return;
+      continue;
+    }
+    auto batch = std::make_shared<std::vector<Request>>();
+    batch->push_back(std::move(first));
+    const auto deadline = Clock::now() + max_delay;
+    while (static_cast<int>(batch->size()) < config_.max_batch) {
+      const auto now = Clock::now();
+      if (now >= deadline) break;
+      Request next;
+      if (!queue_.WaitPop(&next, deadline - now)) break;
+      batch->push_back(std::move(next));
+    }
+    metrics_.RecordBatch(batch->size(), queue_.size());
+
+    // Admit at most num_workers concurrent batches: while this waits, the
+    // bounded queue fills and Submit starts rejecting — backpressure
+    // reaches the client instead of growing an invisible backlog.
+    {
+      std::unique_lock<std::mutex> lock(inflight_mu_);
+      inflight_cv_.wait(lock,
+                        [this] { return in_flight_ < config_.num_workers; });
+      ++in_flight_;
+    }
+    pool_->Submit([this, batch] {
+      ProcessBatch(batch.get());
+      {
+        std::lock_guard<std::mutex> lock(inflight_mu_);
+        --in_flight_;
+      }
+      inflight_cv_.notify_one();
+    });
+  }
+}
+
+void BatchingServer::ProcessBatch(std::vector<Request>* batch) {
+  const int64_t step = step_.fetch_add(1, std::memory_order_relaxed);
+  const int64_t n = static_cast<int64_t>(batch->size());
+  const int64_t dim = model_.in_dim();
+
+  tensor::Matrix embeddings(n, dim);
+  std::vector<bool> hit(static_cast<size_t>(n), false);
+  for (int64_t i = 0; i < n; ++i) {
+    const graph::NodeId node = (*batch)[static_cast<size_t>(i)].node;
+    {
+      std::shared_lock<std::shared_mutex> lock(cache_mu_);
+      const int64_t staleness = cache_.Staleness(node, step);
+      if (staleness >= 0 && staleness <= config_.max_staleness) {
+        auto row = cache_.Get(node);
+        std::copy(row.begin(), row.end(), embeddings.Row(i).begin());
+        hit[static_cast<size_t>(i)] = true;
+      }
+    }
+    if (!hit[static_cast<size_t>(i)]) {
+      embed_fn_(node, embeddings.Row(i));
+      if (config_.update_cache) {
+        std::unique_lock<std::shared_mutex> lock(cache_mu_);
+        cache_.Put(node, embeddings.Row(i), step);
+      }
+    }
+  }
+
+  // The micro-batching win: one head forward for the whole batch.
+  tensor::Matrix logits;
+  model_.Forward(embeddings, &logits);
+
+  for (int64_t i = 0; i < n; ++i) {
+    Request& request = (*batch)[static_cast<size_t>(i)];
+    InferenceResponse response;
+    response.node = request.node;
+    auto row = logits.Row(i);
+    response.logits.assign(row.begin(), row.end());
+    response.predicted_class = static_cast<int>(
+        std::max_element(row.begin(), row.end()) - row.begin());
+    response.cache_hit = hit[static_cast<size_t>(i)];
+    response.latency_micros = MicrosSince(request.enqueue_time);
+    metrics_.RecordRequest(response.latency_micros,
+                           response.cache_hit);
+    request.promise.set_value(std::move(response));
+  }
+}
+
+}  // namespace sgnn::serve

@@ -1,0 +1,146 @@
+#ifndef SGNN_SERVE_BATCHING_SERVER_H_
+#define SGNN_SERVE_BATCHING_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <future>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <thread>
+#include <vector>
+
+#include "common/mpmc_queue.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "graph/types.h"
+#include "sampling/historical_cache.h"
+#include "serve/frozen_model.h"
+#include "serve/metrics.h"
+#include "tensor/matrix.h"
+
+namespace sgnn::serve {
+
+/// Tuning knobs of the online inference server.
+struct ServeConfig {
+  /// Flush a micro-batch at this many requests...
+  int max_batch = 32;
+  /// ...or once the oldest request in the forming batch has waited this
+  /// long, whichever comes first.
+  int64_t max_delay_micros = 1000;
+  /// Admission-queue bound; submissions beyond it are rejected with
+  /// `kUnavailable` (backpressure) instead of blocking.
+  size_t queue_capacity = 1024;
+  /// Threads executing batches. In-flight batches are capped at this
+  /// number, so pressure propagates back to the admission queue.
+  int num_workers = 2;
+  /// Embedding-cache entries older than this many flushed batches are
+  /// recomputed; default accepts any staleness (weights are frozen, so
+  /// cached embeddings only go stale if the graph/features change
+  /// underneath the server).
+  int64_t max_staleness = std::numeric_limits<int64_t>::max();
+  /// Write freshly computed embeddings back into the cache.
+  bool update_cache = true;
+};
+
+/// Answer to a single-node classification request.
+struct InferenceResponse {
+  graph::NodeId node = 0;
+  std::vector<float> logits;
+  int predicted_class = 0;
+  bool cache_hit = false;           ///< Embedding came from the cache.
+  double latency_micros = 0.0;      ///< Enqueue to fulfilment.
+};
+
+/// Computes a node's embedding into the provided row buffer. Must be
+/// thread-safe; called concurrently from worker threads on cache misses.
+using EmbeddingFn = std::function<void(graph::NodeId, std::span<float>)>;
+
+/// Online inference server: clients submit single-node classification
+/// requests; a batcher thread coalesces them into dynamic micro-batches
+/// (flush on `max_batch` or `max_delay_micros`); worker threads resolve
+/// each batch by consulting the shared `HistoricalEmbeddingCache` first —
+/// hits skip feature gathering and propagation entirely — computing misses
+/// via the `EmbeddingFn`, and running the frozen head once per batch.
+///
+/// The first concurrent subsystem in the library: admission is lossy by
+/// design (`kUnavailable` when the bounded queue is full), shutdown drains
+/// (every admitted request is answered), and all shared state is either
+/// immutable (`FrozenModel`), lock-protected (cache, metrics), or
+/// thread-local (work counters).
+class BatchingServer {
+ public:
+  /// Serves `model` over `num_nodes` nodes whose embeddings `embed_fn`
+  /// computes on demand. The embedding dimension is `model.in_dim()`.
+  BatchingServer(FrozenModel model, EmbeddingFn embed_fn,
+                 graph::NodeId num_nodes, const ServeConfig& config);
+
+  /// Drains and stops.
+  ~BatchingServer();
+
+  BatchingServer(const BatchingServer&) = delete;
+  BatchingServer& operator=(const BatchingServer&) = delete;
+
+  /// Enqueues a classification request for node `node`. Returns the future
+  /// carrying the response, or `kUnavailable` when the server is saturated
+  /// (backpressure; the caller may retry) / `kFailedPrecondition` after
+  /// shutdown. Thread-safe.
+  common::StatusOr<std::future<InferenceResponse>> Submit(graph::NodeId node);
+
+  /// Pre-populates the embedding cache with row `u` of `embeddings` for
+  /// every node (e.g. the training-time S^K X), so serving starts warm.
+  void WarmCache(const tensor::Matrix& embeddings);
+
+  /// Current metrics snapshot, including the work counters accumulated by
+  /// the serving threads since construction. Thread-safe.
+  ServeMetricsSnapshot Metrics() const;
+
+  /// Stops admissions, flushes every queued request, joins all threads.
+  /// Idempotent; also run by the destructor.
+  void Shutdown();
+
+  const ServeConfig& config() const { return config_; }
+
+ private:
+  struct Request {
+    graph::NodeId node = 0;
+    std::promise<InferenceResponse> promise;
+    std::chrono::steady_clock::time_point enqueue_time;
+  };
+
+  void BatcherLoop();
+  void ProcessBatch(std::vector<Request>* batch);
+
+  const ServeConfig config_;
+  const FrozenModel model_;
+  const EmbeddingFn embed_fn_;
+
+  common::BoundedMpmcQueue<Request> queue_;
+  std::unique_ptr<common::ThreadPool> pool_;
+
+  /// Embedding cache shared across worker threads; reads take the shared
+  /// lock (concurrent), writes the exclusive lock.
+  mutable std::shared_mutex cache_mu_;
+  sampling::HistoricalEmbeddingCache cache_;
+  /// Monotone batch counter: the cache's staleness clock at serve time.
+  std::atomic<int64_t> step_{0};
+
+  /// In-flight batch cap (== num_workers): keeps pressure on the admission
+  /// queue instead of an unbounded pool backlog.
+  std::mutex inflight_mu_;
+  std::condition_variable inflight_cv_;
+  int in_flight_ = 0;
+
+  ServeMetrics metrics_;
+  common::OpCounters base_ops_;  ///< Aggregate counters at construction.
+
+  std::atomic<bool> shutdown_{false};
+  std::thread batcher_;
+};
+
+}  // namespace sgnn::serve
+
+#endif  // SGNN_SERVE_BATCHING_SERVER_H_

@@ -1,0 +1,47 @@
+#include "serve/frozen_model.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "tensor/ops.h"
+
+namespace sgnn::serve {
+
+using tensor::Matrix;
+
+FrozenModel FrozenModel::FromMlp(const nn::Mlp& mlp) {
+  SGNN_CHECK(!mlp.layers().empty());
+  std::vector<FrozenLayer> layers;
+  layers.reserve(mlp.layers().size());
+  for (const nn::Linear& layer : mlp.layers()) {
+    layers.push_back({layer.weight(), layer.bias()});
+  }
+  return FrozenModel(std::move(layers));
+}
+
+void FrozenModel::Forward(const Matrix& x, Matrix* logits) const {
+  SGNN_CHECK(logits != nullptr);
+  SGNN_CHECK_EQ(x.cols(), in_dim());
+  Matrix cur = x;
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    Matrix out;
+    tensor::Gemm(cur, layers_[l].weight, &out);
+    tensor::AddBiasRow(layers_[l].bias.Row(0), &out);
+    if (l + 1 < layers_.size()) tensor::Relu(&out);
+    cur = std::move(out);
+  }
+  *logits = std::move(cur);
+}
+
+int FrozenModel::Predict(std::span<const float> embedding) const {
+  SGNN_CHECK_EQ(static_cast<int64_t>(embedding.size()), in_dim());
+  Matrix x(1, in_dim());
+  std::copy(embedding.begin(), embedding.end(), x.Row(0).begin());
+  Matrix logits;
+  Forward(x, &logits);
+  auto row = logits.Row(0);
+  return static_cast<int>(
+      std::max_element(row.begin(), row.end()) - row.begin());
+}
+
+}  // namespace sgnn::serve

@@ -1,0 +1,37 @@
+#include "serve/handoff.h"
+
+#include <utility>
+
+#include "serve/khop_embedder.h"
+
+namespace sgnn::serve {
+
+common::StatusOr<std::unique_ptr<BatchingServer>> ServePipeline(
+    const core::Dataset& dataset, const core::PipelineReport& report,
+    int hops, const ServeConfig& config) {
+  if (report.model.fitted_head == nullptr) {
+    return common::Status::FailedPrecondition(
+        "model '" + report.model.name +
+        "' carries no fitted MLP head to freeze");
+  }
+  FrozenModel model = FrozenModel::FromMlp(*report.model.fitted_head);
+  if (model.in_dim() != dataset.features.cols()) {
+    return common::Status::InvalidArgument(
+        "fitted head expects " + std::to_string(model.in_dim()) +
+        "-dim embeddings but the dataset has " +
+        std::to_string(dataset.features.cols()) +
+        "-dim features; serve the model whose embedding is S^K X "
+        "(e.g. SGC), not a concatenation model");
+  }
+  auto embedder = std::make_shared<KHopEmbedder>(dataset.graph,
+                                                 dataset.features, hops);
+  EmbeddingFn embed_fn = [embedder](graph::NodeId node,
+                                    std::span<float> out) {
+    embedder->Embed(node, out);
+  };
+  return std::make_unique<BatchingServer>(std::move(model),
+                                          std::move(embed_fn),
+                                          dataset.num_nodes(), config);
+}
+
+}  // namespace sgnn::serve

@@ -1,0 +1,29 @@
+#ifndef SGNN_SERVE_HANDOFF_H_
+#define SGNN_SERVE_HANDOFF_H_
+
+#include <memory>
+
+#include "common/status.h"
+#include "core/dataset.h"
+#include "core/pipeline.h"
+#include "serve/batching_server.h"
+
+namespace sgnn::serve {
+
+/// Train-to-serve handoff (`Pipeline::Run` -> online inference): freezes
+/// the fitted head carried by `report.model` and stands up a
+/// `BatchingServer` whose cache misses are resolved by exact `hops`-hop
+/// ego-net propagation over `dataset`'s graph and features — the serving
+/// twin of the SGC-style decoupled training path, so `hops` should match
+/// the trained model's propagation depth.
+///
+/// `dataset` must outlive the returned server. Fails with
+/// `kFailedPrecondition` when the pipeline's model carries no fitted head
+/// (e.g. label propagation or a sampled GNN).
+common::StatusOr<std::unique_ptr<BatchingServer>> ServePipeline(
+    const core::Dataset& dataset, const core::PipelineReport& report,
+    int hops, const ServeConfig& config);
+
+}  // namespace sgnn::serve
+
+#endif  // SGNN_SERVE_HANDOFF_H_

@@ -1,0 +1,128 @@
+#include "serve/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace sgnn::serve {
+
+LatencyHistogram::LatencyHistogram() : buckets_(kNumBuckets, 0) {}
+
+int LatencyHistogram::BucketFor(double micros) {
+  if (micros <= kFirstBucketMicros) return 0;
+  const int b = static_cast<int>(
+      std::log(micros / kFirstBucketMicros) / std::log(kGrowth));
+  return std::min(b, kNumBuckets - 1);
+}
+
+void LatencyHistogram::Record(double micros) {
+  micros = std::max(micros, 0.0);
+  if (count_ == 0) {
+    min_micros_ = max_micros_ = micros;
+  } else {
+    min_micros_ = std::min(min_micros_, micros);
+    max_micros_ = std::max(max_micros_, micros);
+  }
+  ++buckets_[static_cast<size_t>(BucketFor(micros))];
+  ++count_;
+}
+
+double LatencyHistogram::Percentile(double q) const {
+  SGNN_CHECK(q >= 0.0 && q <= 1.0);
+  if (count_ == 0) return 0.0;
+  // Rank of the q-th sample (1-based, ceil), clamped into [1, count].
+  const uint64_t rank = std::max<uint64_t>(
+      1, static_cast<uint64_t>(std::ceil(q * static_cast<double>(count_))));
+  uint64_t seen = 0;
+  for (int b = 0; b < kNumBuckets; ++b) {
+    seen += buckets_[static_cast<size_t>(b)];
+    if (seen >= rank) {
+      const double lo = b == 0 ? 0.0
+                               : kFirstBucketMicros * std::pow(kGrowth, b);
+      const double hi = kFirstBucketMicros * std::pow(kGrowth, b + 1);
+      const double mid = b == 0 ? hi * 0.5 : std::sqrt(lo * hi);
+      return std::clamp(mid, min_micros_, max_micros_);
+    }
+  }
+  return max_micros_;
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_micros_ = other.min_micros_;
+    max_micros_ = other.max_micros_;
+  } else {
+    min_micros_ = std::min(min_micros_, other.min_micros_);
+    max_micros_ = std::max(max_micros_, other.max_micros_);
+  }
+  for (int b = 0; b < kNumBuckets; ++b) {
+    buckets_[static_cast<size_t>(b)] += other.buckets_[static_cast<size_t>(b)];
+  }
+  count_ += other.count_;
+}
+
+void ServeMetrics::RecordRequest(double latency_micros, bool cache_hit) {
+  std::lock_guard<std::mutex> lock(mu_);
+  latency_.Record(latency_micros);
+  ++requests_served_;
+  if (cache_hit) {
+    ++cache_hits_;
+  } else {
+    ++cache_misses_;
+  }
+}
+
+void ServeMetrics::RecordRejected() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++requests_rejected_;
+}
+
+void ServeMetrics::RecordBatch(uint64_t batch_size, uint64_t queue_depth) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++batches_;
+  batch_size_sum_ += batch_size;
+  max_batch_size_ = std::max(max_batch_size_, batch_size);
+  max_queue_depth_ = std::max(max_queue_depth_, queue_depth);
+}
+
+ServeMetricsSnapshot ServeMetrics::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ServeMetricsSnapshot snap;
+  snap.requests_served = requests_served_;
+  snap.requests_rejected = requests_rejected_;
+  snap.cache_hits = cache_hits_;
+  snap.cache_misses = cache_misses_;
+  snap.batches = batches_;
+  snap.mean_batch_size =
+      batches_ == 0 ? 0.0 : static_cast<double>(batch_size_sum_) /
+                                static_cast<double>(batches_);
+  snap.max_batch_size = max_batch_size_;
+  snap.max_queue_depth = max_queue_depth_;
+  snap.p50_micros = latency_.Percentile(0.50);
+  snap.p95_micros = latency_.Percentile(0.95);
+  snap.p99_micros = latency_.Percentile(0.99);
+  return snap;
+}
+
+std::string ServeMetricsSnapshot::ToString() const {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "served=%llu rejected=%llu hit_rate=%.3f batches=%llu "
+      "mean_batch=%.2f max_batch=%llu max_queue=%llu "
+      "p50=%.1fus p95=%.1fus p99=%.1fus",
+      static_cast<unsigned long long>(requests_served),
+      static_cast<unsigned long long>(requests_rejected), CacheHitRate(),
+      static_cast<unsigned long long>(batches), mean_batch_size,
+      static_cast<unsigned long long>(max_batch_size),
+      static_cast<unsigned long long>(max_queue_depth), p50_micros,
+      p95_micros, p99_micros);
+  std::string out(buf);
+  out += "\nops: " + ops.ToString();
+  return out;
+}
+
+}  // namespace sgnn::serve

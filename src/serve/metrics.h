@@ -1,0 +1,109 @@
+#ifndef SGNN_SERVE_METRICS_H_
+#define SGNN_SERVE_METRICS_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/counters.h"
+
+namespace sgnn::serve {
+
+/// Geometric-bucket latency histogram over microseconds: ~7% bucket
+/// resolution from 1 us to ~100 s, constant memory, O(buckets) percentile
+/// queries. Not internally synchronised — `ServeMetrics` guards it.
+class LatencyHistogram {
+ public:
+  LatencyHistogram();
+
+  void Record(double micros);
+
+  /// Latency at quantile `q` in [0, 1] (0.5 = p50). Returns the geometric
+  /// midpoint of the bucket holding the q-th sample, clamped to the exact
+  /// observed min/max; 0 when empty.
+  double Percentile(double q) const;
+
+  uint64_t count() const { return count_; }
+  double min_micros() const { return count_ ? min_micros_ : 0.0; }
+  double max_micros() const { return count_ ? max_micros_ : 0.0; }
+
+  void Merge(const LatencyHistogram& other);
+
+ private:
+  static constexpr double kFirstBucketMicros = 1.0;
+  static constexpr double kGrowth = 1.07;
+  static constexpr int kNumBuckets = 256;
+
+  static int BucketFor(double micros);
+
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  double min_micros_ = 0.0;
+  double max_micros_ = 0.0;
+};
+
+/// Point-in-time view of the serving metrics; everything a load test or
+/// dashboard row needs, in the same work units (`OpCounters`) the training
+/// side reports.
+struct ServeMetricsSnapshot {
+  uint64_t requests_served = 0;
+  uint64_t requests_rejected = 0;  ///< Backpressure (queue-full) rejections.
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t batches = 0;
+  double mean_batch_size = 0.0;
+  uint64_t max_batch_size = 0;
+  uint64_t max_queue_depth = 0;
+  double p50_micros = 0.0;
+  double p95_micros = 0.0;
+  double p99_micros = 0.0;
+  /// Work counters aggregated across the serving threads
+  /// (`common::AggregateThreadCounters` delta since server start).
+  common::OpCounters ops;
+
+  /// Hit fraction among served requests; 0 before any service.
+  double CacheHitRate() const {
+    const uint64_t total = cache_hits + cache_misses;
+    return total == 0 ? 0.0 : static_cast<double>(cache_hits) /
+                                  static_cast<double>(total);
+  }
+
+  std::string ToString() const;
+};
+
+/// Thread-safe recorder shared by the batcher and worker threads. One
+/// mutex suffices: recording happens once per request/batch, far off any
+/// inner loop.
+class ServeMetrics {
+ public:
+  ServeMetrics() = default;
+
+  /// Records one completed request with its end-to-end latency (enqueue to
+  /// promise fulfilment) and whether the embedding came from the cache.
+  void RecordRequest(double latency_micros, bool cache_hit);
+
+  void RecordRejected();
+
+  /// Records one flushed micro-batch and the queue depth observed when it
+  /// was formed (the batch-size and queue-depth distributions).
+  void RecordBatch(uint64_t batch_size, uint64_t queue_depth);
+
+  ServeMetricsSnapshot Snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  LatencyHistogram latency_;
+  uint64_t requests_served_ = 0;
+  uint64_t requests_rejected_ = 0;
+  uint64_t cache_hits_ = 0;
+  uint64_t cache_misses_ = 0;
+  uint64_t batches_ = 0;
+  uint64_t batch_size_sum_ = 0;
+  uint64_t max_batch_size_ = 0;
+  uint64_t max_queue_depth_ = 0;
+};
+
+}  // namespace sgnn::serve
+
+#endif  // SGNN_SERVE_METRICS_H_

@@ -1,13 +1,17 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <set>
+#include <thread>
 #include <vector>
 
 #include "common/counters.h"
+#include "common/mpmc_queue.h"
 #include "common/rng.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "common/timer.h"
 
 namespace sgnn::common {
@@ -203,6 +207,93 @@ TEST(CountersTest, ToStringMentionsFields) {
   OpCounters c;
   c.edges_touched = 3;
   EXPECT_NE(c.ToString().find("edges_touched=3"), std::string::npos);
+}
+
+TEST(CountersTest, AggregateSumsAcrossThreads) {
+  const OpCounters before = AggregateThreadCounters();
+  const uint64_t kPerThread = 1000;
+  const int kThreads = 4;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([kPerThread] {
+      // Each thread increments its own thread-local instance.
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        GlobalCounters().edges_touched += 1;
+        GlobalCounters().floats_moved += 2;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const OpCounters after = AggregateThreadCounters();
+  // Joined threads retire their totals, so the delta is exact.
+  EXPECT_EQ(after.edges_touched - before.edges_touched,
+            kPerThread * kThreads);
+  EXPECT_EQ(after.floats_moved - before.floats_moved,
+            2 * kPerThread * kThreads);
+}
+
+TEST(CountersTest, ThreadsObservePrivateCounters) {
+  const uint64_t main_edges = GlobalCounters().edges_touched;
+  std::thread worker([] { GlobalCounters().edges_touched += 12345; });
+  worker.join();
+  // The worker's increments never show up in this thread's instance.
+  EXPECT_EQ(GlobalCounters().edges_touched, main_edges);
+}
+
+TEST(MpmcQueueTest, RejectsWhenFullAcceptsAfterPop) {
+  BoundedMpmcQueue<int> queue(2);
+  EXPECT_TRUE(queue.TryPush(1).ok());
+  EXPECT_TRUE(queue.TryPush(2).ok());
+  Status full = queue.TryPush(3);
+  EXPECT_EQ(full.code(), StatusCode::kUnavailable);
+  int out = 0;
+  EXPECT_TRUE(queue.TryPop(&out));
+  EXPECT_EQ(out, 1);
+  EXPECT_TRUE(queue.TryPush(3).ok());
+  EXPECT_EQ(queue.size(), 2u);
+}
+
+TEST(MpmcQueueTest, CloseRejectsPushesButDrains) {
+  BoundedMpmcQueue<int> queue(4);
+  ASSERT_TRUE(queue.TryPush(7).ok());
+  queue.Close();
+  EXPECT_EQ(queue.TryPush(8).code(), StatusCode::kFailedPrecondition);
+  int out = 0;
+  EXPECT_TRUE(queue.WaitPop(&out, std::chrono::milliseconds(10)));
+  EXPECT_EQ(out, 7);
+  // Closed and drained: WaitPop returns immediately, not after timeout.
+  WallTimer timer;
+  EXPECT_FALSE(queue.WaitPop(&out, std::chrono::seconds(10)));
+  EXPECT_LT(timer.Seconds(), 5.0);
+}
+
+TEST(MpmcQueueTest, WaitPopTimesOutWhenEmpty) {
+  BoundedMpmcQueue<int> queue(1);
+  int out = 0;
+  EXPECT_FALSE(queue.WaitPop(&out, std::chrono::milliseconds(5)));
+}
+
+TEST(ThreadPoolTest, RunsAllSubmittedTasks) {
+  std::atomic<int> sum{0};
+  {
+    ThreadPool pool(4);
+    for (int i = 1; i <= 100; ++i) {
+      pool.Submit([&sum, i] { sum.fetch_add(i); });
+    }
+    pool.WaitIdle();
+    EXPECT_EQ(sum.load(), 5050);
+  }  // Destructor joins cleanly.
+  EXPECT_EQ(sum.load(), 5050);
+}
+
+TEST(ThreadPoolTest, ShutdownDrainsQueuedTasks) {
+  std::atomic<int> ran{0};
+  ThreadPool pool(1);
+  for (int i = 0; i < 50; ++i) {
+    pool.Submit([&ran] { ran.fetch_add(1); });
+  }
+  pool.Shutdown();  // Must run everything already submitted.
+  EXPECT_EQ(ran.load(), 50);
 }
 
 TEST(TimerTest, MeasuresForwardTime) {

@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <thread>
 #include <unordered_set>
 
 #include "graph/generators.h"
@@ -336,6 +338,82 @@ TEST(HistoricalCacheTest, OverwriteUpdatesStaleness) {
   cache.Put(0, b, 7);
   EXPECT_EQ(cache.Staleness(0, 8), 1);
   EXPECT_FLOAT_EQ(cache.Get(0)[0], 2.0f);
+}
+
+TEST(HistoricalCacheTest, HitRateMixedStalenessSweep) {
+  // Entries written at steps 0..9 have staleness 10-u at step 10, so with
+  // bound s exactly the s entries written at steps >= 10 - s qualify.
+  HistoricalEmbeddingCache cache(16, 2);
+  std::vector<float> emb = {1, 2};
+  std::vector<NodeId> nodes;
+  for (NodeId u = 0; u < 10; ++u) {
+    cache.Put(u, emb, static_cast<int64_t>(u));
+    nodes.push_back(u);
+  }
+  for (int64_t bound = 0; bound <= 10; ++bound) {
+    EXPECT_DOUBLE_EQ(cache.HitRate(nodes, 10, bound),
+                     static_cast<double>(bound) / 10.0)
+        << "bound=" << bound;
+  }
+}
+
+TEST(HistoricalCacheTest, StalenessOfAbsentNodesIsNegative) {
+  HistoricalEmbeddingCache cache(4, 2);
+  for (NodeId u = 0; u < 4; ++u) {
+    EXPECT_EQ(cache.Staleness(u, 100), -1);
+    EXPECT_FALSE(cache.Has(u));
+  }
+  std::vector<NodeId> nodes = {0, 1, 2, 3};
+  EXPECT_DOUBLE_EQ(cache.HitRate(nodes, 100, 1000), 0.0);
+}
+
+TEST(HistoricalCacheTest, ClearDropsEveryEntryAndHitRate) {
+  HistoricalEmbeddingCache cache(8, 3);
+  std::vector<float> emb = {1, 2, 3};
+  std::vector<NodeId> nodes;
+  for (NodeId u = 0; u < 8; ++u) {
+    cache.Put(u, emb, 1);
+    nodes.push_back(u);
+  }
+  EXPECT_DOUBLE_EQ(cache.HitRate(nodes, 1, 0), 1.0);
+  cache.Clear();
+  for (NodeId u = 0; u < 8; ++u) {
+    EXPECT_FALSE(cache.Has(u));
+    EXPECT_EQ(cache.Staleness(u, 1), -1);
+  }
+  EXPECT_DOUBLE_EQ(cache.HitRate(nodes, 1, 1000), 0.0);
+}
+
+TEST(HistoricalCacheTest, ConcurrentReadSmoke) {
+  // The serving layer shares one cache across worker threads; reads are
+  // const and must be safe to run concurrently once the writes are done.
+  const NodeId n = 64;
+  HistoricalEmbeddingCache cache(n, 4);
+  for (NodeId u = 0; u < n; ++u) {
+    std::vector<float> emb = {static_cast<float>(u), 1, 2, 3};
+    cache.Put(u, emb, static_cast<int64_t>(u % 7));
+  }
+  std::vector<NodeId> nodes;
+  for (NodeId u = 0; u < n; ++u) nodes.push_back(u);
+
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 8; ++t) {
+    readers.emplace_back([&cache, &nodes, &mismatches, n] {
+      for (int rep = 0; rep < 200; ++rep) {
+        for (NodeId u = 0; u < n; ++u) {
+          if (!cache.Has(u) ||
+              cache.Get(u)[0] != static_cast<float>(u) ||
+              cache.Staleness(u, 7) != 7 - static_cast<int64_t>(u % 7)) {
+            mismatches.fetch_add(1);
+          }
+        }
+        if (cache.HitRate(nodes, 6, 6) != 1.0) mismatches.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& reader : readers) reader.join();
+  EXPECT_EQ(mismatches.load(), 0);
 }
 
 }  // namespace
