@@ -54,7 +54,10 @@ void RunServeBench(benchmark::State& state, bool use_cache) {
   KHopEmbedder embedder(Data().graph, Data().features, kHops);
   BatchingServer server(
       FrozenModel::FromMlp(*Model().fitted_head),
-      [&embedder](NodeId u, std::span<float> out) { embedder.Embed(u, out); },
+      [&embedder](NodeId u, std::span<float> out) {
+        embedder.Embed(u, out);
+        return sgnn::common::Status::OK();
+      },
       Data().num_nodes(), config);
 
   // Requests draw from a hot set (5% of nodes) so a warm cache gets

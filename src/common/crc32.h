@@ -1,0 +1,17 @@
+#ifndef SGNN_COMMON_CRC32_H_
+#define SGNN_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sgnn::common {
+
+/// CRC-32 (IEEE 802.3 polynomial, the zlib/gzip variant) over `n` bytes.
+/// Pass a previous result as `crc` to checksum data incrementally:
+/// `Crc32(b, nb, Crc32(a, na))` equals the CRC of a||b. Used to detect
+/// torn or corrupted checkpoint files before trusting their contents.
+uint32_t Crc32(const void* data, size_t n, uint32_t crc = 0);
+
+}  // namespace sgnn::common
+
+#endif  // SGNN_COMMON_CRC32_H_

@@ -1,0 +1,198 @@
+#include "common/fault.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+
+namespace sgnn::common {
+
+namespace internal {
+
+uint64_t MixHash(uint64_t a, uint64_t b, uint64_t c) {
+  uint64_t x = a ^ (b * 0x9E3779B97F4A7C15ULL) ^ (c * 0xBF58476D1CE4E5B9ULL);
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ULL;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBULL;
+  x ^= x >> 31;
+  return x;
+}
+
+double HashToUnit(uint64_t h) {
+  // Top 53 bits -> [0, 1), the standard double-from-bits construction.
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace internal
+
+namespace {
+
+uint64_t SiteHash(const std::string& site) {
+  // FNV-1a over the site name: stable across runs and platforms.
+  uint64_t h = 0xCBF29CE484222325ULL;
+  for (char c : site) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+FaultInjector::Site& FaultInjector::SiteFor(const std::string& name) {
+  return sites_[name];
+}
+
+void FaultInjector::Arm(const std::string& site, double probability) {
+  SGNN_CHECK(probability >= 0.0 && probability <= 1.0);
+  std::lock_guard<std::mutex> lock(mu_);
+  SiteFor(site).probability = probability;
+}
+
+void FaultInjector::ArmAt(const std::string& site, int64_t op_index) {
+  SGNN_CHECK_GE(op_index, 0);
+  std::lock_guard<std::mutex> lock(mu_);
+  SiteFor(site).fail_at = op_index;
+}
+
+void FaultInjector::Disarm(const std::string& site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Site& s = SiteFor(site);
+  s.probability = 0.0;
+  s.fail_at = -1;
+}
+
+bool FaultInjector::ShouldFail(const std::string& site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Site& s = SiteFor(site);
+  const int64_t op = s.ops++;
+  if (s.fail_at >= 0 && op == s.fail_at) {
+    s.fail_at = -1;  // One-shot.
+    return true;
+  }
+  if (s.probability <= 0.0) return false;
+  const uint64_t h = internal::MixHash(seed_, SiteHash(site),
+                                       static_cast<uint64_t>(op));
+  return internal::HashToUnit(h) < s.probability;
+}
+
+bool FaultInjector::ShouldFail(const std::string& site, uint64_t token) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Site& s = SiteFor(site);
+  s.ops++;
+  if (s.fail_at >= 0 && static_cast<uint64_t>(s.fail_at) == token) {
+    return true;  // Token triggers are replayable, so not one-shot.
+  }
+  if (s.probability <= 0.0) return false;
+  const uint64_t h = internal::MixHash(seed_, SiteHash(site), token);
+  return internal::HashToUnit(h) < s.probability;
+}
+
+Status FaultInjector::MaybeFail(const std::string& site, uint64_t token) {
+  if (ShouldFail(site, token)) {
+    return Status::Unavailable("injected fault at " + site);
+  }
+  return Status::OK();
+}
+
+int64_t FaultInjector::OpCount(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.ops;
+}
+
+int64_t Deadline::remaining_micros() const {
+  if (infinite_) return std::numeric_limits<int64_t>::max();
+  return std::chrono::duration_cast<std::chrono::microseconds>(at_ -
+                                                               Clock::now())
+      .count();
+}
+
+int64_t RetryPolicy::BackoffMicros(int attempt, uint64_t token) const {
+  SGNN_CHECK_GE(attempt, 1);
+  double backoff = static_cast<double>(base_backoff_micros);
+  for (int i = 1; i < attempt; ++i) backoff *= backoff_multiplier;
+  backoff = std::min(backoff, static_cast<double>(max_backoff_micros));
+  if (jitter > 0.0) {
+    const uint64_t h = internal::MixHash(
+        seed, static_cast<uint64_t>(attempt), token);
+    // Uniform in [1 - jitter, 1 + jitter).
+    backoff *= 1.0 + jitter * (2.0 * internal::HashToUnit(h) - 1.0);
+  }
+  return static_cast<int64_t>(backoff);
+}
+
+CircuitBreaker::CircuitBreaker(Config config) : config_(config) {
+  SGNN_CHECK_GE(config_.failure_threshold, 1);
+  SGNN_CHECK_GE(config_.probe_interval, 1);
+}
+
+bool CircuitBreaker::Allow() {
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (state_) {
+    case State::kClosed:
+      return true;
+    case State::kOpen:
+      ++rejected_since_open_;
+      if (rejected_since_open_ % config_.probe_interval == 0) {
+        state_ = State::kHalfOpen;  // Admit one probe.
+        return true;
+      }
+      ++fast_fails_;
+      return false;
+    case State::kHalfOpen:
+      ++fast_fails_;  // One probe at a time.
+      return false;
+  }
+  return true;
+}
+
+void CircuitBreaker::RecordSuccess() {
+  std::lock_guard<std::mutex> lock(mu_);
+  state_ = State::kClosed;
+  consecutive_failures_ = 0;
+  rejected_since_open_ = 0;
+}
+
+void CircuitBreaker::RecordFailure() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++consecutive_failures_;
+  const bool trip = state_ == State::kHalfOpen ||
+                    (state_ == State::kClosed &&
+                     consecutive_failures_ >= config_.failure_threshold);
+  if (trip) {
+    state_ = State::kOpen;
+    rejected_since_open_ = 0;
+    ++trips_;
+  }
+}
+
+CircuitBreaker::State CircuitBreaker::state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_;
+}
+
+int64_t CircuitBreaker::trips() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return trips_;
+}
+
+int64_t CircuitBreaker::fast_fails() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fast_fails_;
+}
+
+const char* CircuitBreaker::StateName(State s) {
+  switch (s) {
+    case State::kClosed:
+      return "closed";
+    case State::kOpen:
+      return "open";
+    case State::kHalfOpen:
+      return "half-open";
+  }
+  return "unknown";
+}
+
+}  // namespace sgnn::common

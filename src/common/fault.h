@@ -1,0 +1,183 @@
+#ifndef SGNN_COMMON_FAULT_H_
+#define SGNN_COMMON_FAULT_H_
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+
+namespace sgnn::common {
+
+/// Deterministic, seed-driven fault injection for robustness tests and
+/// benchmarks. Faults are keyed by a string *site* name (e.g.
+/// `"serve.embed"`, `"io.write"`, `"pipeline.after_stage"`) so a test can
+/// target one failure point without touching the others. Two trigger
+/// styles:
+///
+///  - `ShouldFail(site)` — sequential: a per-site operation counter plus a
+///    per-site random stream decide; deterministic given the call order
+///    (use from a single thread or when ordering is controlled).
+///  - `ShouldFail(site, token)` — order-independent: the decision is a pure
+///    hash of (seed, site, token), so concurrent callers reproduce the
+///    exact same per-token outcomes regardless of thread interleaving.
+///    This is what makes multi-worker fault tests replayable.
+///
+/// Thread-safe; a disarmed (or unknown) site never fails but still counts
+/// operations, so `ArmAt` can be calibrated against a dry run.
+class FaultInjector {
+ public:
+  explicit FaultInjector(uint64_t seed = 0) : seed_(seed) {}
+
+  /// Arms `site` to fail each operation independently with probability `p`.
+  void Arm(const std::string& site, double probability);
+
+  /// Arms `site` to fail exactly once, on 0-based operation `op_index`
+  /// (sequential trigger) or on `token == op_index` (token trigger).
+  void ArmAt(const std::string& site, int64_t op_index);
+
+  void Disarm(const std::string& site);
+
+  /// Sequential trigger; counts one operation at `site`.
+  bool ShouldFail(const std::string& site);
+
+  /// Order-independent trigger; counts one operation at `site`. The same
+  /// (seed, site, token) always yields the same verdict.
+  bool ShouldFail(const std::string& site, uint64_t token);
+
+  /// Convenience wrapper: `kUnavailable` ("injected fault at <site>") when
+  /// the token trigger fires, OK otherwise.
+  Status MaybeFail(const std::string& site, uint64_t token);
+
+  /// Operations observed at `site` (armed or not).
+  int64_t OpCount(const std::string& site) const;
+
+  uint64_t seed() const { return seed_; }
+
+ private:
+  struct Site {
+    double probability = 0.0;
+    int64_t fail_at = -1;  ///< 0-based op/token index; -1 = disabled.
+    int64_t ops = 0;
+  };
+
+  Site& SiteFor(const std::string& name);  // Requires mu_ held.
+
+  const uint64_t seed_;
+  mutable std::mutex mu_;
+  std::map<std::string, Site> sites_;
+};
+
+/// An absolute time budget carried by a request. `Infinite()` never
+/// expires; `After(micros)` expires that far from now.
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  Deadline() : infinite_(true) {}
+
+  static Deadline Infinite() { return Deadline(); }
+  static Deadline After(int64_t micros) {
+    Deadline d;
+    d.infinite_ = false;
+    d.at_ = Clock::now() + std::chrono::microseconds(micros);
+    return d;
+  }
+  static Deadline At(Clock::time_point at) {
+    Deadline d;
+    d.infinite_ = false;
+    d.at_ = at;
+    return d;
+  }
+
+  bool infinite() const { return infinite_; }
+  bool expired() const { return !infinite_ && Clock::now() >= at_; }
+
+  /// Microseconds until expiry; <= 0 when expired, INT64_MAX when infinite.
+  int64_t remaining_micros() const;
+
+  Clock::time_point at() const { return at_; }
+
+ private:
+  bool infinite_ = true;
+  Clock::time_point at_{};
+};
+
+/// Bounded-attempt retry with exponential backoff and deterministic
+/// jitter: the jitter for (attempt, token) is a pure hash, so retry
+/// schedules reproduce exactly under a fixed seed even across threads.
+struct RetryPolicy {
+  int max_attempts = 3;               ///< Total attempts, including the first.
+  int64_t base_backoff_micros = 100;  ///< Backoff before the first retry.
+  double backoff_multiplier = 2.0;
+  int64_t max_backoff_micros = 100000;
+  double jitter = 0.2;  ///< Fraction of the backoff randomised (+/-).
+  uint64_t seed = 0x5eedf001;
+
+  /// Transient codes worth retrying; everything else is permanent.
+  static bool Retryable(StatusCode code) {
+    return code == StatusCode::kUnavailable || code == StatusCode::kAborted;
+  }
+
+  /// Backoff before retry number `attempt` (1-based: attempt 1 follows the
+  /// first failure), jittered deterministically by `token`.
+  int64_t BackoffMicros(int attempt, uint64_t token) const;
+};
+
+struct CircuitBreakerConfig {
+  int failure_threshold = 8;
+  int probe_interval = 16;
+};
+
+/// Consecutive-failure circuit breaker (closed -> open -> half-open).
+///
+/// Closed: every call is admitted; `failure_threshold` consecutive
+/// failures trip the breaker. Open: calls fast-fail, except every
+/// `probe_interval`-th rejected call is admitted as a half-open probe.
+/// Half-open: further calls fast-fail until the probe resolves — success
+/// closes the breaker, failure re-opens it. Counting-based (no wall
+/// clock), so state transitions are deterministic given the call order.
+/// Thread-safe.
+class CircuitBreaker {
+ public:
+  using Config = CircuitBreakerConfig;
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  explicit CircuitBreaker(Config config = Config());
+
+  /// True when the protected call may proceed; false = fast-fail.
+  bool Allow();
+
+  void RecordSuccess();
+  void RecordFailure();
+
+  State state() const;
+  /// Times the breaker transitioned closed/half-open -> open.
+  int64_t trips() const;
+  int64_t fast_fails() const;
+
+  static const char* StateName(State s);
+
+ private:
+  const Config config_;
+  mutable std::mutex mu_;
+  State state_ = State::kClosed;
+  int consecutive_failures_ = 0;
+  int64_t rejected_since_open_ = 0;
+  int64_t trips_ = 0;
+  int64_t fast_fails_ = 0;
+};
+
+namespace internal {
+/// SplitMix64-style mix used by the deterministic triggers; exposed for
+/// tests that want to predict verdicts.
+uint64_t MixHash(uint64_t a, uint64_t b, uint64_t c);
+/// Uniform double in [0, 1) from a hash value.
+double HashToUnit(uint64_t h);
+}  // namespace internal
+
+}  // namespace sgnn::common
+
+#endif  // SGNN_COMMON_FAULT_H_

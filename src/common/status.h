@@ -18,6 +18,8 @@ enum class StatusCode {
   kIOError,
   kInternal,
   kUnavailable,
+  kDeadlineExceeded,
+  kAborted,
 };
 
 /// Returns a short human-readable name such as "InvalidArgument".
@@ -63,6 +65,16 @@ class Status {
   /// Transient overload (e.g. a full request queue): the caller may retry.
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  /// The operation's time budget ran out before it completed. Retrying
+  /// without a fresh deadline is pointless.
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  /// The operation was cancelled mid-flight (e.g. an injected crash or a
+  /// shutdown race); partial effects may need rollback or resume.
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,6 +1,7 @@
 #include "core/distributed_sim.h"
 
 #include <algorithm>
+#include <cmath>
 #include <unordered_set>
 
 #include "common/check.h"
@@ -70,7 +71,69 @@ DistributedReport SimulateDistributedEpoch(const CsrGraph& graph,
           ? static_cast<double>(replicated_nodes + graph.num_nodes()) /
                 static_cast<double>(graph.num_nodes())
           : 0.0;
+
+  // Failure economics. Stragglers: with each of w workers independently
+  // straggling with probability q at factor s, the round waits on the
+  // slowest worker, so in expectation the critical path inflates by
+  // (s - 1) * P(at least one straggler) — a first-order bound that treats
+  // the straggler as landing on the critical-path worker (the BSP
+  // worst case the tutorial's systems discussion budgets for).
+  const FailureModel& f = cost.failure;
+  if (f.straggler_prob > 0.0 && f.straggler_factor > 1.0) {
+    const double p_any =
+        1.0 - std::pow(1.0 - f.straggler_prob, parts.k);
+    report.straggler_seconds =
+        report.compute_seconds_max * (f.straggler_factor - 1.0) * p_any;
+  }
+  const double epoch_with_stragglers =
+      report.epoch_seconds + report.straggler_seconds;
+  report.checkpoint = PlanCheckpoints(epoch_with_stragglers, parts.k, f);
+  report.expected_epoch_seconds =
+      epoch_with_stragglers * report.checkpoint.expected_overhead;
   return report;
+}
+
+double CheckpointOverhead(double interval_seconds, double mtbf_seconds,
+                          double checkpoint_write_seconds,
+                          double restart_seconds) {
+  SGNN_CHECK_GT(interval_seconds, 0.0);
+  double overhead = 1.0 + checkpoint_write_seconds / interval_seconds;
+  if (mtbf_seconds > 0.0) {
+    // Each failure rewinds to the last checkpoint: half an interval of
+    // lost work in expectation, plus the restart cost.
+    overhead +=
+        (interval_seconds / 2.0 + restart_seconds) / mtbf_seconds;
+  }
+  return overhead;
+}
+
+CheckpointPlan PlanCheckpoints(double epoch_seconds, int num_workers,
+                               const FailureModel& failure) {
+  CheckpointPlan plan;
+  const double p = failure.worker_failure_prob;
+  if (p <= 0.0 || epoch_seconds <= 0.0 || num_workers <= 0) {
+    return plan;  // No failures: never checkpoint, overhead 1.
+  }
+  // Any of the w workers failing stalls the BSP round, so the run fails
+  // per epoch with probability 1 - (1-p)^w; failures are geometric in
+  // epochs, giving MTBF = epoch / P(fail per epoch).
+  const double p_epoch = 1.0 - std::pow(1.0 - p, num_workers);
+  plan.mtbf_seconds = epoch_seconds / p_epoch;
+  const double c = failure.checkpoint_write_seconds;
+  if (c > 0.0) {
+    // Young's approximation: tau* = sqrt(2 * C * MTBF) minimises
+    // C/tau + tau/(2*MTBF).
+    plan.optimal_interval_seconds = std::sqrt(2.0 * c * plan.mtbf_seconds);
+    plan.expected_overhead =
+        CheckpointOverhead(plan.optimal_interval_seconds, plan.mtbf_seconds,
+                           c, failure.restart_seconds);
+  } else {
+    // Free checkpoints: checkpoint continuously; only restarts cost.
+    plan.optimal_interval_seconds = 0.0;
+    plan.expected_overhead =
+        1.0 + failure.restart_seconds / plan.mtbf_seconds;
+  }
+  return plan;
 }
 
 }  // namespace sgnn::core

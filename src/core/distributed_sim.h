@@ -16,15 +16,49 @@ namespace sgnn::core {
 /// tutorial's distributed discussion (and systems like SANCUS/ByteGNN)
 /// optimise are exactly the partition-induced compute balance and
 /// communication volume this reports.
+/// Failure/straggler model layered on the BSP round (the robustness side
+/// of the distributed-training story: SANCUS/ByteGNN-class systems budget
+/// for stragglers and worker restarts, not just the happy path). All
+/// expectations are closed-form, so the simulator stays deterministic.
+struct FailureModel {
+  /// Probability any given worker straggles in a round (slow NIC, GC
+  /// pause, co-tenant burst...).
+  double straggler_prob = 0.0;
+  /// A straggling worker's compute runs this many times slower (>= 1).
+  double straggler_factor = 1.0;
+  /// Per-worker, per-epoch probability of a crash requiring restart.
+  double worker_failure_prob = 0.0;
+  /// Wall time to write one cluster-wide checkpoint.
+  double checkpoint_write_seconds = 0.0;
+  /// Restart/recovery overhead after a failure (re-spawn, reload, rewind
+  /// to the last checkpoint; the lost recompute is modelled separately).
+  double restart_seconds = 0.0;
+
+  bool active() const {
+    return straggler_prob > 0.0 || worker_failure_prob > 0.0;
+  }
+};
+
 struct DistributedCostModel {
   double seconds_per_edge = 2e-8;        ///< Aggregation cost per edge.
   double seconds_per_value = 5e-9;       ///< Wire cost per replicated scalar.
   double round_latency_seconds = 5e-4;   ///< Fixed per-sync-round latency.
+  FailureModel failure;                  ///< Benign by default.
 };
 
 struct WorkerLoad {
   int64_t local_edges = 0;     ///< Edges whose source lives on the worker.
   int64_t halo_values = 0;     ///< Remote scalars the worker must receive.
+};
+
+/// Checkpoint/restart economics for a run under a failure model:
+/// mean time between failures, the Young-approximation optimal
+/// checkpoint interval, and the resulting expected slowdown.
+struct CheckpointPlan {
+  double mtbf_seconds = 0.0;              ///< Infinity encoded as 0 when p=0.
+  double optimal_interval_seconds = 0.0;  ///< tau* = sqrt(2*C*MTBF); 0 = n/a.
+  /// Expected time inflation at tau*: 1 + C/tau + (tau/2 + R)/MTBF.
+  double expected_overhead = 1.0;
 };
 
 struct DistributedReport {
@@ -36,6 +70,15 @@ struct DistributedReport {
   double epoch_seconds = 0.0;        ///< max-compute + comm (BSP round).
   double speedup = 0.0;              ///< Single-worker epoch / this epoch.
   double replication_factor = 0.0;   ///< (local + halo nodes) / n.
+  /// Expected extra seconds per epoch lost to stragglers (0 when the
+  /// failure model is benign).
+  double straggler_seconds = 0.0;
+  /// Checkpoint/restart plan under the failure model; `expected_overhead`
+  /// is 1 and intervals 0 when no failures are modelled.
+  CheckpointPlan checkpoint;
+  /// epoch_seconds + stragglers, inflated by the checkpoint overhead:
+  /// what an epoch actually costs once failures are priced in.
+  double expected_epoch_seconds = 0.0;
 };
 
 /// Simulates one synchronous epoch of full-graph message passing with
@@ -44,6 +87,24 @@ DistributedReport SimulateDistributedEpoch(const graph::CsrGraph& graph,
                                            const partition::Partition& parts,
                                            int64_t feature_dim,
                                            const DistributedCostModel& cost);
+
+/// Expected time-inflation factor of checkpointing every `interval_seconds`
+/// under mean time between failures `mtbf_seconds` (first-order model:
+/// 1 + C/tau + (tau/2 + R)/M — checkpoint cost amortised over the
+/// interval, plus expected half-interval recompute and restart per
+/// failure). `mtbf_seconds <= 0` means no failures (overhead from
+/// checkpoint writes only). Exposed so benchmarks can sweep the interval
+/// against the closed-form optimum.
+double CheckpointOverhead(double interval_seconds, double mtbf_seconds,
+                          double checkpoint_write_seconds,
+                          double restart_seconds);
+
+/// Closed-form plan for a run whose failure-free epoch takes
+/// `epoch_seconds`: MTBF from the per-worker, per-epoch failure
+/// probability, Young's optimal interval tau* = sqrt(2*C*MTBF), and the
+/// overhead at tau*.
+CheckpointPlan PlanCheckpoints(double epoch_seconds, int num_workers,
+                               const FailureModel& failure);
 
 }  // namespace sgnn::core
 

@@ -5,6 +5,7 @@
 #include "common/check.h"
 #include "common/counters.h"
 #include "common/timer.h"
+#include "core/checkpoint.h"
 
 namespace sgnn::core {
 
@@ -16,6 +17,15 @@ std::string PipelineReport::ToString() const {
                   stage.name.c_str(), stage.seconds,
                   stage.ops.ToString().c_str());
     out += buf;
+  }
+  if (resumed_stages > 0) {
+    std::snprintf(buf, sizeof(buf), "resumed %d stage(s) from snapshot\n",
+                  resumed_stages);
+    out += buf;
+  }
+  if (!status.ok()) {
+    out += "run stopped: " + status.ToString() + "\n";
+    return out;
   }
   std::snprintf(buf, sizeof(buf),
                 "edges %lld -> %lld, feature cols %lld -> %lld\n",
@@ -55,6 +65,22 @@ Pipeline& Pipeline::SetModel(std::string name, ModelFn model) {
 
 PipelineReport Pipeline::Run(const Dataset& dataset,
                              const nn::TrainConfig& config) const {
+  return Run(dataset, config, PipelineRunOptions());
+}
+
+uint64_t Pipeline::Signature() const {
+  std::vector<std::string> names;
+  names.reserve(edits_.size() + analytics_.size());
+  for (const auto& stage : edits_) names.push_back("edit:" + stage->name());
+  for (const auto& stage : analytics_) {
+    names.push_back("analytics:" + stage->name());
+  }
+  return PipelineSignature(names, model_name_);
+}
+
+PipelineReport Pipeline::Run(const Dataset& dataset,
+                             const nn::TrainConfig& config,
+                             const PipelineRunOptions& options) const {
   SGNN_CHECK(model_ != nullptr);
   PipelineReport report;
   report.edges_before = dataset.graph.num_edges();
@@ -62,19 +88,69 @@ PipelineReport Pipeline::Run(const Dataset& dataset,
 
   graph::CsrGraph graph = dataset.graph;
   tensor::Matrix features = dataset.features;
+
+  const bool checkpointing = !options.checkpoint_path.empty();
+  const uint64_t signature = checkpointing ? Signature() : 0;
+  int start_stage = 0;
+  if (checkpointing && options.resume) {
+    auto snapshot = LoadSnapshot(options.checkpoint_path, signature);
+    if (snapshot.ok()) {
+      PipelineSnapshot snap = std::move(snapshot).value();
+      graph = std::move(snap.graph);
+      features = std::move(snap.features);
+      report.stages = std::move(snap.stages);
+      report.edges_before = snap.edges_before;
+      report.feature_cols_before = snap.feature_cols_before;
+      start_stage = snap.stages_done;
+      report.resumed_stages = snap.stages_done;
+    }
+    // Missing, corrupt, or foreign snapshot: fall through to a clean run.
+  }
+
+  // Checkpoint after stage `stage_index`, then let an armed injector
+  // simulate a crash at that boundary. Snapshot write failures are
+  // best-effort (the run itself is fine without them).
+  auto after_stage = [&](int stage_index) -> common::Status {
+    if (checkpointing) {
+      PipelineSnapshot snap;
+      snap.signature = signature;
+      snap.stages_done = stage_index + 1;
+      snap.stages = report.stages;
+      snap.edges_before = report.edges_before;
+      snap.feature_cols_before = report.feature_cols_before;
+      snap.graph = graph;
+      snap.features = features;
+      (void)SaveSnapshot(snap, options.checkpoint_path);
+    }
+    if (options.faults != nullptr &&
+        options.faults->ShouldFail("pipeline.after_stage",
+                                   static_cast<uint64_t>(stage_index))) {
+      return common::Status::Aborted("injected crash after stage " +
+                                     report.stages.back().name);
+    }
+    return common::Status::OK();
+  };
+
+  int stage_index = 0;
   for (const auto& stage : edits_) {
+    if (stage_index++ < start_stage) continue;
     common::ScopedCounterDelta counters;
     common::WallTimer timer;
     graph = stage->Edit(graph, features);
     report.stages.push_back(
         {stage->name(), timer.Seconds(), counters.Delta()});
+    report.status = after_stage(stage_index - 1);
+    if (!report.status.ok()) return report;
   }
   for (const auto& stage : analytics_) {
+    if (stage_index++ < start_stage) continue;
     common::ScopedCounterDelta counters;
     common::WallTimer timer;
     features = stage->Augment(graph, features);
     report.stages.push_back(
         {stage->name(), timer.Seconds(), counters.Delta()});
+    report.status = after_stage(stage_index - 1);
+    if (!report.status.ok()) return report;
   }
   report.edges_after = graph.num_edges();
   report.feature_cols_after = features.cols();

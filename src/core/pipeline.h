@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "common/counters.h"
+#include "common/fault.h"
+#include "common/status.h"
 #include "core/dataset.h"
 
 namespace sgnn::core {
@@ -55,8 +57,30 @@ struct PipelineReport {
   graph::EdgeIndex edges_after = 0;
   int64_t feature_cols_before = 0;
   int64_t feature_cols_after = 0;
+  /// OK on a completed run; `kAborted` when an injected crash stopped the
+  /// run partway (the model fields are then unset).
+  common::Status status;
+  /// Stages restored from a snapshot instead of recomputed this run.
+  int resumed_stages = 0;
 
   std::string ToString() const;
+};
+
+/// Fault-tolerance knobs for `Pipeline::Run`. Default-constructed options
+/// reproduce the plain (non-checkpointed) run exactly.
+struct PipelineRunOptions {
+  /// Snapshot file written after every completed stage; empty = no
+  /// checkpointing. See `core/checkpoint.h` for the format guarantees.
+  std::string checkpoint_path;
+  /// When true and `checkpoint_path` holds a valid snapshot from this same
+  /// pipeline, completed stages are restored instead of recomputed. A
+  /// corrupted or foreign snapshot is ignored (from-scratch run).
+  bool resume = true;
+  /// Optional injector observed at site `"pipeline.after_stage"` once per
+  /// completed stage (token = stage index): a firing trigger simulates a
+  /// crash — the run stops with `kAborted`, leaving the snapshot behind
+  /// for a later resume.
+  common::FaultInjector* faults = nullptr;
 };
 
 /// Composable scalable-GNN pipeline: edits run first (in insertion
@@ -73,6 +97,15 @@ class Pipeline {
   /// Runs the full pipeline on a dataset. Requires a model to be set.
   PipelineReport Run(const Dataset& dataset,
                      const nn::TrainConfig& config) const;
+
+  /// As above, with stage checkpointing / resume / fault injection. With
+  /// default options this is identical to the two-argument overload.
+  PipelineReport Run(const Dataset& dataset, const nn::TrainConfig& config,
+                     const PipelineRunOptions& options) const;
+
+  /// Hash of this pipeline's stage-name sequence + model name; the identity
+  /// a snapshot must match to be resumable.
+  uint64_t Signature() const;
 
  private:
   std::vector<std::unique_ptr<EditStage>> edits_;

@@ -41,9 +41,19 @@ class HistoricalEmbeddingCache {
   }
 
   /// Fraction of requested nodes currently cached with staleness at most
-  /// `max_staleness`: the cache's usefulness measure for a batch.
+  /// `max_staleness`: the cache's usefulness measure for a batch. The
+  /// bound is *inclusive*: an entry whose staleness equals `max_staleness`
+  /// exactly still counts as a hit (consumers test
+  /// `Staleness(u) <= max_staleness`), so `max_staleness = 0` admits only
+  /// entries written at the current step.
   double HitRate(std::span<const graph::NodeId> nodes, int64_t current_step,
                  int64_t max_staleness) const;
+
+  /// Drops u's entry (e.g. after the node's features or neighbourhood
+  /// changed, or degraded-mode bookkeeping decided the stale row must not
+  /// be served again). `Has(u)` is false afterwards; the row data is
+  /// zeroed so a use-after-invalidate reads zeros, not ghosts.
+  void Invalidate(graph::NodeId u);
 
   /// Drops every entry.
   void Clear();

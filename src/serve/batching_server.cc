@@ -1,6 +1,7 @@
 #include "serve/batching_server.h"
 
 #include <algorithm>
+#include <thread>
 #include <utility>
 
 #include "common/check.h"
@@ -27,11 +28,14 @@ BatchingServer::BatchingServer(FrozenModel model, EmbeddingFn embed_fn,
       embed_fn_(std::move(embed_fn)),
       queue_(config.queue_capacity),
       pool_(std::make_unique<common::ThreadPool>(config.num_workers)),
-      cache_(num_nodes, model_.in_dim()) {
+      cache_(num_nodes, model_.in_dim()),
+      breaker_(config.breaker) {
   SGNN_CHECK_GE(config.max_batch, 1);
   SGNN_CHECK_GE(config.max_delay_micros, 0);
   SGNN_CHECK_GE(config.num_workers, 1);
   SGNN_CHECK_GE(config.max_staleness, 0);
+  SGNN_CHECK_GE(config.deadline_micros, 0);
+  SGNN_CHECK_GE(config.embed_retry.max_attempts, 1);
   SGNN_CHECK(embed_fn_ != nullptr);
   base_ops_ = common::AggregateThreadCounters();
   batcher_ = std::thread([this] { BatcherLoop(); });
@@ -47,6 +51,9 @@ common::StatusOr<std::future<InferenceResponse>> BatchingServer::Submit(
   Request request;
   request.node = node;
   request.enqueue_time = Clock::now();
+  request.deadline = config_.deadline_micros > 0
+                         ? common::Deadline::After(config_.deadline_micros)
+                         : common::Deadline::Infinite();
   std::future<InferenceResponse> future = request.promise.get_future();
   common::Status status = queue_.TryPush(std::move(request));
   if (!status.ok()) {
@@ -75,6 +82,12 @@ ServeMetricsSnapshot BatchingServer::Metrics() const {
   snap.ops.floats_moved = now.floats_moved - base_ops_.floats_moved;
   snap.ops.peak_resident_floats = now.peak_resident_floats;
   snap.ops.resident_floats = now.resident_floats;
+  snap.health.breaker_state = common::CircuitBreaker::StateName(
+      breaker_.state());
+  snap.health.breaker_trips = static_cast<uint64_t>(breaker_.trips());
+  // The breaker's own count is authoritative: it includes fast-failed
+  // calls later rescued by a degraded serve.
+  snap.health.breaker_fast_fails = static_cast<uint64_t>(breaker_.fast_fails());
   return snap;
 }
 
@@ -129,6 +142,65 @@ void BatchingServer::BatcherLoop() {
   }
 }
 
+common::Status BatchingServer::ResolveMiss(graph::NodeId node,
+                                           const common::Deadline& dl,
+                                           std::span<float> out, int64_t step,
+                                           bool* degraded) {
+  common::Status status;
+  bool breaker_fast_fail = false;
+  if (!breaker_.Allow()) {
+    // Fast-fail without touching the (presumed dead) embedder.
+    breaker_fast_fail = true;
+    status = common::Status::Unavailable("embedder circuit breaker open");
+  } else {
+    for (int attempt = 1;; ++attempt) {
+      status = embed_fn_(node, out);
+      if (status.ok()) break;
+      metrics_.RecordEmbedFailure();
+      breaker_.RecordFailure();
+      if (!common::RetryPolicy::Retryable(status.code()) ||
+          attempt >= config_.embed_retry.max_attempts) {
+        break;
+      }
+      const int64_t backoff = config_.embed_retry.BackoffMicros(
+          attempt, static_cast<uint64_t>(node));
+      if (!dl.infinite() && dl.remaining_micros() <= backoff) {
+        break;  // The backoff alone would blow the deadline.
+      }
+      metrics_.RecordRetry();
+      std::this_thread::sleep_for(std::chrono::microseconds(backoff));
+      if (!breaker_.Allow()) {
+        breaker_fast_fail = true;
+        status = common::Status::Unavailable(
+            "embedder circuit breaker opened during retries");
+        break;
+      }
+    }
+    if (status.ok()) {
+      breaker_.RecordSuccess();
+      if (config_.update_cache) {
+        std::unique_lock<std::shared_mutex> lock(cache_mu_);
+        cache_.Put(node, out, step);
+      }
+      return status;
+    }
+  }
+
+  // Persistent failure: degrade to the stale cache row when allowed —
+  // a slightly old embedding beats an error page.
+  if (config_.degraded_serving) {
+    std::shared_lock<std::shared_mutex> lock(cache_mu_);
+    if (cache_.Has(node)) {
+      auto row = cache_.Get(node);
+      std::copy(row.begin(), row.end(), out.begin());
+      *degraded = true;
+      return common::Status::OK();
+    }
+  }
+  metrics_.RecordTerminalFailure(status.code(), breaker_fast_fail);
+  return status;
+}
+
 void BatchingServer::ProcessBatch(std::vector<Request>* batch) {
   const int64_t step = step_.fetch_add(1, std::memory_order_relaxed);
   const int64_t n = static_cast<int64_t>(batch->size());
@@ -136,42 +208,65 @@ void BatchingServer::ProcessBatch(std::vector<Request>* batch) {
 
   tensor::Matrix embeddings(n, dim);
   std::vector<bool> hit(static_cast<size_t>(n), false);
+  std::vector<bool> degraded(static_cast<size_t>(n), false);
+  std::vector<common::Status> row_status(static_cast<size_t>(n));
   for (int64_t i = 0; i < n; ++i) {
-    const graph::NodeId node = (*batch)[static_cast<size_t>(i)].node;
+    const size_t s = static_cast<size_t>(i);
+    Request& request = (*batch)[s];
+    // Deadline check at dequeue: a request that expired while queued (or
+    // waiting for a worker slot) skips all embedding work.
+    if (request.deadline.expired()) {
+      row_status[s] = common::Status::DeadlineExceeded(
+          "request expired before processing");
+      metrics_.RecordTerminalFailure(row_status[s].code(), false);
+      continue;
+    }
+    const graph::NodeId node = request.node;
     {
       std::shared_lock<std::shared_mutex> lock(cache_mu_);
       const int64_t staleness = cache_.Staleness(node, step);
       if (staleness >= 0 && staleness <= config_.max_staleness) {
         auto row = cache_.Get(node);
         std::copy(row.begin(), row.end(), embeddings.Row(i).begin());
-        hit[static_cast<size_t>(i)] = true;
+        hit[s] = true;
       }
     }
-    if (!hit[static_cast<size_t>(i)]) {
-      embed_fn_(node, embeddings.Row(i));
-      if (config_.update_cache) {
-        std::unique_lock<std::shared_mutex> lock(cache_mu_);
-        cache_.Put(node, embeddings.Row(i), step);
-      }
+    if (!hit[s]) {
+      bool row_degraded = false;
+      row_status[s] = ResolveMiss(node, request.deadline, embeddings.Row(i),
+                                  step, &row_degraded);
+      degraded[s] = row_degraded;
     }
   }
 
-  // The micro-batching win: one head forward for the whole batch.
+  // The micro-batching win: one head forward for the whole batch. Rows
+  // that failed to resolve are zero; their logits are never delivered.
   tensor::Matrix logits;
   model_.Forward(embeddings, &logits);
 
   for (int64_t i = 0; i < n; ++i) {
-    Request& request = (*batch)[static_cast<size_t>(i)];
+    const size_t s = static_cast<size_t>(i);
+    Request& request = (*batch)[s];
     InferenceResponse response;
     response.node = request.node;
-    auto row = logits.Row(i);
-    response.logits.assign(row.begin(), row.end());
-    response.predicted_class = static_cast<int>(
-        std::max_element(row.begin(), row.end()) - row.begin());
-    response.cache_hit = hit[static_cast<size_t>(i)];
     response.latency_micros = MicrosSince(request.enqueue_time);
-    metrics_.RecordRequest(response.latency_micros,
-                           response.cache_hit);
+    if (row_status[s].ok() && request.deadline.expired()) {
+      // Post-batch check: the result arrived too late to count.
+      row_status[s] = common::Status::DeadlineExceeded(
+          "request completed after its deadline");
+      metrics_.RecordTerminalFailure(row_status[s].code(), false);
+    }
+    response.status = row_status[s];
+    if (response.status.ok()) {
+      auto row = logits.Row(i);
+      response.logits.assign(row.begin(), row.end());
+      response.predicted_class = static_cast<int>(
+          std::max_element(row.begin(), row.end()) - row.begin());
+      response.cache_hit = hit[s];
+      response.degraded = degraded[s];
+      metrics_.RecordRequest(response.latency_micros, response.cache_hit,
+                             response.degraded);
+    }
     request.promise.set_value(std::move(response));
   }
 }

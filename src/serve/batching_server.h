@@ -13,6 +13,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/fault.h"
 #include "common/mpmc_queue.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
@@ -44,20 +45,47 @@ struct ServeConfig {
   int64_t max_staleness = std::numeric_limits<int64_t>::max();
   /// Write freshly computed embeddings back into the cache.
   bool update_cache = true;
+  /// Per-request time budget from enqueue, in microseconds; 0 = none.
+  /// Checked when a worker dequeues the request (expired requests skip all
+  /// embedding work) and again after the batch forward (late results are
+  /// not delivered as successes). Both resolve to `kDeadlineExceeded`.
+  int64_t deadline_micros = 0;
+  /// Transient embedder failures (`kUnavailable`/`kAborted`) are retried
+  /// under this policy; the backoff never sleeps past the request deadline.
+  common::RetryPolicy embed_retry;
+  /// On persistent embedder failure, serve the node's stale cache row —
+  /// even beyond `max_staleness` — flagged `degraded=true`, instead of
+  /// failing the request. Off: the request resolves with the error.
+  bool degraded_serving = true;
+  /// Consecutive embedder failures trip this breaker; while open, misses
+  /// fast-fail (`kUnavailable`, or a degraded serve when possible) without
+  /// calling the embedder, so a dead embedder doesn't burn worker time.
+  common::CircuitBreaker::Config breaker;
 };
 
-/// Answer to a single-node classification request.
+/// Answer to a single-node classification request. Every admitted request
+/// receives exactly one response; `status` says whether `logits` is
+/// meaningful. Terminal statuses: OK (fresh or degraded serve),
+/// `kDeadlineExceeded` (time budget blown), `kUnavailable` (breaker open /
+/// embedder down with no fallback row), or the embedder's own permanent
+/// error.
 struct InferenceResponse {
+  common::Status status;
   graph::NodeId node = 0;
-  std::vector<float> logits;
+  std::vector<float> logits;        ///< Empty unless `status.ok()`.
   int predicted_class = 0;
-  bool cache_hit = false;           ///< Embedding came from the cache.
+  bool cache_hit = false;           ///< Embedding came from the cache fresh.
+  bool degraded = false;            ///< Served from a stale cache row after
+                                    ///< the fresh path failed.
   double latency_micros = 0.0;      ///< Enqueue to fulfilment.
 };
 
-/// Computes a node's embedding into the provided row buffer. Must be
-/// thread-safe; called concurrently from worker threads on cache misses.
-using EmbeddingFn = std::function<void(graph::NodeId, std::span<float>)>;
+/// Computes a node's embedding into the provided row buffer, or returns
+/// why it could not (`kUnavailable`/`kAborted` are treated as transient
+/// and retried; other codes are permanent). Must be thread-safe; called
+/// concurrently from worker threads on cache misses.
+using EmbeddingFn =
+    std::function<common::Status(graph::NodeId, std::span<float>)>;
 
 /// Online inference server: clients submit single-node classification
 /// requests; a batcher thread coalesces them into dynamic micro-batches
@@ -71,6 +99,14 @@ using EmbeddingFn = std::function<void(graph::NodeId, std::span<float>)>;
 /// (every admitted request is answered), and all shared state is either
 /// immutable (`FrozenModel`), lock-protected (cache, metrics), or
 /// thread-local (work counters).
+///
+/// Failure handling: every admitted request resolves to a terminal
+/// `InferenceResponse.status` — never a hung future. Embedder errors are
+/// retried under `ServeConfig::embed_retry`; persistent failures degrade
+/// to a stale cache row (`degraded=true`) when one exists; consecutive
+/// failures trip a `CircuitBreaker` so a dead embedder fast-fails; and
+/// per-request deadlines resolve to `kDeadlineExceeded`. The
+/// `ServeHealth` slice of `Metrics()` reports all of it.
 class BatchingServer {
  public:
   /// Serves `model` over `num_nodes` nodes whose embeddings `embed_fn`
@@ -109,10 +145,17 @@ class BatchingServer {
     graph::NodeId node = 0;
     std::promise<InferenceResponse> promise;
     std::chrono::steady_clock::time_point enqueue_time;
+    common::Deadline deadline;  ///< Infinite when deadline_micros == 0.
   };
 
   void BatcherLoop();
   void ProcessBatch(std::vector<Request>* batch);
+  /// Resolves one cache miss: breaker gate, embedder with retry/backoff,
+  /// degraded fallback. Returns OK (row written into `out`; `*degraded`
+  /// set if it came from a stale cache row) or the terminal error.
+  common::Status ResolveMiss(graph::NodeId node, const common::Deadline& dl,
+                             std::span<float> out, int64_t step,
+                             bool* degraded);
 
   const ServeConfig config_;
   const FrozenModel model_;
@@ -135,6 +178,7 @@ class BatchingServer {
   int in_flight_ = 0;
 
   ServeMetrics metrics_;
+  common::CircuitBreaker breaker_;
   common::OpCounters base_ops_;  ///< Aggregate counters at construction.
 
   std::atomic<bool> shutdown_{false};

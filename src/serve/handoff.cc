@@ -28,6 +28,7 @@ common::StatusOr<std::unique_ptr<BatchingServer>> ServePipeline(
   EmbeddingFn embed_fn = [embedder](graph::NodeId node,
                                     std::span<float> out) {
     embedder->Embed(node, out);
+    return common::Status::OK();
   };
   return std::make_unique<BatchingServer>(std::move(model),
                                           std::move(embed_fn),

@@ -64,11 +64,15 @@ void LatencyHistogram::Merge(const LatencyHistogram& other) {
   count_ += other.count_;
 }
 
-void ServeMetrics::RecordRequest(double latency_micros, bool cache_hit) {
+void ServeMetrics::RecordRequest(double latency_micros, bool cache_hit,
+                                 bool degraded) {
   std::lock_guard<std::mutex> lock(mu_);
   latency_.Record(latency_micros);
   ++requests_served_;
-  if (cache_hit) {
+  if (degraded) {
+    ++degraded_serves_;
+    ++cache_misses_;  // The fresh path failed; not a real hit.
+  } else if (cache_hit) {
     ++cache_hits_;
   } else {
     ++cache_misses_;
@@ -78,6 +82,24 @@ void ServeMetrics::RecordRequest(double latency_micros, bool cache_hit) {
 void ServeMetrics::RecordRejected() {
   std::lock_guard<std::mutex> lock(mu_);
   ++requests_rejected_;
+}
+
+void ServeMetrics::RecordTerminalFailure(common::StatusCode code,
+                                         bool breaker_fast_fail) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++failed_requests_;
+  if (code == common::StatusCode::kDeadlineExceeded) ++deadline_misses_;
+  if (breaker_fast_fail) ++breaker_fast_fails_;
+}
+
+void ServeMetrics::RecordRetry() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++retries_;
+}
+
+void ServeMetrics::RecordEmbedFailure() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++embed_failures_;
 }
 
 void ServeMetrics::RecordBatch(uint64_t batch_size, uint64_t queue_depth) {
@@ -104,7 +126,29 @@ ServeMetricsSnapshot ServeMetrics::Snapshot() const {
   snap.p50_micros = latency_.Percentile(0.50);
   snap.p95_micros = latency_.Percentile(0.95);
   snap.p99_micros = latency_.Percentile(0.99);
+  snap.health.deadline_misses = deadline_misses_;
+  snap.health.retries = retries_;
+  snap.health.embed_failures = embed_failures_;
+  snap.health.degraded_serves = degraded_serves_;
+  snap.health.failed_requests = failed_requests_;
+  snap.health.breaker_fast_fails = breaker_fast_fails_;
   return snap;
+}
+
+std::string ServeHealth::ToString() const {
+  char buf[320];
+  std::snprintf(
+      buf, sizeof(buf),
+      "deadline_misses=%llu retries=%llu embed_failures=%llu "
+      "degraded=%llu failed=%llu breaker=%s trips=%llu fast_fails=%llu",
+      static_cast<unsigned long long>(deadline_misses),
+      static_cast<unsigned long long>(retries),
+      static_cast<unsigned long long>(embed_failures),
+      static_cast<unsigned long long>(degraded_serves),
+      static_cast<unsigned long long>(failed_requests), breaker_state,
+      static_cast<unsigned long long>(breaker_trips),
+      static_cast<unsigned long long>(breaker_fast_fails));
+  return buf;
 }
 
 std::string ServeMetricsSnapshot::ToString() const {
@@ -121,6 +165,7 @@ std::string ServeMetricsSnapshot::ToString() const {
       static_cast<unsigned long long>(max_queue_depth), p50_micros,
       p95_micros, p99_micros);
   std::string out(buf);
+  out += "\nhealth: " + health.ToString();
   out += "\nops: " + ops.ToString();
   return out;
 }

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/counters.h"
+#include "common/status.h"
 
 namespace sgnn::serve {
 
@@ -43,6 +44,23 @@ class LatencyHistogram {
   double max_micros_ = 0.0;
 };
 
+/// Health view of the resilience machinery: how often the server missed
+/// deadlines, retried or lost embedder calls, fell back to stale cache
+/// rows, and what the circuit breaker is doing. The first page of an
+/// incident dashboard.
+struct ServeHealth {
+  uint64_t deadline_misses = 0;    ///< Requests resolved `kDeadlineExceeded`.
+  uint64_t retries = 0;            ///< Embedder retry attempts (backoffs).
+  uint64_t embed_failures = 0;     ///< Individual failed embedder calls.
+  uint64_t degraded_serves = 0;    ///< Stale-cache fallbacks (degraded=true).
+  uint64_t failed_requests = 0;    ///< Terminal non-OK responses.
+  uint64_t breaker_fast_fails = 0; ///< Calls rejected by the open breaker.
+  uint64_t breaker_trips = 0;      ///< Closed/half-open -> open transitions.
+  const char* breaker_state = "closed";
+
+  std::string ToString() const;
+};
+
 /// Point-in-time view of the serving metrics; everything a load test or
 /// dashboard row needs, in the same work units (`OpCounters`) the training
 /// side reports.
@@ -61,6 +79,8 @@ struct ServeMetricsSnapshot {
   /// Work counters aggregated across the serving threads
   /// (`common::AggregateThreadCounters` delta since server start).
   common::OpCounters ops;
+  /// Resilience counters; breaker fields are filled by the server.
+  ServeHealth health;
 
   /// Hit fraction among served requests; 0 before any service.
   double CacheHitRate() const {
@@ -79,11 +99,25 @@ class ServeMetrics {
  public:
   ServeMetrics() = default;
 
-  /// Records one completed request with its end-to-end latency (enqueue to
-  /// promise fulfilment) and whether the embedding came from the cache.
-  void RecordRequest(double latency_micros, bool cache_hit);
+  /// Records one successfully served request with its end-to-end latency
+  /// (enqueue to promise fulfilment), whether the embedding came from the
+  /// cache fresh, and whether it was a degraded (stale-row) serve.
+  void RecordRequest(double latency_micros, bool cache_hit,
+                     bool degraded = false);
 
   void RecordRejected();
+
+  /// Records a request resolved with a terminal non-OK status. The latency
+  /// histogram tracks successful serves only; failures are counted here
+  /// (`kDeadlineExceeded` also bumps `deadline_misses`, `kUnavailable`
+  /// from an open breaker bumps `breaker_fast_fails`).
+  void RecordTerminalFailure(common::StatusCode code, bool breaker_fast_fail);
+
+  /// Records one embedder retry (a backoff was taken).
+  void RecordRetry();
+
+  /// Records one failed embedder call (each attempt counts).
+  void RecordEmbedFailure();
 
   /// Records one flushed micro-batch and the queue depth observed when it
   /// was formed (the batch-size and queue-depth distributions).
@@ -102,6 +136,12 @@ class ServeMetrics {
   uint64_t batch_size_sum_ = 0;
   uint64_t max_batch_size_ = 0;
   uint64_t max_queue_depth_ = 0;
+  uint64_t deadline_misses_ = 0;
+  uint64_t retries_ = 0;
+  uint64_t embed_failures_ = 0;
+  uint64_t degraded_serves_ = 0;
+  uint64_t failed_requests_ = 0;
+  uint64_t breaker_fast_fails_ = 0;
 };
 
 }  // namespace sgnn::serve

@@ -39,6 +39,23 @@ TEST(StatusTest, AllFactoriesProduceMatchingCodes) {
             StatusCode::kFailedPrecondition);
   EXPECT_EQ(Status::IOError("x").code(), StatusCode::kIOError);
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::DeadlineExceeded("x").code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(Status::Aborted("x").code(), StatusCode::kAborted);
+}
+
+TEST(StatusTest, EveryCodeHasADistinctNonNullName) {
+  // Keep in sync with the last StatusCode enumerator.
+  constexpr auto kLast = StatusCode::kAborted;
+  std::set<std::string> names;
+  for (int c = 0; c <= static_cast<int>(kLast); ++c) {
+    const char* name = StatusCodeName(static_cast<StatusCode>(c));
+    ASSERT_NE(name, nullptr);
+    EXPECT_STRNE(name, "Unknown") << "code " << c;
+    EXPECT_TRUE(names.insert(name).second)
+        << "duplicate name '" << name << "' for code " << c;
+  }
+  EXPECT_EQ(names.size(), static_cast<size_t>(kLast) + 1);
 }
 
 Status FailsThenUnreachable(bool fail, bool* reached_end) {

@@ -4,6 +4,8 @@
 #include <fstream>
 #include <set>
 
+#include "common/fault.h"
+#include "core/checkpoint.h"
 #include "core/coarse_flow.h"
 #include "core/dataset.h"
 #include "core/dataset_io.h"
@@ -262,6 +264,178 @@ TEST(DatasetIoTest, RejectsInconsistentLabelCount) {
   EXPECT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), common::StatusCode::kInvalidArgument);
   std::filesystem::remove_all(dir);
+}
+
+// A two-stage pipeline (edit + analytics) with a deterministic decoupled
+// head — enough structure to crash at any boundary and resume.
+Pipeline MakeCheckpointedPipeline() {
+  Pipeline pipeline;
+  pipeline.AddEdit(MakeUniformSparsifyStage(0.7, 3))
+      .AddAnalytics(MakePprSmoothingStage(0.15, 4))
+      .SetModel("sgc", [](const graph::CsrGraph& g, const tensor::Matrix& x,
+                          std::span<const int> labels,
+                          const models::NodeSplits& splits,
+                          const nn::TrainConfig& config) {
+        return models::TrainSgc(g, x, labels, splits, config,
+                                models::SgcConfig{.hops = 0});
+      });
+  return pipeline;
+}
+
+void ExpectIdenticalHeads(const models::ModelResult& a,
+                          const models::ModelResult& b) {
+  ASSERT_NE(a.fitted_head, nullptr);
+  ASSERT_NE(b.fitted_head, nullptr);
+  const auto& la = a.fitted_head->layers();
+  const auto& lb = b.fitted_head->layers();
+  ASSERT_EQ(la.size(), lb.size());
+  for (size_t i = 0; i < la.size(); ++i) {
+    EXPECT_TRUE(la[i].weight().Equals(lb[i].weight())) << "layer " << i;
+    EXPECT_TRUE(la[i].bias().Equals(lb[i].bias())) << "layer " << i;
+  }
+}
+
+TEST(CheckpointTest, SnapshotRoundTripIsBitIdentical) {
+  Dataset d = SmallDataset(37);
+  PipelineSnapshot snap;
+  snap.signature = PipelineSignature({"edit:a", "analytics:b"}, "sgc");
+  snap.stages_done = 1;
+  snap.stages.push_back({"edit:a", 1.25, common::OpCounters{10, 20, 30, 5}});
+  snap.edges_before = d.graph.num_edges();
+  snap.feature_cols_before = d.features.cols();
+  snap.graph = d.graph;
+  snap.features = d.features;
+
+  const std::string path = ::testing::TempDir() + "/sgnn_snap.bin";
+  ASSERT_TRUE(SaveSnapshot(snap, path).ok());
+  auto loaded = LoadSnapshot(path, snap.signature);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const PipelineSnapshot& got = loaded.value();
+  EXPECT_EQ(got.stages_done, 1);
+  ASSERT_EQ(got.stages.size(), 1u);
+  EXPECT_EQ(got.stages[0].name, "edit:a");
+  EXPECT_DOUBLE_EQ(got.stages[0].seconds, 1.25);
+  EXPECT_EQ(got.stages[0].ops.edges_touched, 10u);
+  EXPECT_EQ(got.edges_before, d.graph.num_edges());
+  EXPECT_TRUE(got.features.Equals(d.features));  // Bitwise.
+  EXPECT_EQ(got.graph.num_edges(), d.graph.num_edges());
+  EXPECT_EQ(got.graph.neighbors(), d.graph.neighbors());
+  EXPECT_EQ(got.graph.weights(), d.graph.weights());
+  std::filesystem::remove(path);
+}
+
+TEST(CheckpointTest, CorruptionIsDetectedByCrc) {
+  Dataset d = SmallDataset(41);
+  PipelineSnapshot snap;
+  snap.signature = 7;
+  snap.graph = d.graph;
+  snap.features = d.features;
+  const std::string path = ::testing::TempDir() + "/sgnn_snap_corrupt.bin";
+  ASSERT_TRUE(SaveSnapshot(snap, path).ok());
+
+  // Flip one byte in the middle of the payload.
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(static_cast<std::streamoff>(
+        std::filesystem::file_size(path) / 2));
+    char byte = 0;
+    f.read(&byte, 1);
+    f.seekp(-1, std::ios::cur);
+    byte = static_cast<char>(byte ^ 0x40);
+    f.write(&byte, 1);
+  }
+  auto loaded = LoadSnapshot(path, 7);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), common::StatusCode::kIOError);
+  EXPECT_NE(loaded.status().message().find("CRC"), std::string::npos);
+  std::filesystem::remove(path);
+}
+
+TEST(CheckpointTest, ForeignPipelineSnapshotIsRejected) {
+  Dataset d = SmallDataset(43);
+  PipelineSnapshot snap;
+  snap.signature = PipelineSignature({"edit:a"}, "sgc");
+  snap.graph = d.graph;
+  snap.features = d.features;
+  const std::string path = ::testing::TempDir() + "/sgnn_snap_foreign.bin";
+  ASSERT_TRUE(SaveSnapshot(snap, path).ok());
+  auto loaded = LoadSnapshot(path, PipelineSignature({"edit:b"}, "sgc"));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(),
+            common::StatusCode::kFailedPrecondition);
+  EXPECT_EQ(LoadSnapshot(path + ".nope", 1).status().code(),
+            common::StatusCode::kNotFound);
+  std::filesystem::remove(path);
+}
+
+TEST(PipelineTest, CrashAfterStageThenResumeIsBitwiseIdentical) {
+  Dataset d = SmallDataset(47);
+  const std::string path = ::testing::TempDir() + "/sgnn_pipeline_ckpt.bin";
+  std::filesystem::remove(path);
+
+  // Ground truth: the uninterrupted run.
+  PipelineReport full = MakeCheckpointedPipeline().Run(d, FastConfig());
+  ASSERT_TRUE(full.status.ok());
+
+  // Crash after stage 0 (the edit), leaving its snapshot behind.
+  common::FaultInjector faults(123);
+  faults.ArmAt("pipeline.after_stage", 0);
+  PipelineRunOptions options;
+  options.checkpoint_path = path;
+  options.faults = &faults;
+  PipelineReport crashed =
+      MakeCheckpointedPipeline().Run(d, FastConfig(), options);
+  EXPECT_EQ(crashed.status.code(), common::StatusCode::kAborted);
+  EXPECT_EQ(crashed.stages.size(), 1u);
+  ASSERT_TRUE(std::filesystem::exists(path));
+
+  // Resume: skips the edit, recomputes the rest, matches the full run.
+  options.faults = nullptr;
+  PipelineReport resumed =
+      MakeCheckpointedPipeline().Run(d, FastConfig(), options);
+  ASSERT_TRUE(resumed.status.ok());
+  EXPECT_EQ(resumed.resumed_stages, 1);
+  ASSERT_EQ(resumed.stages.size(), full.stages.size());
+  for (size_t i = 0; i < full.stages.size(); ++i) {
+    EXPECT_EQ(resumed.stages[i].name, full.stages[i].name);
+  }
+  EXPECT_EQ(resumed.edges_after, full.edges_after);
+  EXPECT_EQ(resumed.feature_cols_after, full.feature_cols_after);
+  EXPECT_DOUBLE_EQ(resumed.model.report.best_val_accuracy,
+                   full.model.report.best_val_accuracy);
+  EXPECT_DOUBLE_EQ(resumed.model.report.test_accuracy,
+                   full.model.report.test_accuracy);
+  ExpectIdenticalHeads(resumed.model, full.model);
+  std::filesystem::remove(path);
+}
+
+TEST(PipelineTest, CorruptSnapshotFallsBackToCleanRun) {
+  Dataset d = SmallDataset(53);
+  const std::string path = ::testing::TempDir() + "/sgnn_pipeline_bad.bin";
+  std::filesystem::remove(path);
+
+  PipelineReport full = MakeCheckpointedPipeline().Run(d, FastConfig());
+
+  common::FaultInjector faults(5);
+  faults.ArmAt("pipeline.after_stage", 0);
+  PipelineRunOptions options;
+  options.checkpoint_path = path;
+  options.faults = &faults;
+  (void)MakeCheckpointedPipeline().Run(d, FastConfig(), options);
+  ASSERT_TRUE(std::filesystem::exists(path));
+
+  // Truncate the snapshot: the CRC no longer matches.
+  std::filesystem::resize_file(path,
+                               std::filesystem::file_size(path) - 16);
+  options.faults = nullptr;
+  PipelineReport resumed =
+      MakeCheckpointedPipeline().Run(d, FastConfig(), options);
+  ASSERT_TRUE(resumed.status.ok());
+  EXPECT_EQ(resumed.resumed_stages, 0);  // Fell back to a clean run...
+  EXPECT_DOUBLE_EQ(resumed.model.report.test_accuracy,
+                   full.model.report.test_accuracy);  // ...same answer.
+  ExpectIdenticalHeads(resumed.model, full.model);
+  std::filesystem::remove(path);
 }
 
 TEST(RegistryTest, CoversAllFigure1Branches) {

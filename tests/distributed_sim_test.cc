@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "core/distributed_sim.h"
 #include "graph/generators.h"
 
@@ -72,6 +74,72 @@ TEST(DistributedSimTest, SpeedupGrowsThenSaturatesWithWorkers) {
   }
   EXPECT_GT(best, 1.5);  // Parallelism does pay off on this graph.
   (void)prev_speedup;
+}
+
+TEST(DistributedSimTest, BenignFailureModelChangesNothing) {
+  CsrGraph g = graph::ErdosRenyi(300, 1500, 3);
+  Partition p = partition::RandomPartition(g, 4, 5);
+  DistributedReport report = SimulateDistributedEpoch(g, p, 8, TestCost());
+  EXPECT_DOUBLE_EQ(report.straggler_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(report.checkpoint.expected_overhead, 1.0);
+  EXPECT_DOUBLE_EQ(report.checkpoint.optimal_interval_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(report.expected_epoch_seconds, report.epoch_seconds);
+}
+
+TEST(DistributedSimTest, StragglersInflateExpectedEpoch) {
+  CsrGraph g = graph::ErdosRenyi(300, 1500, 3);
+  Partition p = partition::RandomPartition(g, 4, 5);
+  DistributedCostModel cost = TestCost();
+  cost.failure.straggler_prob = 0.1;
+  cost.failure.straggler_factor = 3.0;
+  DistributedReport report = SimulateDistributedEpoch(g, p, 8, cost);
+  // Expected inflation: max_compute * (s-1) * (1 - (1-q)^k).
+  const double p_any = 1.0 - std::pow(0.9, 4);
+  EXPECT_NEAR(report.straggler_seconds,
+              report.compute_seconds_max * 2.0 * p_any, 1e-12);
+  EXPECT_NEAR(report.expected_epoch_seconds,
+              report.epoch_seconds + report.straggler_seconds, 1e-12);
+
+  // More likely stragglers cost strictly more.
+  cost.failure.straggler_prob = 0.5;
+  DistributedReport worse = SimulateDistributedEpoch(g, p, 8, cost);
+  EXPECT_GT(worse.straggler_seconds, report.straggler_seconds);
+}
+
+TEST(DistributedSimTest, CheckpointPlanFollowsYoungsApproximation) {
+  FailureModel failure;
+  failure.worker_failure_prob = 0.01;
+  failure.checkpoint_write_seconds = 2.0;
+  failure.restart_seconds = 5.0;
+  const double epoch = 100.0;
+  const int workers = 8;
+  CheckpointPlan plan = PlanCheckpoints(epoch, workers, failure);
+
+  const double p_epoch = 1.0 - std::pow(0.99, workers);
+  EXPECT_NEAR(plan.mtbf_seconds, epoch / p_epoch, 1e-9);
+  EXPECT_NEAR(plan.optimal_interval_seconds,
+              std::sqrt(2.0 * 2.0 * plan.mtbf_seconds), 1e-9);
+  EXPECT_GT(plan.expected_overhead, 1.0);
+
+  // tau* minimises the overhead: sweeping the interval never beats it.
+  for (double tau : {0.25, 0.5, 2.0, 4.0}) {
+    const double overhead = CheckpointOverhead(
+        tau * plan.optimal_interval_seconds, plan.mtbf_seconds,
+        failure.checkpoint_write_seconds, failure.restart_seconds);
+    EXPECT_GE(overhead, plan.expected_overhead - 1e-12);
+  }
+}
+
+TEST(DistributedSimTest, HigherFailureRateMeansShorterCheckpointInterval) {
+  FailureModel failure;
+  failure.checkpoint_write_seconds = 1.0;
+  failure.worker_failure_prob = 0.001;
+  CheckpointPlan rare = PlanCheckpoints(60.0, 16, failure);
+  failure.worker_failure_prob = 0.05;
+  CheckpointPlan frequent = PlanCheckpoints(60.0, 16, failure);
+  EXPECT_LT(frequent.mtbf_seconds, rare.mtbf_seconds);
+  EXPECT_LT(frequent.optimal_interval_seconds, rare.optimal_interval_seconds);
+  EXPECT_GT(frequent.expected_overhead, rare.expected_overhead);
 }
 
 TEST(DistributedSimTest, ReplicationFactorBoundedByWorkers) {

@@ -357,6 +357,38 @@ TEST(HistoricalCacheTest, HitRateMixedStalenessSweep) {
   }
 }
 
+TEST(HistoricalCacheTest, StalenessBoundIsInclusive) {
+  // The documented contract: an entry whose staleness equals the bound
+  // exactly is still a hit, and one step older is a miss.
+  HistoricalEmbeddingCache cache(4, 2);
+  std::vector<float> emb = {1, 2};
+  cache.Put(0, emb, 3);  // Staleness 7 at step 10.
+  std::vector<NodeId> nodes = {0};
+  EXPECT_EQ(cache.Staleness(0, 10), 7);
+  EXPECT_DOUBLE_EQ(cache.HitRate(nodes, 10, 7), 1.0);  // == bound: hit.
+  EXPECT_DOUBLE_EQ(cache.HitRate(nodes, 10, 6), 0.0);  // bound - 1: miss.
+  // max_staleness = 0 admits only entries written at the current step.
+  EXPECT_DOUBLE_EQ(cache.HitRate(nodes, 3, 0), 1.0);
+  EXPECT_DOUBLE_EQ(cache.HitRate(nodes, 4, 0), 0.0);
+}
+
+TEST(HistoricalCacheTest, InvalidateDropsOneEntryAndZeroesRow) {
+  HistoricalEmbeddingCache cache(4, 2);
+  std::vector<float> a = {1, 2}, b = {3, 4};
+  cache.Put(0, a, 1);
+  cache.Put(1, b, 1);
+  cache.Invalidate(0);
+  EXPECT_FALSE(cache.Has(0));
+  EXPECT_EQ(cache.Staleness(0, 5), -1);
+  ASSERT_TRUE(cache.Has(1));  // Neighbours untouched.
+  EXPECT_FLOAT_EQ(cache.Get(1)[0], 3.0f);
+  // Re-inserting after invalidation behaves like a fresh write.
+  cache.Put(0, b, 9);
+  ASSERT_TRUE(cache.Has(0));
+  EXPECT_EQ(cache.Staleness(0, 9), 0);
+  EXPECT_FLOAT_EQ(cache.Get(0)[1], 4.0f);
+}
+
 TEST(HistoricalCacheTest, StalenessOfAbsentNodesIsNegative) {
   HistoricalEmbeddingCache cache(4, 2);
   for (NodeId u = 0; u < 4; ++u) {

@@ -219,6 +219,7 @@ TEST(BatchingServerTest, BackpressureRejectsWithUnavailable) {
         for (size_t j = 0; j < out.size(); ++j) {
           out[j] = static_cast<float>(node);
         }
+        return common::Status::OK();
       },
       /*num_nodes=*/16, config);
 
@@ -277,6 +278,7 @@ TEST(BatchingServerTest, MetricsPercentilesAndWarmupHitRate) {
       FrozenModel::FromMlp(*result.fitted_head),
       [&embedder](NodeId node, std::span<float> out) {
         embedder.Embed(node, out);
+        return common::Status::OK();
       },
       dataset.num_nodes(), config);
 
@@ -333,6 +335,7 @@ TEST(BatchingServerTest, WarmCacheServesHitsImmediately) {
       [&embed_calls](NodeId, std::span<float> out) {
         embed_calls.fetch_add(1);
         for (float& v : out) v = 0.0f;
+        return common::Status::OK();
       },
       dataset.num_nodes(), config);
   server.WarmCache(embeddings);
