@@ -1,0 +1,91 @@
+// E19: cost of the sgnn::analysis invariant suite — per-validator scan
+// throughput and the end-to-end overhead of running a pipeline with
+// `validate_stages` on (the number EXPERIMENTS.md quotes).
+#include <benchmark/benchmark.h>
+
+#include "analysis/validate.h"
+#include "bench_util.h"
+#include "common/check.h"
+#include "core/pipeline.h"
+#include "core/stages.h"
+#include "models/gcn.h"
+
+namespace sgnn {
+namespace {
+
+core::Dataset Dataset(int64_t num_nodes) {
+  return bench::MakeBenchDataset(static_cast<graph::NodeId>(num_nodes), 4,
+                                 12.0, 0.8, 17);
+}
+
+void BM_ValidateCsr(benchmark::State& state) {
+  core::Dataset d = Dataset(state.range(0));
+  for (auto _ : state) {
+    common::Status s = analysis::Validate(d.graph);
+    SGNN_CHECK(s.ok());
+    benchmark::DoNotOptimize(s);
+  }
+  state.counters["edges"] =
+      benchmark::Counter(static_cast<double>(d.graph.num_edges()),
+                         benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_ValidateCsr)->Arg(10000)->Arg(100000);
+
+void BM_ValidateFeatures(benchmark::State& state) {
+  core::Dataset d = Dataset(state.range(0));
+  for (auto _ : state) {
+    common::Status s = analysis::ValidateFeatures(d.features);
+    SGNN_CHECK(s.ok());
+    benchmark::DoNotOptimize(s);
+  }
+  state.counters["floats"] =
+      benchmark::Counter(static_cast<double>(d.features.size()),
+                         benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_ValidateFeatures)->Arg(10000)->Arg(100000);
+
+void BM_ValidateDataset(benchmark::State& state) {
+  core::Dataset d = Dataset(state.range(0));
+  for (auto _ : state) {
+    common::Status s = analysis::Validate(d);
+    SGNN_CHECK(s.ok());
+    benchmark::DoNotOptimize(s);
+  }
+}
+BENCHMARK(BM_ValidateDataset)->Arg(10000)->Arg(100000);
+
+/// Full pipeline (sparsify + PPR smoothing + GCN), plain vs validated;
+/// the delta between the two variants is the debug-mode overhead.
+void RunPipeline(benchmark::State& state, bool validate) {
+  core::Dataset d = Dataset(state.range(0));
+  nn::TrainConfig config = bench::BenchTrainConfig();
+  config.epochs = 5;  // Preprocessing-dominated: validation cost is visible.
+  for (auto _ : state) {
+    core::Pipeline pipeline;
+    pipeline.AddEdit(core::MakeUniformSparsifyStage(0.7, 7))
+        .AddAnalytics(core::MakePprSmoothingStage(0.15, 2))
+        .SetModel("gcn", [](const graph::CsrGraph& g, const tensor::Matrix& x,
+                            std::span<const int> labels,
+                            const models::NodeSplits& splits,
+                            const nn::TrainConfig& c) {
+          return models::TrainGcn(g, x, labels, splits, c);
+        });
+    core::PipelineRunOptions options;
+    options.validate_stages = validate;
+    core::PipelineReport report = pipeline.Run(d, config, options);
+    SGNN_CHECK(report.status.ok());
+    benchmark::DoNotOptimize(report);
+  }
+}
+
+void BM_PipelinePlain(benchmark::State& state) { RunPipeline(state, false); }
+void BM_PipelineValidated(benchmark::State& state) {
+  RunPipeline(state, true);
+}
+BENCHMARK(BM_PipelinePlain)->Arg(10000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PipelineValidated)->Arg(10000)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace sgnn
+
+BENCHMARK_MAIN();

@@ -29,3 +29,4 @@ sgnn_add_bench(bench_distributed) # E15
 sgnn_add_bench(bench_transformer) # E16
 sgnn_add_bench(bench_serve sgnn_serve) # E17
 sgnn_add_bench(bench_fault sgnn_serve) # E18
+sgnn_add_bench(bench_analysis)    # E19

@@ -14,6 +14,8 @@ Matrix NeumannSolve(const graph::Propagator& prop, const Matrix& x,
                     SolveStats* stats) {
   SGNN_CHECK(gamma >= 0.0 && gamma < 1.0);
   SGNN_CHECK_GE(max_iters, 1);
+  SGNN_DCHECK_GT(tol, 0.0);
+  SGNN_DCHECK_EQ(x.rows(), static_cast<int64_t>(prop.num_nodes()));
   Matrix z = x;        // Accumulated series.
   Matrix term = x;     // (gamma S)^k X.
   Matrix next;
@@ -43,6 +45,8 @@ Matrix PicardSolve(const graph::Propagator& prop, const Matrix& x,
                    SolveStats* stats) {
   SGNN_CHECK(gamma >= 0.0 && gamma < 1.0);
   SGNN_CHECK_GE(max_iters, 1);
+  SGNN_DCHECK_GT(tol, 0.0);
+  SGNN_DCHECK_EQ(x.rows(), static_cast<int64_t>(prop.num_nodes()));
   Matrix z = x;
   Matrix sz;
   SolveStats local;
@@ -66,6 +70,8 @@ Matrix MultiscaleImplicit(const graph::Propagator& prop, const Matrix& x,
                           double gamma, const std::vector<int>& scales,
                           double tol, int max_iters, SolveStats* stats) {
   SGNN_CHECK(!scales.empty());
+  SGNN_DCHECK_GT(tol, 0.0);
+  SGNN_DCHECK_EQ(x.rows(), static_cast<int64_t>(prop.num_nodes()));
   Matrix out(x.rows(), x.cols());
   SolveStats total;
   for (int m : scales) {

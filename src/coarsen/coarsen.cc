@@ -78,9 +78,11 @@ CsrGraph BuildCoarseGraph(const CsrGraph& fine,
 
 Coarsening Finalize(const CsrGraph& graph, std::vector<NodeId> coarse_of,
                     NodeId num_coarse) {
+  SGNN_DCHECK_EQ(coarse_of.size(), static_cast<size_t>(graph.num_nodes()));
   Coarsening out;
   out.cluster_size.assign(num_coarse, 0);
   for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    SGNN_DCHECK_LT(coarse_of[u], num_coarse);
     out.cluster_size[coarse_of[u]]++;
   }
   out.coarse = BuildCoarseGraph(graph, coarse_of, num_coarse);
@@ -137,6 +139,7 @@ Matrix RestrictFeatures(const Coarsening& coarsening, const Matrix& features) {
                 static_cast<int64_t>(coarsening.coarse_of.size()));
   Matrix out(static_cast<int64_t>(coarsening.num_coarse()), features.cols());
   for (size_t u = 0; u < coarsening.coarse_of.size(); ++u) {
+    SGNN_DCHECK_LT(coarsening.coarse_of[u], coarsening.num_coarse());
     out.AccumulateRow(static_cast<int64_t>(coarsening.coarse_of[u]),
                       features.Row(static_cast<int64_t>(u)));
   }
@@ -156,6 +159,7 @@ Matrix LiftFeatures(const Coarsening& coarsening,
   Matrix out(static_cast<int64_t>(coarsening.coarse_of.size()),
              coarse_features.cols());
   for (size_t u = 0; u < coarsening.coarse_of.size(); ++u) {
+    SGNN_DCHECK_LT(coarsening.coarse_of[u], coarsening.num_coarse());
     auto src = coarse_features.Row(
         static_cast<int64_t>(coarsening.coarse_of[u]));
     std::copy(src.begin(), src.end(), out.Row(static_cast<int64_t>(u)).begin());

@@ -3,12 +3,35 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <sstream>
+#include <string>
+#include <utility>
 
 namespace sgnn::common::internal {
 
 /// Prints a fatal-check failure and aborts. Out-of-line so the macro body
 /// stays tiny on the happy path.
 [[noreturn]] void CheckFailed(const char* file, int line, const char* expr);
+
+/// As above, for comparison checks: also prints the rendered operand
+/// values, so `SGNN_CHECK_EQ(rows, n)` failures show *what* the two sides
+/// were, not just that they differed.
+[[noreturn]] void CheckOpFailed(const char* file, int line, const char* expr,
+                                const std::string& lhs, const std::string& rhs);
+
+/// Renders a failed comparison operand. Streamable types print their
+/// value; everything else a placeholder. Only ever called on the abort
+/// path, so the stringstream cost never touches the happy path.
+template <typename T>
+std::string CheckOpValue(const T& v) {
+  if constexpr (requires(std::ostringstream& os) { os << v; }) {
+    std::ostringstream os;
+    os << v;
+    return os.str();
+  } else {
+    return "<unprintable>";
+  }
+}
 
 }  // namespace sgnn::common::internal
 
@@ -22,22 +45,50 @@ namespace sgnn::common::internal {
     }                                                                 \
   } while (false)
 
-/// `SGNN_CHECK` variants with the comparison rendered in the macro name so
-/// failure sites read naturally at the call site.
-#define SGNN_CHECK_EQ(a, b) SGNN_CHECK((a) == (b))
-#define SGNN_CHECK_NE(a, b) SGNN_CHECK((a) != (b))
-#define SGNN_CHECK_LT(a, b) SGNN_CHECK((a) < (b))
-#define SGNN_CHECK_LE(a, b) SGNN_CHECK((a) <= (b))
-#define SGNN_CHECK_GT(a, b) SGNN_CHECK((a) > (b))
-#define SGNN_CHECK_GE(a, b) SGNN_CHECK((a) >= (b))
+/// Comparison core: evaluates each operand exactly once, compares, and on
+/// failure aborts with both values rendered. The happy path is a single
+/// comparison and branch — operand capture is by reference and the
+/// rendering machinery is only instantiated on the abort path.
+#define SGNN_CHECK_OP__(a, b, op)                                        \
+  do {                                                                   \
+    auto&& sgnn_check_a__ = (a);                                         \
+    auto&& sgnn_check_b__ = (b);                                         \
+    if (!(sgnn_check_a__ op sgnn_check_b__)) {                           \
+      ::sgnn::common::internal::CheckOpFailed(                           \
+          __FILE__, __LINE__, #a " " #op " " #b,                         \
+          ::sgnn::common::internal::CheckOpValue(sgnn_check_a__),        \
+          ::sgnn::common::internal::CheckOpValue(sgnn_check_b__));       \
+    }                                                                    \
+  } while (false)
 
-/// Debug-only check; compiled out in NDEBUG builds on hot paths.
+/// `SGNN_CHECK` variants with the comparison rendered in the macro name so
+/// failure sites read naturally at the call site; failures print both
+/// operand values ("SGNN_CHECK failed ... (3 vs. 5)").
+#define SGNN_CHECK_EQ(a, b) SGNN_CHECK_OP__(a, b, ==)
+#define SGNN_CHECK_NE(a, b) SGNN_CHECK_OP__(a, b, !=)
+#define SGNN_CHECK_LT(a, b) SGNN_CHECK_OP__(a, b, <)
+#define SGNN_CHECK_LE(a, b) SGNN_CHECK_OP__(a, b, <=)
+#define SGNN_CHECK_GT(a, b) SGNN_CHECK_OP__(a, b, >)
+#define SGNN_CHECK_GE(a, b) SGNN_CHECK_OP__(a, b, >=)
+
+/// Debug-only checks; compiled out in NDEBUG builds on hot paths.
 #ifdef NDEBUG
 #define SGNN_DCHECK(cond) \
   do {                    \
   } while (false)
+#define SGNN_DCHECK_OP__(a, b, op) \
+  do {                             \
+  } while (false)
 #else
 #define SGNN_DCHECK(cond) SGNN_CHECK(cond)
+#define SGNN_DCHECK_OP__(a, b, op) SGNN_CHECK_OP__(a, b, op)
 #endif
+
+#define SGNN_DCHECK_EQ(a, b) SGNN_DCHECK_OP__(a, b, ==)
+#define SGNN_DCHECK_NE(a, b) SGNN_DCHECK_OP__(a, b, !=)
+#define SGNN_DCHECK_LT(a, b) SGNN_DCHECK_OP__(a, b, <)
+#define SGNN_DCHECK_LE(a, b) SGNN_DCHECK_OP__(a, b, <=)
+#define SGNN_DCHECK_GT(a, b) SGNN_DCHECK_OP__(a, b, >)
+#define SGNN_DCHECK_GE(a, b) SGNN_DCHECK_OP__(a, b, >=)
 
 #endif  // SGNN_COMMON_CHECK_H_

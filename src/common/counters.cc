@@ -2,8 +2,9 @@
 
 #include <algorithm>
 #include <cstdio>
-#include <mutex>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace sgnn::common {
 
@@ -13,9 +14,9 @@ namespace {
 /// so `AggregateThreadCounters` can read them; a thread's totals move into
 /// `retired` when the thread exits so its work is never lost.
 struct CounterRegistry {
-  std::mutex mu;
-  std::vector<const OpCounters*> live;
-  OpCounters retired;
+  Mutex mu;
+  std::vector<const OpCounters*> live SGNN_GUARDED_BY(mu);
+  OpCounters retired SGNN_GUARDED_BY(mu);
 };
 
 CounterRegistry& Registry() {
@@ -30,13 +31,13 @@ struct ThreadCounterSlot {
 
   ThreadCounterSlot() {
     CounterRegistry& registry = Registry();
-    std::lock_guard<std::mutex> lock(registry.mu);
+    MutexLock lock(registry.mu);
     registry.live.push_back(&counters);
   }
 
   ~ThreadCounterSlot() {
     CounterRegistry& registry = Registry();
-    std::lock_guard<std::mutex> lock(registry.mu);
+    MutexLock lock(registry.mu);
     registry.retired.MergeFrom(counters);
     auto it = std::find(registry.live.begin(), registry.live.end(), &counters);
     if (it != registry.live.end()) registry.live.erase(it);
@@ -52,7 +53,7 @@ OpCounters& GlobalCounters() {
 
 OpCounters AggregateThreadCounters() {
   CounterRegistry& registry = Registry();
-  std::lock_guard<std::mutex> lock(registry.mu);
+  MutexLock lock(registry.mu);
   OpCounters total = registry.retired;
   for (const OpCounters* c : registry.live) total.MergeFrom(*c);
   return total;

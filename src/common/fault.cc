@@ -46,25 +46,25 @@ FaultInjector::Site& FaultInjector::SiteFor(const std::string& name) {
 
 void FaultInjector::Arm(const std::string& site, double probability) {
   SGNN_CHECK(probability >= 0.0 && probability <= 1.0);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   SiteFor(site).probability = probability;
 }
 
 void FaultInjector::ArmAt(const std::string& site, int64_t op_index) {
   SGNN_CHECK_GE(op_index, 0);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   SiteFor(site).fail_at = op_index;
 }
 
 void FaultInjector::Disarm(const std::string& site) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Site& s = SiteFor(site);
   s.probability = 0.0;
   s.fail_at = -1;
 }
 
 bool FaultInjector::ShouldFail(const std::string& site) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Site& s = SiteFor(site);
   const int64_t op = s.ops++;
   if (s.fail_at >= 0 && op == s.fail_at) {
@@ -78,7 +78,7 @@ bool FaultInjector::ShouldFail(const std::string& site) {
 }
 
 bool FaultInjector::ShouldFail(const std::string& site, uint64_t token) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Site& s = SiteFor(site);
   s.ops++;
   if (s.fail_at >= 0 && static_cast<uint64_t>(s.fail_at) == token) {
@@ -97,7 +97,7 @@ Status FaultInjector::MaybeFail(const std::string& site, uint64_t token) {
 }
 
 int64_t FaultInjector::OpCount(const std::string& site) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = sites_.find(site);
   return it == sites_.end() ? 0 : it->second.ops;
 }
@@ -129,7 +129,7 @@ CircuitBreaker::CircuitBreaker(Config config) : config_(config) {
 }
 
 bool CircuitBreaker::Allow() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   switch (state_) {
     case State::kClosed:
       return true;
@@ -149,14 +149,14 @@ bool CircuitBreaker::Allow() {
 }
 
 void CircuitBreaker::RecordSuccess() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   state_ = State::kClosed;
   consecutive_failures_ = 0;
   rejected_since_open_ = 0;
 }
 
 void CircuitBreaker::RecordFailure() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ++consecutive_failures_;
   const bool trip = state_ == State::kHalfOpen ||
                     (state_ == State::kClosed &&
@@ -169,17 +169,17 @@ void CircuitBreaker::RecordFailure() {
 }
 
 CircuitBreaker::State CircuitBreaker::state() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return state_;
 }
 
 int64_t CircuitBreaker::trips() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return trips_;
 }
 
 int64_t CircuitBreaker::fast_fails() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return fast_fails_;
 }
 

@@ -4,10 +4,10 @@
 #include <chrono>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace sgnn::common {
 
@@ -32,27 +32,27 @@ class FaultInjector {
   explicit FaultInjector(uint64_t seed = 0) : seed_(seed) {}
 
   /// Arms `site` to fail each operation independently with probability `p`.
-  void Arm(const std::string& site, double probability);
+  void Arm(const std::string& site, double probability) SGNN_EXCLUDES(mu_);
 
   /// Arms `site` to fail exactly once, on 0-based operation `op_index`
   /// (sequential trigger) or on `token == op_index` (token trigger).
-  void ArmAt(const std::string& site, int64_t op_index);
+  void ArmAt(const std::string& site, int64_t op_index) SGNN_EXCLUDES(mu_);
 
-  void Disarm(const std::string& site);
+  void Disarm(const std::string& site) SGNN_EXCLUDES(mu_);
 
   /// Sequential trigger; counts one operation at `site`.
-  bool ShouldFail(const std::string& site);
+  bool ShouldFail(const std::string& site) SGNN_EXCLUDES(mu_);
 
   /// Order-independent trigger; counts one operation at `site`. The same
   /// (seed, site, token) always yields the same verdict.
-  bool ShouldFail(const std::string& site, uint64_t token);
+  bool ShouldFail(const std::string& site, uint64_t token) SGNN_EXCLUDES(mu_);
 
   /// Convenience wrapper: `kUnavailable` ("injected fault at <site>") when
   /// the token trigger fires, OK otherwise.
-  Status MaybeFail(const std::string& site, uint64_t token);
+  Status MaybeFail(const std::string& site, uint64_t token) SGNN_EXCLUDES(mu_);
 
   /// Operations observed at `site` (armed or not).
-  int64_t OpCount(const std::string& site) const;
+  int64_t OpCount(const std::string& site) const SGNN_EXCLUDES(mu_);
 
   uint64_t seed() const { return seed_; }
 
@@ -63,11 +63,11 @@ class FaultInjector {
     int64_t ops = 0;
   };
 
-  Site& SiteFor(const std::string& name);  // Requires mu_ held.
+  Site& SiteFor(const std::string& name) SGNN_REQUIRES(mu_);
 
   const uint64_t seed_;
-  mutable std::mutex mu_;
-  std::map<std::string, Site> sites_;
+  mutable Mutex mu_;
+  std::map<std::string, Site> sites_ SGNN_GUARDED_BY(mu_);
 };
 
 /// An absolute time budget carried by a request. `Infinite()` never
@@ -148,26 +148,26 @@ class CircuitBreaker {
   explicit CircuitBreaker(Config config = Config());
 
   /// True when the protected call may proceed; false = fast-fail.
-  bool Allow();
+  bool Allow() SGNN_EXCLUDES(mu_);
 
-  void RecordSuccess();
-  void RecordFailure();
+  void RecordSuccess() SGNN_EXCLUDES(mu_);
+  void RecordFailure() SGNN_EXCLUDES(mu_);
 
-  State state() const;
+  State state() const SGNN_EXCLUDES(mu_);
   /// Times the breaker transitioned closed/half-open -> open.
-  int64_t trips() const;
-  int64_t fast_fails() const;
+  int64_t trips() const SGNN_EXCLUDES(mu_);
+  int64_t fast_fails() const SGNN_EXCLUDES(mu_);
 
   static const char* StateName(State s);
 
  private:
   const Config config_;
-  mutable std::mutex mu_;
-  State state_ = State::kClosed;
-  int consecutive_failures_ = 0;
-  int64_t rejected_since_open_ = 0;
-  int64_t trips_ = 0;
-  int64_t fast_fails_ = 0;
+  mutable Mutex mu_;
+  State state_ SGNN_GUARDED_BY(mu_) = State::kClosed;
+  int consecutive_failures_ SGNN_GUARDED_BY(mu_) = 0;
+  int64_t rejected_since_open_ SGNN_GUARDED_BY(mu_) = 0;
+  int64_t trips_ SGNN_GUARDED_BY(mu_) = 0;
+  int64_t fast_fails_ SGNN_GUARDED_BY(mu_) = 0;
 };
 
 namespace internal {

@@ -4,10 +4,10 @@
 #include <chrono>
 #include <condition_variable>
 #include <deque>
-#include <mutex>
 
 #include "common/check.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace sgnn::common {
 
@@ -15,6 +15,10 @@ namespace sgnn::common {
 /// backpressure: producers never block, they get `kUnavailable` when the
 /// queue is at capacity so the caller can shed load or retry. Consumers
 /// wait with a deadline, which is what a micro-batching drain loop needs.
+///
+/// Lock discipline is enforced statically under Clang: `items_` and
+/// `closed_` are `SGNN_GUARDED_BY(mu_)`, so any access outside the lock is
+/// a compile error.
 template <typename T>
 class BoundedMpmcQueue {
  public:
@@ -27,9 +31,9 @@ class BoundedMpmcQueue {
 
   /// Enqueues without blocking. `kUnavailable` when full (backpressure),
   /// `kFailedPrecondition` after `Close()`.
-  Status TryPush(T item) {
+  Status TryPush(T item) SGNN_EXCLUDES(mu_) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (closed_) {
         return Status::FailedPrecondition("queue is closed");
       }
@@ -46,13 +50,14 @@ class BoundedMpmcQueue {
   /// timeout, or when the queue is closed and drained; spurious wakeups are
   /// absorbed internally.
   template <typename Rep, typename Period>
-  bool WaitPop(T* out, std::chrono::duration<Rep, Period> timeout) {
+  bool WaitPop(T* out, std::chrono::duration<Rep, Period> timeout)
+      SGNN_EXCLUDES(mu_) {
     SGNN_CHECK(out != nullptr);
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     const auto deadline = std::chrono::steady_clock::now() + timeout;
     while (items_.empty()) {
       if (closed_) return false;
-      if (not_empty_.wait_until(lock, deadline) == std::cv_status::timeout &&
+      if (not_empty_.wait_until(mu_, deadline) == std::cv_status::timeout &&
           items_.empty()) {
         return false;
       }
@@ -63,9 +68,9 @@ class BoundedMpmcQueue {
   }
 
   /// Non-blocking dequeue; false when empty.
-  bool TryPop(T* out) {
+  bool TryPop(T* out) SGNN_EXCLUDES(mu_) {
     SGNN_CHECK(out != nullptr);
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (items_.empty()) return false;
     *out = std::move(items_.front());
     items_.pop_front();
@@ -74,21 +79,21 @@ class BoundedMpmcQueue {
 
   /// Rejects all future pushes and wakes blocked consumers; already-queued
   /// items remain poppable (drain-then-stop shutdown).
-  void Close() {
+  void Close() SGNN_EXCLUDES(mu_) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       closed_ = true;
     }
     not_empty_.notify_all();
   }
 
-  bool closed() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  bool closed() const SGNN_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return closed_;
   }
 
-  size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  size_t size() const SGNN_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return items_.size();
   }
 
@@ -96,10 +101,11 @@ class BoundedMpmcQueue {
 
  private:
   const size_t capacity_;
-  mutable std::mutex mu_;
-  std::condition_variable not_empty_;
-  std::deque<T> items_;
-  bool closed_ = false;
+  mutable Mutex mu_;
+  /// `condition_variable_any` waits on the annotated `Mutex` directly.
+  std::condition_variable_any not_empty_;
+  std::deque<T> items_ SGNN_GUARDED_BY(mu_);
+  bool closed_ SGNN_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace sgnn::common

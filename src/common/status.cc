@@ -44,6 +44,14 @@ void CheckFailed(const char* file, int line, const char* expr) {
   std::abort();
 }
 
+void CheckOpFailed(const char* file, int line, const char* expr,
+                   const std::string& lhs, const std::string& rhs) {
+  std::fprintf(stderr, "SGNN_CHECK failed at %s:%d: %s (%s vs. %s)\n", file,
+               line, expr, lhs.c_str(), rhs.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
 }  // namespace internal
 
 }  // namespace sgnn::common

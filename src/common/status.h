@@ -122,7 +122,9 @@ class StatusOr {
 
  private:
   Status status_;
-  T value_{};
+  // `T()` rather than `T{}`: braces would reject types whose only default
+  // construction path is an explicit constructor (e.g. `CsrGraph`).
+  T value_ = T();
 };
 
 /// Propagates a non-OK status to the caller.

@@ -19,7 +19,7 @@ ThreadPool::~ThreadPool() { Shutdown(); }
 void ThreadPool::Submit(std::function<void()> fn) {
   SGNN_CHECK(fn != nullptr);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     SGNN_CHECK(!stopping_);
     tasks_.push_back(std::move(fn));
   }
@@ -27,13 +27,13 @@ void ThreadPool::Submit(std::function<void()> fn) {
 }
 
 void ThreadPool::WaitIdle() {
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_.wait(lock, [this] { return tasks_.empty() && active_ == 0; });
+  MutexLock lock(mu_);
+  while (!tasks_.empty() || active_ != 0) idle_.wait(mu_);
 }
 
 void ThreadPool::Shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (stopping_) return;
     stopping_ = true;
   }
@@ -45,9 +45,8 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_available_.wait(lock,
-                           [this] { return stopping_ || !tasks_.empty(); });
+      MutexLock lock(mu_);
+      while (!stopping_ && tasks_.empty()) work_available_.wait(mu_);
       if (tasks_.empty()) return;  // stopping_ and fully drained.
       task = std::move(tasks_.front());
       tasks_.pop_front();
@@ -55,7 +54,7 @@ void ThreadPool::WorkerLoop() {
     }
     task();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       --active_;
       if (tasks_.empty() && active_ == 0) idle_.notify_all();
     }

@@ -6,6 +6,7 @@
 #include <iterator>
 #include <type_traits>
 
+#include "analysis/validate.h"
 #include "common/crc32.h"
 
 namespace sgnn::core {
@@ -241,6 +242,13 @@ StatusOr<PipelineSnapshot> LoadSnapshot(const std::string& path,
     return Corrupt(path, "inconsistent stage count");
   }
   return snap;
+}
+
+Status ValidateCheckpointFile(const std::string& path,
+                              uint64_t expected_signature) {
+  auto snapshot = LoadSnapshot(path, expected_signature);
+  if (!snapshot.ok()) return snapshot.status();
+  return analysis::ValidateCheckpoint(snapshot.value(), expected_signature);
 }
 
 }  // namespace sgnn::core

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "analysis/validate.h"
 #include "common/check.h"
 #include "common/counters.h"
 #include "common/timer.h"
@@ -107,6 +108,26 @@ PipelineReport Pipeline::Run(const Dataset& dataset,
     // Missing, corrupt, or foreign snapshot: fall through to a clean run.
   }
 
+  // Debug mode: run the invariant suite over the current graph/features
+  // and bill the scan as its own `validate:<label>` stage so reports show
+  // exactly what the checking costs. Validation reads but never writes, so
+  // enabling it cannot change any downstream result.
+  const ValidationStage validator =
+      options.stage_validator ? options.stage_validator
+                              : ValidationStage(analysis::ValidateStageOutput);
+  auto validate = [&](const std::string& label) -> common::Status {
+    common::ScopedCounterDelta counters;
+    common::WallTimer timer;
+    common::Status status = validator(label, graph, features);
+    report.stages.push_back(
+        {"validate:" + label, timer.Seconds(), counters.Delta()});
+    return status;
+  };
+  if (options.validate_stages) {
+    report.status = validate(start_stage > 0 ? "resume" : "input");
+    if (!report.status.ok()) return report;
+  }
+
   // Checkpoint after stage `stage_index`, then let an armed injector
   // simulate a crash at that boundary. Snapshot write failures are
   // best-effort (the run itself is fine without them).
@@ -139,6 +160,10 @@ PipelineReport Pipeline::Run(const Dataset& dataset,
     graph = stage->Edit(graph, features);
     report.stages.push_back(
         {stage->name(), timer.Seconds(), counters.Delta()});
+    if (options.validate_stages) {
+      report.status = validate(stage->name());
+      if (!report.status.ok()) return report;
+    }
     report.status = after_stage(stage_index - 1);
     if (!report.status.ok()) return report;
   }
@@ -149,6 +174,10 @@ PipelineReport Pipeline::Run(const Dataset& dataset,
     features = stage->Augment(graph, features);
     report.stages.push_back(
         {stage->name(), timer.Seconds(), counters.Delta()});
+    if (options.validate_stages) {
+      report.status = validate(stage->name());
+      if (!report.status.ok()) return report;
+    }
     report.status = after_stage(stage_index - 1);
     if (!report.status.ok()) return report;
   }

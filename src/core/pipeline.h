@@ -66,8 +66,16 @@ struct PipelineReport {
   std::string ToString() const;
 };
 
-/// Fault-tolerance knobs for `Pipeline::Run`. Default-constructed options
-/// reproduce the plain (non-checkpointed) run exactly.
+/// Between-stage validation hook: receives the stage's name and its output
+/// graph + features; a non-OK return aborts the run with that status. The
+/// default (`analysis::ValidateStageOutput`) checks the full CSR/feature
+/// invariant suite; tests can substitute their own to target one invariant.
+using ValidationStage = std::function<common::Status(
+    const std::string& stage_name, const graph::CsrGraph& graph,
+    const tensor::Matrix& features)>;
+
+/// Fault-tolerance and debug knobs for `Pipeline::Run`. Default-constructed
+/// options reproduce the plain (non-checkpointed) run exactly.
 struct PipelineRunOptions {
   /// Snapshot file written after every completed stage; empty = no
   /// checkpointing. See `core/checkpoint.h` for the format guarantees.
@@ -81,6 +89,17 @@ struct PipelineRunOptions {
   /// crash — the run stops with `kAborted`, leaving the snapshot behind
   /// for a later resume.
   common::FaultInjector* faults = nullptr;
+  /// Debug mode: validate the input dataset and every stage's output
+  /// against the `sgnn::analysis` invariant suite. A violation stops the
+  /// run with the validator's diagnostic instead of letting a corrupt
+  /// graph/feature matrix flow into later stages. Validation never mutates
+  /// state, so results are bit-identical to a plain run; its cost appears
+  /// as extra `validate:<stage>` rows in the report.
+  bool validate_stages = false;
+  /// Override for the between-stage validator; defaults to
+  /// `analysis::ValidateStageOutput`. Only consulted when
+  /// `validate_stages` is true.
+  ValidationStage stage_validator;
 };
 
 /// Composable scalable-GNN pipeline: edits run first (in insertion

@@ -64,6 +64,7 @@ Propagator::Propagator(const CsrGraph& graph, Normalization norm,
 void Propagator::Apply(const tensor::Matrix& x, tensor::Matrix* out) const {
   SGNN_CHECK(out != nullptr);
   SGNN_CHECK_EQ(x.rows(), static_cast<int64_t>(graph_.num_nodes()));
+  SGNN_DCHECK_EQ(coeff_.size(), static_cast<size_t>(graph_.num_edges()));
   const int64_t cols = x.cols();
   *out = tensor::Matrix(x.rows(), cols);
   for (NodeId u = 0; u < graph_.num_nodes(); ++u) {
@@ -92,6 +93,7 @@ void Propagator::ApplyVector(const std::vector<double>& x,
                              std::vector<double>* out) const {
   SGNN_CHECK(out != nullptr);
   SGNN_CHECK_EQ(x.size(), static_cast<size_t>(graph_.num_nodes()));
+  SGNN_DCHECK_EQ(coeff_.size(), static_cast<size_t>(graph_.num_edges()));
   out->assign(x.size(), 0.0);
   for (NodeId u = 0; u < graph_.num_nodes(); ++u) {
     auto nbrs = graph_.Neighbors(u);
@@ -109,6 +111,7 @@ void Propagator::ApplyTranspose(const tensor::Matrix& x,
                                 tensor::Matrix* out) const {
   SGNN_CHECK(out != nullptr);
   SGNN_CHECK_EQ(x.rows(), static_cast<int64_t>(graph_.num_nodes()));
+  SGNN_DCHECK_EQ(coeff_.size(), static_cast<size_t>(graph_.num_edges()));
   const int64_t cols = x.cols();
   *out = tensor::Matrix(x.rows(), cols);
   for (NodeId u = 0; u < graph_.num_nodes(); ++u) {

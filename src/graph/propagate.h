@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "common/check.h"
 #include "graph/csr_graph.h"
 #include "tensor/matrix.h"
 
@@ -46,12 +47,14 @@ class Propagator {
   /// Normalised coefficient for the i-th stored edge of node u (aligned
   /// with `graph().Neighbors(u)`).
   std::span<const float> Coefficients(NodeId u) const {
+    SGNN_DCHECK_LT(u, graph_.num_nodes());
     return {coeff_.data() + graph_.OffsetOf(u),
             static_cast<size_t>(graph_.OutDegree(u))};
   }
 
   /// Self-loop coefficient of node u (0 when self loops are disabled).
   float SelfLoopCoefficient(NodeId u) const {
+    SGNN_DCHECK_LT(u, graph_.num_nodes());
     return self_loop_coeff_.empty() ? 0.0f : self_loop_coeff_[u];
   }
 

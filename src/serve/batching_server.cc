@@ -26,6 +26,7 @@ BatchingServer::BatchingServer(FrozenModel model, EmbeddingFn embed_fn,
     : config_(config),
       model_(std::move(model)),
       embed_fn_(std::move(embed_fn)),
+      num_nodes_(num_nodes),
       queue_(config.queue_capacity),
       pool_(std::make_unique<common::ThreadPool>(config.num_workers)),
       cache_(num_nodes, model_.in_dim()),
@@ -45,7 +46,7 @@ BatchingServer::~BatchingServer() { Shutdown(); }
 
 common::StatusOr<std::future<InferenceResponse>> BatchingServer::Submit(
     graph::NodeId node) {
-  if (node >= cache_.num_nodes()) {
+  if (node >= num_nodes_) {
     return common::Status::InvalidArgument("node id out of range");
   }
   Request request;
@@ -66,10 +67,10 @@ common::StatusOr<std::future<InferenceResponse>> BatchingServer::Submit(
 }
 
 void BatchingServer::WarmCache(const tensor::Matrix& embeddings) {
-  SGNN_CHECK_EQ(embeddings.rows(), static_cast<int64_t>(cache_.num_nodes()));
+  SGNN_CHECK_EQ(embeddings.rows(), static_cast<int64_t>(num_nodes_));
   SGNN_CHECK_EQ(embeddings.cols(), model_.in_dim());
   const int64_t step = step_.load(std::memory_order_relaxed);
-  std::unique_lock<std::shared_mutex> lock(cache_mu_);
+  common::WriterMutexLock lock(cache_mu_);
   for (int64_t u = 0; u < embeddings.rows(); ++u) {
     cache_.Put(static_cast<graph::NodeId>(u), embeddings.Row(u), step);
   }
@@ -126,15 +127,14 @@ void BatchingServer::BatcherLoop() {
     // bounded queue fills and Submit starts rejecting — backpressure
     // reaches the client instead of growing an invisible backlog.
     {
-      std::unique_lock<std::mutex> lock(inflight_mu_);
-      inflight_cv_.wait(lock,
-                        [this] { return in_flight_ < config_.num_workers; });
+      common::MutexLock lock(inflight_mu_);
+      while (in_flight_ >= config_.num_workers) inflight_cv_.wait(inflight_mu_);
       ++in_flight_;
     }
     pool_->Submit([this, batch] {
       ProcessBatch(batch.get());
       {
-        std::lock_guard<std::mutex> lock(inflight_mu_);
+        common::MutexLock lock(inflight_mu_);
         --in_flight_;
       }
       inflight_cv_.notify_one();
@@ -179,7 +179,7 @@ common::Status BatchingServer::ResolveMiss(graph::NodeId node,
     if (status.ok()) {
       breaker_.RecordSuccess();
       if (config_.update_cache) {
-        std::unique_lock<std::shared_mutex> lock(cache_mu_);
+        common::WriterMutexLock lock(cache_mu_);
         cache_.Put(node, out, step);
       }
       return status;
@@ -189,7 +189,7 @@ common::Status BatchingServer::ResolveMiss(graph::NodeId node,
   // Persistent failure: degrade to the stale cache row when allowed —
   // a slightly old embedding beats an error page.
   if (config_.degraded_serving) {
-    std::shared_lock<std::shared_mutex> lock(cache_mu_);
+    common::ReaderMutexLock lock(cache_mu_);
     if (cache_.Has(node)) {
       auto row = cache_.Get(node);
       std::copy(row.begin(), row.end(), out.begin());
@@ -223,7 +223,7 @@ void BatchingServer::ProcessBatch(std::vector<Request>* batch) {
     }
     const graph::NodeId node = request.node;
     {
-      std::shared_lock<std::shared_mutex> lock(cache_mu_);
+      common::ReaderMutexLock lock(cache_mu_);
       const int64_t staleness = cache_.Staleness(node, step);
       if (staleness >= 0 && staleness <= config_.max_staleness) {
         auto row = cache_.Get(node);

@@ -8,14 +8,13 @@
 #include <future>
 #include <limits>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <thread>
 #include <vector>
 
 #include "common/fault.h"
 #include "common/mpmc_queue.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "graph/types.h"
 #include "sampling/historical_cache.h"
@@ -155,27 +154,31 @@ class BatchingServer {
   /// set if it came from a stale cache row) or the terminal error.
   common::Status ResolveMiss(graph::NodeId node, const common::Deadline& dl,
                              std::span<float> out, int64_t step,
-                             bool* degraded);
+                             bool* degraded) SGNN_EXCLUDES(cache_mu_);
 
   const ServeConfig config_;
   const FrozenModel model_;
   const EmbeddingFn embed_fn_;
+  /// Served id universe [0, num_nodes_); immutable, so admission-time
+  /// bounds checks need no lock.
+  const graph::NodeId num_nodes_;
 
   common::BoundedMpmcQueue<Request> queue_;
   std::unique_ptr<common::ThreadPool> pool_;
 
   /// Embedding cache shared across worker threads; reads take the shared
-  /// lock (concurrent), writes the exclusive lock.
-  mutable std::shared_mutex cache_mu_;
-  sampling::HistoricalEmbeddingCache cache_;
+  /// lock (concurrent), writes the exclusive lock. The guard annotation
+  /// makes an unlocked cache touch a compile error under Clang.
+  mutable common::SharedMutex cache_mu_;
+  sampling::HistoricalEmbeddingCache cache_ SGNN_GUARDED_BY(cache_mu_);
   /// Monotone batch counter: the cache's staleness clock at serve time.
   std::atomic<int64_t> step_{0};
 
   /// In-flight batch cap (== num_workers): keeps pressure on the admission
   /// queue instead of an unbounded pool backlog.
-  std::mutex inflight_mu_;
-  std::condition_variable inflight_cv_;
-  int in_flight_ = 0;
+  common::Mutex inflight_mu_;
+  std::condition_variable_any inflight_cv_;
+  int in_flight_ SGNN_GUARDED_BY(inflight_mu_) = 0;
 
   ServeMetrics metrics_;
   common::CircuitBreaker breaker_;

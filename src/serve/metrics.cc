@@ -66,7 +66,7 @@ void LatencyHistogram::Merge(const LatencyHistogram& other) {
 
 void ServeMetrics::RecordRequest(double latency_micros, bool cache_hit,
                                  bool degraded) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   latency_.Record(latency_micros);
   ++requests_served_;
   if (degraded) {
@@ -80,30 +80,30 @@ void ServeMetrics::RecordRequest(double latency_micros, bool cache_hit,
 }
 
 void ServeMetrics::RecordRejected() {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   ++requests_rejected_;
 }
 
 void ServeMetrics::RecordTerminalFailure(common::StatusCode code,
                                          bool breaker_fast_fail) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   ++failed_requests_;
   if (code == common::StatusCode::kDeadlineExceeded) ++deadline_misses_;
   if (breaker_fast_fail) ++breaker_fast_fails_;
 }
 
 void ServeMetrics::RecordRetry() {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   ++retries_;
 }
 
 void ServeMetrics::RecordEmbedFailure() {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   ++embed_failures_;
 }
 
 void ServeMetrics::RecordBatch(uint64_t batch_size, uint64_t queue_depth) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   ++batches_;
   batch_size_sum_ += batch_size;
   max_batch_size_ = std::max(max_batch_size_, batch_size);
@@ -111,7 +111,7 @@ void ServeMetrics::RecordBatch(uint64_t batch_size, uint64_t queue_depth) {
 }
 
 ServeMetricsSnapshot ServeMetrics::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   ServeMetricsSnapshot snap;
   snap.requests_served = requests_served_;
   snap.requests_rejected = requests_rejected_;

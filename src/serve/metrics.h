@@ -2,12 +2,12 @@
 #define SGNN_SERVE_METRICS_H_
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/counters.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace sgnn::serve {
 
@@ -94,7 +94,8 @@ struct ServeMetricsSnapshot {
 
 /// Thread-safe recorder shared by the batcher and worker threads. One
 /// mutex suffices: recording happens once per request/batch, far off any
-/// inner loop.
+/// inner loop. Every counter is `SGNN_GUARDED_BY(mu_)`, so a recording
+/// path that forgets the lock fails to compile under `-Wthread-safety`.
 class ServeMetrics {
  public:
   ServeMetrics() = default;
@@ -103,45 +104,47 @@ class ServeMetrics {
   /// (enqueue to promise fulfilment), whether the embedding came from the
   /// cache fresh, and whether it was a degraded (stale-row) serve.
   void RecordRequest(double latency_micros, bool cache_hit,
-                     bool degraded = false);
+                     bool degraded = false) SGNN_EXCLUDES(mu_);
 
-  void RecordRejected();
+  void RecordRejected() SGNN_EXCLUDES(mu_);
 
   /// Records a request resolved with a terminal non-OK status. The latency
   /// histogram tracks successful serves only; failures are counted here
   /// (`kDeadlineExceeded` also bumps `deadline_misses`, `kUnavailable`
   /// from an open breaker bumps `breaker_fast_fails`).
-  void RecordTerminalFailure(common::StatusCode code, bool breaker_fast_fail);
+  void RecordTerminalFailure(common::StatusCode code, bool breaker_fast_fail)
+      SGNN_EXCLUDES(mu_);
 
   /// Records one embedder retry (a backoff was taken).
-  void RecordRetry();
+  void RecordRetry() SGNN_EXCLUDES(mu_);
 
   /// Records one failed embedder call (each attempt counts).
-  void RecordEmbedFailure();
+  void RecordEmbedFailure() SGNN_EXCLUDES(mu_);
 
   /// Records one flushed micro-batch and the queue depth observed when it
   /// was formed (the batch-size and queue-depth distributions).
-  void RecordBatch(uint64_t batch_size, uint64_t queue_depth);
+  void RecordBatch(uint64_t batch_size, uint64_t queue_depth)
+      SGNN_EXCLUDES(mu_);
 
-  ServeMetricsSnapshot Snapshot() const;
+  ServeMetricsSnapshot Snapshot() const SGNN_EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  LatencyHistogram latency_;
-  uint64_t requests_served_ = 0;
-  uint64_t requests_rejected_ = 0;
-  uint64_t cache_hits_ = 0;
-  uint64_t cache_misses_ = 0;
-  uint64_t batches_ = 0;
-  uint64_t batch_size_sum_ = 0;
-  uint64_t max_batch_size_ = 0;
-  uint64_t max_queue_depth_ = 0;
-  uint64_t deadline_misses_ = 0;
-  uint64_t retries_ = 0;
-  uint64_t embed_failures_ = 0;
-  uint64_t degraded_serves_ = 0;
-  uint64_t failed_requests_ = 0;
-  uint64_t breaker_fast_fails_ = 0;
+  mutable common::Mutex mu_;
+  LatencyHistogram latency_ SGNN_GUARDED_BY(mu_);
+  uint64_t requests_served_ SGNN_GUARDED_BY(mu_) = 0;
+  uint64_t requests_rejected_ SGNN_GUARDED_BY(mu_) = 0;
+  uint64_t cache_hits_ SGNN_GUARDED_BY(mu_) = 0;
+  uint64_t cache_misses_ SGNN_GUARDED_BY(mu_) = 0;
+  uint64_t batches_ SGNN_GUARDED_BY(mu_) = 0;
+  uint64_t batch_size_sum_ SGNN_GUARDED_BY(mu_) = 0;
+  uint64_t max_batch_size_ SGNN_GUARDED_BY(mu_) = 0;
+  uint64_t max_queue_depth_ SGNN_GUARDED_BY(mu_) = 0;
+  uint64_t deadline_misses_ SGNN_GUARDED_BY(mu_) = 0;
+  uint64_t retries_ SGNN_GUARDED_BY(mu_) = 0;
+  uint64_t embed_failures_ SGNN_GUARDED_BY(mu_) = 0;
+  uint64_t degraded_serves_ SGNN_GUARDED_BY(mu_) = 0;
+  uint64_t failed_requests_ SGNN_GUARDED_BY(mu_) = 0;
+  uint64_t breaker_fast_fails_ SGNN_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace sgnn::serve

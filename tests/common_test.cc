@@ -7,6 +7,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/check.h"
 #include "common/counters.h"
 #include "common/mpmc_queue.h"
 #include "common/rng.h"
@@ -16,6 +17,28 @@
 
 namespace sgnn::common {
 namespace {
+
+TEST(CheckDeathTest, ComparisonFailurePrintsBothOperands) {
+  const int lhs = 3;
+  const int rhs = 7;
+  // The upgraded SGNN_CHECK_EQ captures and prints the operand values, not
+  // just the stringified expression.
+  EXPECT_DEATH(SGNN_CHECK_EQ(lhs, rhs), "lhs == rhs.*3 vs. 7");
+  EXPECT_DEATH(SGNN_CHECK_GT(lhs * 2, rhs), "lhs \\* 2 > rhs.*6 vs. 7");
+}
+
+TEST(CheckDeathTest, OperandsEvaluatedExactlyOnce) {
+  int calls = 0;
+  auto next = [&calls] { return ++calls; };
+  SGNN_CHECK_LT(next(), 10);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(CheckDeathTest, StringOperandsPrint) {
+  const std::string a = "alpha";
+  const std::string b = "beta";
+  EXPECT_DEATH(SGNN_CHECK_EQ(a, b), "alpha vs. beta");
+}
 
 TEST(StatusTest, DefaultIsOk) {
   Status s;

@@ -1,0 +1,192 @@
+#!/usr/bin/env python3
+"""Determinism / assertion lint for the sgnn tree.
+
+The repo's replay story (seeded runs, fault-injection replay, bit-identical
+checkpoint resume) only holds if no code path consults an unseeded entropy
+source or a wall clock that feeds results. This lint fails CI when C++ under
+the scanned roots uses a forbidden construct outside the sanctioned wrappers:
+
+  std::random_device   -- unseeded entropy; use common::Rng(seed)
+  std::chrono::system_clock -- wall time; use common::WallTimer (steady)
+  rand( / srand(       -- C PRNG, hidden global state; use common::Rng
+  assert(              -- compiled out under NDEBUG (the default Release
+                          build), so it checks nothing; use SGNN_CHECK /
+                          SGNN_DCHECK
+
+Sanctioned files (the wrappers themselves) are listed in ALLOWLIST. Line
+suppressions are possible with a trailing `// lint:allow-nondeterminism`
+comment, for the rare case that needs documenting in place.
+
+Usage:
+  tools/lint_determinism.py [--root DIR]     # lint the repo (default)
+  tools/lint_determinism.py --self-test      # verify the lint still detects
+                                             # the seeded negative fixture
+"""
+
+import argparse
+import pathlib
+import re
+import sys
+
+# (human name, compiled regex). Patterns run against comment-stripped lines.
+FORBIDDEN = [
+    ("std::random_device", re.compile(r"std::random_device")),
+    ("std::chrono::system_clock", re.compile(r"system_clock")),
+    ("rand()", re.compile(r"(?<![_\w])rand\s*\(")),
+    ("srand()", re.compile(r"(?<![_\w])srand\s*\(")),
+    ("assert()", re.compile(r"(?<![_\w])assert\s*\(")),
+]
+
+# Wrapper files allowed to touch the primitives they encapsulate.
+ALLOWLIST = {
+    "src/common/rng.h",
+    "src/common/rng.cc",
+    "src/common/timer.h",
+    "src/common/timer.cc",
+}
+
+SCAN_ROOTS = ["src", "tests", "bench", "examples"]
+EXTENSIONS = {".h", ".cc", ".cpp", ".hpp"}
+SUPPRESS = "lint:allow-nondeterminism"
+
+FIXTURE = "tools/lint_fixtures/nondeterministic.cc.fixture"
+
+
+def strip_comments(text: str) -> str:
+    """Blanks out // and /* */ comments and string literals, preserving
+    newlines so reported line numbers stay correct."""
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line_comment | block_comment | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "string"
+                out.append(" ")
+                i += 1
+                continue
+            if c == "'":
+                state = "char"
+                out.append(" ")
+                i += 1
+                continue
+            out.append(c)
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+                out.append("\n")
+            else:
+                out.append(" ")
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append("\n" if c == "\n" else " ")
+        elif state in ("string", "char"):
+            quote = '"' if state == "string" else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == quote:
+                state = "code"
+            out.append("\n" if c == "\n" else " ")
+        i += 1
+    return "".join(out)
+
+
+def lint_file(path: pathlib.Path, rel: str) -> list:
+    try:
+        text = path.read_text(encoding="utf-8", errors="replace")
+    except OSError as e:
+        return [(rel, 0, f"unreadable: {e}")]
+    raw_lines = text.splitlines()
+    violations = []
+    for lineno, line in enumerate(strip_comments(text).splitlines(), start=1):
+        raw = raw_lines[lineno - 1] if lineno <= len(raw_lines) else ""
+        if SUPPRESS in raw:
+            continue
+        for name, pattern in FORBIDDEN:
+            if pattern.search(line):
+                violations.append((rel, lineno, f"forbidden {name}: {raw.strip()}"))
+    return violations
+
+
+def lint_tree(root: pathlib.Path) -> list:
+    violations = []
+    for scan_root in SCAN_ROOTS:
+        base = root / scan_root
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.suffix not in EXTENSIONS or not path.is_file():
+                continue
+            rel = path.relative_to(root).as_posix()
+            if rel in ALLOWLIST:
+                continue
+            violations.extend(lint_file(path, rel))
+    return violations
+
+
+def self_test(root: pathlib.Path) -> int:
+    """The negative fixture must trip every forbidden pattern; a lint that
+    stops seeing it has rotted."""
+    fixture = root / FIXTURE
+    if not fixture.is_file():
+        print(f"self-test FAILED: fixture missing: {FIXTURE}")
+        return 1
+    found = lint_file(fixture, FIXTURE)
+    missing = [name for name, _ in FORBIDDEN
+               if not any(v[2].startswith(f"forbidden {name}:") for v in found)]
+    if missing:
+        print(f"self-test FAILED: fixture did not trip: {', '.join(missing)}")
+        return 1
+    # The suppression comment must actually suppress.
+    suppressed = [v for v in found if "suppressed_ok" in v[2]]
+    if suppressed:
+        print("self-test FAILED: suppression comment did not suppress")
+        return 1
+    print(f"self-test OK: fixture tripped all {len(FORBIDDEN)} patterns")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=None, help="repo root to lint")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify the lint against the negative fixture")
+    args = parser.parse_args()
+
+    root = pathlib.Path(args.root) if args.root else \
+        pathlib.Path(__file__).resolve().parent.parent
+    if args.self_test:
+        return self_test(root)
+
+    violations = lint_tree(root)
+    for rel, lineno, message in violations:
+        print(f"{rel}:{lineno}: {message}")
+    if violations:
+        print(f"\n{len(violations)} determinism-lint violation(s). "
+              "Use common::Rng / common::WallTimer / SGNN_CHECK, or annotate "
+              f"an audited exception with `// {SUPPRESS}`.")
+        return 1
+    print("determinism lint clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
