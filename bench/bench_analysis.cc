@@ -70,9 +70,9 @@ void RunPipeline(benchmark::State& state, bool validate) {
                             const nn::TrainConfig& c) {
           return models::TrainGcn(g, x, labels, splits, c);
         });
-    core::PipelineRunOptions options;
-    options.validate_stages = validate;
-    core::PipelineReport report = pipeline.Run(d, config, options);
+    core::RunContext ctx;
+    ctx.validate_stages = validate;
+    core::PipelineReport report = pipeline.Run(d, config, ctx);
     SGNN_CHECK(report.status.ok());
     benchmark::DoNotOptimize(report);
   }

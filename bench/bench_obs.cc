@@ -1,0 +1,228 @@
+// E20: cost of the sgnn::obs layer. Three pipeline variants isolate the
+// two numbers EXPERIMENTS.md quotes: `Plain` (legacy two-arg Run) vs
+// `CtxDisabled` (RunContext threaded through, tracer/metrics null) is the
+// disabled-but-compiled-in overhead; `CtxDisabled` vs `CtxEnabled` (live
+// Tracer + MetricsRegistry) is the cost of actually recording. A serving
+// soak repeats the comparison where spans are per-batch, and micro
+// benchmarks price the individual primitives (counter bump, span
+// open/close, Prometheus render).
+#include <benchmark/benchmark.h>
+
+#include <future>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/check.h"
+#include "common/rng.h"
+#include "core/pipeline.h"
+#include "core/stages.h"
+#include "models/decoupled.h"
+#include "models/gcn.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "serve/batching_server.h"
+#include "serve/frozen_model.h"
+#include "serve/khop_embedder.h"
+
+namespace sgnn {
+namespace {
+
+core::Dataset Dataset(int64_t num_nodes) {
+  return bench::MakeBenchDataset(static_cast<graph::NodeId>(num_nodes), 4,
+                                 12.0, 0.8, 17);
+}
+
+core::Pipeline MakePipeline() {
+  core::Pipeline pipeline;
+  pipeline.AddEdit(core::MakeUniformSparsifyStage(0.7, 7))
+      .AddAnalytics(core::MakePprSmoothingStage(0.15, 2))
+      .SetModel("gcn", [](const graph::CsrGraph& g, const tensor::Matrix& x,
+                          std::span<const int> labels,
+                          const models::NodeSplits& splits,
+                          const nn::TrainConfig& c) {
+        return models::TrainGcn(g, x, labels, splits, c);
+      });
+  return pipeline;
+}
+
+enum class ObsMode { kPlain, kCtxDisabled, kCtxEnabled };
+
+void RunPipeline(benchmark::State& state, ObsMode mode) {
+  core::Dataset d = Dataset(state.range(0));
+  nn::TrainConfig config = bench::BenchTrainConfig();
+  config.epochs = 5;  // Preprocessing-dominated: per-stage overhead shows.
+  core::Pipeline pipeline = MakePipeline();
+  for (auto _ : state) {
+    core::PipelineReport report;
+    switch (mode) {
+      case ObsMode::kPlain:
+        report = pipeline.Run(d, config);
+        break;
+      case ObsMode::kCtxDisabled:
+        report = pipeline.Run(d, config, core::RunContext());
+        break;
+      case ObsMode::kCtxEnabled: {
+        obs::Tracer tracer;
+        obs::MetricsRegistry metrics;
+        core::RunContext ctx;
+        ctx.tracer = &tracer;
+        ctx.metrics = &metrics;
+        report = pipeline.Run(d, config, ctx);
+        benchmark::DoNotOptimize(metrics.NumSeries());
+        break;
+      }
+    }
+    SGNN_CHECK(report.status.ok());
+    benchmark::DoNotOptimize(report);
+  }
+}
+
+void BM_PipelinePlain(benchmark::State& state) {
+  RunPipeline(state, ObsMode::kPlain);
+}
+void BM_PipelineCtxDisabled(benchmark::State& state) {
+  RunPipeline(state, ObsMode::kCtxDisabled);
+}
+void BM_PipelineCtxEnabled(benchmark::State& state) {
+  RunPipeline(state, ObsMode::kCtxEnabled);
+}
+BENCHMARK(BM_PipelinePlain)->Arg(10000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PipelineCtxDisabled)->Arg(10000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PipelineCtxEnabled)->Arg(10000)->Unit(benchmark::kMillisecond);
+
+/// Serving soak: submit a fixed request stream through the batching
+/// server with observability off (no ctx) vs on (tracer + registry
+/// threaded through RunContext). Spans open per micro-batch and every
+/// request touches the registry, so this is the worst-case hot path.
+void RunServeSoak(benchmark::State& state, bool observed) {
+  static const core::Dataset& data =
+      *new core::Dataset(bench::MakeBenchDataset(20000, 4, 20.0, 0.85, 9));
+  static const models::ModelResult& model =
+      *new models::ModelResult(models::TrainSgc(data.graph, data.features,
+                                                data.labels, data.splits,
+                                                bench::BenchTrainConfig()));
+  serve::ServeConfig config;
+  config.max_batch = 32;
+  config.max_delay_micros = 200;
+  config.queue_capacity = 1 << 16;
+  config.num_workers = 4;
+
+  obs::Tracer tracer;
+  obs::MetricsRegistry metrics;
+  core::RunContext ctx;
+  if (observed) {
+    ctx.tracer = &tracer;
+    ctx.metrics = &metrics;
+  }
+
+  serve::KHopEmbedder embedder(data.graph, data.features, /*hops=*/2);
+  serve::BatchingServer server(
+      serve::FrozenModel::FromMlp(*model.fitted_head),
+      [&embedder](graph::NodeId u, std::span<float> out) {
+        embedder.Embed(u, out);
+        return common::Status::OK();
+      },
+      data.num_nodes(), config, ctx);
+
+  const uint64_t hot_set = static_cast<uint64_t>(data.num_nodes()) / 20;
+  common::Rng rng(7);
+  constexpr int kRequestsPerIter = 512;
+  int64_t served = 0;
+  for (auto _ : state) {
+    std::vector<std::future<serve::InferenceResponse>> futures;
+    futures.reserve(kRequestsPerIter);
+    for (int i = 0; i < kRequestsPerIter; ++i) {
+      auto future_or = server.Submit(
+          static_cast<graph::NodeId>(rng.UniformInt(hot_set)));
+      if (future_or.ok()) futures.push_back(std::move(future_or).value());
+    }
+    for (auto& future : futures) future.get();
+    served += static_cast<int64_t>(futures.size());
+  }
+  server.Shutdown();
+  state.SetItemsProcessed(served);
+  if (observed) {
+    state.counters["series"] = static_cast<double>(metrics.NumSeries());
+    state.counters["spans"] = static_cast<double>(tracer.NumEvents());
+  }
+}
+
+void BM_ServeSoakUnobserved(benchmark::State& state) {
+  RunServeSoak(state, false);
+}
+void BM_ServeSoakObserved(benchmark::State& state) {
+  RunServeSoak(state, true);
+}
+BENCHMARK(BM_ServeSoakUnobserved)->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+BENCHMARK(BM_ServeSoakObserved)->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// Primitive costs: what one registry/tracer touch prices at, and what a
+// scrape of a realistically sized registry costs.
+void BM_CounterIncrement(benchmark::State& state) {
+  obs::MetricsRegistry metrics;
+  obs::Counter* c = metrics.GetCounter("bench_total", "bench");
+  for (auto _ : state) {
+    c->Increment();
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_CounterIncrement);
+
+void BM_HistogramRecord(benchmark::State& state) {
+  obs::MetricsRegistry metrics;
+  obs::Histogram* h =
+      metrics.GetHistogram("bench_lat", "bench",
+                           obs::ExponentialBuckets(1.0, 1.07, 256));
+  double v = 1.0;
+  for (auto _ : state) {
+    h->Record(v);
+    v = v < 100000.0 ? v * 1.01 : 1.0;
+    benchmark::DoNotOptimize(h);
+  }
+}
+BENCHMARK(BM_HistogramRecord);
+
+void BM_SpanOpenClose(benchmark::State& state) {
+  obs::Tracer tracer;
+  for (auto _ : state) {
+    obs::TraceSpan span = obs::StartSpan(&tracer, "bench.span", "bench");
+    benchmark::DoNotOptimize(span);
+  }
+  state.counters["events"] = static_cast<double>(tracer.NumEvents());
+}
+BENCHMARK(BM_SpanOpenClose);
+
+void BM_NullSpanOpenClose(benchmark::State& state) {
+  for (auto _ : state) {
+    obs::TraceSpan span = obs::StartSpan(nullptr, "bench.span", "bench");
+    benchmark::DoNotOptimize(span);
+  }
+}
+BENCHMARK(BM_NullSpanOpenClose);
+
+void BM_PrometheusRender(benchmark::State& state) {
+  obs::MetricsRegistry metrics;
+  for (int i = 0; i < static_cast<int>(state.range(0)); ++i) {
+    const obs::Labels labels = {{"idx", std::to_string(i)}};
+    metrics.GetCounter("bench_requests_total", "bench", labels)->Increment();
+    metrics.GetGauge("bench_depth", "bench", labels)->Set(i);
+    metrics
+        .GetHistogram("bench_lat", "bench",
+                      obs::ExponentialBuckets(1.0, 2.0, 16), labels)
+        ->Record(static_cast<double>(i));
+  }
+  for (auto _ : state) {
+    std::string text = metrics.PrometheusText();
+    benchmark::DoNotOptimize(text);
+  }
+  state.counters["series"] = static_cast<double>(metrics.NumSeries());
+}
+BENCHMARK(BM_PrometheusRender)->Arg(8)->Arg(64);
+
+}  // namespace
+}  // namespace sgnn
+
+BENCHMARK_MAIN();

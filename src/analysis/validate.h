@@ -85,7 +85,7 @@ common::Status Validate(const partition::Partition& partition,
 common::Status ValidateCheckpoint(const core::PipelineSnapshot& snapshot,
                                   uint64_t expected_signature);
 
-/// The pipeline's between-stage hook (`PipelineRunOptions::validate_stages`):
+/// The pipeline's between-stage hook (`core::RunContext::validate_stages`):
 /// validates a stage's output graph + features and their alignment,
 /// prefixing diagnostics with the stage name.
 common::Status ValidateStageOutput(const std::string& stage_name,

@@ -48,6 +48,21 @@ struct OpCounters {
     resident_floats += other.resident_floats;
   }
 
+  /// Work done between two snapshots of the same counter instance. The
+  /// monotone counters subtract; `peak_resident_floats` and
+  /// `resident_floats` are point-in-time quantities and report `end`'s
+  /// value. This is the single definition of "per-region delta" — the
+  /// pipeline report rows and the `obs` gauge exports both call it, so the
+  /// two can never disagree.
+  static OpCounters Delta(const OpCounters& begin, const OpCounters& end) {
+    OpCounters d;
+    d.edges_touched = end.edges_touched - begin.edges_touched;
+    d.floats_moved = end.floats_moved - begin.floats_moved;
+    d.peak_resident_floats = end.peak_resident_floats;
+    d.resident_floats = end.resident_floats;
+    return d;
+  }
+
   std::string ToString() const;
 };
 
@@ -64,23 +79,21 @@ OpCounters& GlobalCounters();
 /// workers of interest have quiesced or joined.
 OpCounters AggregateThreadCounters();
 
+/// Immutable point-in-time copy of the calling thread's counters; pair two
+/// snapshots with `OpCounters::Delta` to attribute work to a region.
+inline OpCounters SnapshotThreadCounters() { return GlobalCounters(); }
+
 /// Captures the counter state at construction and exposes the delta since,
 /// so a caller can attribute work to a region without resetting globals.
 /// Thread-scoped: it observes only the calling thread's counters.
 class ScopedCounterDelta {
  public:
-  ScopedCounterDelta() : base_(GlobalCounters()) {}
+  ScopedCounterDelta() : base_(SnapshotThreadCounters()) {}
 
   /// Work done since construction. `peak_resident_floats` is reported as
   /// the maximum observed during the scope, not a difference.
   OpCounters Delta() const {
-    const OpCounters& now = GlobalCounters();
-    OpCounters d;
-    d.edges_touched = now.edges_touched - base_.edges_touched;
-    d.floats_moved = now.floats_moved - base_.floats_moved;
-    d.peak_resident_floats = now.peak_resident_floats;
-    d.resident_floats = now.resident_floats;
-    return d;
+    return OpCounters::Delta(base_, SnapshotThreadCounters());
   }
 
  private:

@@ -2,6 +2,7 @@
 #define SGNN_COMMON_THREAD_POOL_H_
 
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <thread>
@@ -10,6 +11,17 @@
 #include "common/thread_annotations.h"
 
 namespace sgnn::common {
+
+/// Point-in-time load view of a `ThreadPool`, cheap enough to poll from a
+/// metrics exporter: queue depth is the backlog signal an operator watches
+/// (a rising depth means submitters outpace the workers).
+struct ThreadPoolStats {
+  uint64_t submitted = 0;        ///< Tasks ever accepted by `Submit`.
+  uint64_t executed = 0;         ///< Tasks that finished running.
+  uint64_t queue_depth = 0;      ///< Tasks queued but not yet started.
+  uint64_t max_queue_depth = 0;  ///< High-water mark of `queue_depth`.
+  int active = 0;                ///< Tasks currently executing.
+};
 
 /// Fixed-size worker pool executing submitted closures FIFO. The internal
 /// task list is unbounded; callers that need backpressure bound their own
@@ -39,18 +51,25 @@ class ThreadPool {
   /// Drains remaining tasks and joins the workers; idempotent.
   void Shutdown() SGNN_EXCLUDES(mu_);
 
+  /// Load snapshot (see `ThreadPoolStats`). Thread-safe; values from live
+  /// workers are a consistent instant under the pool lock.
+  ThreadPoolStats Stats() const SGNN_EXCLUDES(mu_);
+
   int num_threads() const { return static_cast<int>(workers_.size()); }
 
  private:
   void WorkerLoop() SGNN_EXCLUDES(mu_);
 
-  Mutex mu_;
+  mutable Mutex mu_;
   std::condition_variable_any work_available_;
   std::condition_variable_any idle_;
   std::deque<std::function<void()>> tasks_ SGNN_GUARDED_BY(mu_);
   std::vector<std::thread> workers_;
   int active_ SGNN_GUARDED_BY(mu_) = 0;  ///< Tasks currently executing.
   bool stopping_ SGNN_GUARDED_BY(mu_) = false;
+  uint64_t submitted_ SGNN_GUARDED_BY(mu_) = 0;
+  uint64_t executed_ SGNN_GUARDED_BY(mu_) = 0;
+  uint64_t max_queue_depth_ SGNN_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace sgnn::common

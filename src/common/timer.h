@@ -1,7 +1,9 @@
 #ifndef SGNN_COMMON_TIMER_H_
 #define SGNN_COMMON_TIMER_H_
 
+#include <atomic>
 #include <chrono>
+#include <cstdint>
 
 namespace sgnn::common {
 
@@ -23,6 +25,28 @@ class WallTimer {
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
+};
+
+/// Deterministic logical clock: a monotonically increasing counter with no
+/// relation to wall time. Two events stamped by the same `TickClock` are
+/// ordered by causality of the stamping calls, and a seeded run reproduces
+/// the exact tick sequence — which is why `obs::Tracer` timestamps spans
+/// with ticks instead of wall time (trace exports stay byte-identical
+/// across runs, and the determinism lint stays clean). Thread-safe.
+class TickClock {
+ public:
+  TickClock() = default;
+  TickClock(const TickClock&) = delete;
+  TickClock& operator=(const TickClock&) = delete;
+
+  /// Returns the next tick; every call yields a distinct, increasing value.
+  uint64_t Next() { return next_.fetch_add(1, std::memory_order_relaxed); }
+
+  /// Ticks handed out so far.
+  uint64_t now() const { return next_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> next_{0};
 };
 
 }  // namespace sgnn::common

@@ -7,6 +7,8 @@
 #include "common/counters.h"
 #include "common/timer.h"
 #include "core/checkpoint.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace sgnn::core {
 
@@ -66,7 +68,7 @@ Pipeline& Pipeline::SetModel(std::string name, ModelFn model) {
 
 PipelineReport Pipeline::Run(const Dataset& dataset,
                              const nn::TrainConfig& config) const {
-  return Run(dataset, config, PipelineRunOptions());
+  return Run(dataset, config, RunContext());
 }
 
 uint64_t Pipeline::Signature() const {
@@ -82,7 +84,29 @@ uint64_t Pipeline::Signature() const {
 PipelineReport Pipeline::Run(const Dataset& dataset,
                              const nn::TrainConfig& config,
                              const PipelineRunOptions& options) const {
+  return Run(dataset, config, options.ToRunContext());
+}
+
+PipelineReport Pipeline::Run(const Dataset& dataset,
+                             const nn::TrainConfig& config,
+                             const RunContext& ctx) const {
   SGNN_CHECK(model_ != nullptr);
+  // Peak residency is a monotone per-thread high-water mark; pin it to the
+  // current residency so this run's per-stage peaks are run-local and
+  // reproducible regardless of what ran on this thread before — the
+  // property the byte-identical deterministic exports pin.
+  {
+    common::OpCounters& thread_counters = common::GlobalCounters();
+    thread_counters.peak_resident_floats = thread_counters.resident_floats;
+  }
+  obs::TraceSpan run_span =
+      obs::StartSpan(ctx.tracer, "pipeline.run", "pipeline");
+  if (ctx.metrics != nullptr) {
+    ctx.metrics
+        ->GetCounter("sgnn_pipeline_runs_total", "Pipeline runs started.")
+        ->Increment();
+  }
+
   PipelineReport report;
   report.edges_before = dataset.graph.num_edges();
   report.feature_cols_before = dataset.features.cols();
@@ -90,11 +114,49 @@ PipelineReport Pipeline::Run(const Dataset& dataset,
   graph::CsrGraph graph = dataset.graph;
   tensor::Matrix features = dataset.features;
 
-  const bool checkpointing = !options.checkpoint_path.empty();
+  // Publishes one completed report row into the registry: the row and the
+  // `sgnn_pipeline_stage_*` series carry the same values, so the report is
+  // a view over what a scraper sees. Data-movement gauges are pure
+  // functions of the seeded workload; seconds are wall time and therefore
+  // volatile (excluded from deterministic exports).
+  auto publish_stage = [&](const StageTiming& row) {
+    if (ctx.metrics == nullptr) return;
+    const obs::Labels labels = {{"stage", row.name}};
+    ctx.metrics
+        ->GetCounter("sgnn_pipeline_stage_runs_total",
+                     "Completed executions per pipeline stage.", labels)
+        ->Increment();
+    ctx.metrics->SetOpCounterGauges(
+        "sgnn_pipeline_stage",
+        "Data-movement delta of the stage's latest execution.", labels,
+        row.ops);
+    ctx.metrics
+        ->GetGauge("sgnn_pipeline_stage_seconds",
+                   "Wall-clock seconds of the stage's latest execution.",
+                   labels, obs::kVolatile)
+        ->Set(row.seconds);
+  };
+  auto deadline_abort = [&](const std::string& next) -> bool {
+    if (!ctx.deadline.expired()) return false;
+    if (ctx.metrics != nullptr) {
+      ctx.metrics
+          ->GetCounter("sgnn_pipeline_deadline_aborts_total",
+                       "Pipeline runs stopped by an expired deadline.",
+                       /*labels=*/{}, obs::kVolatile)
+          ->Increment();
+    }
+    report.status = common::Status::DeadlineExceeded(
+        "pipeline deadline expired before " + next);
+    return true;
+  };
+
+  const bool checkpointing = !ctx.checkpoint_path.empty();
   const uint64_t signature = checkpointing ? Signature() : 0;
   int start_stage = 0;
-  if (checkpointing && options.resume) {
-    auto snapshot = LoadSnapshot(options.checkpoint_path, signature);
+  if (checkpointing && ctx.resume) {
+    obs::TraceSpan restore_span =
+        obs::StartSpan(ctx.tracer, "checkpoint.restore", "checkpoint");
+    auto snapshot = LoadSnapshot(ctx.checkpoint_path, signature);
     if (snapshot.ok()) {
       PipelineSnapshot snap = std::move(snapshot).value();
       graph = std::move(snap.graph);
@@ -104,6 +166,16 @@ PipelineReport Pipeline::Run(const Dataset& dataset,
       report.feature_cols_before = snap.feature_cols_before;
       start_stage = snap.stages_done;
       report.resumed_stages = snap.stages_done;
+      if (ctx.metrics != nullptr) {
+        ctx.metrics
+            ->GetCounter("sgnn_pipeline_checkpoint_restores_total",
+                         "Successful snapshot restores.")
+            ->Increment();
+        ctx.metrics
+            ->GetGauge("sgnn_pipeline_resumed_stages",
+                       "Stages restored from a snapshot by the latest run.")
+            ->Set(static_cast<double>(snap.stages_done));
+      }
     }
     // Missing, corrupt, or foreign snapshot: fall through to a clean run.
   }
@@ -113,17 +185,20 @@ PipelineReport Pipeline::Run(const Dataset& dataset,
   // exactly what the checking costs. Validation reads but never writes, so
   // enabling it cannot change any downstream result.
   const ValidationStage validator =
-      options.stage_validator ? options.stage_validator
-                              : ValidationStage(analysis::ValidateStageOutput);
+      ctx.stage_validator ? ctx.stage_validator
+                          : ValidationStage(analysis::ValidateStageOutput);
   auto validate = [&](const std::string& label) -> common::Status {
+    obs::TraceSpan span =
+        obs::StartSpan(ctx.tracer, "validate:" + label, "validate");
     common::ScopedCounterDelta counters;
     common::WallTimer timer;
     common::Status status = validator(label, graph, features);
     report.stages.push_back(
         {"validate:" + label, timer.Seconds(), counters.Delta()});
+    publish_stage(report.stages.back());
     return status;
   };
-  if (options.validate_stages) {
+  if (ctx.validate_stages) {
     report.status = validate(start_stage > 0 ? "resume" : "input");
     if (!report.status.ok()) return report;
   }
@@ -133,6 +208,8 @@ PipelineReport Pipeline::Run(const Dataset& dataset,
   // best-effort (the run itself is fine without them).
   auto after_stage = [&](int stage_index) -> common::Status {
     if (checkpointing) {
+      obs::TraceSpan span =
+          obs::StartSpan(ctx.tracer, "checkpoint.save", "checkpoint");
       PipelineSnapshot snap;
       snap.signature = signature;
       snap.stages_done = stage_index + 1;
@@ -141,11 +218,17 @@ PipelineReport Pipeline::Run(const Dataset& dataset,
       snap.feature_cols_before = report.feature_cols_before;
       snap.graph = graph;
       snap.features = features;
-      (void)SaveSnapshot(snap, options.checkpoint_path);
+      if (SaveSnapshot(snap, ctx.checkpoint_path).ok() &&
+          ctx.metrics != nullptr) {
+        ctx.metrics
+            ->GetCounter("sgnn_pipeline_checkpoint_saves_total",
+                         "Successful snapshot writes.")
+            ->Increment();
+      }
     }
-    if (options.faults != nullptr &&
-        options.faults->ShouldFail("pipeline.after_stage",
-                                   static_cast<uint64_t>(stage_index))) {
+    if (ctx.faults != nullptr &&
+        ctx.faults->ShouldFail("pipeline.after_stage",
+                               static_cast<uint64_t>(stage_index))) {
       return common::Status::Aborted("injected crash after stage " +
                                      report.stages.back().name);
     }
@@ -155,12 +238,17 @@ PipelineReport Pipeline::Run(const Dataset& dataset,
   int stage_index = 0;
   for (const auto& stage : edits_) {
     if (stage_index++ < start_stage) continue;
-    common::ScopedCounterDelta counters;
-    common::WallTimer timer;
-    graph = stage->Edit(graph, features);
-    report.stages.push_back(
-        {stage->name(), timer.Seconds(), counters.Delta()});
-    if (options.validate_stages) {
+    if (deadline_abort("stage " + stage->name())) return report;
+    {
+      obs::TraceSpan span = obs::StartSpan(ctx.tracer, stage->name(), "stage");
+      common::ScopedCounterDelta counters;
+      common::WallTimer timer;
+      graph = stage->Edit(graph, features);
+      report.stages.push_back(
+          {stage->name(), timer.Seconds(), counters.Delta()});
+    }
+    publish_stage(report.stages.back());
+    if (ctx.validate_stages) {
       report.status = validate(stage->name());
       if (!report.status.ok()) return report;
     }
@@ -169,12 +257,17 @@ PipelineReport Pipeline::Run(const Dataset& dataset,
   }
   for (const auto& stage : analytics_) {
     if (stage_index++ < start_stage) continue;
-    common::ScopedCounterDelta counters;
-    common::WallTimer timer;
-    features = stage->Augment(graph, features);
-    report.stages.push_back(
-        {stage->name(), timer.Seconds(), counters.Delta()});
-    if (options.validate_stages) {
+    if (deadline_abort("stage " + stage->name())) return report;
+    {
+      obs::TraceSpan span = obs::StartSpan(ctx.tracer, stage->name(), "stage");
+      common::ScopedCounterDelta counters;
+      common::WallTimer timer;
+      features = stage->Augment(graph, features);
+      report.stages.push_back(
+          {stage->name(), timer.Seconds(), counters.Delta()});
+    }
+    publish_stage(report.stages.back());
+    if (ctx.validate_stages) {
       report.status = validate(stage->name());
       if (!report.status.ok()) return report;
     }
@@ -184,12 +277,18 @@ PipelineReport Pipeline::Run(const Dataset& dataset,
   report.edges_after = graph.num_edges();
   report.feature_cols_after = features.cols();
 
-  common::ScopedCounterDelta counters;
-  common::WallTimer timer;
-  report.model =
-      model_(graph, features, dataset.labels, dataset.splits, config);
-  report.stages.push_back(
-      {"train:" + model_name_, timer.Seconds(), counters.Delta()});
+  if (deadline_abort("train:" + model_name_)) return report;
+  {
+    obs::TraceSpan span =
+        obs::StartSpan(ctx.tracer, "train:" + model_name_, "stage");
+    common::ScopedCounterDelta counters;
+    common::WallTimer timer;
+    report.model =
+        model_(graph, features, dataset.labels, dataset.splits, config);
+    report.stages.push_back(
+        {"train:" + model_name_, timer.Seconds(), counters.Delta()});
+  }
+  publish_stage(report.stages.back());
   return report;
 }
 

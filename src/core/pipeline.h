@@ -10,6 +10,7 @@
 #include "common/fault.h"
 #include "common/status.h"
 #include "core/dataset.h"
+#include "core/run_context.h"
 
 namespace sgnn::core {
 
@@ -66,40 +67,31 @@ struct PipelineReport {
   std::string ToString() const;
 };
 
-/// Between-stage validation hook: receives the stage's name and its output
-/// graph + features; a non-OK return aborts the run with that status. The
-/// default (`analysis::ValidateStageOutput`) checks the full CSR/feature
-/// invariant suite; tests can substitute their own to target one invariant.
-using ValidationStage = std::function<common::Status(
-    const std::string& stage_name, const graph::CsrGraph& graph,
-    const tensor::Matrix& features)>;
-
-/// Fault-tolerance and debug knobs for `Pipeline::Run`. Default-constructed
-/// options reproduce the plain (non-checkpointed) run exactly.
+/// DEPRECATED compat shim — use `RunContext` (core/run_context.h).
+///
+/// `PipelineRunOptions` was the pre-observability bag of fault-tolerance
+/// knobs. Its fields are now a strict subset of `RunContext`, and the
+/// `Run` overload taking it simply forwards through `ToRunContext()`.
+/// Do not construct this in new code; it is kept for one release so
+/// out-of-tree callers keep compiling, then it will be removed.
 struct PipelineRunOptions {
-  /// Snapshot file written after every completed stage; empty = no
-  /// checkpointing. See `core/checkpoint.h` for the format guarantees.
   std::string checkpoint_path;
-  /// When true and `checkpoint_path` holds a valid snapshot from this same
-  /// pipeline, completed stages are restored instead of recomputed. A
-  /// corrupted or foreign snapshot is ignored (from-scratch run).
   bool resume = true;
-  /// Optional injector observed at site `"pipeline.after_stage"` once per
-  /// completed stage (token = stage index): a firing trigger simulates a
-  /// crash — the run stops with `kAborted`, leaving the snapshot behind
-  /// for a later resume.
   common::FaultInjector* faults = nullptr;
-  /// Debug mode: validate the input dataset and every stage's output
-  /// against the `sgnn::analysis` invariant suite. A violation stops the
-  /// run with the validator's diagnostic instead of letting a corrupt
-  /// graph/feature matrix flow into later stages. Validation never mutates
-  /// state, so results are bit-identical to a plain run; its cost appears
-  /// as extra `validate:<stage>` rows in the report.
   bool validate_stages = false;
-  /// Override for the between-stage validator; defaults to
-  /// `analysis::ValidateStageOutput`. Only consulted when
-  /// `validate_stages` is true.
   ValidationStage stage_validator;
+
+  /// The equivalent `RunContext` (no tracer/metrics/deadline — those did
+  /// not exist in the options era).
+  RunContext ToRunContext() const {
+    RunContext ctx;
+    ctx.faults = faults;
+    ctx.checkpoint_path = checkpoint_path;
+    ctx.resume = resume;
+    ctx.validate_stages = validate_stages;
+    ctx.stage_validator = stage_validator;
+    return ctx;
+  }
 };
 
 /// Composable scalable-GNN pipeline: edits run first (in insertion
@@ -117,8 +109,16 @@ class Pipeline {
   PipelineReport Run(const Dataset& dataset,
                      const nn::TrainConfig& config) const;
 
-  /// As above, with stage checkpointing / resume / fault injection. With
-  /// default options this is identical to the two-argument overload.
+  /// Primary entry point: runs the pipeline under `ctx` — tracing spans
+  /// and registry metrics when sinks are set, checkpointing / resume /
+  /// fault injection / deadline / validation per the context's knobs.
+  /// With a default context this is identical to the two-argument
+  /// overload. The report's stage rows and the registry's
+  /// `sgnn_pipeline_stage_*` series are views over the same measurements.
+  PipelineReport Run(const Dataset& dataset, const nn::TrainConfig& config,
+                     const RunContext& ctx) const;
+
+  /// DEPRECATED compat overload; forwards to `options.ToRunContext()`.
   PipelineReport Run(const Dataset& dataset, const nn::TrainConfig& config,
                      const PipelineRunOptions& options) const;
 

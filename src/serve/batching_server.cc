@@ -22,7 +22,8 @@ double MicrosSince(Clock::time_point start) {
 
 BatchingServer::BatchingServer(FrozenModel model, EmbeddingFn embed_fn,
                                graph::NodeId num_nodes,
-                               const ServeConfig& config)
+                               const ServeConfig& config,
+                               const core::RunContext& ctx)
     : config_(config),
       model_(std::move(model)),
       embed_fn_(std::move(embed_fn)),
@@ -30,6 +31,9 @@ BatchingServer::BatchingServer(FrozenModel model, EmbeddingFn embed_fn,
       queue_(config.queue_capacity),
       pool_(std::make_unique<common::ThreadPool>(config.num_workers)),
       cache_(num_nodes, model_.in_dim()),
+      tracer_(ctx.tracer),
+      faults_(ctx.faults),
+      metrics_(ctx.metrics),
       breaker_(config.breaker) {
   SGNN_CHECK_GE(config.max_batch, 1);
   SGNN_CHECK_GE(config.max_delay_micros, 0);
@@ -48,6 +52,14 @@ common::StatusOr<std::future<InferenceResponse>> BatchingServer::Submit(
     graph::NodeId node) {
   if (node >= num_nodes_) {
     return common::Status::InvalidArgument("node id out of range");
+  }
+  // Injected admission fault (site "serve.admit", token = node id): bills
+  // as a rejection, exactly like real backpressure, so resilience tests
+  // can target admission without saturating the queue.
+  if (faults_ != nullptr &&
+      faults_->ShouldFail("serve.admit", static_cast<uint64_t>(node))) {
+    metrics_.RecordRejected();
+    return common::Status::Unavailable("injected admission fault");
   }
   Request request;
   request.node = node;
@@ -78,17 +90,49 @@ void BatchingServer::WarmCache(const tensor::Matrix& embeddings) {
 
 ServeMetricsSnapshot BatchingServer::Metrics() const {
   ServeMetricsSnapshot snap = metrics_.Snapshot();
-  const common::OpCounters now = common::AggregateThreadCounters();
-  snap.ops.edges_touched = now.edges_touched - base_ops_.edges_touched;
-  snap.ops.floats_moved = now.floats_moved - base_ops_.floats_moved;
-  snap.ops.peak_resident_floats = now.peak_resident_floats;
-  snap.ops.resident_floats = now.resident_floats;
+  snap.ops = common::OpCounters::Delta(base_ops_,
+                                       common::AggregateThreadCounters());
   snap.health.breaker_state = common::CircuitBreaker::StateName(
       breaker_.state());
   snap.health.breaker_trips = static_cast<uint64_t>(breaker_.trips());
   // The breaker's own count is authoritative: it includes fast-failed
   // calls later rescued by a degraded serve.
   snap.health.breaker_fast_fails = static_cast<uint64_t>(breaker_.fast_fails());
+
+  // Refresh the registry-side gauges that mirror server-owned state, so a
+  // scrape taken after this call sees the breaker, worker pool, and
+  // data-movement counters too. All scheduling-dependent, hence volatile.
+  obs::MetricsRegistry& r = *metrics_.registry();
+  r.GetGauge("sgnn_serve_breaker_state",
+             "Circuit breaker state (0 closed, 1 open, 2 half-open).", {},
+             obs::kVolatile)
+      ->Set(static_cast<double>(static_cast<int>(breaker_.state())));
+  r.GetGauge("sgnn_serve_breaker_trips",
+             "Closed/half-open -> open transitions.", {}, obs::kVolatile)
+      ->Set(static_cast<double>(breaker_.trips()));
+  r.GetGauge("sgnn_serve_breaker_fast_fails",
+             "Calls rejected by the open breaker (breaker-side count).", {},
+             obs::kVolatile)
+      ->Set(static_cast<double>(breaker_.fast_fails()));
+  const common::ThreadPoolStats pool = pool_->Stats();
+  r.GetGauge("sgnn_serve_pool_submitted", "Batches handed to the worker pool.",
+             {}, obs::kVolatile)
+      ->Set(static_cast<double>(pool.submitted));
+  r.GetGauge("sgnn_serve_pool_executed", "Batches completed by the pool.", {},
+             obs::kVolatile)
+      ->Set(static_cast<double>(pool.executed));
+  r.GetGauge("sgnn_serve_pool_queue_depth", "Tasks waiting in the pool queue.",
+             {}, obs::kVolatile)
+      ->Set(static_cast<double>(pool.queue_depth));
+  r.GetGauge("sgnn_serve_pool_max_queue_depth",
+             "Deepest pool queue observed.", {}, obs::kVolatile)
+      ->Set(static_cast<double>(pool.max_queue_depth));
+  r.GetGauge("sgnn_serve_pool_active", "Tasks executing right now.", {},
+             obs::kVolatile)
+      ->Set(static_cast<double>(pool.active));
+  r.SetOpCounterGauges("sgnn_serve_ops",
+                       "Serving-thread data movement since server start.", {},
+                       snap.ops, obs::kVolatile);
   return snap;
 }
 
@@ -202,6 +246,7 @@ common::Status BatchingServer::ResolveMiss(graph::NodeId node,
 }
 
 void BatchingServer::ProcessBatch(std::vector<Request>* batch) {
+  obs::TraceSpan span = obs::StartSpan(tracer_, "serve.batch", "serve");
   const int64_t step = step_.fetch_add(1, std::memory_order_relaxed);
   const int64_t n = static_cast<int64_t>(batch->size());
   const int64_t dim = model_.in_dim();

@@ -16,7 +16,9 @@
 #include "common/status.h"
 #include "common/thread_annotations.h"
 #include "common/thread_pool.h"
+#include "core/run_context.h"
 #include "graph/types.h"
+#include "obs/trace.h"
 #include "sampling/historical_cache.h"
 #include "serve/frozen_model.h"
 #include "serve/metrics.h"
@@ -110,8 +112,18 @@ class BatchingServer {
  public:
   /// Serves `model` over `num_nodes` nodes whose embeddings `embed_fn`
   /// computes on demand. The embedding dimension is `model.in_dim()`.
+  ///
+  /// `ctx` carries the observability sinks and the fault injector: when
+  /// `ctx.metrics` is set, every `sgnn_serve_*` series lands in that
+  /// registry (else the server owns a private one); `ctx.tracer` gets a
+  /// span per processed batch; `ctx.faults` is observed at site
+  /// `"serve.admit"` (token = node id) so admission failures can be
+  /// injected deterministically. The caller keeps the sinks alive for the
+  /// server's lifetime. A default context reproduces the unobserved
+  /// server exactly.
   BatchingServer(FrozenModel model, EmbeddingFn embed_fn,
-                 graph::NodeId num_nodes, const ServeConfig& config);
+                 graph::NodeId num_nodes, const ServeConfig& config,
+                 const core::RunContext& ctx = core::RunContext());
 
   /// Drains and stops.
   ~BatchingServer();
@@ -130,7 +142,9 @@ class BatchingServer {
   void WarmCache(const tensor::Matrix& embeddings);
 
   /// Current metrics snapshot, including the work counters accumulated by
-  /// the serving threads since construction. Thread-safe.
+  /// the serving threads since construction. Also refreshes the
+  /// registry-side `sgnn_serve_breaker_*`, `sgnn_serve_pool_*`, and
+  /// `sgnn_serve_ops_*` gauges, so call it before scraping. Thread-safe.
   ServeMetricsSnapshot Metrics() const;
 
   /// Stops admissions, flushes every queued request, joins all threads.
@@ -179,6 +193,11 @@ class BatchingServer {
   common::Mutex inflight_mu_;
   std::condition_variable_any inflight_cv_;
   int in_flight_ SGNN_GUARDED_BY(inflight_mu_) = 0;
+
+  /// Observability sinks from the construction-time `RunContext` (null =
+  /// off); the injector is consulted at admission (`"serve.admit"`).
+  obs::Tracer* const tracer_;
+  common::FaultInjector* const faults_;
 
   ServeMetrics metrics_;
   common::CircuitBreaker breaker_;

@@ -8,7 +8,7 @@ namespace sgnn::serve {
 
 common::StatusOr<std::unique_ptr<BatchingServer>> ServePipeline(
     const core::Dataset& dataset, const core::PipelineReport& report,
-    int hops, const ServeConfig& config) {
+    int hops, const ServeConfig& config, const core::RunContext& ctx) {
   if (report.model.fitted_head == nullptr) {
     return common::Status::FailedPrecondition(
         "model '" + report.model.name +
@@ -32,7 +32,7 @@ common::StatusOr<std::unique_ptr<BatchingServer>> ServePipeline(
   };
   return std::make_unique<BatchingServer>(std::move(model),
                                           std::move(embed_fn),
-                                          dataset.num_nodes(), config);
+                                          dataset.num_nodes(), config, ctx);
 }
 
 }  // namespace sgnn::serve

@@ -20,9 +20,14 @@ namespace sgnn::serve {
 /// `dataset` must outlive the returned server. Fails with
 /// `kFailedPrecondition` when the pipeline's model carries no fitted head
 /// (e.g. label propagation or a sampled GNN).
+///
+/// Pass the same `RunContext` the pipeline ran under and the server's
+/// `sgnn_serve_*` series land in the same registry (one scrape covers
+/// training and serving) with batch spans on the same tracer.
 common::StatusOr<std::unique_ptr<BatchingServer>> ServePipeline(
     const core::Dataset& dataset, const core::PipelineReport& report,
-    int hops, const ServeConfig& config);
+    int hops, const ServeConfig& config,
+    const core::RunContext& ctx = core::RunContext());
 
 }  // namespace sgnn::serve
 

@@ -1,137 +1,142 @@
 #include "serve/metrics.h"
 
-#include <algorithm>
-#include <cmath>
 #include <cstdio>
-
-#include "common/check.h"
 
 namespace sgnn::serve {
 
-LatencyHistogram::LatencyHistogram() : buckets_(kNumBuckets, 0) {}
+namespace {
 
-int LatencyHistogram::BucketFor(double micros) {
-  if (micros <= kFirstBucketMicros) return 0;
-  const int b = static_cast<int>(
-      std::log(micros / kFirstBucketMicros) / std::log(kGrowth));
-  return std::min(b, kNumBuckets - 1);
+/// The historical serving-latency ladder: ~7% geometric resolution from
+/// 1 us to ~35 s in 256 constant-memory buckets.
+std::vector<double> LatencyBuckets() {
+  return obs::ExponentialBuckets(1.0, 1.07, 256);
 }
 
-void LatencyHistogram::Record(double micros) {
-  micros = std::max(micros, 0.0);
-  if (count_ == 0) {
-    min_micros_ = max_micros_ = micros;
-  } else {
-    min_micros_ = std::min(min_micros_, micros);
-    max_micros_ = std::max(max_micros_, micros);
-  }
-  ++buckets_[static_cast<size_t>(BucketFor(micros))];
-  ++count_;
+/// Batch sizes are small integers bounded by `ServeConfig::max_batch`;
+/// powers of two up to 4096 resolve them plenty.
+std::vector<double> BatchSizeBuckets() {
+  return obs::ExponentialBuckets(1.0, 2.0, 13);
 }
 
-double LatencyHistogram::Percentile(double q) const {
-  SGNN_CHECK(q >= 0.0 && q <= 1.0);
-  if (count_ == 0) return 0.0;
-  // Rank of the q-th sample (1-based, ceil), clamped into [1, count].
-  const uint64_t rank = std::max<uint64_t>(
-      1, static_cast<uint64_t>(std::ceil(q * static_cast<double>(count_))));
-  uint64_t seen = 0;
-  for (int b = 0; b < kNumBuckets; ++b) {
-    seen += buckets_[static_cast<size_t>(b)];
-    if (seen >= rank) {
-      const double lo = b == 0 ? 0.0
-                               : kFirstBucketMicros * std::pow(kGrowth, b);
-      const double hi = kFirstBucketMicros * std::pow(kGrowth, b + 1);
-      const double mid = b == 0 ? hi * 0.5 : std::sqrt(lo * hi);
-      return std::clamp(mid, min_micros_, max_micros_);
-    }
-  }
-  return max_micros_;
-}
+}  // namespace
 
-void LatencyHistogram::Merge(const LatencyHistogram& other) {
-  if (other.count_ == 0) return;
-  if (count_ == 0) {
-    min_micros_ = other.min_micros_;
-    max_micros_ = other.max_micros_;
-  } else {
-    min_micros_ = std::min(min_micros_, other.min_micros_);
-    max_micros_ = std::max(max_micros_, other.max_micros_);
-  }
-  for (int b = 0; b < kNumBuckets; ++b) {
-    buckets_[static_cast<size_t>(b)] += other.buckets_[static_cast<size_t>(b)];
-  }
-  count_ += other.count_;
+ServeMetrics::ServeMetrics(obs::MetricsRegistry* registry)
+    : owned_(registry == nullptr ? std::make_unique<obs::MetricsRegistry>()
+                                 : nullptr),
+      registry_(registry == nullptr ? owned_.get() : registry) {
+  obs::MetricsRegistry& r = *registry_;
+  requests_served_ =
+      r.GetCounter("sgnn_serve_requests_served_total",
+                   "Requests resolved OK (fresh or degraded).", {},
+                   obs::kVolatile);
+  requests_rejected_ =
+      r.GetCounter("sgnn_serve_requests_rejected_total",
+                   "Admissions rejected by backpressure or fault injection.",
+                   {}, obs::kVolatile);
+  cache_hits_ = r.GetCounter("sgnn_serve_cache_hits_total",
+                             "Embeddings served fresh from the cache.", {},
+                             obs::kVolatile);
+  cache_misses_ = r.GetCounter("sgnn_serve_cache_misses_total",
+                               "Embeddings recomputed (or served stale).", {},
+                               obs::kVolatile);
+  batches_ = r.GetCounter("sgnn_serve_batches_total",
+                          "Micro-batches flushed by the batcher.", {},
+                          obs::kVolatile);
+  deadline_misses_ =
+      r.GetCounter("sgnn_serve_deadline_misses_total",
+                   "Requests resolved kDeadlineExceeded.", {}, obs::kVolatile);
+  retries_ = r.GetCounter("sgnn_serve_retries_total",
+                          "Embedder retry attempts (backoffs taken).", {},
+                          obs::kVolatile);
+  embed_failures_ =
+      r.GetCounter("sgnn_serve_embed_failures_total",
+                   "Individual failed embedder calls.", {}, obs::kVolatile);
+  degraded_serves_ =
+      r.GetCounter("sgnn_serve_degraded_serves_total",
+                   "Stale-cache fallbacks after a failed fresh path.", {},
+                   obs::kVolatile);
+  failed_requests_ =
+      r.GetCounter("sgnn_serve_failed_requests_total",
+                   "Requests resolved with a terminal non-OK status.", {},
+                   obs::kVolatile);
+  breaker_fast_fails_ = r.GetCounter(
+      "sgnn_serve_breaker_fast_fails_total",
+      "Misses fast-failed by the open circuit breaker (metrics-side count).",
+      {}, obs::kVolatile);
+  latency_micros_ = r.GetHistogram(
+      "sgnn_serve_latency_micros",
+      "End-to-end latency of successful serves (enqueue to fulfilment).",
+      LatencyBuckets(), {}, obs::kVolatile);
+  batch_size_ =
+      r.GetHistogram("sgnn_serve_batch_size",
+                     "Requests coalesced per flushed micro-batch.",
+                     BatchSizeBuckets(), {}, obs::kVolatile);
+  max_batch_size_ =
+      r.GetGauge("sgnn_serve_max_batch_size",
+                 "Largest micro-batch flushed so far.", {}, obs::kVolatile);
+  max_queue_depth_ = r.GetGauge(
+      "sgnn_serve_max_queue_depth",
+      "Deepest admission queue observed at batch formation.", {},
+      obs::kVolatile);
 }
 
 void ServeMetrics::RecordRequest(double latency_micros, bool cache_hit,
                                  bool degraded) {
-  common::MutexLock lock(mu_);
-  latency_.Record(latency_micros);
-  ++requests_served_;
+  latency_micros_->Record(latency_micros < 0.0 ? 0.0 : latency_micros);
+  requests_served_->Increment();
   if (degraded) {
-    ++degraded_serves_;
-    ++cache_misses_;  // The fresh path failed; not a real hit.
+    degraded_serves_->Increment();
+    cache_misses_->Increment();  // The fresh path failed; not a real hit.
   } else if (cache_hit) {
-    ++cache_hits_;
+    cache_hits_->Increment();
   } else {
-    ++cache_misses_;
+    cache_misses_->Increment();
   }
 }
 
-void ServeMetrics::RecordRejected() {
-  common::MutexLock lock(mu_);
-  ++requests_rejected_;
-}
+void ServeMetrics::RecordRejected() { requests_rejected_->Increment(); }
 
 void ServeMetrics::RecordTerminalFailure(common::StatusCode code,
                                          bool breaker_fast_fail) {
-  common::MutexLock lock(mu_);
-  ++failed_requests_;
-  if (code == common::StatusCode::kDeadlineExceeded) ++deadline_misses_;
-  if (breaker_fast_fail) ++breaker_fast_fails_;
+  failed_requests_->Increment();
+  if (code == common::StatusCode::kDeadlineExceeded) {
+    deadline_misses_->Increment();
+  }
+  if (breaker_fast_fail) breaker_fast_fails_->Increment();
 }
 
-void ServeMetrics::RecordRetry() {
-  common::MutexLock lock(mu_);
-  ++retries_;
-}
+void ServeMetrics::RecordRetry() { retries_->Increment(); }
 
-void ServeMetrics::RecordEmbedFailure() {
-  common::MutexLock lock(mu_);
-  ++embed_failures_;
-}
+void ServeMetrics::RecordEmbedFailure() { embed_failures_->Increment(); }
 
 void ServeMetrics::RecordBatch(uint64_t batch_size, uint64_t queue_depth) {
-  common::MutexLock lock(mu_);
-  ++batches_;
-  batch_size_sum_ += batch_size;
-  max_batch_size_ = std::max(max_batch_size_, batch_size);
-  max_queue_depth_ = std::max(max_queue_depth_, queue_depth);
+  batches_->Increment();
+  batch_size_->Record(static_cast<double>(batch_size));
+  max_batch_size_->SetMax(static_cast<double>(batch_size));
+  max_queue_depth_->SetMax(static_cast<double>(queue_depth));
 }
 
 ServeMetricsSnapshot ServeMetrics::Snapshot() const {
-  common::MutexLock lock(mu_);
   ServeMetricsSnapshot snap;
-  snap.requests_served = requests_served_;
-  snap.requests_rejected = requests_rejected_;
-  snap.cache_hits = cache_hits_;
-  snap.cache_misses = cache_misses_;
-  snap.batches = batches_;
-  snap.mean_batch_size =
-      batches_ == 0 ? 0.0 : static_cast<double>(batch_size_sum_) /
-                                static_cast<double>(batches_);
-  snap.max_batch_size = max_batch_size_;
-  snap.max_queue_depth = max_queue_depth_;
-  snap.p50_micros = latency_.Percentile(0.50);
-  snap.p95_micros = latency_.Percentile(0.95);
-  snap.p99_micros = latency_.Percentile(0.99);
-  snap.health.deadline_misses = deadline_misses_;
-  snap.health.retries = retries_;
-  snap.health.embed_failures = embed_failures_;
-  snap.health.degraded_serves = degraded_serves_;
-  snap.health.failed_requests = failed_requests_;
-  snap.health.breaker_fast_fails = breaker_fast_fails_;
+  snap.requests_served = requests_served_->value();
+  snap.requests_rejected = requests_rejected_->value();
+  snap.cache_hits = cache_hits_->value();
+  snap.cache_misses = cache_misses_->value();
+  snap.batches = batches_->value();
+  const obs::HistogramSnapshot batch = batch_size_->Snapshot();
+  snap.mean_batch_size = batch.Mean();
+  snap.max_batch_size = static_cast<uint64_t>(max_batch_size_->value());
+  snap.max_queue_depth = static_cast<uint64_t>(max_queue_depth_->value());
+  const obs::HistogramSnapshot latency = latency_micros_->Snapshot();
+  snap.p50_micros = latency.Percentile(0.50);
+  snap.p95_micros = latency.Percentile(0.95);
+  snap.p99_micros = latency.Percentile(0.99);
+  snap.health.deadline_misses = deadline_misses_->value();
+  snap.health.retries = retries_->value();
+  snap.health.embed_failures = embed_failures_->value();
+  snap.health.degraded_serves = degraded_serves_->value();
+  snap.health.failed_requests = failed_requests_->value();
+  snap.health.breaker_fast_fails = breaker_fast_fails_->value();
   return snap;
 }
 

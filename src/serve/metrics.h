@@ -2,47 +2,14 @@
 #define SGNN_SERVE_METRICS_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
-#include <vector>
 
 #include "common/counters.h"
 #include "common/status.h"
-#include "common/thread_annotations.h"
+#include "obs/metrics.h"
 
 namespace sgnn::serve {
-
-/// Geometric-bucket latency histogram over microseconds: ~7% bucket
-/// resolution from 1 us to ~100 s, constant memory, O(buckets) percentile
-/// queries. Not internally synchronised — `ServeMetrics` guards it.
-class LatencyHistogram {
- public:
-  LatencyHistogram();
-
-  void Record(double micros);
-
-  /// Latency at quantile `q` in [0, 1] (0.5 = p50). Returns the geometric
-  /// midpoint of the bucket holding the q-th sample, clamped to the exact
-  /// observed min/max; 0 when empty.
-  double Percentile(double q) const;
-
-  uint64_t count() const { return count_; }
-  double min_micros() const { return count_ ? min_micros_ : 0.0; }
-  double max_micros() const { return count_ ? max_micros_ : 0.0; }
-
-  void Merge(const LatencyHistogram& other);
-
- private:
-  static constexpr double kFirstBucketMicros = 1.0;
-  static constexpr double kGrowth = 1.07;
-  static constexpr int kNumBuckets = 256;
-
-  static int BucketFor(double micros);
-
-  std::vector<uint64_t> buckets_;
-  uint64_t count_ = 0;
-  double min_micros_ = 0.0;
-  double max_micros_ = 0.0;
-};
 
 /// Health view of the resilience machinery: how often the server missed
 /// deadlines, retried or lost embedder calls, fell back to stale cache
@@ -63,7 +30,9 @@ struct ServeHealth {
 
 /// Point-in-time view of the serving metrics; everything a load test or
 /// dashboard row needs, in the same work units (`OpCounters`) the training
-/// side reports.
+/// side reports. Computed from the `obs::MetricsRegistry` series the
+/// server writes — the snapshot and a Prometheus scrape can never
+/// disagree, because they read the same counters.
 struct ServeMetricsSnapshot {
   uint64_t requests_served = 0;
   uint64_t requests_rejected = 0;  ///< Backpressure (queue-full) rejections.
@@ -92,59 +61,75 @@ struct ServeMetricsSnapshot {
   std::string ToString() const;
 };
 
-/// Thread-safe recorder shared by the batcher and worker threads. One
-/// mutex suffices: recording happens once per request/batch, far off any
-/// inner loop. Every counter is `SGNN_GUARDED_BY(mu_)`, so a recording
-/// path that forgets the lock fails to compile under `-Wthread-safety`.
+/// Recording facade shared by the batcher and worker threads, backed by
+/// `obs::MetricsRegistry` series (`sgnn_serve_*`). Construction registers
+/// every series in `registry` — pass the run's registry so serving shows
+/// up in the same scrape as the pipeline, or pass null and the facade owns
+/// a private registry (the standalone-server case). Either way `Snapshot()`
+/// is a pure view over the registry handles, and the latency/batch-size
+/// percentile math lives in `obs::Histogram`, not here.
+///
+/// Every `sgnn_serve_*` series is registered `kVolatile`: admission,
+/// batching, and retry counts depend on thread scheduling and wall time,
+/// so they are excluded from deterministic exports by design.
+///
+/// Thread-safe: all handles are registry-owned atomics/histograms.
 class ServeMetrics {
  public:
-  ServeMetrics() = default;
+  explicit ServeMetrics(obs::MetricsRegistry* registry = nullptr);
+
+  ServeMetrics(const ServeMetrics&) = delete;
+  ServeMetrics& operator=(const ServeMetrics&) = delete;
 
   /// Records one successfully served request with its end-to-end latency
   /// (enqueue to promise fulfilment), whether the embedding came from the
   /// cache fresh, and whether it was a degraded (stale-row) serve.
   void RecordRequest(double latency_micros, bool cache_hit,
-                     bool degraded = false) SGNN_EXCLUDES(mu_);
+                     bool degraded = false);
 
-  void RecordRejected() SGNN_EXCLUDES(mu_);
+  void RecordRejected();
 
   /// Records a request resolved with a terminal non-OK status. The latency
   /// histogram tracks successful serves only; failures are counted here
   /// (`kDeadlineExceeded` also bumps `deadline_misses`, `kUnavailable`
   /// from an open breaker bumps `breaker_fast_fails`).
-  void RecordTerminalFailure(common::StatusCode code, bool breaker_fast_fail)
-      SGNN_EXCLUDES(mu_);
+  void RecordTerminalFailure(common::StatusCode code, bool breaker_fast_fail);
 
   /// Records one embedder retry (a backoff was taken).
-  void RecordRetry() SGNN_EXCLUDES(mu_);
+  void RecordRetry();
 
   /// Records one failed embedder call (each attempt counts).
-  void RecordEmbedFailure() SGNN_EXCLUDES(mu_);
+  void RecordEmbedFailure();
 
   /// Records one flushed micro-batch and the queue depth observed when it
   /// was formed (the batch-size and queue-depth distributions).
-  void RecordBatch(uint64_t batch_size, uint64_t queue_depth)
-      SGNN_EXCLUDES(mu_);
+  void RecordBatch(uint64_t batch_size, uint64_t queue_depth);
 
-  ServeMetricsSnapshot Snapshot() const SGNN_EXCLUDES(mu_);
+  ServeMetricsSnapshot Snapshot() const;
+
+  /// The registry the series live in (the external one, or the owned
+  /// fallback) — scrape it with `PrometheusText()` / `JsonText()`.
+  obs::MetricsRegistry* registry() const { return registry_; }
 
  private:
-  mutable common::Mutex mu_;
-  LatencyHistogram latency_ SGNN_GUARDED_BY(mu_);
-  uint64_t requests_served_ SGNN_GUARDED_BY(mu_) = 0;
-  uint64_t requests_rejected_ SGNN_GUARDED_BY(mu_) = 0;
-  uint64_t cache_hits_ SGNN_GUARDED_BY(mu_) = 0;
-  uint64_t cache_misses_ SGNN_GUARDED_BY(mu_) = 0;
-  uint64_t batches_ SGNN_GUARDED_BY(mu_) = 0;
-  uint64_t batch_size_sum_ SGNN_GUARDED_BY(mu_) = 0;
-  uint64_t max_batch_size_ SGNN_GUARDED_BY(mu_) = 0;
-  uint64_t max_queue_depth_ SGNN_GUARDED_BY(mu_) = 0;
-  uint64_t deadline_misses_ SGNN_GUARDED_BY(mu_) = 0;
-  uint64_t retries_ SGNN_GUARDED_BY(mu_) = 0;
-  uint64_t embed_failures_ SGNN_GUARDED_BY(mu_) = 0;
-  uint64_t degraded_serves_ SGNN_GUARDED_BY(mu_) = 0;
-  uint64_t failed_requests_ SGNN_GUARDED_BY(mu_) = 0;
-  uint64_t breaker_fast_fails_ SGNN_GUARDED_BY(mu_) = 0;
+  std::unique_ptr<obs::MetricsRegistry> owned_;  ///< When constructed null.
+  obs::MetricsRegistry* registry_;
+
+  obs::Counter* requests_served_;
+  obs::Counter* requests_rejected_;
+  obs::Counter* cache_hits_;
+  obs::Counter* cache_misses_;
+  obs::Counter* batches_;
+  obs::Counter* deadline_misses_;
+  obs::Counter* retries_;
+  obs::Counter* embed_failures_;
+  obs::Counter* degraded_serves_;
+  obs::Counter* failed_requests_;
+  obs::Counter* breaker_fast_fails_;
+  obs::Histogram* latency_micros_;
+  obs::Histogram* batch_size_;
+  obs::Gauge* max_batch_size_;
+  obs::Gauge* max_queue_depth_;
 };
 
 }  // namespace sgnn::serve

@@ -366,9 +366,9 @@ TEST(PipelineValidationTest, ValidatedRunRecordsValidationStages) {
   pipeline.AddEdit(core::MakeUniformSparsifyStage(0.7, 7))
       .SetModel("gcn", GcnModel());
 
-  core::PipelineRunOptions options;
-  options.validate_stages = true;
-  core::PipelineReport report = pipeline.Run(d, FastConfig(), options);
+  core::RunContext ctx;
+  ctx.validate_stages = true;
+  core::PipelineReport report = pipeline.Run(d, FastConfig(), ctx);
   ASSERT_TRUE(report.status.ok());
 
   // input validation + stage + stage validation + train.
@@ -390,9 +390,9 @@ TEST(PipelineValidationTest, ValidatedRunIsBitIdenticalToPlainRun) {
   };
   core::PipelineReport plain = build().Run(d, FastConfig());
 
-  core::PipelineRunOptions options;
-  options.validate_stages = true;
-  core::PipelineReport validated = build().Run(d, FastConfig(), options);
+  core::RunContext ctx;
+  ctx.validate_stages = true;
+  core::PipelineReport validated = build().Run(d, FastConfig(), ctx);
 
   ASSERT_TRUE(plain.status.ok());
   ASSERT_TRUE(validated.status.ok());
@@ -410,9 +410,9 @@ TEST(PipelineValidationTest, CorruptStageOutputStopsValidatedRun) {
   pipeline.AddAnalytics(std::make_unique<NanInjectorStage>())
       .SetModel("gcn", GcnModel());
 
-  core::PipelineRunOptions options;
-  options.validate_stages = true;
-  core::PipelineReport report = pipeline.Run(d, FastConfig(), options);
+  core::RunContext ctx;
+  ctx.validate_stages = true;
+  core::PipelineReport report = pipeline.Run(d, FastConfig(), ctx);
   ASSERT_FALSE(report.status.ok());
   EXPECT_NE(report.status.message().find("after stage 'nan_injector'"),
             std::string::npos);
@@ -424,13 +424,13 @@ TEST(PipelineValidationTest, CustomValidatorOverrides) {
   core::Pipeline pipeline;
   pipeline.SetModel("gcn", GcnModel());
 
-  core::PipelineRunOptions options;
-  options.validate_stages = true;
-  options.stage_validator = [](const std::string& stage_name, const CsrGraph&,
+  core::RunContext ctx;
+  ctx.validate_stages = true;
+  ctx.stage_validator = [](const std::string& stage_name, const CsrGraph&,
                                const Matrix&) {
     return Status::Internal("rejected " + stage_name);
   };
-  core::PipelineReport report = pipeline.Run(d, FastConfig(), options);
+  core::PipelineReport report = pipeline.Run(d, FastConfig(), ctx);
   ASSERT_FALSE(report.status.ok());
   EXPECT_EQ(report.status.message(), "rejected input");
 }

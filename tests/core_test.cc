@@ -380,19 +380,19 @@ TEST(PipelineTest, CrashAfterStageThenResumeIsBitwiseIdentical) {
   // Crash after stage 0 (the edit), leaving its snapshot behind.
   common::FaultInjector faults(123);
   faults.ArmAt("pipeline.after_stage", 0);
-  PipelineRunOptions options;
-  options.checkpoint_path = path;
-  options.faults = &faults;
+  RunContext ctx;
+  ctx.checkpoint_path = path;
+  ctx.faults = &faults;
   PipelineReport crashed =
-      MakeCheckpointedPipeline().Run(d, FastConfig(), options);
+      MakeCheckpointedPipeline().Run(d, FastConfig(), ctx);
   EXPECT_EQ(crashed.status.code(), common::StatusCode::kAborted);
   EXPECT_EQ(crashed.stages.size(), 1u);
   ASSERT_TRUE(std::filesystem::exists(path));
 
   // Resume: skips the edit, recomputes the rest, matches the full run.
-  options.faults = nullptr;
+  ctx.faults = nullptr;
   PipelineReport resumed =
-      MakeCheckpointedPipeline().Run(d, FastConfig(), options);
+      MakeCheckpointedPipeline().Run(d, FastConfig(), ctx);
   ASSERT_TRUE(resumed.status.ok());
   EXPECT_EQ(resumed.resumed_stages, 1);
   ASSERT_EQ(resumed.stages.size(), full.stages.size());
@@ -418,18 +418,18 @@ TEST(PipelineTest, CorruptSnapshotFallsBackToCleanRun) {
 
   common::FaultInjector faults(5);
   faults.ArmAt("pipeline.after_stage", 0);
-  PipelineRunOptions options;
-  options.checkpoint_path = path;
-  options.faults = &faults;
-  (void)MakeCheckpointedPipeline().Run(d, FastConfig(), options);
+  RunContext ctx;
+  ctx.checkpoint_path = path;
+  ctx.faults = &faults;
+  (void)MakeCheckpointedPipeline().Run(d, FastConfig(), ctx);
   ASSERT_TRUE(std::filesystem::exists(path));
 
   // Truncate the snapshot: the CRC no longer matches.
   std::filesystem::resize_file(path,
                                std::filesystem::file_size(path) - 16);
-  options.faults = nullptr;
+  ctx.faults = nullptr;
   PipelineReport resumed =
-      MakeCheckpointedPipeline().Run(d, FastConfig(), options);
+      MakeCheckpointedPipeline().Run(d, FastConfig(), ctx);
   ASSERT_TRUE(resumed.status.ok());
   EXPECT_EQ(resumed.resumed_stages, 0);  // Fell back to a clean run...
   EXPECT_DOUBLE_EQ(resumed.model.report.test_accuracy,

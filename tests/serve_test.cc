@@ -105,18 +105,26 @@ TEST(KHopEmbedderTest, MatchesGlobalPropagation) {
   }
 }
 
+/// The serving-latency ladder now lives in `obs::Histogram`
+/// (`ExponentialBuckets(1.0, 1.07, 256)`, the registry series
+/// `sgnn_serve_latency_micros`); this pins the percentile behaviour the
+/// old `LatencyHistogram` guaranteed.
 TEST(LatencyHistogramTest, PercentilesOrderedAndApproximate) {
-  LatencyHistogram hist;
-  EXPECT_EQ(hist.Percentile(0.5), 0.0);  // Empty.
+  obs::MetricsRegistry registry;
+  obs::Histogram* hist = registry.GetHistogram(
+      "latency_micros", "test ladder",
+      obs::ExponentialBuckets(1.0, 1.07, 256));
+  EXPECT_EQ(hist->Percentile(0.5), 0.0);  // Empty.
   for (int i = 1; i <= 100; ++i) {
-    hist.Record(1000.0 * i);  // 1ms .. 100ms.
+    hist->Record(1000.0 * i);  // 1ms .. 100ms.
   }
-  EXPECT_EQ(hist.count(), 100u);
-  EXPECT_DOUBLE_EQ(hist.min_micros(), 1000.0);
-  EXPECT_DOUBLE_EQ(hist.max_micros(), 100000.0);
-  const double p50 = hist.Percentile(0.50);
-  const double p95 = hist.Percentile(0.95);
-  const double p99 = hist.Percentile(0.99);
+  const obs::HistogramSnapshot snap = hist->Snapshot();
+  EXPECT_EQ(snap.count, 100u);
+  EXPECT_DOUBLE_EQ(snap.min, 1000.0);
+  EXPECT_DOUBLE_EQ(snap.max, 100000.0);
+  const double p50 = snap.Percentile(0.50);
+  const double p95 = snap.Percentile(0.95);
+  const double p99 = snap.Percentile(0.99);
   EXPECT_LE(p50, p95);
   EXPECT_LE(p95, p99);
   // ~7% geometric buckets: generous windows around the exact quantiles.

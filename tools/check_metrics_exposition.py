@@ -1,0 +1,298 @@
+#!/usr/bin/env python3
+"""Validate Prometheus text exposition produced by sgnn::obs.
+
+A scraper is unforgiving: one malformed line and the whole page is
+dropped. This checker enforces the subset of the text-exposition format
+the MetricsRegistry writer promises, so a writer regression fails CI
+before it reaches a real scrape:
+
+  * every family has `# HELP <name> <help>` then `# TYPE <name> <type>`
+    (type one of counter/gauge/histogram) before its samples,
+  * sample names match the family (histogram samples use the _bucket /
+    _sum / _count suffixes; `le` labels are present and increasing, the
+    last bucket is `+Inf`, bucket counts are cumulative and the +Inf
+    bucket equals `_count`),
+  * counter family names end in `_total`, counter/histogram values never
+    decrease below zero, and all values parse as floats,
+  * families appear in sorted order and no family repeats (the writer's
+    stable-sort guarantee; scrapes diff cleanly run to run).
+
+Usage:
+  tools/check_metrics_exposition.py --file PAGE.txt
+  tools/check_metrics_exposition.py --command ./observability --prometheus-only
+  tools/check_metrics_exposition.py --self-test
+"""
+
+import argparse
+import math
+import re
+import subprocess
+import sys
+
+NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*")
+HELP_RE = re.compile(r"^# HELP (?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*) (?P<help>.*)$")
+TYPE_RE = re.compile(r"^# TYPE (?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*) "
+                     r"(?P<type>counter|gauge|histogram)$")
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^{}]*)\})? (?P<value>\S+)$")
+LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def parse_value(token):
+    if token == "+Inf":
+        return math.inf
+    if token == "-Inf":
+        return -math.inf
+    if token == "NaN":
+        return math.nan
+    return float(token)  # Raises ValueError on garbage.
+
+
+def parse_labels(raw):
+    """Returns the label list; raises ValueError if `raw` is not a
+    well-formed comma-separated label set."""
+    if raw is None or raw == "":
+        return []
+    labels, rest = [], raw
+    while rest:
+        m = LABEL_RE.match(rest)
+        if not m:
+            raise ValueError(f"malformed labels near {rest!r}")
+        labels.append((m.group(1), m.group(2)))
+        rest = rest[m.end():]
+        if rest.startswith(","):
+            rest = rest[1:]
+        elif rest:
+            raise ValueError(f"expected ',' between labels near {rest!r}")
+    return labels
+
+
+class Checker:
+    def __init__(self):
+        self.errors = []
+
+    def error(self, lineno, message):
+        self.errors.append(f"line {lineno}: {message}")
+
+    def check(self, text):
+        if text and not text.endswith("\n"):
+            self.error(0, "exposition must end with a newline")
+        families = []  # (name, type, [(lineno, sample_name, labels, value)])
+        current = None
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            if line == "":
+                self.error(lineno, "blank line inside exposition")
+                continue
+            if line.startswith("# HELP"):
+                m = HELP_RE.match(line)
+                if not m:
+                    self.error(lineno, f"malformed HELP line: {line!r}")
+                    continue
+                current = {"name": m.group("name"), "type": None,
+                           "help_line": lineno, "samples": []}
+                families.append(current)
+                continue
+            if line.startswith("# TYPE"):
+                m = TYPE_RE.match(line)
+                if not m:
+                    self.error(lineno, f"malformed TYPE line: {line!r}")
+                    continue
+                if current is None or current["name"] != m.group("name") \
+                        or current["type"] is not None:
+                    self.error(lineno, "TYPE without a preceding HELP for "
+                               f"{m.group('name')}")
+                    continue
+                current["type"] = m.group("type")
+                continue
+            if line.startswith("#"):
+                self.error(lineno, f"unknown comment line: {line!r}")
+                continue
+            m = SAMPLE_RE.match(line)
+            if not m:
+                self.error(lineno, f"malformed sample line: {line!r}")
+                continue
+            try:
+                labels = parse_labels(m.group("labels"))
+                value = parse_value(m.group("value"))
+            except ValueError as e:
+                self.error(lineno, str(e))
+                continue
+            if current is None or current["type"] is None:
+                self.error(lineno, f"sample {m.group('name')} before any "
+                           "HELP/TYPE header")
+                continue
+            current["samples"].append((lineno, m.group("name"), labels, value))
+
+        names = [f["name"] for f in families]
+        if names != sorted(names):
+            self.error(0, "families are not in sorted order")
+        if len(set(names)) != len(names):
+            self.error(0, "duplicate family name")
+        for family in families:
+            self.check_family(family)
+        return not self.errors
+
+    def check_family(self, family):
+        name, ftype = family["name"], family["type"]
+        lineno = family["help_line"]
+        if ftype is None:
+            self.error(lineno, f"family {name} has HELP but no TYPE")
+            return
+        if not family["samples"]:
+            self.error(lineno, f"family {name} has no samples")
+            return
+        if ftype == "counter":
+            if not name.endswith("_total"):
+                self.error(lineno, f"counter {name} must end in _total")
+            for sln, sname, _, value in family["samples"]:
+                if sname != name:
+                    self.error(sln, f"sample {sname} under family {name}")
+                if value < 0:
+                    self.error(sln, f"counter {name} is negative")
+        elif ftype == "gauge":
+            for sln, sname, _, _ in family["samples"]:
+                if sname != name:
+                    self.error(sln, f"sample {sname} under family {name}")
+        else:
+            self.check_histogram(family)
+
+    def check_histogram(self, family):
+        name = family["name"]
+        # Group samples by their non-`le` label set: one histogram series
+        # per group, each needing buckets + _sum + _count.
+        series = {}
+        for sln, sname, labels, value in family["samples"]:
+            base = tuple(kv for kv in labels if kv[0] != "le")
+            entry = series.setdefault(base, {"buckets": [], "sum": None,
+                                             "count": None, "line": sln})
+            if sname == name + "_bucket":
+                le = [v for k, v in labels if k == "le"]
+                if len(le) != 1:
+                    self.error(sln, f"bucket of {name} needs exactly one le")
+                    continue
+                try:
+                    entry["buckets"].append((sln, parse_value(le[0]), value))
+                except ValueError:
+                    self.error(sln, f"unparsable le={le[0]!r}")
+            elif sname == name + "_sum":
+                entry["sum"] = (sln, value)
+            elif sname == name + "_count":
+                entry["count"] = (sln, value)
+            else:
+                self.error(sln, f"sample {sname} under histogram {name}")
+        for base, entry in series.items():
+            where = f"histogram {name}{dict(base) if base else ''}"
+            buckets = entry["buckets"]
+            if not buckets:
+                self.error(entry["line"], f"{where} has no buckets")
+                continue
+            bounds = [b for _, b, _ in buckets]
+            if bounds != sorted(bounds) or len(set(bounds)) != len(bounds):
+                self.error(buckets[0][0],
+                           f"{where} le bounds not strictly increasing")
+            if not math.isinf(bounds[-1]):
+                self.error(buckets[-1][0], f"{where} missing le=\"+Inf\"")
+            counts = [c for _, _, c in buckets]
+            if any(b > a for a, b in zip(counts[1:], counts)):
+                self.error(buckets[0][0],
+                           f"{where} bucket counts not cumulative")
+            if entry["sum"] is None:
+                self.error(entry["line"], f"{where} missing _sum")
+            if entry["count"] is None:
+                self.error(entry["line"], f"{where} missing _count")
+            elif counts and entry["count"][1] != counts[-1]:
+                self.error(entry["count"][0],
+                           f"{where} _count != +Inf bucket")
+
+
+GOOD = """\
+# HELP demo_requests_total Requests.
+# TYPE demo_requests_total counter
+demo_requests_total{route="predict"} 3
+# HELP demo_size Batch sizes.
+# TYPE demo_size histogram
+demo_size_bucket{le="1"} 1
+demo_size_bucket{le="+Inf"} 3
+demo_size_sum 5005.5
+demo_size_count 3
+# HELP demo_temperature Die temperature.
+# TYPE demo_temperature gauge
+demo_temperature{chip="0"} 41.5
+"""
+
+# Each bad page must be rejected; the tag names what is wrong with it.
+BAD = [
+    ("counter-without-total", "# HELP x Requests.\n# TYPE x counter\nx 1\n"),
+    ("sample-before-header", "x_total 1\n"),
+    ("unsorted-families",
+     "# HELP b_total B.\n# TYPE b_total counter\nb_total 1\n"
+     "# HELP a_total A.\n# TYPE a_total counter\na_total 1\n"),
+    ("histogram-missing-inf",
+     "# HELP h H.\n# TYPE h histogram\nh_bucket{le=\"1\"} 1\n"
+     "h_sum 1\nh_count 1\n"),
+    ("histogram-not-cumulative",
+     "# HELP h H.\n# TYPE h histogram\nh_bucket{le=\"1\"} 5\n"
+     "h_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 3\n"),
+    ("count-mismatch",
+     "# HELP h H.\n# TYPE h histogram\nh_bucket{le=\"+Inf\"} 3\n"
+     "h_sum 1\nh_count 4\n"),
+    ("garbage-value", "# HELP g G.\n# TYPE g gauge\ng pancake\n"),
+    ("malformed-labels", "# HELP g G.\n# TYPE g gauge\ng{oops} 1\n"),
+    ("missing-newline", "# HELP g G.\n# TYPE g gauge\ng 1"),
+]
+
+
+def self_test():
+    checker = Checker()
+    if not checker.check(GOOD):
+        print("self-test FAILED: good page rejected:")
+        for e in checker.errors:
+            print(f"  {e}")
+        return 1
+    for tag, page in BAD:
+        if Checker().check(page):
+            print(f"self-test FAILED: bad page accepted: {tag}")
+            return 1
+    print(f"self-test OK: good page accepted, {len(BAD)} bad pages rejected")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    source = parser.add_mutually_exclusive_group(required=True)
+    source.add_argument("--file", help="read the exposition from a file")
+    source.add_argument("--command", nargs=argparse.REMAINDER,
+                        help="run COMMAND [ARGS...] and check its stdout")
+    source.add_argument("--self-test", action="store_true",
+                        help="verify the checker against known pages")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if args.file:
+        with open(args.file, encoding="utf-8") as f:
+            text = f.read()
+    else:
+        if not args.command:
+            parser.error("--command needs a binary to run")
+        proc = subprocess.run(args.command, capture_output=True, text=True)
+        if proc.returncode != 0:
+            print(f"command failed ({proc.returncode}): "
+                  f"{' '.join(args.command)}\n{proc.stderr}")
+            return 1
+        text = proc.stdout
+
+    checker = Checker()
+    if checker.check(text):
+        lines = text.count("\n")
+        print(f"exposition OK ({lines} lines)")
+        return 0
+    for e in checker.errors:
+        print(e)
+    print(f"\n{len(checker.errors)} exposition error(s)")
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -37,6 +37,17 @@ FORBIDDEN = [
     ("assert()", re.compile(r"(?<![_\w])assert\s*\(")),
 ]
 
+# Stricter rules for path prefixes whose contract is stronger than the
+# tree-wide one. sgnn::obs promises byte-identical exports from logical
+# ticks only, so ANY clock — even the steady ones the rest of the tree may
+# use for reporting — is forbidden there.
+SCOPED_FORBIDDEN = {
+    "src/obs/": [
+        ("std::chrono (obs is logical-tick only)",
+         re.compile(r"std::chrono|steady_clock|high_resolution_clock")),
+    ],
+}
+
 # Wrapper files allowed to touch the primitives they encapsulate.
 ALLOWLIST = {
     "src/common/rng.h",
@@ -50,6 +61,7 @@ EXTENSIONS = {".h", ".cc", ".cpp", ".hpp"}
 SUPPRESS = "lint:allow-nondeterminism"
 
 FIXTURE = "tools/lint_fixtures/nondeterministic.cc.fixture"
+OBS_FIXTURE = "tools/lint_fixtures/obs_wallclock.cc.fixture"
 
 
 def strip_comments(text: str) -> str:
@@ -109,18 +121,27 @@ def strip_comments(text: str) -> str:
     return "".join(out)
 
 
+def patterns_for(rel: str) -> list:
+    patterns = list(FORBIDDEN)
+    for prefix, extra in SCOPED_FORBIDDEN.items():
+        if rel.startswith(prefix):
+            patterns.extend(extra)
+    return patterns
+
+
 def lint_file(path: pathlib.Path, rel: str) -> list:
     try:
         text = path.read_text(encoding="utf-8", errors="replace")
     except OSError as e:
         return [(rel, 0, f"unreadable: {e}")]
+    patterns = patterns_for(rel)
     raw_lines = text.splitlines()
     violations = []
     for lineno, line in enumerate(strip_comments(text).splitlines(), start=1):
         raw = raw_lines[lineno - 1] if lineno <= len(raw_lines) else ""
         if SUPPRESS in raw:
             continue
-        for name, pattern in FORBIDDEN:
+        for name, pattern in patterns:
             if pattern.search(line):
                 violations.append((rel, lineno, f"forbidden {name}: {raw.strip()}"))
     return violations
@@ -160,7 +181,27 @@ def self_test(root: pathlib.Path) -> int:
     if suppressed:
         print("self-test FAILED: suppression comment did not suppress")
         return 1
-    print(f"self-test OK: fixture tripped all {len(FORBIDDEN)} patterns")
+    # The obs fixture only violates the src/obs/ scoped rule: linted under
+    # its own path it must be clean, linted as obs code it must trip.
+    obs_fixture = root / OBS_FIXTURE
+    if not obs_fixture.is_file():
+        print(f"self-test FAILED: fixture missing: {OBS_FIXTURE}")
+        return 1
+    if lint_file(obs_fixture, OBS_FIXTURE):
+        print("self-test FAILED: obs fixture tripped outside src/obs/")
+        return 1
+    scoped = lint_file(obs_fixture, "src/obs/fixture.cc")
+    scoped_names = [name for _, extra in SCOPED_FORBIDDEN.items()
+                    for name, _ in extra]
+    missing = [name for name in scoped_names
+               if not any(v[2].startswith(f"forbidden {name}:")
+                          for v in scoped)]
+    if missing:
+        print("self-test FAILED: obs fixture did not trip: "
+              f"{', '.join(missing)}")
+        return 1
+    print(f"self-test OK: fixture tripped all {len(FORBIDDEN)} patterns; "
+          "obs fixture tripped the src/obs/ clock ban")
     return 0
 
 
