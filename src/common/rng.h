@@ -9,6 +9,31 @@
 
 namespace sgnn::common {
 
+/// SplitMix64 finaliser: a strong, cheap 64-bit bit mixer. The primitive
+/// behind keyed stream derivation — every bit of the input affects every
+/// bit of the output, so nearby keys give decorrelated streams.
+inline uint64_t SplitMix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+/// Derives the seed of an independent stream from a (base, key) pair.
+/// Parallel kernels seed one `Rng` per work item as
+/// `Rng(MixSeed(base, item))`: the stream depends only on the pair, never
+/// on which thread or in what order the item runs — the property that
+/// makes sampling results independent of the worker count.
+inline uint64_t MixSeed(uint64_t base, uint64_t key) {
+  return SplitMix64(base ^ SplitMix64(key));
+}
+
+/// Uniform double in [0, 1) as a pure function of (base, key); the shared
+/// per-vertex variate of LABOR-style samplers. 53-bit resolution.
+inline double KeyedUniform(uint64_t base, uint64_t key) {
+  return static_cast<double>(MixSeed(base, key) >> 11) * 0x1.0p-53;
+}
+
 /// Deterministic random number generator used throughout the library.
 ///
 /// Every stochastic component (generators, samplers, initialisers) takes an

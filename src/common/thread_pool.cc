@@ -45,6 +45,27 @@ void ThreadPool::WaitIdle() {
   while (!tasks_.empty() || active_ != 0) idle_.wait(mu_);
 }
 
+void ThreadPool::Resize(int n) {
+  SGNN_CHECK_GE(n, 1);
+  if (n == num_threads()) return;
+  {
+    MutexLock lock(mu_);
+    SGNN_CHECK(!stopping_);  // Resize after Shutdown is a programming error.
+    stopping_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+  workers_.clear();
+  {
+    MutexLock lock(mu_);
+    stopping_ = false;  // Queue is drained; accept work again.
+  }
+  workers_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
 void ThreadPool::Shutdown() {
   {
     MutexLock lock(mu_);

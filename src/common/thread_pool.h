@@ -23,7 +23,8 @@ struct ThreadPoolStats {
   int active = 0;                ///< Tasks currently executing.
 };
 
-/// Fixed-size worker pool executing submitted closures FIFO. The internal
+/// Worker pool executing submitted closures FIFO; sized at construction
+/// and resizable between workloads (`Resize`). The internal
 /// task list is unbounded; callers that need backpressure bound their own
 /// admission (see `BoundedMpmcQueue` and `serve::BatchingServer`).
 ///
@@ -50,6 +51,13 @@ class ThreadPool {
 
   /// Drains remaining tasks and joins the workers; idempotent.
   void Shutdown() SGNN_EXCLUDES(mu_);
+
+  /// Changes the worker count to `n` (>= 1): drains the queue, joins the
+  /// current workers, then starts `n` fresh ones. Cumulative `Stats()`
+  /// counts (submitted/executed/high-water) survive the resize. Must not
+  /// race with `Submit` — configure between workloads (`par::SetThreads`
+  /// serialises its calls); a no-op when `n` already matches.
+  void Resize(int n) SGNN_EXCLUDES(mu_);
 
   /// Load snapshot (see `ThreadPoolStats`). Thread-safe; values from live
   /// workers are a consistent instant under the pool lock.

@@ -9,8 +9,20 @@
 #include "core/checkpoint.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "par/par.h"
 
 namespace sgnn::core {
+
+namespace {
+
+/// Runs `fn` when the enclosing scope exits (any return path).
+template <typename F>
+struct ScopeExit {
+  F fn;
+  ~ScopeExit() { fn(); }
+};
+
+}  // namespace
 
 std::string PipelineReport::ToString() const {
   std::string out;
@@ -99,6 +111,37 @@ PipelineReport Pipeline::Run(const Dataset& dataset,
     common::OpCounters& thread_counters = common::GlobalCounters();
     thread_counters.peak_resident_floats = thread_counters.resident_floats;
   }
+  // Parallel substrate: apply the requested worker count, optionally
+  // mirror the run's tracer into par, and export the run's section/shard
+  // deltas on exit. Sections and shards are pure functions of the workload
+  // (deterministic gauges); the worker count is configuration (volatile).
+  if (ctx.num_threads > 0) par::SetThreads(ctx.num_threads);
+  obs::Tracer* prev_par_tracer =
+      (ctx.trace_parallel && ctx.tracer != nullptr) ? par::SetTracer(ctx.tracer)
+                                                    : nullptr;
+  const par::ParStats par_before = par::Stats();
+  ScopeExit par_scope{[&] {
+    if (ctx.trace_parallel && ctx.tracer != nullptr) {
+      par::SetTracer(prev_par_tracer);
+    }
+    if (ctx.metrics != nullptr) {
+      const par::ParStats par_after = par::Stats();
+      ctx.metrics
+          ->GetGauge("sgnn_par_workers",
+                     "Configured par worker count at run exit.",
+                     /*labels=*/{}, obs::kVolatile)
+          ->Set(static_cast<double>(par::NumThreads()));
+      ctx.metrics
+          ->GetGauge("sgnn_par_sections",
+                     "Parallel sections executed by the latest run.")
+          ->Set(static_cast<double>(par_after.sections - par_before.sections));
+      ctx.metrics
+          ->GetGauge("sgnn_par_shards",
+                     "Parallel shards executed by the latest run.")
+          ->Set(static_cast<double>(par_after.shards - par_before.shards));
+    }
+  }};
+
   obs::TraceSpan run_span =
       obs::StartSpan(ctx.tracer, "pipeline.run", "pipeline");
   if (ctx.metrics != nullptr) {

@@ -3,44 +3,67 @@
 #include <cmath>
 
 #include "common/counters.h"
+#include "par/par.h"
 
 namespace sgnn::graph {
+
+namespace {
+
+/// Edge traversals per shard below which a section stays single-shard.
+constexpr int64_t kEdgeGrain = 32 * 1024;
+
+/// Edge-balanced row shards over the graph's CSR offsets. Geometry depends
+/// only on the graph, so shard-local work is identical for any worker
+/// count (the par determinism contract).
+std::vector<par::Range> NodeShards(const CsrGraph& graph) {
+  return par::RowRanges(graph.offsets(),
+                        par::ShardsFor(graph.num_edges(), kEdgeGrain));
+}
+
+}  // namespace
 
 Propagator::Propagator(const CsrGraph& graph, Normalization norm,
                        bool add_self_loops)
     : graph_(graph), norm_(norm) {
   const NodeId n = graph.num_nodes();
+  const auto shards = NodeShards(graph);
   std::vector<double> degree(n, 0.0);
-  for (NodeId u = 0; u < n; ++u) {
-    degree[u] = graph.WeightedDegree(u) + (add_self_loops ? 1.0 : 0.0);
-  }
+  par::ParallelFor("prop.degrees", shards, [&](int, par::Range range) {
+    for (int64_t u = range.begin; u < range.end; ++u) {
+      degree[u] = graph.WeightedDegree(static_cast<NodeId>(u)) +
+                  (add_self_loops ? 1.0 : 0.0);
+    }
+  });
   auto inv = [](double d) { return d > 0.0 ? 1.0 / d : 0.0; };
   auto inv_sqrt = [](double d) { return d > 0.0 ? 1.0 / std::sqrt(d) : 0.0; };
 
   coeff_.resize(static_cast<size_t>(graph.num_edges()));
-  for (NodeId u = 0; u < n; ++u) {
-    auto nbrs = graph.Neighbors(u);
-    auto ws = graph.Weights(u);
-    const EdgeIndex base = graph.OffsetOf(u);
-    for (size_t i = 0; i < nbrs.size(); ++i) {
-      const NodeId v = nbrs[i];
-      double c = ws[i];
-      switch (norm_) {
-        case Normalization::kNone:
-          break;
-        case Normalization::kRow:
-          c *= inv(degree[u]);
-          break;
-        case Normalization::kColumn:
-          c *= inv(degree[v]);
-          break;
-        case Normalization::kSymmetric:
-          c *= inv_sqrt(degree[u]) * inv_sqrt(degree[v]);
-          break;
+  par::ParallelFor("prop.coeffs", shards, [&](int, par::Range range) {
+    for (int64_t uu = range.begin; uu < range.end; ++uu) {
+      const NodeId u = static_cast<NodeId>(uu);
+      auto nbrs = graph.Neighbors(u);
+      auto ws = graph.Weights(u);
+      const EdgeIndex base = graph.OffsetOf(u);
+      for (size_t i = 0; i < nbrs.size(); ++i) {
+        const NodeId v = nbrs[i];
+        double c = ws[i];
+        switch (norm_) {
+          case Normalization::kNone:
+            break;
+          case Normalization::kRow:
+            c *= inv(degree[u]);
+            break;
+          case Normalization::kColumn:
+            c *= inv(degree[v]);
+            break;
+          case Normalization::kSymmetric:
+            c *= inv_sqrt(degree[u]) * inv_sqrt(degree[v]);
+            break;
+        }
+        coeff_[static_cast<size_t>(base) + i] = static_cast<float>(c);
       }
-      coeff_[static_cast<size_t>(base) + i] = static_cast<float>(c);
     }
-  }
+  });
   if (add_self_loops) {
     self_loop_coeff_.resize(n);
     for (NodeId u = 0; u < n; ++u) {
@@ -67,26 +90,35 @@ void Propagator::Apply(const tensor::Matrix& x, tensor::Matrix* out) const {
   SGNN_DCHECK_EQ(coeff_.size(), static_cast<size_t>(graph_.num_edges()));
   const int64_t cols = x.cols();
   *out = tensor::Matrix(x.rows(), cols);
-  for (NodeId u = 0; u < graph_.num_nodes(); ++u) {
-    auto nbrs = graph_.Neighbors(u);
-    const float* cs = coeff_.data() + graph_.OffsetOf(u);
-    float* orow = out->data() + static_cast<int64_t>(u) * cols;
-    for (size_t i = 0; i < nbrs.size(); ++i) {
-      const float c = cs[i];
-      if (c == 0.0f) continue;
-      const float* xrow = x.data() + static_cast<int64_t>(nbrs[i]) * cols;
-      for (int64_t j = 0; j < cols; ++j) orow[j] += c * xrow[j];
+  // Row-partitioned SpMM: each shard owns a contiguous block of output
+  // rows and gathers from x, so no write is shared and no atomics are
+  // needed; per-row accumulation order is the serial order, so the result
+  // is bit-identical for any worker count.
+  par::ParallelFor("prop.apply", NodeShards(graph_), [&](int, par::Range range) {
+    for (int64_t uu = range.begin; uu < range.end; ++uu) {
+      const NodeId u = static_cast<NodeId>(uu);
+      auto nbrs = graph_.Neighbors(u);
+      const float* cs = coeff_.data() + graph_.OffsetOf(u);
+      float* orow = out->data() + static_cast<int64_t>(u) * cols;
+      for (size_t i = 0; i < nbrs.size(); ++i) {
+        const float c = cs[i];
+        if (c == 0.0f) continue;
+        const float* xrow = x.data() + static_cast<int64_t>(nbrs[i]) * cols;
+        for (int64_t j = 0; j < cols; ++j) orow[j] += c * xrow[j];
+      }
+      if (!self_loop_coeff_.empty() && self_loop_coeff_[u] != 0.0f) {
+        const float c = self_loop_coeff_[u];
+        const float* xrow = x.data() + static_cast<int64_t>(u) * cols;
+        for (int64_t j = 0; j < cols; ++j) orow[j] += c * xrow[j];
+      }
     }
-    if (!self_loop_coeff_.empty() && self_loop_coeff_[u] != 0.0f) {
-      const float c = self_loop_coeff_[u];
-      const float* xrow = x.data() + static_cast<int64_t>(u) * cols;
-      for (int64_t j = 0; j < cols; ++j) orow[j] += c * xrow[j];
-    }
-  }
-  auto& counters = common::GlobalCounters();
-  counters.edges_touched += static_cast<uint64_t>(graph_.num_edges());
-  counters.floats_moved +=
-      static_cast<uint64_t>(graph_.num_edges()) * static_cast<uint64_t>(cols);
+    const uint64_t edges = static_cast<uint64_t>(
+        graph_.OffsetOf(static_cast<NodeId>(range.end)) -
+        graph_.OffsetOf(static_cast<NodeId>(range.begin)));
+    auto& counters = common::GlobalCounters();
+    counters.edges_touched += edges;
+    counters.floats_moved += edges * static_cast<uint64_t>(cols);
+  });
 }
 
 void Propagator::ApplyVector(const std::vector<double>& x,
@@ -95,20 +127,29 @@ void Propagator::ApplyVector(const std::vector<double>& x,
   SGNN_CHECK_EQ(x.size(), static_cast<size_t>(graph_.num_nodes()));
   SGNN_DCHECK_EQ(coeff_.size(), static_cast<size_t>(graph_.num_edges()));
   out->assign(x.size(), 0.0);
-  for (NodeId u = 0; u < graph_.num_nodes(); ++u) {
-    auto nbrs = graph_.Neighbors(u);
-    const float* cs = coeff_.data() + graph_.OffsetOf(u);
-    double acc = 0.0;
-    for (size_t i = 0; i < nbrs.size(); ++i) acc += cs[i] * x[nbrs[i]];
-    if (!self_loop_coeff_.empty()) acc += self_loop_coeff_[u] * x[u];
-    (*out)[u] = acc;
-  }
-  common::GlobalCounters().edges_touched +=
-      static_cast<uint64_t>(graph_.num_edges());
+  par::ParallelFor(
+      "prop.apply_vec", NodeShards(graph_), [&](int, par::Range range) {
+        for (int64_t uu = range.begin; uu < range.end; ++uu) {
+          const NodeId u = static_cast<NodeId>(uu);
+          auto nbrs = graph_.Neighbors(u);
+          const float* cs = coeff_.data() + graph_.OffsetOf(u);
+          double acc = 0.0;
+          for (size_t i = 0; i < nbrs.size(); ++i) acc += cs[i] * x[nbrs[i]];
+          if (!self_loop_coeff_.empty()) acc += self_loop_coeff_[u] * x[u];
+          (*out)[u] = acc;
+        }
+        common::GlobalCounters().edges_touched += static_cast<uint64_t>(
+            graph_.OffsetOf(static_cast<NodeId>(range.end)) -
+            graph_.OffsetOf(static_cast<NodeId>(range.begin)));
+      });
 }
 
 void Propagator::ApplyTranspose(const tensor::Matrix& x,
                                 tensor::Matrix* out) const {
+  // Deliberately serial: the transpose scatters into rows indexed by the
+  // *neighbour* ids, so row partitioning does not give disjoint writes.
+  // Making this parallel would need a transposed CSR or atomics (which
+  // break bit-determinism); the kernel is off the hot path.
   SGNN_CHECK(out != nullptr);
   SGNN_CHECK_EQ(x.rows(), static_cast<int64_t>(graph_.num_nodes()));
   SGNN_DCHECK_EQ(coeff_.size(), static_cast<size_t>(graph_.num_edges()));

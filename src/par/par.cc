@@ -1,0 +1,235 @@
+#include "par/par.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "common/thread_annotations.h"
+#include "obs/trace.h"
+
+namespace sgnn::par {
+
+namespace {
+
+/// Process-wide substrate state. The pool starts lazily on the first
+/// section that actually dispatches, so single-threaded programs (and the
+/// historical default) never spawn a worker.
+struct ParState {
+  common::Mutex mu;
+  int threads SGNN_GUARDED_BY(mu) = 0;  ///< 0 = env not read yet.
+  std::unique_ptr<common::ThreadPool> pool SGNN_GUARDED_BY(mu);
+  std::atomic<uint64_t> sections{0};
+  std::atomic<uint64_t> shards{0};
+  std::atomic<obs::Tracer*> tracer{nullptr};
+};
+
+ParState& State() {
+  // Ordinary static (not leaked): destruction joins the pool's workers,
+  // which are idle by then — no sections run during static teardown.
+  static ParState state;
+  return state;
+}
+
+int ThreadsLocked(ParState& state) SGNN_REQUIRES(state.mu) {
+  if (state.threads == 0) {
+    state.threads =
+        ThreadsFromEnv(std::getenv("SGNN_THREADS"), /*fallback=*/1);
+  }
+  return state.threads;
+}
+
+/// One parallel section's shared bookkeeping. Heap-allocated and held via
+/// shared_ptr by every pool task, so a task that is still queued when the
+/// section completes (all shards claimed by faster threads) finds the
+/// index exhausted and returns without touching the caller's stack.
+struct Section {
+  std::atomic<int64_t> next{0};
+  const std::function<void(int, Range)>* fn = nullptr;  ///< Caller-owned.
+  std::span<const Range> ranges;
+  std::vector<common::OpCounters> deltas;
+
+  common::Mutex mu;
+  std::condition_variable_any done;
+  int64_t remaining SGNN_GUARDED_BY(mu) = 0;
+
+  /// Claims shards until the index runs out. Per-shard counter deltas are
+  /// recorded and reverted so only the section's final merge (on the
+  /// caller, in shard order) bills the work.
+  void RunShards() {
+    const int64_t total = static_cast<int64_t>(ranges.size());
+    common::OpCounters& slot = common::GlobalCounters();
+    for (;;) {
+      const int64_t shard = next.fetch_add(1, std::memory_order_relaxed);
+      if (shard >= total) return;
+      const common::OpCounters before = slot;
+      (*fn)(static_cast<int>(shard), ranges[static_cast<size_t>(shard)]);
+      deltas[static_cast<size_t>(shard)] = common::OpCounters::Delta(before, slot);
+      slot = before;
+      NoteShardDone();
+    }
+  }
+
+  void NoteShardDone() SGNN_EXCLUDES(mu) {
+    common::MutexLock lock(mu);
+    if (--remaining == 0) done.notify_all();
+  }
+
+  void AwaitAll() SGNN_EXCLUDES(mu) {
+    common::MutexLock lock(mu);
+    while (remaining != 0) done.wait(mu);
+  }
+};
+
+}  // namespace
+
+int ThreadsFromEnv(const char* value, int fallback) {
+  if (value == nullptr || *value == '\0') return fallback;
+  char* end = nullptr;
+  const long parsed = std::strtol(value, &end, 10);
+  if (end == value || *end != '\0' || parsed < 1) return fallback;
+  return static_cast<int>(std::min<long>(parsed, 1024));
+}
+
+int NumThreads() {
+  ParState& state = State();
+  common::MutexLock lock(state.mu);
+  return ThreadsLocked(state);
+}
+
+void SetThreads(int n) {
+  if (n < 1) n = 1;
+  ParState& state = State();
+  common::MutexLock lock(state.mu);
+  state.threads = n;
+  if (state.pool != nullptr && state.pool->num_threads() != n) {
+    state.pool->Resize(n);
+  }
+}
+
+ParStats Stats() {
+  ParState& state = State();
+  return {state.sections.load(std::memory_order_relaxed),
+          state.shards.load(std::memory_order_relaxed)};
+}
+
+obs::Tracer* SetTracer(obs::Tracer* tracer) {
+  return State().tracer.exchange(tracer, std::memory_order_acq_rel);
+}
+
+int ShardsFor(int64_t work, int64_t grain) {
+  SGNN_CHECK_GT(grain, 0);
+  if (work <= 0) return 1;
+  const int64_t shards = (work + grain - 1) / grain;
+  return static_cast<int>(std::clamp<int64_t>(shards, 1, kMaxShards));
+}
+
+std::vector<Range> SplitUniform(int64_t n, int shards) {
+  SGNN_CHECK_GE(shards, 1);
+  if (n <= 0) return {};
+  const int64_t count = std::min<int64_t>(shards, n);
+  std::vector<Range> ranges(static_cast<size_t>(count));
+  const int64_t base = n / count;
+  const int64_t extra = n % count;
+  int64_t begin = 0;
+  for (int64_t s = 0; s < count; ++s) {
+    const int64_t len = base + (s < extra ? 1 : 0);
+    ranges[static_cast<size_t>(s)] = {begin, begin + len};
+    begin += len;
+  }
+  return ranges;
+}
+
+std::vector<Range> RowRanges(std::span<const int64_t> offsets, int shards) {
+  SGNN_CHECK_GE(shards, 1);
+  SGNN_CHECK(!offsets.empty());
+  const int64_t rows = static_cast<int64_t>(offsets.size()) - 1;
+  if (rows <= 0) return {};
+  const int64_t total = offsets[static_cast<size_t>(rows)] - offsets[0];
+  if (total <= 0) return SplitUniform(rows, shards);
+  const int64_t count = std::min<int64_t>(std::min<int64_t>(shards, rows), total);
+  std::vector<Range> ranges;
+  ranges.reserve(static_cast<size_t>(count));
+  int64_t begin = 0;
+  for (int64_t s = 0; s < count && begin < rows; ++s) {
+    // Smallest end whose cumulative edge mass reaches the s+1-th share.
+    const int64_t target = offsets[0] + (total * (s + 1)) / count;
+    const auto it = std::lower_bound(offsets.begin() + begin + 1,
+                                     offsets.end(), target);
+    int64_t end = static_cast<int64_t>(it - offsets.begin());
+    if (s + 1 == count) end = rows;  // Last shard absorbs the tail.
+    end = std::min(end, rows);
+    SGNN_DCHECK_GT(end, begin);
+    ranges.push_back({begin, end});
+    begin = end;
+  }
+  return ranges;
+}
+
+void ParallelFor(const char* label, std::span<const Range> ranges,
+                 const std::function<void(int, Range)>& fn) {
+  const int64_t num_shards = static_cast<int64_t>(ranges.size());
+  if (num_shards == 0) return;
+  ParState& state = State();
+  state.sections.fetch_add(1, std::memory_order_relaxed);
+  state.shards.fetch_add(static_cast<uint64_t>(num_shards),
+                         std::memory_order_relaxed);
+
+  obs::TraceSpan span;
+  if (obs::Tracer* tracer = state.tracer.load(std::memory_order_acquire)) {
+    span = tracer->Span(std::string("par:") + label, "par");
+  }
+
+  common::ThreadPool* pool = nullptr;
+  int workers = 1;
+  {
+    common::MutexLock lock(state.mu);
+    workers = ThreadsLocked(state);
+    if (workers > 1 && num_shards > 1) {
+      if (state.pool == nullptr) {
+        state.pool = std::make_unique<common::ThreadPool>(workers);
+      }
+      pool = state.pool.get();
+    }
+  }
+
+  if (pool == nullptr) {
+    // Inline execution walks the identical shard geometry, so billing and
+    // bits match the pooled path exactly.
+    for (int64_t s = 0; s < num_shards; ++s) {
+      fn(static_cast<int>(s), ranges[static_cast<size_t>(s)]);
+    }
+    return;
+  }
+
+  auto section = std::make_shared<Section>();
+  section->fn = &fn;
+  section->ranges = ranges;
+  section->deltas.resize(static_cast<size_t>(num_shards));
+  {
+    common::MutexLock lock(section->mu);
+    section->remaining = num_shards;
+  }
+  // num_shards - 1 helpers at most: the caller claims shards too, so the
+  // section finishes even if every helper stays stuck in the queue.
+  const int64_t helpers =
+      std::min<int64_t>(workers, num_shards - 1);
+  for (int64_t h = 0; h < helpers; ++h) {
+    pool->Submit([section] { section->RunShards(); });
+  }
+  section->RunShards();
+  section->AwaitAll();
+
+  // Re-bill the recorded shard work to this thread, in shard order, so a
+  // ScopedCounterDelta around the kernel sees it and process aggregates
+  // match a single-threaded run.
+  common::OpCounters& mine = common::GlobalCounters();
+  for (const common::OpCounters& delta : section->deltas) {
+    mine.edges_touched += delta.edges_touched;
+    mine.floats_moved += delta.floats_moved;
+  }
+}
+
+}  // namespace sgnn::par

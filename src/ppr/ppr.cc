@@ -7,6 +7,7 @@
 #include "common/check.h"
 #include "common/counters.h"
 #include "common/rng.h"
+#include "par/par.h"
 
 namespace sgnn::ppr {
 
@@ -66,6 +67,25 @@ PushResult ForwardPush(const CsrGraph& graph, NodeId source, double alpha,
   common::GlobalCounters().edges_touched +=
       static_cast<uint64_t>(result.edges_touched);
   return result;
+}
+
+std::vector<PushResult> PushBatch(const CsrGraph& graph,
+                                  std::span<const NodeId> seeds, double alpha,
+                                  double r_max) {
+  std::vector<PushResult> results(seeds.size());
+  // One seed per shard (up to the cap): pushes vary wildly in cost with
+  // the seed's neighbourhood, and the shard-claiming loop load-balances
+  // dynamically while each result stays a pure function of its seed.
+  const auto shards = par::SplitUniform(
+      static_cast<int64_t>(seeds.size()),
+      par::ShardsFor(static_cast<int64_t>(seeds.size()), /*grain=*/1));
+  par::ParallelFor("ppr.push_batch", shards, [&](int, par::Range range) {
+    for (int64_t i = range.begin; i < range.end; ++i) {
+      results[static_cast<size_t>(i)] =
+          ForwardPush(graph, seeds[static_cast<size_t>(i)], alpha, r_max);
+    }
+  });
+  return results;
 }
 
 std::vector<double> PowerIterationPpr(const CsrGraph& graph, NodeId source,

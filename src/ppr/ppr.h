@@ -2,6 +2,7 @@
 #define SGNN_PPR_PPR_H_
 
 #include <cstdint>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -32,6 +33,16 @@ struct PushResult {
 /// mass on the source.
 PushResult ForwardPush(const graph::CsrGraph& graph, graph::NodeId source,
                        double alpha, double r_max);
+
+/// Forward push from every seed in `seeds` (PPRGo/SCARA-style batch
+/// precompute). Runs seeds as a parallel section over the process-wide
+/// `par` worker pool; each seed's push is the same computation as
+/// `ForwardPush`, so `results[i]` is bit-identical to
+/// `ForwardPush(graph, seeds[i], ...)` for any `SGNN_THREADS`. Duplicate
+/// seeds are allowed and computed independently.
+std::vector<PushResult> PushBatch(const graph::CsrGraph& graph,
+                                  std::span<const graph::NodeId> seeds,
+                                  double alpha, double r_max);
 
 /// Dense power iteration to additive tolerance `tol` (L1); the exact
 /// baseline the approximate methods are validated against.

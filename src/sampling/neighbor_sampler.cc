@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "common/check.h"
+#include "par/par.h"
 
 namespace sgnn::sampling {
 
@@ -11,6 +12,14 @@ using graph::CsrGraph;
 using graph::NodeId;
 
 namespace {
+
+/// Destinations per shard below which a layer's fan-out stays one shard.
+constexpr int64_t kDstGrain = 256;
+
+std::vector<par::Range> DstShards(size_t num_dst) {
+  const int64_t n = static_cast<int64_t>(num_dst);
+  return par::SplitUniform(n, par::ShardsFor(n, kDstGrain));
+}
 
 /// Assembles a LayerSample from per-destination sampled (neighbour, weight)
 /// lists. `src` = dst (prefix, same order) followed by newly seen
@@ -72,20 +81,32 @@ MiniBatch SampleNodeWise(const CsrGraph& graph,
       [&graph, &fanouts, rng](int l, const std::vector<NodeId>& dst) {
         const int fanout = fanouts[static_cast<size_t>(l)];
         SGNN_CHECK_GE(fanout, 1);
+        // One caller-side engine draw seeds the layer; each destination
+        // then owns the keyed stream (layer_base, node). Which worker runs
+        // a destination never affects its draws, so the batch is identical
+        // for any SGNN_THREADS.
+        const uint64_t layer_base = rng->engine()();
         std::vector<std::vector<std::pair<NodeId, float>>> edges(dst.size());
-        for (size_t i = 0; i < dst.size(); ++i) {
-          auto nbrs = graph.Neighbors(dst[i]);
-          if (nbrs.empty()) continue;
-          if (static_cast<int>(nbrs.size()) <= fanout) {
-            const float w = 1.0f / static_cast<float>(nbrs.size());
-            for (NodeId v : nbrs) edges[i].emplace_back(v, w);
-          } else {
-            auto picks = rng->SampleWithoutReplacement(nbrs.size(),
-                                                       static_cast<uint64_t>(fanout));
-            const float w = 1.0f / static_cast<float>(fanout);
-            for (uint64_t p : picks) edges[i].emplace_back(nbrs[p], w);
-          }
-        }
+        par::ParallelFor(
+            "sample.node_wise", DstShards(dst.size()),
+            [&](int, par::Range range) {
+              for (int64_t i = range.begin; i < range.end; ++i) {
+                auto nbrs = graph.Neighbors(dst[static_cast<size_t>(i)]);
+                auto& out = edges[static_cast<size_t>(i)];
+                if (nbrs.empty()) continue;
+                if (static_cast<int>(nbrs.size()) <= fanout) {
+                  const float w = 1.0f / static_cast<float>(nbrs.size());
+                  for (NodeId v : nbrs) out.emplace_back(v, w);
+                } else {
+                  common::Rng local(common::MixSeed(
+                      layer_base, dst[static_cast<size_t>(i)]));
+                  auto picks = local.SampleWithoutReplacement(
+                      nbrs.size(), static_cast<uint64_t>(fanout));
+                  const float w = 1.0f / static_cast<float>(fanout);
+                  for (uint64_t p : picks) out.emplace_back(nbrs[p], w);
+                }
+              }
+            });
         return BuildLayer(dst, edges);
       });
 }
@@ -99,26 +120,28 @@ MiniBatch SampleLabor(const CsrGraph& graph, std::span<const NodeId> seeds,
         const int fanout = fanouts[static_cast<size_t>(l)];
         SGNN_CHECK_GE(fanout, 1);
         // One uniform variate per candidate source vertex, shared by every
-        // destination in this layer: the LABOR trick.
-        std::unordered_map<NodeId, double> variate;
-        auto variate_of = [&variate, rng](NodeId v) {
-          auto it = variate.find(v);
-          if (it != variate.end()) return it->second;
-          const double r = rng->Uniform();
-          variate.emplace(v, r);
-          return r;
-        };
+        // destination in this layer: the LABOR trick. The variate is a pure
+        // hash of (layer_base, vertex) — no memo table, so destinations can
+        // fan out in parallel and still agree on every shared vertex.
+        const uint64_t layer_base = rng->engine()();
         std::vector<std::vector<std::pair<NodeId, float>>> edges(dst.size());
-        for (size_t i = 0; i < dst.size(); ++i) {
-          auto nbrs = graph.Neighbors(dst[i]);
-          if (nbrs.empty()) continue;
-          const double degree = static_cast<double>(nbrs.size());
-          const double p = std::min(1.0, static_cast<double>(fanout) / degree);
-          const float w = static_cast<float>(1.0 / (degree * p));
-          for (NodeId v : nbrs) {
-            if (variate_of(v) < p) edges[i].emplace_back(v, w);
-          }
-        }
+        par::ParallelFor(
+            "sample.labor", DstShards(dst.size()), [&](int, par::Range range) {
+              for (int64_t i = range.begin; i < range.end; ++i) {
+                auto nbrs = graph.Neighbors(dst[static_cast<size_t>(i)]);
+                auto& out = edges[static_cast<size_t>(i)];
+                if (nbrs.empty()) continue;
+                const double degree = static_cast<double>(nbrs.size());
+                const double p =
+                    std::min(1.0, static_cast<double>(fanout) / degree);
+                const float w = static_cast<float>(1.0 / (degree * p));
+                for (NodeId v : nbrs) {
+                  if (common::KeyedUniform(layer_base, v) < p) {
+                    out.emplace_back(v, w);
+                  }
+                }
+              }
+            });
         return BuildLayer(dst, edges);
       });
 }
@@ -151,20 +174,28 @@ MiniBatch SampleLayerWise(const CsrGraph& graph,
           counts[static_cast<NodeId>(it - cdf.begin())]++;
         }
         std::vector<std::vector<std::pair<NodeId, float>>> edges(dst.size());
-        for (size_t i = 0; i < dst.size(); ++i) {
-          auto nbrs = graph.Neighbors(dst[i]);
-          if (nbrs.empty()) continue;
-          const double inv_deg = 1.0 / static_cast<double>(nbrs.size());
-          for (NodeId v : nbrs) {
-            auto it = counts.find(v);
-            if (it == counts.end()) continue;
-            const double q = static_cast<double>(graph.OutDegree(v)) /
-                             total_degree;
-            const double w =
-                static_cast<double>(it->second) / (m * q) * inv_deg;
-            edges[i].emplace_back(v, static_cast<float>(w));
-          }
-        }
+        // The m global draws above stay on the caller's stream; only the
+        // per-destination edge assembly (which merely reads `counts`) fans
+        // out across workers.
+        par::ParallelFor(
+            "sample.layer_wise", DstShards(dst.size()),
+            [&](int, par::Range range) {
+              for (int64_t i = range.begin; i < range.end; ++i) {
+                auto nbrs = graph.Neighbors(dst[static_cast<size_t>(i)]);
+                auto& out = edges[static_cast<size_t>(i)];
+                if (nbrs.empty()) continue;
+                const double inv_deg = 1.0 / static_cast<double>(nbrs.size());
+                for (NodeId v : nbrs) {
+                  auto it = counts.find(v);
+                  if (it == counts.end()) continue;
+                  const double q =
+                      static_cast<double>(graph.OutDegree(v)) / total_degree;
+                  const double w =
+                      static_cast<double>(it->second) / (m * q) * inv_deg;
+                  out.emplace_back(v, static_cast<float>(w));
+                }
+              }
+            });
         return BuildLayer(dst, edges);
       });
 }
@@ -174,12 +205,16 @@ MiniBatch FullNeighborhood(const CsrGraph& graph,
   return BuildBatch(
       seeds, num_layers, [&graph](int, const std::vector<NodeId>& dst) {
         std::vector<std::vector<std::pair<NodeId, float>>> edges(dst.size());
-        for (size_t i = 0; i < dst.size(); ++i) {
-          auto nbrs = graph.Neighbors(dst[i]);
-          if (nbrs.empty()) continue;
-          const float w = 1.0f / static_cast<float>(nbrs.size());
-          for (NodeId v : nbrs) edges[i].emplace_back(v, w);
-        }
+        par::ParallelFor(
+            "sample.full", DstShards(dst.size()), [&](int, par::Range range) {
+              for (int64_t i = range.begin; i < range.end; ++i) {
+                auto nbrs = graph.Neighbors(dst[static_cast<size_t>(i)]);
+                auto& out = edges[static_cast<size_t>(i)];
+                if (nbrs.empty()) continue;
+                const float w = 1.0f / static_cast<float>(nbrs.size());
+                for (NodeId v : nbrs) out.emplace_back(v, w);
+              }
+            });
         return BuildLayer(dst, edges);
       });
 }

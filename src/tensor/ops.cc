@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/counters.h"
+#include "par/par.h"
 
 namespace sgnn::tensor {
 
@@ -13,6 +14,27 @@ void CountMoved(uint64_t n) {
   sgnn::common::GlobalCounters().floats_moved += n;
 }
 
+// Shard-geometry grains (pure functions of problem size, per the par
+// determinism contract): sections below the grain run as one shard, so
+// small matrices never pay dispatch overhead.
+constexpr int64_t kGemmGrainFlops = 256 * 1024;  ///< Fused mul-adds/shard.
+constexpr int64_t kElemGrain = 64 * 1024;        ///< Scalars per shard.
+constexpr int64_t kGemmPanel = 256;              ///< k-panel rows kept hot.
+
+/// Cap on `GemmTransposeA` reduction partials: each costs an m x n
+/// accumulator, so the shard count is bounded tighter than `kMaxShards`.
+constexpr int kMaxGemmPartials = 8;
+
+std::vector<par::Range> ElemRanges(int64_t n) {
+  return par::SplitUniform(n, par::ShardsFor(n, kElemGrain));
+}
+
+std::vector<par::Range> RowRangesFor(int64_t rows, int64_t flops_per_row) {
+  return par::SplitUniform(
+      rows, par::ShardsFor(rows * std::max<int64_t>(flops_per_row, 1),
+                           kGemmGrainFlops));
+}
+
 }  // namespace
 
 void Gemm(const Matrix& a, const Matrix& b, Matrix* out) {
@@ -20,18 +42,31 @@ void Gemm(const Matrix& a, const Matrix& b, Matrix* out) {
   SGNN_CHECK_EQ(a.cols(), b.rows());
   const int64_t m = a.rows(), k = a.cols(), n = b.cols();
   *out = Matrix(m, n);
-  // i-k-j loop order: streams through b and out rows contiguously.
-  for (int64_t i = 0; i < m; ++i) {
-    const float* arow = a.data() + i * k;
-    float* orow = out->data() + i * n;
-    for (int64_t p = 0; p < k; ++p) {
-      const float av = arow[p];
-      if (av == 0.0f) continue;
-      const float* brow = b.data() + p * n;
-      for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+  if (m == 0 || k == 0 || n == 0) return;
+  const auto rows = RowRangesFor(m, k * n);
+  par::ParallelFor("tensor.gemm", rows, [&](int, par::Range range) {
+    // k-panelled i-k-j: the b panel stays cache-hot across the shard's
+    // rows, and each output element still accumulates in ascending k — the
+    // same summation order as the naive loop, so blocking changes no bits.
+    uint64_t nnz = 0;
+    for (int64_t p0 = 0; p0 < k; p0 += kGemmPanel) {
+      const int64_t p1 = std::min(k, p0 + kGemmPanel);
+      for (int64_t i = range.begin; i < range.end; ++i) {
+        const float* arow = a.data() + i * k;
+        float* orow = out->data() + i * n;
+        for (int64_t p = p0; p < p1; ++p) {
+          const float av = arow[p];
+          if (av == 0.0f) continue;
+          ++nnz;
+          const float* brow = b.data() + p * n;
+          for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+        }
+      }
     }
-  }
-  CountMoved(static_cast<uint64_t>(m) * k * n);
+    // Bill the multiplies actually issued: the zero-skip fast path does no
+    // work, so sparse operands (ReLU outputs, masks) are not overbilled.
+    CountMoved(nnz * static_cast<uint64_t>(n));
+  });
 }
 
 void GemmTransposeA(const Matrix& a, const Matrix& b, Matrix* out) {
@@ -39,17 +74,37 @@ void GemmTransposeA(const Matrix& a, const Matrix& b, Matrix* out) {
   SGNN_CHECK_EQ(a.rows(), b.rows());
   const int64_t m = a.cols(), k = a.rows(), n = b.cols();
   *out = Matrix(m, n);
-  for (int64_t p = 0; p < k; ++p) {
-    const float* arow = a.data() + p * a.cols();
-    const float* brow = b.data() + p * n;
-    for (int64_t i = 0; i < m; ++i) {
-      const float av = arow[i];
-      if (av == 0.0f) continue;
-      float* orow = out->data() + i * n;
-      for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+  if (m == 0 || k == 0 || n == 0) return;
+  // The k rows all scatter into the same m x n output, so shards reduce
+  // into private partials that fold in ascending shard order — a fixed
+  // summation tree, identical for any worker count (the tree differs from
+  // the historical serial order, but deterministically so).
+  const int shards = std::min(
+      par::ShardsFor(k * m * n, kGemmGrainFlops), kMaxGemmPartials);
+  const auto panels = par::SplitUniform(k, shards);
+  std::vector<Matrix> partials(panels.size());
+  par::ParallelFor("tensor.gemm_ta", panels, [&](int shard, par::Range pr) {
+    Matrix& part = partials[static_cast<size_t>(shard)];
+    part = Matrix(m, n);
+    uint64_t nnz = 0;
+    for (int64_t p = pr.begin; p < pr.end; ++p) {
+      const float* arow = a.data() + p * a.cols();
+      const float* brow = b.data() + p * n;
+      for (int64_t i = 0; i < m; ++i) {
+        const float av = arow[i];
+        if (av == 0.0f) continue;
+        ++nnz;
+        float* prow = part.data() + i * n;
+        for (int64_t j = 0; j < n; ++j) prow[j] += av * brow[j];
+      }
+    }
+    CountMoved(nnz * static_cast<uint64_t>(n));
+  });
+  for (Matrix& part : partials) {
+    for (int64_t i = 0; i < out->size(); ++i) {
+      out->data()[i] += part.data()[i];
     }
   }
-  CountMoved(static_cast<uint64_t>(m) * k * n);
 }
 
 void GemmTransposeB(const Matrix& a, const Matrix& b, Matrix* out) {
@@ -57,17 +112,21 @@ void GemmTransposeB(const Matrix& a, const Matrix& b, Matrix* out) {
   SGNN_CHECK_EQ(a.cols(), b.cols());
   const int64_t m = a.rows(), k = a.cols(), n = b.rows();
   *out = Matrix(m, n);
-  for (int64_t i = 0; i < m; ++i) {
-    const float* arow = a.data() + i * k;
-    float* orow = out->data() + i * n;
-    for (int64_t j = 0; j < n; ++j) {
-      const float* brow = b.data() + j * k;
-      double acc = 0.0;
-      for (int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
-      orow[j] = static_cast<float>(acc);
+  if (m == 0 || k == 0 || n == 0) return;
+  const auto rows = RowRangesFor(m, k * n);
+  par::ParallelFor("tensor.gemm_tb", rows, [&](int, par::Range range) {
+    for (int64_t i = range.begin; i < range.end; ++i) {
+      const float* arow = a.data() + i * k;
+      float* orow = out->data() + i * n;
+      for (int64_t j = 0; j < n; ++j) {
+        const float* brow = b.data() + j * k;
+        double acc = 0.0;
+        for (int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+        orow[j] = static_cast<float>(acc);
+      }
     }
-  }
-  CountMoved(static_cast<uint64_t>(m) * k * n);
+    CountMoved(static_cast<uint64_t>(range.size()) * k * n);
+  });
 }
 
 Matrix Transpose(const Matrix& m) {
@@ -82,86 +141,127 @@ void Axpy(float alpha, const Matrix& other, Matrix* m) {
   SGNN_CHECK(m != nullptr);
   SGNN_CHECK_EQ(m->rows(), other.rows());
   SGNN_CHECK_EQ(m->cols(), other.cols());
-  for (int64_t i = 0; i < m->size(); ++i) m->data()[i] += alpha * other.data()[i];
-  CountMoved(static_cast<uint64_t>(m->size()));
+  par::ParallelFor("tensor.axpy", ElemRanges(m->size()),
+                   [&](int, par::Range r) {
+                     for (int64_t i = r.begin; i < r.end; ++i) {
+                       m->data()[i] += alpha * other.data()[i];
+                     }
+                     CountMoved(static_cast<uint64_t>(r.size()));
+                   });
 }
 
 void Scale(float alpha, Matrix* m) {
   SGNN_CHECK(m != nullptr);
-  for (int64_t i = 0; i < m->size(); ++i) m->data()[i] *= alpha;
+  par::ParallelFor("tensor.scale", ElemRanges(m->size()),
+                   [&](int, par::Range r) {
+                     for (int64_t i = r.begin; i < r.end; ++i) {
+                       m->data()[i] *= alpha;
+                     }
+                   });
 }
 
 void Hadamard(const Matrix& other, Matrix* m) {
   SGNN_CHECK(m != nullptr);
   SGNN_CHECK_EQ(m->rows(), other.rows());
   SGNN_CHECK_EQ(m->cols(), other.cols());
-  for (int64_t i = 0; i < m->size(); ++i) m->data()[i] *= other.data()[i];
+  par::ParallelFor("tensor.hadamard", ElemRanges(m->size()),
+                   [&](int, par::Range r) {
+                     for (int64_t i = r.begin; i < r.end; ++i) {
+                       m->data()[i] *= other.data()[i];
+                     }
+                   });
 }
 
 void AddBiasRow(std::span<const float> bias, Matrix* m) {
   SGNN_CHECK(m != nullptr);
   SGNN_CHECK_EQ(static_cast<int64_t>(bias.size()), m->cols());
-  for (int64_t r = 0; r < m->rows(); ++r) {
-    auto row = m->Row(r);
-    for (int64_t c = 0; c < m->cols(); ++c) row[c] += bias[c];
-  }
+  const auto rows = par::SplitUniform(
+      m->rows(), par::ShardsFor(m->size(), kElemGrain));
+  par::ParallelFor("tensor.add_bias", rows, [&](int, par::Range range) {
+    for (int64_t r = range.begin; r < range.end; ++r) {
+      auto row = m->Row(r);
+      for (int64_t c = 0; c < m->cols(); ++c) row[c] += bias[c];
+    }
+  });
 }
 
 void Relu(Matrix* m) {
   SGNN_CHECK(m != nullptr);
-  for (int64_t i = 0; i < m->size(); ++i) {
-    if (m->data()[i] < 0.0f) m->data()[i] = 0.0f;
-  }
+  par::ParallelFor("tensor.relu", ElemRanges(m->size()),
+                   [&](int, par::Range r) {
+                     for (int64_t i = r.begin; i < r.end; ++i) {
+                       if (m->data()[i] < 0.0f) m->data()[i] = 0.0f;
+                     }
+                   });
 }
 
 void ReluBackward(const Matrix& pre_activation, Matrix* grad) {
   SGNN_CHECK(grad != nullptr);
   SGNN_CHECK_EQ(grad->rows(), pre_activation.rows());
   SGNN_CHECK_EQ(grad->cols(), pre_activation.cols());
-  for (int64_t i = 0; i < grad->size(); ++i) {
-    if (pre_activation.data()[i] <= 0.0f) grad->data()[i] = 0.0f;
-  }
+  par::ParallelFor("tensor.relu_bwd", ElemRanges(grad->size()),
+                   [&](int, par::Range r) {
+                     for (int64_t i = r.begin; i < r.end; ++i) {
+                       if (pre_activation.data()[i] <= 0.0f) {
+                         grad->data()[i] = 0.0f;
+                       }
+                     }
+                   });
 }
 
 void SoftmaxRows(Matrix* m) {
   SGNN_CHECK(m != nullptr);
-  for (int64_t r = 0; r < m->rows(); ++r) {
-    auto row = m->Row(r);
-    float mx = *std::max_element(row.begin(), row.end());
-    double sum = 0.0;
-    for (float& v : row) {
-      v = std::exp(v - mx);
-      sum += v;
+  const auto rows = par::SplitUniform(
+      m->rows(), par::ShardsFor(m->size(), kElemGrain));
+  par::ParallelFor("tensor.softmax", rows, [&](int, par::Range range) {
+    for (int64_t r = range.begin; r < range.end; ++r) {
+      auto row = m->Row(r);
+      float mx = *std::max_element(row.begin(), row.end());
+      double sum = 0.0;
+      for (float& v : row) {
+        v = std::exp(v - mx);
+        sum += v;
+      }
+      const float inv = static_cast<float>(1.0 / sum);
+      for (float& v : row) v *= inv;
     }
-    const float inv = static_cast<float>(1.0 / sum);
-    for (float& v : row) v *= inv;
-  }
+  });
 }
 
 void LogSoftmaxRows(Matrix* m) {
   SGNN_CHECK(m != nullptr);
-  for (int64_t r = 0; r < m->rows(); ++r) {
-    auto row = m->Row(r);
-    float mx = *std::max_element(row.begin(), row.end());
-    double sum = 0.0;
-    for (float v : row) sum += std::exp(static_cast<double>(v - mx));
-    const float lse = mx + static_cast<float>(std::log(sum));
-    for (float& v : row) v -= lse;
-  }
+  const auto rows = par::SplitUniform(
+      m->rows(), par::ShardsFor(m->size(), kElemGrain));
+  par::ParallelFor("tensor.log_softmax", rows, [&](int, par::Range range) {
+    for (int64_t r = range.begin; r < range.end; ++r) {
+      auto row = m->Row(r);
+      float mx = *std::max_element(row.begin(), row.end());
+      double sum = 0.0;
+      for (float v : row) sum += std::exp(static_cast<double>(v - mx));
+      const float lse = mx + static_cast<float>(std::log(sum));
+      for (float& v : row) v -= lse;
+    }
+  });
 }
 
 void NormalizeRows(int p, Matrix* m) {
   SGNN_CHECK(m != nullptr);
   SGNN_CHECK(p == 1 || p == 2);
-  for (int64_t r = 0; r < m->rows(); ++r) {
-    auto row = m->Row(r);
-    double norm = 0.0;
-    for (float v : row) norm += (p == 1) ? std::fabs(v) : static_cast<double>(v) * v;
-    if (p == 2) norm = std::sqrt(norm);
-    if (norm == 0.0) continue;
-    const float inv = static_cast<float>(1.0 / norm);
-    for (float& v : row) v *= inv;
-  }
+  const auto rows = par::SplitUniform(
+      m->rows(), par::ShardsFor(m->size(), kElemGrain));
+  par::ParallelFor("tensor.normalize", rows, [&](int, par::Range range) {
+    for (int64_t r = range.begin; r < range.end; ++r) {
+      auto row = m->Row(r);
+      double norm = 0.0;
+      for (float v : row) {
+        norm += (p == 1) ? std::fabs(v) : static_cast<double>(v) * v;
+      }
+      if (p == 2) norm = std::sqrt(norm);
+      if (norm == 0.0) continue;
+      const float inv = static_cast<float>(1.0 / norm);
+      for (float& v : row) v *= inv;
+    }
+  });
 }
 
 std::vector<int64_t> ArgmaxRows(const Matrix& m) {

@@ -336,6 +336,39 @@ TEST(ThreadPoolTest, ShutdownDrainsQueuedTasks) {
   EXPECT_EQ(ran.load(), 50);
 }
 
+TEST(ThreadPoolTest, ResizeDrainsAndPreservesCumulativeStats) {
+  std::atomic<int> ran{0};
+  ThreadPool pool(2);
+  for (int i = 0; i < 30; ++i) {
+    pool.Submit([&ran] { ran.fetch_add(1); });
+  }
+  pool.Resize(5);
+  // Resize drained the queue: everything submitted before it already ran.
+  EXPECT_EQ(ran.load(), 30);
+  EXPECT_EQ(pool.num_threads(), 5);
+  for (int i = 0; i < 20; ++i) {
+    pool.Submit([&ran] { ran.fetch_add(1); });
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(ran.load(), 50);
+  // Cumulative counts are exact across the resize — submitted/executed
+  // carry over, nothing is lost or double-counted.
+  const ThreadPoolStats stats = pool.Stats();
+  EXPECT_EQ(stats.submitted, 50u);
+  EXPECT_EQ(stats.executed, 50u);
+  EXPECT_EQ(stats.queue_depth, 0u);
+  EXPECT_EQ(stats.active, 0);
+  pool.Resize(5);  // Same size: a no-op, counts untouched.
+  EXPECT_EQ(pool.Stats().submitted, 50u);
+  pool.Resize(1);  // Shrinking works too.
+  EXPECT_EQ(pool.num_threads(), 1);
+  std::atomic<int> more{0};
+  pool.Submit([&more] { more.fetch_add(1); });
+  pool.WaitIdle();
+  EXPECT_EQ(more.load(), 1);
+  EXPECT_EQ(pool.Stats().executed, 51u);
+}
+
 TEST(TimerTest, MeasuresForwardTime) {
   WallTimer t;
   volatile double sink = 0;

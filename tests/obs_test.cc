@@ -14,6 +14,7 @@
 #include "nn/mlp.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "par/par.h"
 #include "serve/batching_server.h"
 #include "serve/frozen_model.h"
 #include "serve/metrics.h"
@@ -320,6 +321,56 @@ TEST(RunContextTest, SeededPipelineExportsAreByteIdentical) {
                               "stage=\"sparsify:uniform\"} 1"),
             std::string::npos);
   EXPECT_NE(a.trace.find("\"name\":\"pipeline.run\""), std::string::npos);
+}
+
+/// The parallel-substrate determinism guarantee, observed end to end: the
+/// same seeded pipeline run with 1 worker and with 8 workers exports
+/// byte-identical deterministic metrics, a byte-identical trace (par spans
+/// open on the calling thread, so even `par:<label>` spans agree), and
+/// reports identical stage rows (wall-clock seconds excluded — time is the
+/// only thing the worker count may change).
+TEST(RunContextTest, ExportsAreByteIdenticalAcrossThreadCounts) {
+  struct Export {
+    std::string prometheus, json, trace;
+    core::PipelineReport report;
+  };
+  auto run_with = [](int threads) {
+    Tracer tracer;
+    MetricsRegistry registry;
+    core::RunContext ctx;
+    ctx.tracer = &tracer;
+    ctx.metrics = &registry;
+    ctx.num_threads = threads;
+    ctx.trace_parallel = true;
+    core::Dataset d = SmallDataset(13);
+    core::PipelineReport report = MakePipeline().Run(d, FastConfig(), ctx);
+    EXPECT_TRUE(report.status.ok());
+    return Export{registry.PrometheusText(/*include_volatile=*/false),
+                  registry.JsonText(/*include_volatile=*/false),
+                  tracer.ChromeTraceJson(), std::move(report)};
+  };
+  const Export one = run_with(1);
+  const Export eight = run_with(8);
+  sgnn::par::SetThreads(1);  // ctx.num_threads is process-wide; reset.
+  EXPECT_EQ(one.prometheus, eight.prometheus);
+  EXPECT_EQ(one.json, eight.json);
+  EXPECT_EQ(one.trace, eight.trace);
+  ASSERT_EQ(one.report.stages.size(), eight.report.stages.size());
+  for (size_t i = 0; i < one.report.stages.size(); ++i) {
+    EXPECT_EQ(one.report.stages[i].name, eight.report.stages[i].name);
+    EXPECT_EQ(one.report.stages[i].ops.edges_touched,
+              eight.report.stages[i].ops.edges_touched);
+    EXPECT_EQ(one.report.stages[i].ops.floats_moved,
+              eight.report.stages[i].ops.floats_moved);
+  }
+  EXPECT_DOUBLE_EQ(one.report.model.report.test_accuracy,
+                   eight.report.model.report.test_accuracy);
+  // The deterministic export carries the substrate's workload gauges...
+  EXPECT_NE(one.prometheus.find("sgnn_par_sections"), std::string::npos);
+  // ...while the configuration-dependent worker gauge is volatile-only.
+  EXPECT_EQ(one.prometheus.find("sgnn_par_workers"), std::string::npos);
+  // The par spans really are in the trace.
+  EXPECT_NE(one.trace.find("par:prop.apply"), std::string::npos);
 }
 
 /// The report and the registry are two views over the same measurements.

@@ -1,0 +1,462 @@
+#include "par/par.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "common/counters.h"
+#include "common/rng.h"
+#include "graph/generators.h"
+#include "graph/propagate.h"
+#include "ppr/ppr.h"
+#include "sampling/neighbor_sampler.h"
+#include "tensor/ops.h"
+
+namespace sgnn {
+namespace {
+
+using par::Range;
+
+// ------------------------------------------------------------------ geometry
+
+TEST(GeometryTest, ShardsForClampsToBounds) {
+  EXPECT_EQ(par::ShardsFor(0, 100), 1);
+  EXPECT_EQ(par::ShardsFor(-5, 100), 1);
+  EXPECT_EQ(par::ShardsFor(99, 100), 1);
+  EXPECT_EQ(par::ShardsFor(100, 100), 1);
+  EXPECT_EQ(par::ShardsFor(101, 100), 2);
+  EXPECT_EQ(par::ShardsFor(1'000'000'000, 1), par::kMaxShards);
+}
+
+TEST(GeometryTest, SplitUniformCoversExactlyOnce) {
+  const auto ranges = par::SplitUniform(10, 3);
+  ASSERT_EQ(ranges.size(), 3u);
+  EXPECT_EQ(ranges[0], (Range{0, 4}));
+  EXPECT_EQ(ranges[1], (Range{4, 7}));
+  EXPECT_EQ(ranges[2], (Range{7, 10}));
+}
+
+TEST(GeometryTest, SplitUniformClampsShardsToItems) {
+  const auto ranges = par::SplitUniform(2, 8);
+  ASSERT_EQ(ranges.size(), 2u);
+  EXPECT_EQ(ranges[0].size(), 1);
+  EXPECT_EQ(ranges[1].size(), 1);
+  EXPECT_TRUE(par::SplitUniform(0, 4).empty());
+}
+
+TEST(GeometryTest, RowRangesBalancesEdgeMass) {
+  // One hub row with 90 edges, nine rows with 1: a uniform split of 10
+  // rows into 2 shards would put 94 edges in the first; the edge-balanced
+  // split isolates the hub.
+  std::vector<int64_t> offsets = {0, 90, 91, 92, 93, 94, 95, 96, 97, 98, 99};
+  const auto ranges = par::RowRanges(offsets, 2);
+  ASSERT_EQ(ranges.size(), 2u);
+  EXPECT_EQ(ranges[0], (Range{0, 1}));  // The hub alone.
+  EXPECT_EQ(ranges[1], (Range{1, 10}));
+}
+
+TEST(GeometryTest, RowRangesCoversAllRowsContiguously) {
+  common::Rng rng(7);
+  std::vector<int64_t> offsets = {0};
+  for (int i = 0; i < 100; ++i) {
+    offsets.push_back(offsets.back() +
+                      static_cast<int64_t>(rng.UniformInt(20)));
+  }
+  for (int shards : {1, 2, 3, 7, 64}) {
+    const auto ranges = par::RowRanges(offsets, shards);
+    ASSERT_FALSE(ranges.empty());
+    EXPECT_EQ(ranges.front().begin, 0);
+    EXPECT_EQ(ranges.back().end, 100);
+    for (size_t i = 1; i < ranges.size(); ++i) {
+      EXPECT_EQ(ranges[i].begin, ranges[i - 1].end);
+      EXPECT_GT(ranges[i].size(), 0);
+    }
+  }
+}
+
+TEST(GeometryTest, RowRangesAllEmptyRowsFallsBackToUniform) {
+  std::vector<int64_t> offsets(11, 0);  // 10 rows, no edges.
+  const auto ranges = par::RowRanges(offsets, 4);
+  ASSERT_EQ(ranges.size(), 4u);
+  EXPECT_EQ(ranges.front().begin, 0);
+  EXPECT_EQ(ranges.back().end, 10);
+}
+
+TEST(GeometryTest, GeometryIgnoresThreadCount) {
+  // The determinism contract's first clause, checked directly.
+  par::SetThreads(1);
+  const auto a = par::SplitUniform(1000, par::ShardsFor(1000, 10));
+  par::SetThreads(8);
+  const auto b = par::SplitUniform(1000, par::ShardsFor(1000, 10));
+  EXPECT_EQ(a, b);
+  par::SetThreads(1);
+}
+
+TEST(ThreadsFromEnvTest, ParsesAndClampsDefensively) {
+  EXPECT_EQ(par::ThreadsFromEnv(nullptr, 3), 3);
+  EXPECT_EQ(par::ThreadsFromEnv("", 3), 3);
+  EXPECT_EQ(par::ThreadsFromEnv("4", 3), 4);
+  EXPECT_EQ(par::ThreadsFromEnv("0", 3), 3);
+  EXPECT_EQ(par::ThreadsFromEnv("-2", 3), 3);
+  EXPECT_EQ(par::ThreadsFromEnv("8x", 3), 3);
+  EXPECT_EQ(par::ThreadsFromEnv("notanint", 3), 3);
+  EXPECT_EQ(par::ThreadsFromEnv("99999", 3), 1024);
+}
+
+// ------------------------------------------------------------------ sections
+
+TEST(ParallelForTest, RunsEveryShardExactlyOnce) {
+  for (int threads : {1, 4}) {
+    par::SetThreads(threads);
+    std::vector<int> hits(33, 0);
+    const auto ranges = par::SplitUniform(33, 33);
+    par::ParallelFor("test.hits", ranges, [&](int, Range r) {
+      for (int64_t i = r.begin; i < r.end; ++i) ++hits[i];
+    });
+    for (int h : hits) EXPECT_EQ(h, 1);
+  }
+  par::SetThreads(1);
+}
+
+TEST(ParallelForTest, ShardIndexMatchesRange) {
+  par::SetThreads(4);
+  const auto ranges = par::SplitUniform(100, 8);
+  std::vector<Range> seen(ranges.size());
+  par::ParallelFor("test.index", ranges,
+                   [&](int shard, Range r) { seen[shard] = r; });
+  for (size_t i = 0; i < ranges.size(); ++i) EXPECT_EQ(seen[i], ranges[i]);
+  par::SetThreads(1);
+}
+
+TEST(ParallelForTest, NestedSectionsDoNotDeadlock) {
+  par::SetThreads(2);
+  std::atomic<int> inner_total{0};
+  const auto outer = par::SplitUniform(4, 4);
+  par::ParallelFor("test.outer", outer, [&](int, Range) {
+    const auto inner = par::SplitUniform(8, 8);
+    par::ParallelFor("test.inner", inner, [&](int, Range r) {
+      inner_total.fetch_add(static_cast<int>(r.size()));
+    });
+  });
+  EXPECT_EQ(inner_total.load(), 4 * 8);
+  par::SetThreads(1);
+}
+
+TEST(ParallelForTest, StatsCountSectionsAndShards) {
+  const par::ParStats before = par::Stats();
+  const auto ranges = par::SplitUniform(10, 5);
+  par::ParallelFor("test.stats", ranges, [](int, Range) {});
+  par::ParallelFor("test.stats", ranges, [](int, Range) {});
+  const par::ParStats after = par::Stats();
+  EXPECT_EQ(after.sections - before.sections, 2u);
+  EXPECT_EQ(after.shards - before.shards, 10u);
+}
+
+TEST(ParallelReduceTest, FoldsPartialsInShardOrder) {
+  par::SetThreads(4);
+  const auto ranges = par::SplitUniform(6, 6);
+  const std::string folded = par::ParallelReduce<std::string>(
+      "test.reduce", ranges,
+      [](int shard, Range) { return std::string(1, 'a' + shard); },
+      [](std::string acc, std::string part) { return acc + part; },
+      std::string("="));
+  EXPECT_EQ(folded, "=abcdef");
+  par::SetThreads(1);
+}
+
+TEST(ParallelReduceTest, FloatSumIsThreadCountInvariant) {
+  std::vector<double> values(10'000);
+  common::Rng rng(11);
+  for (double& v : values) v = rng.Uniform(-1.0, 1.0);
+  const auto ranges = par::SplitUniform(
+      static_cast<int64_t>(values.size()),
+      par::ShardsFor(static_cast<int64_t>(values.size()), 100));
+  auto sum_with = [&](int threads) {
+    par::SetThreads(threads);
+    return par::ParallelReduce<double>(
+        "test.sum", ranges,
+        [&](int, Range r) {
+          return std::accumulate(values.begin() + r.begin,
+                                 values.begin() + r.end, 0.0);
+        },
+        [](double a, double b) { return a + b; }, 0.0);
+  };
+  const double s1 = sum_with(1);
+  const double s8 = sum_with(8);
+  par::SetThreads(1);
+  // Bitwise equality, not EXPECT_DOUBLE_EQ: the reduction tree is fixed.
+  EXPECT_EQ(std::memcmp(&s1, &s8, sizeof(s1)), 0);
+}
+
+// ------------------------------------------------------------------- billing
+
+TEST(CounterBillingTest, WorkBillsToCallingThreadExactly) {
+  for (int threads : {1, 8}) {
+    par::SetThreads(threads);
+    const common::OpCounters aggregate_before =
+        common::AggregateThreadCounters();
+    common::ScopedCounterDelta scope;
+    const auto ranges = par::SplitUniform(64, 16);
+    par::ParallelFor("test.billing", ranges, [](int, Range r) {
+      common::OpCounters& c = common::GlobalCounters();
+      c.edges_touched += static_cast<uint64_t>(r.size());
+      c.floats_moved += 2 * static_cast<uint64_t>(r.size());
+    });
+    // The caller's scoped delta sees all of it...
+    EXPECT_EQ(scope.Delta().edges_touched, 64u) << threads;
+    EXPECT_EQ(scope.Delta().floats_moved, 128u) << threads;
+    // ...and the process-wide aggregate grew by exactly that much (worker
+    // slots were reverted, so nothing is double-counted).
+    const common::OpCounters aggregate_after =
+        common::AggregateThreadCounters();
+    EXPECT_EQ(aggregate_after.edges_touched - aggregate_before.edges_touched,
+              64u)
+        << threads;
+    EXPECT_EQ(aggregate_after.floats_moved - aggregate_before.floats_moved,
+              128u)
+        << threads;
+  }
+  par::SetThreads(1);
+}
+
+TEST(CounterBillingTest, GemmBillsActualFlopsNotShape) {
+  tensor::Matrix a(4, 8), b(8, 5), out;
+  common::Rng rng(3);
+  for (int64_t i = 0; i < a.size(); ++i) {
+    a.data()[i] = static_cast<float>(rng.Uniform(0.5, 1.0));
+  }
+  for (int64_t i = 0; i < b.size(); ++i) {
+    b.data()[i] = static_cast<float>(rng.Uniform(0.5, 1.0));
+  }
+  common::ScopedCounterDelta dense_scope;
+  tensor::Gemm(a, b, &out);
+  EXPECT_EQ(dense_scope.Delta().floats_moved, 4u * 8u * 5u);
+
+  // Zero out half of a's entries: the skip fast path must bill half.
+  for (int64_t i = 0; i < a.size(); i += 2) a.data()[i] = 0.0f;
+  common::ScopedCounterDelta sparse_scope;
+  tensor::Gemm(a, b, &out);
+  EXPECT_EQ(sparse_scope.Delta().floats_moved, 4u * 8u * 5u / 2);
+}
+
+// ------------------------------------------- kernel byte-identity, 1 vs 8
+
+tensor::Matrix RandomMatrix(int64_t rows, int64_t cols, uint64_t seed) {
+  tensor::Matrix m(rows, cols);
+  common::Rng rng(seed);
+  for (int64_t i = 0; i < m.size(); ++i) {
+    m.data()[i] = static_cast<float>(rng.Uniform(-1.0, 1.0));
+  }
+  return m;
+}
+
+bool BytesEqual(const tensor::Matrix& a, const tensor::Matrix& b) {
+  return a.rows() == b.rows() && a.cols() == b.cols() &&
+         std::memcmp(a.data(), b.data(),
+                     static_cast<size_t>(a.size()) * sizeof(float)) == 0;
+}
+
+TEST(ByteIdentityTest, GemmFamily) {
+  const tensor::Matrix a = RandomMatrix(70, 40, 1);
+  const tensor::Matrix b = RandomMatrix(40, 30, 2);
+  const tensor::Matrix bt = RandomMatrix(30, 40, 3);
+  const tensor::Matrix at = RandomMatrix(40, 70, 4);
+  tensor::Matrix c1, c8;
+
+  par::SetThreads(1);
+  tensor::Gemm(a, b, &c1);
+  par::SetThreads(8);
+  tensor::Gemm(a, b, &c8);
+  EXPECT_TRUE(BytesEqual(c1, c8));
+
+  par::SetThreads(1);
+  tensor::GemmTransposeA(at, b, &c1);
+  par::SetThreads(8);
+  tensor::GemmTransposeA(at, b, &c8);
+  EXPECT_TRUE(BytesEqual(c1, c8));
+
+  par::SetThreads(1);
+  tensor::GemmTransposeB(a, bt, &c1);
+  par::SetThreads(8);
+  tensor::GemmTransposeB(a, bt, &c8);
+  EXPECT_TRUE(BytesEqual(c1, c8));
+  par::SetThreads(1);
+}
+
+TEST(ByteIdentityTest, ElementwiseAndRowKernels) {
+  auto run_all = [](int threads) {
+    par::SetThreads(threads);
+    tensor::Matrix m = RandomMatrix(200, 40, 5);
+    const tensor::Matrix other = RandomMatrix(200, 40, 6);
+    std::vector<float> bias(40, 0.25f);
+    tensor::Axpy(0.5f, other, &m);
+    tensor::Scale(1.25f, &m);
+    tensor::Hadamard(other, &m);
+    tensor::AddBiasRow(bias, &m);
+    tensor::Relu(&m);
+    tensor::SoftmaxRows(&m);
+    tensor::LogSoftmaxRows(&m);
+    tensor::NormalizeRows(2, &m);
+    return m;
+  };
+  const tensor::Matrix m1 = run_all(1);
+  const tensor::Matrix m8 = run_all(8);
+  par::SetThreads(1);
+  EXPECT_TRUE(BytesEqual(m1, m8));
+}
+
+TEST(ByteIdentityTest, PropagatorApply) {
+  const graph::CsrGraph g = graph::BarabasiAlbert(500, 6, 42);
+  const tensor::Matrix x = RandomMatrix(g.num_nodes(), 16, 7);
+  auto run = [&](int threads) {
+    par::SetThreads(threads);
+    graph::Propagator prop(g, graph::Normalization::kSymmetric,
+                           /*add_self_loops=*/true);
+    tensor::Matrix out;
+    prop.Apply(x, &out);
+    return out;
+  };
+  const tensor::Matrix o1 = run(1);
+  const tensor::Matrix o8 = run(8);
+  par::SetThreads(1);
+  EXPECT_TRUE(BytesEqual(o1, o8));
+}
+
+TEST(ByteIdentityTest, PropagatorApplyVector) {
+  const graph::CsrGraph g = graph::ErdosRenyi(400, 3000, 9);
+  std::vector<double> x(g.num_nodes());
+  common::Rng rng(8);
+  for (double& v : x) v = rng.Uniform();
+  graph::Propagator prop(g, graph::Normalization::kRow,
+                         /*add_self_loops=*/false);
+  std::vector<double> o1, o8;
+  par::SetThreads(1);
+  prop.ApplyVector(x, &o1);
+  par::SetThreads(8);
+  prop.ApplyVector(x, &o8);
+  par::SetThreads(1);
+  ASSERT_EQ(o1.size(), o8.size());
+  EXPECT_EQ(std::memcmp(o1.data(), o8.data(), o1.size() * sizeof(double)), 0);
+}
+
+TEST(ByteIdentityTest, PprPushBatch) {
+  const graph::CsrGraph g = graph::BarabasiAlbert(600, 5, 21);
+  std::vector<graph::NodeId> seeds;
+  for (graph::NodeId s = 0; s < 40; ++s) seeds.push_back(s * 7 % 600);
+  auto run = [&](int threads) {
+    par::SetThreads(threads);
+    return ppr::PushBatch(g, seeds, 0.15, 1e-4);
+  };
+  const auto r1 = run(1);
+  const auto r8 = run(8);
+  par::SetThreads(1);
+  ASSERT_EQ(r1.size(), r8.size());
+  for (size_t i = 0; i < r1.size(); ++i) {
+    EXPECT_EQ(r1[i].pushes, r8[i].pushes) << i;
+    EXPECT_EQ(r1[i].edges_touched, r8[i].edges_touched) << i;
+    ASSERT_EQ(r1[i].estimate.size(), r8[i].estimate.size()) << i;
+    for (size_t j = 0; j < r1[i].estimate.size(); ++j) {
+      EXPECT_EQ(r1[i].estimate[j].first, r8[i].estimate[j].first);
+      EXPECT_EQ(std::memcmp(&r1[i].estimate[j].second,
+                            &r8[i].estimate[j].second, sizeof(double)),
+                0);
+    }
+  }
+}
+
+TEST(PushBatchTest, MatchesSingleSourcePushPerSeed) {
+  const graph::CsrGraph g = graph::ErdosRenyi(300, 2400, 33);
+  const std::vector<graph::NodeId> seeds = {0, 17, 17, 299};  // Dup allowed.
+  const auto batch = ppr::PushBatch(g, seeds, 0.2, 1e-3);
+  ASSERT_EQ(batch.size(), seeds.size());
+  for (size_t i = 0; i < seeds.size(); ++i) {
+    const ppr::PushResult single = ppr::ForwardPush(g, seeds[i], 0.2, 1e-3);
+    EXPECT_EQ(batch[i].pushes, single.pushes);
+    EXPECT_EQ(batch[i].estimate, single.estimate);
+  }
+}
+
+void ExpectBatchesEqual(const sampling::MiniBatch& a,
+                        const sampling::MiniBatch& b) {
+  ASSERT_EQ(a.layers.size(), b.layers.size());
+  for (size_t l = 0; l < a.layers.size(); ++l) {
+    EXPECT_EQ(a.layers[l].dst, b.layers[l].dst) << l;
+    EXPECT_EQ(a.layers[l].src, b.layers[l].src) << l;
+    EXPECT_EQ(a.layers[l].offsets, b.layers[l].offsets) << l;
+    EXPECT_EQ(a.layers[l].src_local, b.layers[l].src_local) << l;
+    ASSERT_EQ(a.layers[l].weights.size(), b.layers[l].weights.size()) << l;
+    EXPECT_EQ(std::memcmp(a.layers[l].weights.data(),
+                          b.layers[l].weights.data(),
+                          a.layers[l].weights.size() * sizeof(float)),
+              0)
+        << l;
+  }
+}
+
+TEST(ByteIdentityTest, SamplersWithKeyedStreams) {
+  const graph::CsrGraph g = graph::BarabasiAlbert(800, 8, 55);
+  std::vector<graph::NodeId> seeds;
+  for (graph::NodeId s = 0; s < 64; ++s) seeds.push_back(s * 11 % 800);
+  const std::vector<int> fanouts = {5, 3};
+  auto node_wise = [&](int threads) {
+    par::SetThreads(threads);
+    common::Rng rng(99);
+    return sampling::SampleNodeWise(g, seeds, fanouts, &rng);
+  };
+  auto labor = [&](int threads) {
+    par::SetThreads(threads);
+    common::Rng rng(99);
+    return sampling::SampleLabor(g, seeds, fanouts, &rng);
+  };
+  auto layer_wise = [&](int threads) {
+    par::SetThreads(threads);
+    common::Rng rng(99);
+    const std::vector<int> sizes = {128, 64};
+    return sampling::SampleLayerWise(g, seeds, sizes, &rng);
+  };
+  ExpectBatchesEqual(node_wise(1), node_wise(8));
+  ExpectBatchesEqual(labor(1), labor(8));
+  ExpectBatchesEqual(layer_wise(1), layer_wise(8));
+  par::SetThreads(1);
+}
+
+// ----------------------------------------------------------- concurrency
+
+/// Exercises every parallel kernel from several caller threads at once —
+/// the TSan job's main subject: pool sharing, nested sections, counter
+/// re-billing, and the lazily started pool must all be race-free.
+TEST(ConcurrencyTest, ParallelKernelsFromConcurrentCallers) {
+  par::SetThreads(4);
+  const graph::CsrGraph g = graph::BarabasiAlbert(300, 5, 77);
+  const tensor::Matrix x = RandomMatrix(g.num_nodes(), 8, 70);
+  std::vector<std::thread> callers;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < 4; ++t) {
+    callers.emplace_back([&, t] {
+      graph::Propagator prop(g, graph::Normalization::kRow, true);
+      tensor::Matrix out, ref;
+      prop.Apply(x, &ref);
+      for (int iter = 0; iter < 5; ++iter) {
+        prop.Apply(x, &out);
+        if (!BytesEqual(out, ref)) failures.fetch_add(1);
+        const tensor::Matrix a =
+            RandomMatrix(50, 30, static_cast<uint64_t>(t * 10 + iter));
+        tensor::Matrix c;
+        tensor::Gemm(a, RandomMatrix(30, 20, 5), &c);
+        std::vector<graph::NodeId> seeds = {static_cast<graph::NodeId>(t),
+                                            static_cast<graph::NodeId>(iter)};
+        ppr::PushBatch(g, seeds, 0.2, 1e-3);
+      }
+    });
+  }
+  for (std::thread& th : callers) th.join();
+  EXPECT_EQ(failures.load(), 0);
+  par::SetThreads(1);
+}
+
+}  // namespace
+}  // namespace sgnn

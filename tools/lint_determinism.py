@@ -40,12 +40,26 @@ FORBIDDEN = [
 # Stricter rules for path prefixes whose contract is stronger than the
 # tree-wide one. sgnn::obs promises byte-identical exports from logical
 # ticks only, so ANY clock — even the steady ones the rest of the tree may
-# use for reporting — is forbidden there.
+# use for reporting — is forbidden there. sgnn::par promises bit-identical
+# results for any worker count, which only holds when every thread comes
+# from the shared common::ThreadPool; raw threading primitives would smuggle
+# in scheduling-dependent execution.
 SCOPED_FORBIDDEN = {
     "src/obs/": [
         ("std::chrono (obs is logical-tick only)",
          re.compile(r"std::chrono|steady_clock|high_resolution_clock")),
     ],
+    "src/par/": [
+        ("raw thread primitive (par must use common::ThreadPool)",
+         re.compile(r"std::(thread|jthread|async)\b")),
+    ],
+}
+
+# Per-prefix negative fixtures: each must be clean under the tree-wide
+# rules but trip every scoped rule of its prefix (checked by --self-test).
+SCOPED_FIXTURES = {
+    "src/obs/": "tools/lint_fixtures/obs_wallclock.cc.fixture",
+    "src/par/": "tools/lint_fixtures/par_rawthread.cc.fixture",
 }
 
 # Wrapper files allowed to touch the primitives they encapsulate.
@@ -61,7 +75,6 @@ EXTENSIONS = {".h", ".cc", ".cpp", ".hpp"}
 SUPPRESS = "lint:allow-nondeterminism"
 
 FIXTURE = "tools/lint_fixtures/nondeterministic.cc.fixture"
-OBS_FIXTURE = "tools/lint_fixtures/obs_wallclock.cc.fixture"
 
 
 def strip_comments(text: str) -> str:
@@ -181,27 +194,31 @@ def self_test(root: pathlib.Path) -> int:
     if suppressed:
         print("self-test FAILED: suppression comment did not suppress")
         return 1
-    # The obs fixture only violates the src/obs/ scoped rule: linted under
-    # its own path it must be clean, linted as obs code it must trip.
-    obs_fixture = root / OBS_FIXTURE
-    if not obs_fixture.is_file():
-        print(f"self-test FAILED: fixture missing: {OBS_FIXTURE}")
-        return 1
-    if lint_file(obs_fixture, OBS_FIXTURE):
-        print("self-test FAILED: obs fixture tripped outside src/obs/")
-        return 1
-    scoped = lint_file(obs_fixture, "src/obs/fixture.cc")
-    scoped_names = [name for _, extra in SCOPED_FORBIDDEN.items()
-                    for name, _ in extra]
-    missing = [name for name in scoped_names
-               if not any(v[2].startswith(f"forbidden {name}:")
-                          for v in scoped)]
-    if missing:
-        print("self-test FAILED: obs fixture did not trip: "
-              f"{', '.join(missing)}")
-        return 1
+    # Each scoped fixture only violates its prefix's rules: linted under
+    # its own path it must be clean, linted as prefix code it must trip
+    # every rule scoped to that prefix.
+    for prefix, rules in SCOPED_FORBIDDEN.items():
+        fixture_rel = SCOPED_FIXTURES.get(prefix)
+        if fixture_rel is None:
+            print(f"self-test FAILED: no fixture declared for {prefix}")
+            return 1
+        scoped_fixture = root / fixture_rel
+        if not scoped_fixture.is_file():
+            print(f"self-test FAILED: fixture missing: {fixture_rel}")
+            return 1
+        if lint_file(scoped_fixture, fixture_rel):
+            print(f"self-test FAILED: {fixture_rel} tripped outside {prefix}")
+            return 1
+        scoped = lint_file(scoped_fixture, prefix + "fixture.cc")
+        missing = [name for name, _ in rules
+                   if not any(v[2].startswith(f"forbidden {name}:")
+                              for v in scoped)]
+        if missing:
+            print(f"self-test FAILED: {fixture_rel} did not trip: "
+                  f"{', '.join(missing)}")
+            return 1
     print(f"self-test OK: fixture tripped all {len(FORBIDDEN)} patterns; "
-          "obs fixture tripped the src/obs/ clock ban")
+          f"{len(SCOPED_FORBIDDEN)} scoped fixture(s) tripped their rules")
     return 0
 
 
