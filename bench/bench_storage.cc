@@ -1,0 +1,300 @@
+// E22 — Out-of-core graph storage (sgnn::storage): conversion throughput
+// of the shard writer, then propagation and batch-PPR edge throughput over
+// the mmap'd ShardedGraph as the resident budget shrinks from "everything
+// fits" to a small fraction of the CSR bytes. The paper's storage claim is
+// that disk-backed GNN systems trade bounded memory for re-read traffic:
+// the per-budget shard load/eviction counters printed next to edges/s make
+// that trade-off measurable, while results stay bit-identical at every
+// budget (the determinism contract of DESIGN.md §4e).
+//
+// `bench_storage --smoke` runs a seconds-scale correctness pass instead
+// (byte-identity of propagate / PPR push / sampling between the in-memory
+// kernels and the out-of-core path under a tiny budget) for CI.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/generators.h"
+#include "graph/propagate.h"
+#include "par/par.h"
+#include "ppr/ppr.h"
+#include "sampling/neighbor_sampler.h"
+#include "storage/ooc.h"
+#include "storage/shard_writer.h"
+#include "storage/sharded_graph.h"
+#include "tensor/matrix.h"
+
+namespace {
+
+using sgnn::graph::CsrGraph;
+using sgnn::graph::NodeId;
+namespace par = sgnn::par;
+namespace storage = sgnn::storage;
+namespace tensor = sgnn::tensor;
+
+constexpr int kFeatureDim = 16;
+constexpr int kNumShards = 16;
+
+std::string ScratchDir() {
+  return (std::filesystem::temp_directory_path() / "sgnn_bench_storage")
+      .string();
+}
+
+/// ~10^6-edge scale-free graph shared by every benchmark in the binary.
+const CsrGraph& BigGraph() {
+  static CsrGraph* graph = new CsrGraph(sgnn::graph::Rmat(
+      NodeId(1) << 17, int64_t(1) << 20, sgnn::graph::RmatConfig{}, 7));
+  return *graph;
+}
+
+/// On-disk conversion of BigGraph, written once per process.
+const std::string& BigGraphDir() {
+  static std::string* dir = [] {
+    auto* d = new std::string(ScratchDir() + "/big");
+    const auto status = storage::WriteShardedGraph(
+        BigGraph(), storage::ShardPlan::Contiguous(BigGraph(), kNumShards),
+        *d);
+    if (!status.ok()) {
+      std::fprintf(stderr, "shard conversion failed: %s\n",
+                   status.message().c_str());
+      std::abort();
+    }
+    return d;
+  }();
+  return *dir;
+}
+
+tensor::Matrix RandomMatrix(int64_t rows, int64_t cols, uint64_t seed) {
+  tensor::Matrix m(rows, cols);
+  sgnn::common::Rng rng(seed);
+  for (int64_t i = 0; i < m.size(); ++i) {
+    m.data()[i] = static_cast<float>(rng.Uniform(-1.0, 1.0));
+  }
+  return m;
+}
+
+/// state.range(0) is the budget as a divisor of the total shard bytes
+/// (0 = unlimited); loads/evictions per iteration land in the counters.
+uint64_t BudgetFor(const storage::ShardedGraph& sg, int64_t divisor) {
+  if (divisor == 0) return storage::kUnlimitedBudget;
+  return sg.total_shard_bytes() / static_cast<uint64_t>(divisor);
+}
+
+void BM_ShardConversion(benchmark::State& state) {
+  const CsrGraph& g = BigGraph();
+  const std::string dir = ScratchDir() + "/convert";
+  const storage::ShardPlan plan = storage::ShardPlan::Contiguous(g, kNumShards);
+  for (auto _ : state) {
+    const auto status = storage::WriteShardedGraph(g, plan, dir);
+    if (!status.ok()) state.SkipWithError(status.message().c_str());
+    benchmark::DoNotOptimize(status.ok());
+  }
+  std::filesystem::remove_all(dir);
+  state.SetItemsProcessed(state.iterations() * g.num_edges());
+}
+BENCHMARK(BM_ShardConversion)->Unit(benchmark::kMillisecond);
+
+void BM_OocPropagate(benchmark::State& state) {
+  storage::OpenOptions probe;
+  probe.budget_bytes = storage::kUnlimitedBudget;
+  auto probe_or = storage::ShardedGraph::Open(BigGraphDir(), probe);
+  if (!probe_or.ok()) {
+    state.SkipWithError(probe_or.status().message().c_str());
+    return;
+  }
+  storage::OpenOptions options;
+  options.budget_bytes = BudgetFor(*probe_or.value(), state.range(0));
+  probe_or.value().reset();
+  auto open_or = storage::ShardedGraph::Open(BigGraphDir(), options);
+  if (!open_or.ok()) {
+    state.SkipWithError(open_or.status().message().c_str());
+    return;
+  }
+  storage::ShardedGraph& sg = *open_or.value();
+  auto prop_or = storage::OocPropagator::Create(
+      &sg, sgnn::graph::Normalization::kSymmetric, /*add_self_loops=*/true);
+  if (!prop_or.ok()) {
+    state.SkipWithError(prop_or.status().message().c_str());
+    return;
+  }
+  const tensor::Matrix x = RandomMatrix(sg.num_nodes(), kFeatureDim, 1);
+  tensor::Matrix out;
+  for (auto _ : state) {
+    const auto status = prop_or.value().Apply(x, &out);
+    if (!status.ok()) state.SkipWithError(status.message().c_str());
+    benchmark::DoNotOptimize(out.data());
+  }
+  const storage::StorageStats stats = sg.stats();
+  state.counters["shard_loads"] =
+      static_cast<double>(stats.loads) / static_cast<double>(state.iterations());
+  state.counters["shard_evictions"] =
+      static_cast<double>(stats.evictions) /
+      static_cast<double>(state.iterations());
+  state.SetItemsProcessed(state.iterations() * sg.num_edges());
+}
+BENCHMARK(BM_OocPropagate)->Arg(0)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_OocPushBatch(benchmark::State& state) {
+  storage::OpenOptions probe;
+  probe.budget_bytes = storage::kUnlimitedBudget;
+  auto probe_or = storage::ShardedGraph::Open(BigGraphDir(), probe);
+  if (!probe_or.ok()) {
+    state.SkipWithError(probe_or.status().message().c_str());
+    return;
+  }
+  storage::OpenOptions options;
+  options.budget_bytes = BudgetFor(*probe_or.value(), state.range(0));
+  probe_or.value().reset();
+  auto open_or = storage::ShardedGraph::Open(BigGraphDir(), options);
+  if (!open_or.ok()) {
+    state.SkipWithError(open_or.status().message().c_str());
+    return;
+  }
+  storage::ShardedGraph& sg = *open_or.value();
+  std::vector<NodeId> seeds;
+  for (NodeId s = 0; s < 32; ++s) {
+    seeds.push_back((s * 2654435761u) % sg.num_nodes());
+  }
+  for (auto _ : state) {
+    auto results_or = storage::PushBatch(&sg, seeds, 0.15, 1e-4);
+    if (!results_or.ok()) {
+      state.SkipWithError(results_or.status().message().c_str());
+    }
+    benchmark::DoNotOptimize(results_or.ok());
+  }
+  const storage::StorageStats stats = sg.stats();
+  state.counters["shard_loads"] =
+      static_cast<double>(stats.loads) / static_cast<double>(state.iterations());
+  state.counters["shard_evictions"] =
+      static_cast<double>(stats.evictions) /
+      static_cast<double>(state.iterations());
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(seeds.size()));
+}
+BENCHMARK(BM_OocPushBatch)->Arg(0)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+// -------------------------------------------------------------------- smoke
+
+bool BytesEqual(const tensor::Matrix& a, const tensor::Matrix& b) {
+  return a.rows() == b.rows() && a.cols() == b.cols() &&
+         std::memcmp(a.data(), b.data(),
+                     static_cast<size_t>(a.size()) * sizeof(float)) == 0;
+}
+
+/// Seconds-scale CI pass: out-of-core propagate / PPR / sampling must be
+/// byte-identical to the in-memory kernels under a budget that forces
+/// evictions. Returns 0 on success.
+int RunSmoke() {
+  const CsrGraph g = sgnn::graph::Rmat(NodeId(1) << 12, int64_t(1) << 15,
+                                       sgnn::graph::RmatConfig{}, 7);
+  const std::string dir = ScratchDir() + "/smoke";
+  std::filesystem::remove_all(dir);
+  auto status =
+      storage::WriteShardedGraph(g, storage::ShardPlan::Contiguous(g, 6), dir);
+  if (!status.ok()) {
+    std::fprintf(stderr, "write failed: %s\n", status.message().c_str());
+    return 1;
+  }
+  int failures = 0;
+  auto check = [&failures](const char* name, bool ok) {
+    std::printf("%-24s %s\n", name, ok ? "OK" : "MISMATCH");
+    if (!ok) ++failures;
+  };
+
+  // Tiny budget: two shards resident at most, so the pass must evict.
+  storage::OpenOptions probe;
+  probe.budget_bytes = storage::kUnlimitedBudget;
+  auto probe_or = storage::ShardedGraph::Open(dir, probe);
+  if (!probe_or.ok()) {
+    std::fprintf(stderr, "open failed: %s\n",
+                 probe_or.status().message().c_str());
+    return 1;
+  }
+  uint64_t max_shard_bytes = 0;
+  for (const storage::ShardEntry& entry : probe_or.value()->manifest().shards) {
+    max_shard_bytes = std::max(max_shard_bytes, entry.file_bytes);
+  }
+  probe_or.value().reset();
+  storage::OpenOptions options;
+  options.budget_bytes = 2 * max_shard_bytes;
+  auto open_or = storage::ShardedGraph::Open(dir, options);
+  if (!open_or.ok()) {
+    std::fprintf(stderr, "open failed: %s\n",
+                 open_or.status().message().c_str());
+    return 1;
+  }
+  storage::ShardedGraph& sg = *open_or.value();
+
+  const tensor::Matrix x = RandomMatrix(g.num_nodes(), 8, 1);
+  sgnn::graph::Propagator prop(g, sgnn::graph::Normalization::kSymmetric,
+                               true);
+  tensor::Matrix want;
+  prop.Apply(x, &want);
+  auto ooc_or = storage::OocPropagator::Create(
+      &sg, sgnn::graph::Normalization::kSymmetric, true);
+  tensor::Matrix got;
+  bool prop_ok = ooc_or.ok() && ooc_or.value().Apply(x, &got).ok();
+  check("ooc.propagate", prop_ok && BytesEqual(want, got));
+
+  std::vector<NodeId> seeds = {1, 5, 9, 13, 21, 34};
+  const auto push_mem = sgnn::ppr::PushBatch(g, seeds, 0.15, 1e-3);
+  auto push_or = storage::PushBatch(&sg, seeds, 0.15, 1e-3);
+  bool push_ok = push_or.ok() && push_or.value().size() == push_mem.size();
+  for (size_t i = 0; push_ok && i < push_mem.size(); ++i) {
+    push_ok = push_or.value()[i].estimate == push_mem[i].estimate;
+  }
+  check("ooc.push_batch", push_ok);
+
+  const std::vector<int> fanouts = {5, 3};
+  sgnn::common::Rng rng_mem(11);
+  const auto batch_mem =
+      sgnn::sampling::SampleNodeWise(g, seeds, fanouts, &rng_mem);
+  sgnn::common::Rng rng_ooc(11);
+  auto batch_or = storage::SampleNodeWise(&sg, seeds, fanouts, &rng_ooc);
+  bool sample_ok =
+      batch_or.ok() && batch_or.value().layers.size() == batch_mem.layers.size();
+  for (size_t l = 0; sample_ok && l < batch_mem.layers.size(); ++l) {
+    sample_ok =
+        batch_or.value().layers[l].src == batch_mem.layers[l].src &&
+        batch_or.value().layers[l].src_local == batch_mem.layers[l].src_local &&
+        batch_or.value().layers[l].weights == batch_mem.layers[l].weights;
+  }
+  check("ooc.sample_node_wise", sample_ok);
+
+  const storage::StorageStats stats = sg.stats();
+  check("budget.respected", stats.peak_resident_bytes <= options.budget_bytes);
+  check("evictions.nonzero", stats.evictions > 0);
+  std::printf("loads=%llu evictions=%llu peak=%llu budget=%llu\n",
+              static_cast<unsigned long long>(stats.loads),
+              static_cast<unsigned long long>(stats.evictions),
+              static_cast<unsigned long long>(stats.peak_resident_bytes),
+              static_cast<unsigned long long>(options.budget_bytes));
+
+  std::filesystem::remove_all(dir);
+  std::printf("smoke: %s\n", failures == 0 ? "PASS" : "FAIL");
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--smoke") return RunSmoke();
+  }
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  std::filesystem::remove_all(ScratchDir());
+  return 0;
+}

@@ -1,5 +1,5 @@
 # One google-benchmark binary per experiment in DESIGN.md's index
-# (E1..E21). Included from the top-level CMakeLists so that build/bench/
+# (E1..E22). Included from the top-level CMakeLists so that build/bench/
 # contains ONLY the benchmark binaries (the canonical run command is
 # `for b in build/bench/*; do $b; done`). Extra arguments are additional
 # libraries to link beyond sgnn_core.
@@ -32,3 +32,4 @@ sgnn_add_bench(bench_fault sgnn_serve) # E18
 sgnn_add_bench(bench_analysis)    # E19
 sgnn_add_bench(bench_obs sgnn_serve sgnn_models) # E20
 sgnn_add_bench(bench_parallel)    # E21
+sgnn_add_bench(bench_storage sgnn_storage) # E22

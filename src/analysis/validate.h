@@ -7,9 +7,12 @@
 #include "common/status.h"
 #include "core/checkpoint.h"
 #include "core/dataset.h"
+#include "core/run_context.h"
 #include "graph/coo.h"
 #include "graph/csr_graph.h"
 #include "partition/partition.h"
+#include "storage/format.h"
+#include "storage/sharded_graph.h"
 #include "tensor/matrix.h"
 
 namespace sgnn::analysis {
@@ -91,6 +94,47 @@ common::Status ValidateCheckpoint(const core::PipelineSnapshot& snapshot,
 common::Status ValidateStageOutput(const std::string& stage_name,
                                    const graph::CsrGraph& graph,
                                    const tensor::Matrix& features);
+
+/// Deep semantic validation of a decoded shard manifest. File-level
+/// integrity (framing, CRCs) is `storage::ReadManifest`'s job; this layer
+/// checks what the CRCs cannot — that the manifest is *consistent*:
+/// supported version, every assignment entry in `[0, num_shards)`, each
+/// shard's row count and `[min_node, max_node]` range agreeing with the
+/// assignment (a disagreement means overlapping or missing shard ranges),
+/// edge totals summing to `num_edges`, and each recorded `file_bytes`
+/// matching the layout its counts imply (a short record means a truncated
+/// shard file).
+common::Status ValidateShardManifest(const storage::ShardManifest& manifest);
+
+/// Deep validation of one decoded shard against its manifest: the shard id
+/// and row/edge counts match the manifest entry, rows are strictly
+/// ascending global ids that the assignment really maps to this shard
+/// (overlap detection), local offsets are monotone and span the edge
+/// array, every neighbour id is in `[0, num_nodes)`, adjacency is sorted
+/// strictly increasing per row, and weights are finite. This is the
+/// testable core: corruption-injection tests mutate a decoded `ShardData`
+/// and assert the specific first-offender diagnostic.
+common::Status ValidateShardData(const storage::ShardManifest& manifest,
+                                 int shard_id,
+                                 const storage::ShardData& shard);
+
+/// Reads one shard file (surfacing `storage::ReadShardFile`'s truncation /
+/// CRC-mismatch diagnostics) and deep-validates it via `ValidateShardData`.
+common::Status ValidateShardFile(const storage::ShardManifest& manifest,
+                                 int shard_id, const std::string& path);
+
+/// End-to-end validation of an on-disk sharded graph directory: manifest
+/// read + `ValidateShardManifest`, then every shard file through
+/// `ValidateShardFile`. This is the hook `storage::OpenOptions::
+/// deep_validator` expects; it reports the first offending file/section.
+common::Status ValidateShardedGraph(const std::string& dir);
+
+/// `storage::OptionsFromRunContext` plus the validate-every-stage wiring:
+/// when `ctx.validate_stages` is set, the returned options carry
+/// `ValidateShardedGraph` as the deep validator, so debug-mode runs
+/// deep-check shard files at open exactly like `ValidateCheckpointFile`
+/// deep-checks snapshots.
+storage::OpenOptions ShardOpenOptions(const core::RunContext& ctx);
 
 }  // namespace sgnn::analysis
 

@@ -20,6 +20,7 @@ enum class StatusCode {
   kUnavailable,
   kDeadlineExceeded,
   kAborted,
+  kResourceExhausted,
 };
 
 /// Returns a short human-readable name such as "InvalidArgument".
@@ -75,6 +76,12 @@ class Status {
   /// shutdown race); partial effects may need rollback or resume.
   static Status Aborted(std::string msg) {
     return Status(StatusCode::kAborted, std::move(msg));
+  }
+  /// A hard resource cap (e.g. `RunContext::resident_budget_bytes`) cannot
+  /// admit the operation's working set. Retrying at the same budget fails
+  /// the same way; the caller must raise the budget or shrink the shards.
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -103,14 +103,11 @@ PipelineReport Pipeline::Run(const Dataset& dataset,
                              const nn::TrainConfig& config,
                              const RunContext& ctx) const {
   SGNN_CHECK(model_ != nullptr);
-  // Peak residency is a monotone per-thread high-water mark; pin it to the
-  // current residency so this run's per-stage peaks are run-local and
+  // Peak residency is a monotone per-thread high-water mark; re-base it to
+  // the current residency so this run's per-stage peaks are run-local and
   // reproducible regardless of what ran on this thread before — the
   // property the byte-identical deterministic exports pin.
-  {
-    common::OpCounters& thread_counters = common::GlobalCounters();
-    thread_counters.peak_resident_floats = thread_counters.resident_floats;
-  }
+  common::GlobalCounters().RebasePeaks();
   // Parallel substrate: apply the requested worker count, optionally
   // mirror the run's tracer into par, and export the run's section/shard
   // deltas on exit. Sections and shards are pure functions of the workload

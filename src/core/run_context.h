@@ -81,6 +81,14 @@ struct RunContext {
   /// Off by default: hot kernels run thousands of sections per run, which
   /// drowns the stage-level trace.
   bool trace_parallel = false;
+  /// Hard cap, in bytes, on the shard bytes an out-of-core graph opened
+  /// from this context (`storage::ShardedGraph`) may keep mapped at once.
+  /// The shard cache evicts to stay under it and returns
+  /// `kResourceExhausted` when a single working set cannot fit. 0 = consult
+  /// the `SGNN_RESIDENT_BUDGET` environment variable (decimal bytes with an
+  /// optional K/M/G suffix, 1024-based); unset there too = unlimited.
+  /// Results are bit-identical at any budget; only faults/evictions change.
+  uint64_t resident_budget_bytes = 0;
 };
 
 }  // namespace sgnn::core

@@ -5,26 +5,14 @@
 
 #include "common/check.h"
 #include "par/par.h"
+#include "sampling/assembly.h"
 
 namespace sgnn::sampling {
 
 using graph::CsrGraph;
 using graph::NodeId;
 
-namespace {
-
-/// Destinations per shard below which a layer's fan-out stays one shard.
-constexpr int64_t kDstGrain = 256;
-
-std::vector<par::Range> DstShards(size_t num_dst) {
-  const int64_t n = static_cast<int64_t>(num_dst);
-  return par::SplitUniform(n, par::ShardsFor(n, kDstGrain));
-}
-
-/// Assembles a LayerSample from per-destination sampled (neighbour, weight)
-/// lists. `src` = dst (prefix, same order) followed by newly seen
-/// neighbours in first-appearance order.
-LayerSample BuildLayer(
+LayerSample AssembleLayer(
     std::span<const NodeId> dst,
     const std::vector<std::vector<std::pair<NodeId, float>>>& edges) {
   SGNN_CHECK_EQ(dst.size(), edges.size());
@@ -48,6 +36,16 @@ LayerSample BuildLayer(
     layer.offsets.push_back(static_cast<graph::EdgeIndex>(layer.src_local.size()));
   }
   return layer;
+}
+
+namespace {
+
+/// Destinations per shard below which a layer's fan-out stays one shard.
+constexpr int64_t kDstGrain = 256;
+
+std::vector<par::Range> DstShards(size_t num_dst) {
+  const int64_t n = static_cast<int64_t>(num_dst);
+  return par::SplitUniform(n, par::ShardsFor(n, kDstGrain));
 }
 
 /// Runs `sample_one_layer` from the seeds inward and packages the blocks
@@ -107,7 +105,7 @@ MiniBatch SampleNodeWise(const CsrGraph& graph,
                 }
               }
             });
-        return BuildLayer(dst, edges);
+        return AssembleLayer(dst, edges);
       });
 }
 
@@ -142,7 +140,7 @@ MiniBatch SampleLabor(const CsrGraph& graph, std::span<const NodeId> seeds,
                 }
               }
             });
-        return BuildLayer(dst, edges);
+        return AssembleLayer(dst, edges);
       });
 }
 
@@ -196,7 +194,7 @@ MiniBatch SampleLayerWise(const CsrGraph& graph,
                 }
               }
             });
-        return BuildLayer(dst, edges);
+        return AssembleLayer(dst, edges);
       });
 }
 
@@ -215,7 +213,7 @@ MiniBatch FullNeighborhood(const CsrGraph& graph,
                 for (NodeId v : nbrs) out.emplace_back(v, w);
               }
             });
-        return BuildLayer(dst, edges);
+        return AssembleLayer(dst, edges);
       });
 }
 

@@ -1,0 +1,47 @@
+#ifndef SGNN_STORAGE_SHARD_WRITER_H_
+#define SGNN_STORAGE_SHARD_WRITER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/csr_graph.h"
+#include "partition/partition.h"
+#include "storage/format.h"
+
+namespace sgnn::storage {
+
+/// Node-to-shard assignment used when converting an in-memory graph to the
+/// on-disk format. A plan is a pure function of its inputs, so the shard
+/// geometry — and therefore every load/eviction the cache later performs —
+/// is deterministic.
+struct ShardPlan {
+  std::vector<uint32_t> shard_of;  ///< Per node, in [0, num_shards).
+  int num_shards = 0;
+
+  /// Contiguous node ranges balanced by edge count: a cumulative sweep over
+  /// the CSR offsets cuts after a node once its prefix exceeds the next
+  /// 1/num_shards edge quantile. Degenerates gracefully (empty trailing
+  /// shards stay valid) and never splits a node's adjacency.
+  static ShardPlan Contiguous(const graph::CsrGraph& graph, int num_shards);
+
+  /// Adopts a `sgnn::partition` assignment (LDG, Fennel, multilevel, ...),
+  /// so locality-aware partitions directly become disk layout. Shards from
+  /// a partition generally hold non-contiguous node sets.
+  static ShardPlan FromPartition(const partition::Partition& partition);
+};
+
+/// Converts an in-memory graph to the on-disk sharded format in `dir`
+/// (created if missing): one CSR shard file per plan shard plus the
+/// manifest. Each file is written to a `.tmp` sibling and renamed, and the
+/// manifest is written last, so a crash mid-write never leaves a directory
+/// that opens successfully with partial data. Returns `kInvalidArgument`
+/// for a plan that does not cover the graph and `kIOError` on filesystem
+/// failure.
+common::Status WriteShardedGraph(const graph::CsrGraph& graph,
+                                 const ShardPlan& plan,
+                                 const std::string& dir);
+
+}  // namespace sgnn::storage
+
+#endif  // SGNN_STORAGE_SHARD_WRITER_H_

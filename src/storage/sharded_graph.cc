@@ -1,0 +1,399 @@
+#include "storage/sharded_graph.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <fstream>
+#include <utility>
+
+#include "common/counters.h"
+#include "common/crc32.h"
+#include "core/run_context.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace sgnn::storage {
+
+using common::Status;
+using common::StatusOr;
+using graph::NodeId;
+
+namespace {
+
+Status Corrupt(const std::string& where, const std::string& why) {
+  return Status::IOError("corrupt shard data " + where + ": " + why);
+}
+
+/// Open-time read of one shard's header + rows + offsets sections through
+/// buffered streams (these feed the resident index arrays; they are not
+/// cache loads and are not billed as such). The adjacency sections stay on
+/// disk until the shard is pinned.
+Status ReadShardIndex(const std::string& path, const ShardEntry& entry,
+                      int shard, std::vector<NodeId>* rows,
+                      std::vector<uint64_t>* offsets) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("no such file: " + path);
+  char header[kShardHeaderBytes];
+  in.read(header, sizeof(header));
+  if (!in) return Corrupt(path, "truncated shard file (smaller than header)");
+
+  auto header_or = ParseShardHeader(header, entry.file_bytes, path);
+  if (!header_or.ok()) return header_or.status();
+  const ShardHeader& parsed = header_or.value();
+  if (parsed.shard_id != static_cast<uint32_t>(shard)) {
+    return Corrupt(path, "shard id " + std::to_string(parsed.shard_id) +
+                             " does not match manifest position " +
+                             std::to_string(shard));
+  }
+  if (parsed.num_rows != entry.num_rows ||
+      parsed.num_edges != entry.num_edges) {
+    return Corrupt(path, "shard header counts disagree with manifest");
+  }
+
+  const ShardLayout layout = LayoutFor(entry.num_rows, entry.num_edges);
+  rows->resize(entry.num_rows);
+  offsets->resize(uint64_t{entry.num_rows} + 1);
+  in.seekg(static_cast<std::streamoff>(layout.rows_off));
+  in.read(reinterpret_cast<char*>(rows->data()),
+          static_cast<std::streamsize>(rows->size() * sizeof(NodeId)));
+  in.seekg(static_cast<std::streamoff>(layout.offsets_off));
+  in.read(reinterpret_cast<char*>(offsets->data()),
+          static_cast<std::streamsize>(offsets->size() * sizeof(uint64_t)));
+  if (!in) return Corrupt(path, "truncated shard file (index sections)");
+  if (common::Crc32(rows->data(), rows->size() * sizeof(NodeId)) !=
+      parsed.crc_rows) {
+    return Corrupt(path, "CRC mismatch in rows section");
+  }
+  if (common::Crc32(offsets->data(), offsets->size() * sizeof(uint64_t)) !=
+      parsed.crc_offsets) {
+    return Corrupt(path, "CRC mismatch in offsets section");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+OpenOptions OptionsFromRunContext(const core::RunContext& ctx) {
+  OpenOptions options;
+  options.budget_bytes = ctx.resident_budget_bytes;
+  options.metrics = ctx.metrics;
+  options.tracer = ctx.tracer;
+  return options;
+}
+
+// ---- PinnedShard --------------------------------------------------------
+
+PinnedShard::PinnedShard(ShardedGraph* owner, int shard)
+    : owner_(owner), shard_(shard) {}
+
+PinnedShard& PinnedShard::operator=(PinnedShard&& other) noexcept {
+  if (this != &other) {
+    Release();
+    owner_ = std::exchange(other.owner_, nullptr);
+    shard_ = std::exchange(other.shard_, -1);
+    num_rows_ = other.num_rows_;
+    rows_ = other.rows_;
+    offsets_ = other.offsets_;
+    neighbors_ = other.neighbors_;
+    weights_ = other.weights_;
+  }
+  return *this;
+}
+
+void PinnedShard::Release() {
+  if (owner_ != nullptr) {
+    owner_->Unpin(shard_);
+    owner_ = nullptr;
+  }
+}
+
+// ---- ShardedGraph -------------------------------------------------------
+
+StatusOr<std::unique_ptr<ShardedGraph>> ShardedGraph::Open(
+    const std::string& dir, OpenOptions options) {
+  // Peaks are per-thread high-water marks; re-base them here (like
+  // `Pipeline::Run` does at run entry) so an out-of-core run's reported
+  // peak residency is its own, not a ghost of an earlier run.
+  common::GlobalCounters().RebasePeaks();
+
+  auto manifest_or = ReadManifest(ManifestPath(dir));
+  if (!manifest_or.ok()) return manifest_or.status();
+
+  std::unique_ptr<ShardedGraph> g(new ShardedGraph());
+  g->dir_ = dir;
+  g->manifest_ = std::move(manifest_or).value();
+  g->budget_bytes_ = ResidentBudgetBytes(options.budget_bytes);
+  if (g->budget_bytes_ == kUnlimitedBudget) g->budget_bytes_ = 0;
+  g->verify_crc_on_load_ = options.verify_crc_on_load;
+  g->tracer_ = options.tracer;
+
+  const ShardManifest& manifest = g->manifest_;
+  const std::string manifest_path = ManifestPath(dir);
+  const auto num_shards = static_cast<uint32_t>(manifest.shards.size());
+
+  // Resident index arrays from the assignment: local row = rank of u
+  // within its shard in ascending node order, which is exactly the row
+  // order the writer laid down.
+  g->local_row_.resize(manifest.num_nodes);
+  std::vector<uint64_t> rows_seen(num_shards, 0);
+  for (NodeId u = 0; u < manifest.num_nodes; ++u) {
+    const uint32_t s = manifest.shard_of[u];
+    if (s >= num_shards) {
+      return Corrupt(manifest_path,
+                     "node " + std::to_string(u) + " assigned to shard " +
+                         std::to_string(s) + " of " +
+                         std::to_string(num_shards));
+    }
+    g->local_row_[u] = static_cast<uint32_t>(rows_seen[s]++);
+  }
+  uint64_t total_edges = 0;
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    const ShardEntry& entry = manifest.shards[s];
+    if (rows_seen[s] != entry.num_rows) {
+      return Corrupt(manifest_path,
+                     "shard " + std::to_string(s) + " claims " +
+                         std::to_string(entry.num_rows) +
+                         " rows but the assignment yields " +
+                         std::to_string(rows_seen[s]) +
+                         " (overlapping or missing ownership)");
+    }
+    total_edges += entry.num_edges;
+  }
+  if (total_edges != manifest.num_edges) {
+    return Corrupt(manifest_path, "shard edge counts sum to " +
+                                      std::to_string(total_edges) +
+                                      ", manifest says " +
+                                      std::to_string(manifest.num_edges));
+  }
+
+  // Per-shard index read: verifies header + rows/offsets CRCs and fills
+  // the resident degree array the kernels consult without pinning.
+  g->degrees_.assign(manifest.num_nodes, 0);
+  g->slots_.resize(num_shards);
+  std::vector<NodeId> rows;
+  std::vector<uint64_t> offsets;
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    const ShardEntry& entry = manifest.shards[s];
+    const std::string path = ShardPath(dir, static_cast<int>(s));
+    SGNN_RETURN_IF_ERROR(
+        ReadShardIndex(path, entry, static_cast<int>(s), &rows, &offsets));
+    if (offsets[0] != 0 || offsets[entry.num_rows] != entry.num_edges) {
+      return Corrupt(path, "offsets do not span the edge section");
+    }
+    NodeId prev = 0;
+    for (uint32_t r = 0; r < entry.num_rows; ++r) {
+      const NodeId u = rows[r];
+      if (u >= manifest.num_nodes) {
+        return Corrupt(path, "row node id " + std::to_string(u) +
+                                 " out of range");
+      }
+      if (r > 0 && u <= prev) {
+        return Corrupt(path, "row ids not strictly ascending at row " +
+                                 std::to_string(r));
+      }
+      prev = u;
+      if (manifest.shard_of[u] != s || g->local_row_[u] != r) {
+        return Corrupt(path, "node " + std::to_string(u) +
+                                 " listed in shard " + std::to_string(s) +
+                                 " but assigned to shard " +
+                                 std::to_string(manifest.shard_of[u]) +
+                                 " (overlapping shard ownership)");
+      }
+      if (offsets[r + 1] < offsets[r]) {
+        return Corrupt(path, "offsets decrease at row " + std::to_string(r));
+      }
+      g->degrees_[u] =
+          static_cast<graph::EdgeIndex>(offsets[r + 1] - offsets[r]);
+    }
+    g->slots_[s].entry = entry;
+    g->total_shard_bytes_ += entry.file_bytes;
+  }
+
+  if (options.metrics != nullptr) {
+    obs::MetricsRegistry& metrics = *options.metrics;
+    g->loads_metric_ = metrics.GetCounter(
+        "sgnn_storage_shard_loads_total",
+        "Shard files mapped into the resident cache (reloads count again)");
+    g->evictions_metric_ = metrics.GetCounter(
+        "sgnn_storage_shard_evictions_total",
+        "Shards unmapped to stay under the resident budget");
+    g->bytes_loaded_metric_ = metrics.GetCounter(
+        "sgnn_storage_bytes_loaded_total", "Total shard bytes mapped");
+    g->resident_metric_ = metrics.GetGauge(
+        "sgnn_storage_resident_bytes",
+        "Currently mapped shard bytes (never exceeds the budget)");
+    g->resident_peak_metric_ = metrics.GetGauge(
+        "sgnn_storage_resident_peak_bytes",
+        "High-water mark of mapped shard bytes");
+    metrics
+        .GetGauge("sgnn_storage_budget_bytes",
+                  "Resolved resident budget (0 = unlimited)")
+        ->Set(static_cast<double>(g->budget_bytes_));
+  }
+
+  if (options.deep_validator) {
+    SGNN_RETURN_IF_ERROR(options.deep_validator(dir));
+  }
+  return g;
+}
+
+ShardedGraph::~ShardedGraph() {
+  common::MutexLock lock(mu_);
+  for (Slot& slot : slots_) {
+    SGNN_DCHECK(slot.pins == 0);
+    if (slot.mapped) UnmapLocked(slot);
+  }
+}
+
+StatusOr<PinnedShard> ShardedGraph::PinShard(int shard) {
+  SGNN_CHECK(shard >= 0 && shard < num_shards());
+  common::MutexLock lock(mu_);
+  Slot& slot = slots_[static_cast<size_t>(shard)];
+  slot.last_use = ++use_clock_;
+  if (!slot.mapped) {
+    const uint64_t needed = slot.entry.file_bytes;
+    const uint64_t cap = budget_bytes_ == 0 ? ~uint64_t{0} : budget_bytes_;
+    while (stats_.resident_bytes + needed > cap) {
+      // Deterministic LRU: the unique unpinned shard with the smallest
+      // logical access stamp. O(num_shards) scan; shard counts are small.
+      int victim = -1;
+      uint64_t oldest = ~uint64_t{0};
+      for (int i = 0; i < num_shards(); ++i) {
+        const Slot& candidate = slots_[static_cast<size_t>(i)];
+        if (candidate.mapped && candidate.pins == 0 &&
+            candidate.last_use < oldest) {
+          oldest = candidate.last_use;
+          victim = i;
+        }
+      }
+      if (victim < 0) {
+        return Status::ResourceExhausted(
+            "resident budget " + std::to_string(budget_bytes_) +
+            " bytes cannot fit shard " + std::to_string(shard) + " (" +
+            std::to_string(needed) + " bytes) on top of " +
+            std::to_string(stats_.resident_bytes) +
+            " pinned bytes; raise SGNN_RESIDENT_BUDGET or use more shards");
+      }
+      EvictLocked(victim);
+    }
+    SGNN_RETURN_IF_ERROR(MapLocked(shard));
+  }
+  ++slot.pins;
+
+  PinnedShard pin(this, shard);
+  pin.num_rows_ = static_cast<int64_t>(slot.entry.num_rows);
+  pin.rows_ = slot.rows;
+  pin.offsets_ = slot.offsets;
+  pin.neighbors_ = slot.neighbors;
+  pin.weights_ = slot.weights;
+  return pin;
+}
+
+Status ShardedGraph::MapLocked(int shard) {
+  Slot& slot = slots_[static_cast<size_t>(shard)];
+  const std::string path = ShardPath(dir_, shard);
+  auto span =
+      obs::StartSpan(tracer_, "storage:load:" + std::to_string(shard),
+                     "storage");
+
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return Status::IOError("cannot open " + path);
+  struct stat st{};
+  if (::fstat(fd, &st) != 0 ||
+      static_cast<uint64_t>(st.st_size) != slot.entry.file_bytes) {
+    ::close(fd);
+    return Corrupt(path, "size changed since open (truncated shard file)");
+  }
+  void* base = ::mmap(nullptr, slot.entry.file_bytes, PROT_READ, MAP_PRIVATE,
+                      fd, 0);
+  ::close(fd);
+  if (base == MAP_FAILED) return Status::IOError("mmap failed: " + path);
+
+  auto fail = [&](Status status) {
+    ::munmap(base, slot.entry.file_bytes);
+    return status;
+  };
+  auto header_or = ParseShardHeader(base, slot.entry.file_bytes, path);
+  if (!header_or.ok()) return fail(header_or.status());
+  const ShardHeader& header = header_or.value();
+  if (header.shard_id != static_cast<uint32_t>(shard) ||
+      header.num_rows != slot.entry.num_rows ||
+      header.num_edges != slot.entry.num_edges) {
+    return fail(Corrupt(path, "shard header disagrees with manifest"));
+  }
+  if (verify_crc_on_load_) {
+    Status section_status = VerifyShardSections(base, header, path);
+    if (!section_status.ok()) return fail(section_status);
+  }
+
+  const ShardLayout layout =
+      LayoutFor(slot.entry.num_rows, slot.entry.num_edges);
+  const char* bytes = static_cast<const char*>(base);
+  slot.base = base;
+  slot.rows = reinterpret_cast<const NodeId*>(bytes + layout.rows_off);
+  slot.offsets =
+      reinterpret_cast<const uint64_t*>(bytes + layout.offsets_off);
+  slot.neighbors =
+      reinterpret_cast<const NodeId*>(bytes + layout.neighbors_off);
+  slot.weights = reinterpret_cast<const float*>(bytes + layout.weights_off);
+  slot.mapped = true;
+
+  stats_.loads += 1;
+  stats_.bytes_loaded += slot.entry.file_bytes;
+  stats_.resident_bytes += slot.entry.file_bytes;
+  if (stats_.resident_bytes > stats_.peak_resident_bytes) {
+    stats_.peak_resident_bytes = stats_.resident_bytes;
+  }
+  common::OpCounters& counters = common::GlobalCounters();
+  counters.shard_loads += 1;
+  counters.shard_bytes_loaded += slot.entry.file_bytes;
+  counters.AcquireShardBytes(slot.entry.file_bytes);
+  if (loads_metric_ != nullptr) {
+    loads_metric_->Increment();
+    bytes_loaded_metric_->Increment(slot.entry.file_bytes);
+    resident_metric_->Set(static_cast<double>(stats_.resident_bytes));
+    resident_peak_metric_->SetMax(static_cast<double>(stats_.resident_bytes));
+  }
+  return Status::OK();
+}
+
+void ShardedGraph::EvictLocked(int shard) {
+  Slot& slot = slots_[static_cast<size_t>(shard)];
+  auto span = obs::StartSpan(
+      tracer_, "storage:evict:" + std::to_string(shard), "storage");
+  UnmapLocked(slot);
+  stats_.evictions += 1;
+  common::GlobalCounters().shard_evictions += 1;
+  if (evictions_metric_ != nullptr) evictions_metric_->Increment();
+}
+
+void ShardedGraph::UnmapLocked(Slot& slot) {
+  ::munmap(slot.base, slot.entry.file_bytes);
+  slot.base = nullptr;
+  slot.rows = nullptr;
+  slot.offsets = nullptr;
+  slot.neighbors = nullptr;
+  slot.weights = nullptr;
+  slot.mapped = false;
+  stats_.resident_bytes -= slot.entry.file_bytes;
+  common::GlobalCounters().ReleaseShardBytes(slot.entry.file_bytes);
+  if (resident_metric_ != nullptr) {
+    resident_metric_->Set(static_cast<double>(stats_.resident_bytes));
+  }
+}
+
+void ShardedGraph::Unpin(int shard) {
+  common::MutexLock lock(mu_);
+  Slot& slot = slots_[static_cast<size_t>(shard)];
+  SGNN_DCHECK(slot.pins > 0);
+  --slot.pins;
+}
+
+StorageStats ShardedGraph::stats() const {
+  common::MutexLock lock(mu_);
+  return stats_;
+}
+
+}  // namespace sgnn::storage

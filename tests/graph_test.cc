@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <fstream>
 #include <numeric>
 #include <set>
 #include <string>
@@ -368,9 +369,7 @@ TEST(IoTest, LoadMissingFileFails) {
 
 TEST(IoTest, LoadRejectsOutOfRangeIds) {
   std::string path = ::testing::TempDir() + "/bad_graph.txt";
-  FILE* f = std::fopen(path.c_str(), "w");
-  std::fputs("# nodes 3\n0 1\n0 7\n", f);
-  std::fclose(f);
+  { std::ofstream(path) << "# nodes 3\n0 1\n0 7\n"; }
   auto result = LoadEdgeList(path);
   EXPECT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), common::StatusCode::kInvalidArgument);
@@ -379,9 +378,7 @@ TEST(IoTest, LoadRejectsOutOfRangeIds) {
 
 TEST(IoTest, LoadInfersNodeCountWithoutHeader) {
   std::string path = ::testing::TempDir() + "/headerless.txt";
-  FILE* f = std::fopen(path.c_str(), "w");
-  std::fputs("0 5\n2 3\n", f);
-  std::fclose(f);
+  { std::ofstream(path) << "0 5\n2 3\n"; }
   auto result = LoadEdgeList(path);
   ASSERT_TRUE(result.ok());
   EXPECT_EQ(result.value().num_nodes(), 6u);

@@ -62,6 +62,30 @@ SCOPED_FIXTURES = {
     "src/par/": "tools/lint_fixtures/par_rawthread.cc.fixture",
 }
 
+# Rules that apply everywhere EXCEPT under the confining prefix — the
+# inverse of SCOPED_FORBIDDEN. Raw file I/O (mmap and the C descriptor /
+# stdio calls) is confined to sgnn::storage: the out-of-core engine is the
+# one place that may bypass the stream wrappers, because that is where the
+# resident-budget accounting lives. Raw I/O elsewhere would read bytes the
+# budget never sees. (std::fstream stays allowed tree-wide; `.open(` member
+# calls do not match the bare-`open(` pattern.)
+CONFINED_FORBIDDEN = {
+    "src/storage/": [
+        ("mmap/munmap (confined to src/storage/)",
+         re.compile(r"(?<![_\w])m(?:un)?map\s*\(")),
+        ("raw open() (confined to src/storage/)",
+         re.compile(r"(?<![_\w.:>])open\s*\(")),
+        ("C stdio / descriptor I/O (confined to src/storage/)",
+         re.compile(r"(?<![_\w])(?:fopen|fread|fwrite|pread|pwrite)\s*\(")),
+    ],
+}
+
+# Negative fixtures for the confined rules: clean when linted under the
+# confining prefix, tripping every confined rule when linted anywhere else.
+CONFINED_FIXTURES = {
+    "src/storage/": "tools/lint_fixtures/storage_rawio.cc.fixture",
+}
+
 # Wrapper files allowed to touch the primitives they encapsulate.
 ALLOWLIST = {
     "src/common/rng.h",
@@ -138,6 +162,9 @@ def patterns_for(rel: str) -> list:
     patterns = list(FORBIDDEN)
     for prefix, extra in SCOPED_FORBIDDEN.items():
         if rel.startswith(prefix):
+            patterns.extend(extra)
+    for prefix, extra in CONFINED_FORBIDDEN.items():
+        if not rel.startswith(prefix):
             patterns.extend(extra)
     return patterns
 
@@ -217,8 +244,31 @@ def self_test(root: pathlib.Path) -> int:
             print(f"self-test FAILED: {fixture_rel} did not trip: "
                   f"{', '.join(missing)}")
             return 1
+    # Each confined fixture is the mirror image: clean when linted under
+    # the confining prefix, tripping every confined rule elsewhere.
+    for prefix, rules in CONFINED_FORBIDDEN.items():
+        fixture_rel = CONFINED_FIXTURES.get(prefix)
+        if fixture_rel is None:
+            print(f"self-test FAILED: no fixture declared for {prefix}")
+            return 1
+        confined_fixture = root / fixture_rel
+        if not confined_fixture.is_file():
+            print(f"self-test FAILED: fixture missing: {fixture_rel}")
+            return 1
+        if lint_file(confined_fixture, prefix + "fixture.cc"):
+            print(f"self-test FAILED: {fixture_rel} tripped inside {prefix}")
+            return 1
+        outside = lint_file(confined_fixture, "src/graph/fixture.cc")
+        missing = [name for name, _ in rules
+                   if not any(v[2].startswith(f"forbidden {name}:")
+                              for v in outside)]
+        if missing:
+            print(f"self-test FAILED: {fixture_rel} did not trip outside "
+                  f"{prefix}: {', '.join(missing)}")
+            return 1
     print(f"self-test OK: fixture tripped all {len(FORBIDDEN)} patterns; "
-          f"{len(SCOPED_FORBIDDEN)} scoped fixture(s) tripped their rules")
+          f"{len(SCOPED_FORBIDDEN)} scoped fixture(s) tripped their rules; "
+          f"{len(CONFINED_FORBIDDEN)} confined fixture(s) verified")
     return 0
 
 
