@@ -33,3 +33,4 @@ sgnn_add_bench(bench_analysis)    # E19
 sgnn_add_bench(bench_obs sgnn_serve sgnn_models) # E20
 sgnn_add_bench(bench_parallel)    # E21
 sgnn_add_bench(bench_storage sgnn_storage) # E22
+sgnn_add_bench(bench_dist sgnn_dist)       # E23

@@ -1,6 +1,8 @@
 #include "common/fault.h"
 
 #include <algorithm>
+#include <cerrno>
+#include <cstdlib>
 #include <limits>
 
 #include "common/check.h"
@@ -94,6 +96,52 @@ Status FaultInjector::MaybeFail(const std::string& site, uint64_t token) {
     return Status::Unavailable("injected fault at " + site);
   }
   return Status::OK();
+}
+
+Status FaultInjector::ArmFromSpec(const std::string& spec) {
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    std::size_t end = spec.find_first_of(";,", start);
+    if (end == std::string::npos) end = spec.size();
+    const std::string entry = spec.substr(start, end - start);
+    start = end + 1;
+    if (entry.empty()) continue;
+    const std::size_t at = entry.find('@');
+    const std::size_t eq = entry.find('=');
+    const std::size_t sep = std::min(at, eq);
+    if (sep == std::string::npos || sep == 0 || sep + 1 >= entry.size()) {
+      return Status::InvalidArgument("malformed fault spec entry '" + entry +
+                                     "' (want site@token or site=probability)");
+    }
+    const std::string site = entry.substr(0, sep);
+    const std::string arg = entry.substr(sep + 1);
+    errno = 0;
+    char* parse_end = nullptr;
+    if (at < eq) {
+      const long long token = std::strtoll(arg.c_str(), &parse_end, 10);
+      if (errno != 0 || parse_end == arg.c_str() || *parse_end != '\0' ||
+          token < 0) {
+        return Status::InvalidArgument("bad token in fault spec entry '" +
+                                       entry + "'");
+      }
+      ArmAt(site, token);
+    } else {
+      const double p = std::strtod(arg.c_str(), &parse_end);
+      if (errno != 0 || parse_end == arg.c_str() || *parse_end != '\0' ||
+          p < 0.0 || p > 1.0) {
+        return Status::InvalidArgument("bad probability in fault spec entry '" +
+                                       entry + "'");
+      }
+      Arm(site, p);
+    }
+  }
+  return Status::OK();
+}
+
+Status FaultInjector::ArmFromEnv() {
+  const char* spec = std::getenv(kFaultsEnv);
+  if (spec == nullptr || *spec == '\0') return Status::OK();
+  return ArmFromSpec(spec);
 }
 
 int64_t FaultInjector::OpCount(const std::string& site) const {

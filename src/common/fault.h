@@ -11,6 +11,9 @@
 
 namespace sgnn::common {
 
+/// Environment variable consulted by `FaultInjector::ArmFromEnv`.
+inline constexpr char kFaultsEnv[] = "SGNN_FAULTS";
+
 /// Deterministic, seed-driven fault injection for robustness tests and
 /// benchmarks. Faults are keyed by a string *site* name (e.g.
 /// `"serve.embed"`, `"io.write"`, `"pipeline.after_stage"`) so a test can
@@ -55,6 +58,19 @@ class FaultInjector {
   int64_t OpCount(const std::string& site) const SGNN_EXCLUDES(mu_);
 
   uint64_t seed() const { return seed_; }
+
+  /// Arms sites from a `;`- or `,`-separated spec string, one entry per
+  /// site: `site@token` arms a token/op-index trigger (`ArmAt`) and
+  /// `site=probability` an independent-probability trigger (`Arm`).
+  /// Example: `"dist.worker.kill@65537;dist.frame.corrupt=0.01"`. Empty
+  /// entries are skipped; a malformed entry yields `kInvalidArgument`
+  /// (entries before it stay armed).
+  Status ArmFromSpec(const std::string& spec) SGNN_EXCLUDES(mu_);
+
+  /// Reads the `SGNN_FAULTS` environment variable and forwards a non-empty
+  /// value to `ArmFromSpec`; OK when unset. This is how a forked worker or
+  /// a CI job injects a deterministic kill schedule without code changes.
+  Status ArmFromEnv() SGNN_EXCLUDES(mu_);
 
  private:
   struct Site {

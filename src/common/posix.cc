@@ -1,0 +1,78 @@
+#include "common/posix.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <system_error>
+
+namespace sgnn::common {
+
+Status StatusFromErrno(const std::string& prefix, int err) {
+  // std::system_category().message() is thread-safe, unlike strerror().
+  std::string msg = prefix + ": " + std::system_category().message(err);
+  switch (err) {
+    case ENOENT:
+      return Status::NotFound(std::move(msg));
+    case EPIPE:
+    case ECONNRESET:
+    case ECONNREFUSED:
+      return Status::Unavailable(std::move(msg));
+    case ETIMEDOUT:
+      return Status::DeadlineExceeded(std::move(msg));
+    case ENOSPC:
+    case ENOMEM:
+    case EMFILE:
+    case ENFILE:
+      return Status::ResourceExhausted(std::move(msg));
+    case EACCES:
+    case EPERM:
+      return Status::FailedPrecondition(std::move(msg));
+    case EINVAL:
+    case EBADF:
+      return Status::InvalidArgument(std::move(msg));
+    default:
+      return Status::IOError(std::move(msg));
+  }
+}
+
+Status StatusFromErrno(const std::string& prefix) {
+  return StatusFromErrno(prefix, errno);
+}
+
+Status ReadFull(int fd, void* buf, std::size_t n, std::size_t* bytes_read) {
+  char* p = static_cast<char*>(buf);
+  std::size_t done = 0;
+  while (done < n) {
+    ssize_t got = ::read(fd, p + done, n - done);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      if (bytes_read != nullptr) *bytes_read = done;
+      return StatusFromErrno("read failed");
+    }
+    if (got == 0) {
+      if (bytes_read != nullptr) *bytes_read = done;
+      return Status::DataLoss("unexpected EOF after " + std::to_string(done) +
+                              "/" + std::to_string(n) + " bytes");
+    }
+    done += static_cast<std::size_t>(got);
+  }
+  if (bytes_read != nullptr) *bytes_read = done;
+  return Status::OK();
+}
+
+Status WriteFull(int fd, const void* buf, std::size_t n) {
+  const char* p = static_cast<const char*>(buf);
+  std::size_t done = 0;
+  while (done < n) {
+    ssize_t put = ::write(fd, p + done, n - done);
+    if (put < 0) {
+      if (errno == EINTR) continue;
+      return StatusFromErrno("write failed");
+    }
+    done += static_cast<std::size_t>(put);
+  }
+  return Status::OK();
+}
+
+}  // namespace sgnn::common

@@ -1,0 +1,44 @@
+#ifndef SGNN_COMMON_POSIX_H_
+#define SGNN_COMMON_POSIX_H_
+
+#include <cstddef>
+#include <string>
+
+#include "common/status.h"
+
+namespace sgnn::common {
+
+/// Maps an errno value onto the library's `StatusCode` taxonomy and renders
+/// `prefix + ": " + strerror(err)`. Every syscall failure in the tree goes
+/// through this so that callers can branch on codes instead of parsing
+/// platform-specific message strings:
+///
+///   ENOENT                      -> kNotFound
+///   EPIPE/ECONNRESET/ECONNREFUSED -> kUnavailable (peer gone; retryable)
+///   ETIMEDOUT                   -> kDeadlineExceeded
+///   ENOSPC/ENOMEM/EMFILE/ENFILE -> kResourceExhausted
+///   EACCES/EPERM                -> kFailedPrecondition
+///   EINVAL/EBADF                -> kInvalidArgument
+///   anything else               -> kIOError
+Status StatusFromErrno(const std::string& prefix, int err);
+
+/// Overload reading the calling thread's current `errno`.
+Status StatusFromErrno(const std::string& prefix);
+
+/// Reads exactly `n` bytes from `fd` into `buf`, retrying on `EINTR` and
+/// continuing across short reads. On end-of-stream before `n` bytes the
+/// status is `kDataLoss` ("unexpected EOF after X/N bytes"); other failures
+/// map through `StatusFromErrno`. If `bytes_read` is non-null it receives
+/// the number of bytes actually consumed (also on failure), which lets a
+/// framing layer distinguish a clean close (0 bytes) from a torn frame.
+Status ReadFull(int fd, void* buf, std::size_t n,
+                std::size_t* bytes_read = nullptr);
+
+/// Writes exactly `n` bytes from `buf` to `fd`, retrying on `EINTR` and
+/// continuing across short writes. `EPIPE` surfaces as `kUnavailable` via
+/// `StatusFromErrno` (callers must have SIGPIPE ignored or blocked).
+Status WriteFull(int fd, const void* buf, std::size_t n);
+
+}  // namespace sgnn::common
+
+#endif  // SGNN_COMMON_POSIX_H_

@@ -21,6 +21,7 @@ enum class StatusCode {
   kDeadlineExceeded,
   kAborted,
   kResourceExhausted,
+  kDataLoss,
 };
 
 /// Returns a short human-readable name such as "InvalidArgument".
@@ -82,6 +83,13 @@ class Status {
   /// the same way; the caller must raise the budget or shrink the shards.
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  /// Stored or transmitted bytes failed an integrity check (CRC mismatch,
+  /// torn write, truncated stream). Unlike `kIOError` the device worked;
+  /// the *data* is unrecoverable from this replica and the caller must
+  /// re-fetch, restore from a checkpoint, or fail the dependent operation.
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

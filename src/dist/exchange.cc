@@ -1,0 +1,106 @@
+#include "dist/exchange.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/check.h"
+
+namespace sgnn::dist {
+
+using common::Status;
+using graph::NodeId;
+
+int64_t HaloPlan::total_halo_nodes() const {
+  int64_t total = 0;
+  for (const auto& ids : need) total += static_cast<int64_t>(ids.size());
+  return total;
+}
+
+int64_t HaloPlan::halo_values(int64_t dim) const {
+  return total_halo_nodes() * dim;
+}
+
+HaloPlan BuildHaloPlan(const graph::CsrGraph& graph,
+                       const partition::Partition& parts) {
+  SGNN_CHECK_GT(parts.k, 0);
+  SGNN_CHECK_EQ(parts.part_of.size(), static_cast<size_t>(graph.num_nodes()));
+  HaloPlan plan;
+  plan.num_workers = parts.k;
+  plan.owned.resize(static_cast<size_t>(parts.k));
+  plan.need.resize(static_cast<size_t>(parts.k));
+  // `seen[v] == w + 1` marks v as already in need[w]: one O(n) stamp array
+  // per worker instead of a hash set keeps the scan deterministic and
+  // allocation-light. Node ids ascend in the outer loop, so both lists
+  // come out sorted without an explicit sort.
+  std::vector<int> seen(static_cast<size_t>(graph.num_nodes()), 0);
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    const int w = parts.part_of[u];
+    SGNN_DCHECK(w >= 0 && w < parts.k);
+    plan.owned[static_cast<size_t>(w)].push_back(u);
+  }
+  for (int w = 0; w < parts.k; ++w) {
+    for (const NodeId u : plan.owned[static_cast<size_t>(w)]) {
+      for (const NodeId v : graph.Neighbors(u)) {
+        if (parts.part_of[v] == w) continue;
+        if (seen[v] == w + 1) continue;
+        seen[v] = w + 1;
+        plan.need[static_cast<size_t>(w)].push_back(v);
+      }
+    }
+    auto& need = plan.need[static_cast<size_t>(w)];
+    std::sort(need.begin(), need.end());
+  }
+  return plan;
+}
+
+std::string EncodeRows(const std::vector<NodeId>& ids,
+                       const tensor::Matrix& src) {
+  const int64_t cols = src.cols();
+  const size_t record = sizeof(uint32_t) + static_cast<size_t>(cols) *
+                                               sizeof(float);
+  std::string payload;
+  payload.resize(sizeof(uint32_t) + ids.size() * record);
+  char* p = payload.data();
+  const uint32_t count = static_cast<uint32_t>(ids.size());
+  std::memcpy(p, &count, sizeof(count));
+  p += sizeof(count);
+  for (const NodeId id : ids) {
+    const uint32_t raw = static_cast<uint32_t>(id);
+    std::memcpy(p, &raw, sizeof(raw));
+    p += sizeof(raw);
+    std::memcpy(p, src.Row(id).data(),
+                static_cast<size_t>(cols) * sizeof(float));
+    p += static_cast<size_t>(cols) * sizeof(float);
+  }
+  return payload;
+}
+
+Status DecodeRows(
+    const std::string& payload, int64_t cols,
+    const std::function<Status(NodeId, const float*)>& sink) {
+  if (payload.size() < sizeof(uint32_t)) {
+    return Status::DataLoss("row batch smaller than its count field");
+  }
+  uint32_t count = 0;
+  std::memcpy(&count, payload.data(), sizeof(count));
+  const size_t record =
+      sizeof(uint32_t) + static_cast<size_t>(cols) * sizeof(float);
+  if (payload.size() != sizeof(uint32_t) + count * record) {
+    return Status::DataLoss("row batch length does not match its count (" +
+                            std::to_string(count) + " rows of " +
+                            std::to_string(cols) + " cols in " +
+                            std::to_string(payload.size()) + " bytes)");
+  }
+  const char* p = payload.data() + sizeof(uint32_t);
+  for (uint32_t i = 0; i < count; ++i) {
+    uint32_t raw = 0;
+    std::memcpy(&raw, p, sizeof(raw));
+    p += sizeof(raw);
+    SGNN_RETURN_IF_ERROR(
+        sink(static_cast<NodeId>(raw), reinterpret_cast<const float*>(p)));
+    p += static_cast<size_t>(cols) * sizeof(float);
+  }
+  return Status::OK();
+}
+
+}  // namespace sgnn::dist

@@ -1,0 +1,162 @@
+#include "dist/frame.h"
+
+#include <poll.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "common/crc32.h"
+#include "common/posix.h"
+
+namespace sgnn::dist {
+
+using common::Status;
+
+namespace {
+
+constexpr uint32_t kFrameMagic = 0x53444631;  // "SDF1"
+
+void PutU32(char* p, uint32_t v) { std::memcpy(p, &v, sizeof(v)); }
+
+uint32_t GetU32(const char* p) {
+  uint32_t v = 0;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+/// `ReadFull` with the deadline honoured on every blocking wait: each
+/// iteration polls for readability with the remaining budget, then reads
+/// what is available. `bytes_read` counts bytes consumed even on failure.
+Status ReadWithDeadline(int fd, void* buf, std::size_t n,
+                        const common::Deadline& deadline,
+                        std::size_t* bytes_read) {
+  char* p = static_cast<char*>(buf);
+  std::size_t done = 0;
+  while (done < n) {
+    if (!deadline.infinite()) {
+      const int64_t remaining = deadline.remaining_micros();
+      if (remaining <= 0) {
+        if (bytes_read != nullptr) *bytes_read = done;
+        return Status::DeadlineExceeded("read deadline expired after " +
+                                        std::to_string(done) + "/" +
+                                        std::to_string(n) + " bytes");
+      }
+      struct pollfd pfd{};
+      pfd.fd = fd;
+      pfd.events = POLLIN;
+      const int timeout_ms = static_cast<int>(
+          std::min<int64_t>((remaining + 999) / 1000, 60'000));
+      const int ready = ::poll(&pfd, 1, timeout_ms);
+      if (ready < 0) {
+        if (errno == EINTR) continue;
+        if (bytes_read != nullptr) *bytes_read = done;
+        return common::StatusFromErrno("poll failed");
+      }
+      if (ready == 0) continue;  // Re-check the deadline, poll again.
+    }
+    const ssize_t got = ::read(fd, p + done, n - done);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      if (bytes_read != nullptr) *bytes_read = done;
+      return common::StatusFromErrno("read failed");
+    }
+    if (got == 0) {
+      if (bytes_read != nullptr) *bytes_read = done;
+      return Status::DataLoss("unexpected EOF after " + std::to_string(done) +
+                              "/" + std::to_string(n) + " bytes");
+    }
+    done += static_cast<std::size_t>(got);
+  }
+  if (bytes_read != nullptr) *bytes_read = done;
+  return Status::OK();
+}
+
+}  // namespace
+
+Status WriteFrame(int fd, const Frame& frame, WireStats* stats,
+                  const FrameFaults& faults) {
+  if (frame.payload.size() > kMaxFramePayload) {
+    return Status::InvalidArgument("frame payload too large: " +
+                                   std::to_string(frame.payload.size()));
+  }
+  std::string wire(kFrameHeaderBytes, '\0');
+  PutU32(wire.data(), kFrameMagic);
+  PutU32(wire.data() + 4, static_cast<uint32_t>(frame.type));
+  PutU32(wire.data() + 8, frame.epoch);
+  PutU32(wire.data() + 12, static_cast<uint32_t>(frame.payload.size()));
+  PutU32(wire.data() + 16,
+         common::Crc32(frame.payload.data(), frame.payload.size()));
+  wire += frame.payload;
+
+  if (faults.injector != nullptr) {
+    if (faults.injector->ShouldFail(kSiteFrameDrop, faults.token)) {
+      return Status::OK();  // Silently lost; the receiver's deadline acts.
+    }
+    if (!frame.payload.empty() &&
+        faults.injector->ShouldFail(kSiteFrameCorrupt, faults.token)) {
+      wire[kFrameHeaderBytes] =
+          static_cast<char>(wire[kFrameHeaderBytes] ^ 0x5A);
+    }
+    if (faults.injector->ShouldFail(kSiteFrameTruncate, faults.token)) {
+      const std::size_t half = wire.size() / 2;
+      SGNN_RETURN_IF_ERROR(common::WriteFull(fd, wire.data(), half));
+      if (stats != nullptr) stats->bytes += half;
+      return Status::DataLoss("injected frame truncation after " +
+                              std::to_string(half) + " bytes");
+    }
+  }
+
+  SGNN_RETURN_IF_ERROR(common::WriteFull(fd, wire.data(), wire.size()));
+  if (stats != nullptr) {
+    stats->frames += 1;
+    stats->bytes += wire.size();
+  }
+  return Status::OK();
+}
+
+Status ReadFrame(int fd, Frame* frame, const common::Deadline& deadline,
+                 WireStats* stats) {
+  SGNN_CHECK(frame != nullptr);
+  char header[kFrameHeaderBytes];
+  std::size_t got = 0;
+  Status status = ReadWithDeadline(fd, header, sizeof(header), deadline, &got);
+  if (!status.ok()) {
+    if (status.code() == common::StatusCode::kDataLoss && got == 0) {
+      // EOF on a frame boundary: the peer closed (or died) cleanly from
+      // the stream's point of view — retryable, unlike a torn frame.
+      return Status::Unavailable("peer closed connection");
+    }
+    return status;
+  }
+  if (GetU32(header) != kFrameMagic) {
+    return Status::DataLoss("bad frame magic (stream desynchronised)");
+  }
+  const uint32_t type = GetU32(header + 4);
+  const uint32_t epoch = GetU32(header + 8);
+  const uint32_t length = GetU32(header + 12);
+  const uint32_t payload_crc = GetU32(header + 16);
+  if (length > kMaxFramePayload) {
+    return Status::DataLoss("implausible frame payload length " +
+                            std::to_string(length));
+  }
+  std::string payload(length, '\0');
+  if (length > 0) {
+    SGNN_RETURN_IF_ERROR(
+        ReadWithDeadline(fd, payload.data(), length, deadline, nullptr));
+  }
+  if (common::Crc32(payload.data(), payload.size()) != payload_crc) {
+    return Status::DataLoss("frame payload CRC mismatch");
+  }
+  frame->type = static_cast<FrameType>(type);
+  frame->epoch = epoch;
+  frame->payload = std::move(payload);
+  if (stats != nullptr) {
+    stats->frames += 1;
+    stats->bytes += kFrameHeaderBytes + length;
+  }
+  return Status::OK();
+}
+
+}  // namespace sgnn::dist

@@ -1,0 +1,313 @@
+#include "dist/worker.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+#include <type_traits>
+#include <utility>
+
+#include "common/check.h"
+#include "dist/exchange.h"
+#include "dist/frame.h"
+#include "tensor/matrix.h"
+
+namespace sgnn::dist {
+
+using common::Status;
+using common::StatusOr;
+using graph::NodeId;
+
+namespace {
+
+// Same append/cursor serialisation idiom as storage/format.cc: PODs and
+// POD vectors into a growable buffer, read back bounds-checked so a short
+// payload is a framing error, never UB. (The frame CRC already catches
+// corruption; the cursor catches logic/version mismatches.)
+
+template <typename T>
+void PutPod(std::string* buf, T v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  buf->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+template <typename T>
+void PutVec(std::string* buf, const std::vector<T>& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  PutPod<uint64_t>(buf, v.size());
+  buf->append(reinterpret_cast<const char*>(v.data()), v.size() * sizeof(T));
+}
+
+struct Cursor {
+  const char* p;
+  size_t left;
+  bool ok = true;
+
+  bool Take(void* out, size_t n) {
+    if (!ok || n > left) {
+      ok = false;
+      return false;
+    }
+    std::memcpy(out, p, n);
+    p += n;
+    left -= n;
+    return true;
+  }
+
+  template <typename T>
+  T Pod() {
+    T v{};
+    Take(&v, sizeof(v));
+    return v;
+  }
+
+  template <typename T>
+  void Vec(std::vector<T>* out) {
+    const uint64_t n = Pod<uint64_t>();
+    if (!ok || n * sizeof(T) > left) {
+      ok = false;
+      return;
+    }
+    out->resize(n);
+    Take(out->data(), n * sizeof(T));
+  }
+};
+
+}  // namespace
+
+std::string WorkerSpec::Serialize() const {
+  std::string buf;
+  PutPod<int32_t>(&buf, worker_id);
+  PutPod<int32_t>(&buf, num_workers);
+  PutPod<int32_t>(&buf, incarnation);
+  PutPod<int32_t>(&buf, rows_per_frame);
+  PutPod<int64_t>(&buf, cols);
+  PutPod<int64_t>(&buf, read_deadline_micros);
+  PutVec(&buf, owned);
+  PutVec(&buf, halo);
+  PutVec(&buf, offsets);
+  PutVec(&buf, neighbors);
+  PutVec(&buf, coefficients);
+  PutVec(&buf, self_loop);
+  return buf;
+}
+
+StatusOr<WorkerSpec> WorkerSpec::Parse(const std::string& payload) {
+  Cursor cur{payload.data(), payload.size()};
+  WorkerSpec spec;
+  spec.worker_id = cur.Pod<int32_t>();
+  spec.num_workers = cur.Pod<int32_t>();
+  spec.incarnation = cur.Pod<int32_t>();
+  spec.rows_per_frame = cur.Pod<int32_t>();
+  spec.cols = cur.Pod<int64_t>();
+  spec.read_deadline_micros = cur.Pod<int64_t>();
+  cur.Vec(&spec.owned);
+  cur.Vec(&spec.halo);
+  cur.Vec(&spec.offsets);
+  cur.Vec(&spec.neighbors);
+  cur.Vec(&spec.coefficients);
+  cur.Vec(&spec.self_loop);
+  if (!cur.ok || cur.left != 0) {
+    return Status::DataLoss("truncated or oversized worker spec");
+  }
+  if (spec.worker_id < 0 || spec.num_workers <= 0 ||
+      spec.worker_id >= spec.num_workers || spec.cols < 0 ||
+      spec.rows_per_frame <= 0 ||
+      spec.offsets.size() != spec.owned.size() + 1 ||
+      spec.self_loop.size() != spec.owned.size() ||
+      spec.coefficients.size() != spec.neighbors.size() ||
+      (!spec.offsets.empty() && spec.offsets.back() != spec.neighbors.size())) {
+    return Status::DataLoss("inconsistent worker spec");
+  }
+  return spec;
+}
+
+namespace {
+
+/// Mutable per-process worker state between frames.
+struct WorkerState {
+  WorkerSpec spec;
+  tensor::Matrix local;  ///< Owned rows first, then halo rows.
+  tensor::Matrix out;    ///< One row per owned node, epoch scratch.
+  /// Global node id -> row slot in `local`; linear scan is avoided with a
+  /// sorted-merge-friendly map (ids arrive sorted, lookups are random).
+  std::vector<std::pair<NodeId, int64_t>> slots;  ///< Sorted by id.
+
+  int64_t SlotOf(NodeId id) const {
+    auto it = std::lower_bound(
+        slots.begin(), slots.end(), id,
+        [](const std::pair<NodeId, int64_t>& s, NodeId v) {
+          return s.first < v;
+        });
+    if (it == slots.end() || it->first != id) return -1;
+    return it->second;
+  }
+};
+
+/// Encodes rows [begin, begin+count) of `state.out` as a row-batch
+/// payload keyed by their global ids (matches `DecodeRows`).
+std::string EncodeOutChunk(const WorkerState& state, size_t begin,
+                           size_t count) {
+  const int64_t cols = state.spec.cols;
+  const size_t record = sizeof(uint32_t) + static_cast<size_t>(cols) *
+                                               sizeof(float);
+  std::string payload;
+  payload.resize(sizeof(uint32_t) + count * record);
+  char* p = payload.data();
+  const uint32_t n = static_cast<uint32_t>(count);
+  std::memcpy(p, &n, sizeof(n));
+  p += sizeof(n);
+  for (size_t i = begin; i < begin + count; ++i) {
+    const uint32_t raw = static_cast<uint32_t>(state.spec.owned[i]);
+    std::memcpy(p, &raw, sizeof(raw));
+    p += sizeof(raw);
+    std::memcpy(p, state.out.Row(static_cast<int64_t>(i)).data(),
+                static_cast<size_t>(cols) * sizeof(float));
+    p += static_cast<size_t>(cols) * sizeof(float);
+  }
+  return payload;
+}
+
+/// One epoch of local aggregation: the exact per-row loop of
+/// `Propagator::Apply` (same accumulation order, same float coefficients,
+/// self-loop term last), just indirected through the local slot table.
+void ComputeEpoch(WorkerState* state) {
+  const WorkerSpec& spec = state->spec;
+  const int64_t cols = spec.cols;
+  state->out.Zero();
+  for (size_t i = 0; i < spec.owned.size(); ++i) {
+    float* orow = state->out.Row(static_cast<int64_t>(i)).data();
+    const uint64_t begin = spec.offsets[i];
+    const uint64_t end = spec.offsets[i + 1];
+    for (uint64_t e = begin; e < end; ++e) {
+      const float c = spec.coefficients[e];
+      if (c == 0.0f) continue;
+      const int64_t slot = state->SlotOf(spec.neighbors[e]);
+      SGNN_CHECK_GE(slot, 0);
+      const float* xrow = state->local.Row(slot).data();
+      for (int64_t j = 0; j < cols; ++j) orow[j] += c * xrow[j];
+    }
+    if (spec.self_loop[i] != 0.0f) {
+      const float c = spec.self_loop[i];
+      const float* xrow = state->local.Row(static_cast<int64_t>(i)).data();
+      for (int64_t j = 0; j < cols; ++j) orow[j] += c * xrow[j];
+    }
+  }
+}
+
+/// Stores a received row batch (scatter, restore, or halo) into the local
+/// value store; unknown ids are a protocol violation.
+Status StoreRows(WorkerState* state, const std::string& payload) {
+  return DecodeRows(
+      payload, state->spec.cols, [state](NodeId id, const float* row) {
+        const int64_t slot = state->SlotOf(id);
+        if (slot < 0) {
+          return Status::DataLoss("row for node " + std::to_string(id) +
+                                  " not owned or haloed here");
+        }
+        std::memcpy(state->local.Row(slot).data(), row,
+                    static_cast<size_t>(state->spec.cols) * sizeof(float));
+        return Status::OK();
+      });
+}
+
+}  // namespace
+
+void WorkerMain(int fd, common::FaultInjector* faults) {
+  WorkerState state;
+  bool configured = false;
+  for (;;) {
+    const int64_t read_micros = state.spec.read_deadline_micros;
+    Frame frame;
+    const Status read_status =
+        ReadFrame(fd, &frame, common::Deadline::After(read_micros));
+    if (!read_status.ok()) {
+      // Coordinator gone (EOF), stream torn, or deadline: nothing to do
+      // but die; the coordinator's own detection drives recovery.
+      _exit(read_status.code() == common::StatusCode::kUnavailable ? 0 : 5);
+    }
+    switch (frame.type) {
+      case FrameType::kConfig: {
+        auto spec_or = WorkerSpec::Parse(frame.payload);
+        if (!spec_or.ok()) _exit(2);
+        state.spec = std::move(spec_or).value();
+        const int64_t rows = static_cast<int64_t>(state.spec.owned.size()) +
+                             static_cast<int64_t>(state.spec.halo.size());
+        state.local = tensor::Matrix(rows, state.spec.cols);
+        state.out = tensor::Matrix(
+            static_cast<int64_t>(state.spec.owned.size()), state.spec.cols);
+        state.slots.clear();
+        state.slots.reserve(static_cast<size_t>(rows));
+        for (size_t i = 0; i < state.spec.owned.size(); ++i) {
+          state.slots.emplace_back(state.spec.owned[i],
+                                   static_cast<int64_t>(i));
+        }
+        for (size_t i = 0; i < state.spec.halo.size(); ++i) {
+          state.slots.emplace_back(
+              state.spec.halo[i],
+              static_cast<int64_t>(state.spec.owned.size() + i));
+        }
+        std::sort(state.slots.begin(), state.slots.end());
+        configured = true;
+        break;
+      }
+      case FrameType::kRows:
+      case FrameType::kHalo: {
+        if (!configured) _exit(2);
+        if (!StoreRows(&state, frame.payload).ok()) _exit(2);
+        break;
+      }
+      case FrameType::kGo: {
+        if (!configured) _exit(2);
+        const uint64_t token =
+            KillToken(state.spec.worker_id, static_cast<int>(frame.epoch),
+                      state.spec.incarnation);
+        const FrameFaults send_faults{faults, token};
+        Frame heartbeat;
+        heartbeat.type = FrameType::kHeartbeat;
+        heartbeat.epoch = frame.epoch;
+        if (!WriteFrame(fd, heartbeat, nullptr, send_faults).ok()) _exit(4);
+
+        ComputeEpoch(&state);
+
+        const size_t total = state.spec.owned.size();
+        const size_t per_frame =
+            static_cast<size_t>(state.spec.rows_per_frame);
+        const size_t num_chunks = (total + per_frame - 1) / per_frame;
+        for (size_t chunk = 0; chunk < num_chunks; ++chunk) {
+          if (chunk == num_chunks / 2 && faults != nullptr &&
+              faults->ShouldFail(kSiteWorkerKill, token)) {
+            // Injected mid-epoch death: some result rows are already on
+            // the wire, the rest never will be. `_exit`, not `exit`: a
+            // real SIGKILL runs no user code either.
+            _exit(3);
+          }
+          const size_t begin = chunk * per_frame;
+          const size_t count = std::min(per_frame, total - begin);
+          Frame rows;
+          rows.type = FrameType::kRows;
+          rows.epoch = frame.epoch;
+          rows.payload = EncodeOutChunk(state, begin, count);
+          if (!WriteFrame(fd, rows, nullptr, send_faults).ok()) _exit(4);
+        }
+        // Adopt the new values for the next epoch before reporting done.
+        for (size_t i = 0; i < total; ++i) {
+          std::memcpy(state.local.Row(static_cast<int64_t>(i)).data(),
+                      state.out.Row(static_cast<int64_t>(i)).data(),
+                      static_cast<size_t>(state.spec.cols) * sizeof(float));
+        }
+        Frame done;
+        done.type = FrameType::kEpochDone;
+        done.epoch = frame.epoch;
+        if (!WriteFrame(fd, done, nullptr, send_faults).ok()) _exit(4);
+        break;
+      }
+      case FrameType::kShutdown:
+        _exit(0);
+      default:
+        _exit(2);
+    }
+  }
+}
+
+}  // namespace sgnn::dist

@@ -1,0 +1,57 @@
+#ifndef SGNN_DIST_WORKER_H_
+#define SGNN_DIST_WORKER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/fault.h"
+#include "common/status.h"
+#include "graph/csr_graph.h"
+
+namespace sgnn::dist {
+
+/// Everything a worker process needs to compute its partition's rows,
+/// shipped in one `kConfig` frame at spawn (and again at respawn, with a
+/// bumped `incarnation`). The adjacency arrives pre-normalised — neighbour
+/// ids plus the *float* propagation coefficients and self-loop terms the
+/// coordinator's `Propagator` computed — so the worker replays the exact
+/// per-row accumulation of `Propagator::Apply` on identical bits, which is
+/// what makes the distributed result bit-identical to the single-process
+/// one at any worker count and under any kill schedule.
+struct WorkerSpec {
+  int32_t worker_id = 0;
+  int32_t num_workers = 0;
+  int32_t incarnation = 0;
+  int32_t rows_per_frame = 256;
+  int64_t cols = 0;
+  /// Deadline for each blocking read in the worker loop; a silent
+  /// coordinator past this point means the parent is gone and the worker
+  /// exits rather than lingering as an orphan.
+  int64_t read_deadline_micros = 600'000'000;
+
+  std::vector<graph::NodeId> owned;  ///< Sorted global ids this worker owns.
+  std::vector<graph::NodeId> halo;   ///< Sorted remote ids it receives.
+  /// CSR over `owned`: neighbours/coefficients of owned[i] live at
+  /// [offsets[i], offsets[i+1]).
+  std::vector<uint64_t> offsets;
+  std::vector<graph::NodeId> neighbors;
+  std::vector<float> coefficients;
+  std::vector<float> self_loop;  ///< Per owned row.
+
+  std::string Serialize() const;
+  static common::StatusOr<WorkerSpec> Parse(const std::string& payload);
+};
+
+/// Worker process main loop: speaks the frame protocol on `fd` until a
+/// shutdown frame, a closed/har-deadlined stream, or an injected fault
+/// terminates it. Never returns; exits via `_exit` so a forked child
+/// tears down without running the parent's atexit/static-destructor
+/// machinery. `faults` is the injector inherited across `fork` (may be
+/// null); kill/drop/corrupt/truncate sites are evaluated with
+/// `KillToken(worker, epoch, incarnation)` tokens.
+[[noreturn]] void WorkerMain(int fd, common::FaultInjector* faults);
+
+}  // namespace sgnn::dist
+
+#endif  // SGNN_DIST_WORKER_H_

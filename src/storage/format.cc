@@ -56,7 +56,9 @@ struct Cursor {
 constexpr uint64_t PadTo8(uint64_t n) { return (n + 7) & ~uint64_t{7}; }
 
 Status Corrupt(const std::string& where, const std::string& why) {
-  return Status::IOError("corrupt shard data " + where + ": " + why);
+  // kDataLoss rather than kIOError: the read itself worked, but the bytes
+  // fail integrity checks — a torn write or bit rot, not a device error.
+  return Status::DataLoss("corrupt shard data " + where + ": " + why);
 }
 
 /// Reads a whole file; `kNotFound` when it does not exist.

@@ -114,7 +114,7 @@ std::string SerializeManifest(const ShardManifest& manifest);
 std::string SerializeShard(const ShardData& shard);
 
 /// Decodes + integrity-checks a manifest file. Framing errors (truncation,
-/// bad magic/version) and CRC mismatches return `kIOError` naming the first
+/// bad magic/version) and CRC mismatches return `kDataLoss` naming the first
 /// offending section; a missing file returns `kNotFound`. Semantic checks
 /// (assignment consistency, overlap) live in `analysis::ValidateShardManifest`.
 common::StatusOr<ShardManifest> ReadManifest(const std::string& path);

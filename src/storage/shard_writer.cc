@@ -5,6 +5,7 @@
 #include <fstream>
 
 #include "common/check.h"
+#include "common/posix.h"
 
 namespace sgnn::storage {
 
@@ -26,7 +27,7 @@ Status AtomicWrite(const std::string& path, const std::string& bytes) {
     if (!out) return Status::IOError("write failed: " + tmp);
   }
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    return Status::IOError("rename failed: " + tmp + " -> " + path);
+    return common::StatusFromErrno("rename failed: " + tmp + " -> " + path);
   }
   return Status::OK();
 }

@@ -10,6 +10,7 @@
 
 #include "common/counters.h"
 #include "common/crc32.h"
+#include "common/posix.h"
 #include "core/run_context.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -23,7 +24,7 @@ using graph::NodeId;
 namespace {
 
 Status Corrupt(const std::string& where, const std::string& why) {
-  return Status::IOError("corrupt shard data " + where + ": " + why);
+  return Status::DataLoss("corrupt shard data " + where + ": " + why);
 }
 
 /// Open-time read of one shard's header + rows + offsets sections through
@@ -299,17 +300,23 @@ Status ShardedGraph::MapLocked(int shard) {
                      "storage");
 
   const int fd = ::open(path.c_str(), O_RDONLY);
-  if (fd < 0) return Status::IOError("cannot open " + path);
+  if (fd < 0) return common::StatusFromErrno("cannot open " + path);
   struct stat st{};
-  if (::fstat(fd, &st) != 0 ||
-      static_cast<uint64_t>(st.st_size) != slot.entry.file_bytes) {
+  if (::fstat(fd, &st) != 0) {
+    Status status = common::StatusFromErrno("fstat failed: " + path);
+    ::close(fd);
+    return status;
+  }
+  if (static_cast<uint64_t>(st.st_size) != slot.entry.file_bytes) {
     ::close(fd);
     return Corrupt(path, "size changed since open (truncated shard file)");
   }
   void* base = ::mmap(nullptr, slot.entry.file_bytes, PROT_READ, MAP_PRIVATE,
                       fd, 0);
   ::close(fd);
-  if (base == MAP_FAILED) return Status::IOError("mmap failed: " + path);
+  if (base == MAP_FAILED) {
+    return common::StatusFromErrno("mmap failed: " + path);
+  }
 
   auto fail = [&](Status status) {
     ::munmap(base, slot.entry.file_bytes);

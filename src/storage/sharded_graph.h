@@ -172,7 +172,7 @@ class ShardedGraph {
   /// and I/O; adjacency sections are not read until a shard is pinned.
   /// Re-bases the calling thread's residency peaks (`RebasePeaks`) so the
   /// run's reported peaks are its own. Returns `kNotFound` when no
-  /// manifest exists, `kIOError` for corruption (first offender named).
+  /// manifest exists, `kDataLoss` for corruption (first offender named).
   static common::StatusOr<std::unique_ptr<ShardedGraph>> Open(
       const std::string& dir, OpenOptions options = {});
 
@@ -205,7 +205,7 @@ class ShardedGraph {
   /// Maps (if needed) and pins shard `shard`, evicting least-recently-used
   /// unpinned shards to respect the budget. `kResourceExhausted` when the
   /// working set (this shard plus currently pinned ones) cannot fit;
-  /// `kIOError` when the shard file fails integrity checks.
+  /// `kDataLoss` when the shard file fails integrity checks.
   common::StatusOr<PinnedShard> PinShard(int shard) SGNN_EXCLUDES(mu_);
 
   /// Pins the shard owning node `u`.

@@ -1,0 +1,426 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/fault.h"
+#include "common/status.h"
+#include "core/distributed_sim.h"
+#include "core/run_context.h"
+#include "dist/coordinator.h"
+#include "dist/exchange.h"
+#include "dist/frame.h"
+#include "dist/worker.h"
+#include "graph/generators.h"
+#include "graph/propagate.h"
+#include "partition/partition.h"
+#include "tensor/matrix.h"
+
+namespace sgnn::dist {
+namespace {
+
+using common::FaultInjector;
+using common::StatusCode;
+using graph::CsrGraph;
+using partition::Partition;
+using tensor::Matrix;
+
+CsrGraph TestGraph() { return graph::ErdosRenyi(180, 900, 17); }
+
+Matrix TestFeatures(const CsrGraph& g, int64_t cols = 8) {
+  common::Rng rng(23);
+  return Matrix::Gaussian(g.num_nodes(), cols, 0.0f, 1.0f, &rng);
+}
+
+Matrix Reference(const CsrGraph& g, const Matrix& x, const DistOptions& opts) {
+  graph::Propagator prop(g, opts.norm, opts.add_self_loops);
+  return graph::PropagateKHops(prop, x, opts.hops);
+}
+
+std::string TempCheckpointPath(const char* tag) {
+  return testing::TempDir() + "/dist_ckpt_" + tag + ".bin";
+}
+
+TEST(KillTokenTest, DistinguishesWorkerEpochAndIncarnation) {
+  EXPECT_NE(KillToken(0, 0, 0), KillToken(1, 0, 0));
+  EXPECT_NE(KillToken(0, 0, 0), KillToken(0, 1, 0));
+  EXPECT_NE(KillToken(0, 0, 0), KillToken(0, 0, 1));
+  // The token CI arms in its kill schedule: worker 1, epoch 1, first spawn.
+  EXPECT_EQ(KillToken(1, 1, 0), 65537u);
+}
+
+TEST(WorkerSpecTest, SerializeParseRoundTrip) {
+  WorkerSpec spec;
+  spec.worker_id = 2;
+  spec.num_workers = 4;
+  spec.incarnation = 3;
+  spec.cols = 5;
+  spec.owned = {10, 12, 19};
+  spec.halo = {3, 40};
+  spec.offsets = {0, 2, 2, 4};
+  spec.neighbors = {3, 12, 40, 10};
+  spec.coefficients = {0.5f, 0.25f, 0.125f, 1.0f};
+  spec.self_loop = {0.1f, 0.2f, 0.3f};
+  auto parsed_or = WorkerSpec::Parse(spec.Serialize());
+  ASSERT_TRUE(parsed_or.ok()) << parsed_or.status().ToString();
+  const WorkerSpec& parsed = parsed_or.value();
+  EXPECT_EQ(parsed.worker_id, 2);
+  EXPECT_EQ(parsed.incarnation, 3);
+  EXPECT_EQ(parsed.owned, spec.owned);
+  EXPECT_EQ(parsed.halo, spec.halo);
+  EXPECT_EQ(parsed.offsets, spec.offsets);
+  EXPECT_EQ(parsed.neighbors, spec.neighbors);
+  EXPECT_EQ(parsed.coefficients, spec.coefficients);
+  EXPECT_EQ(parsed.self_loop, spec.self_loop);
+}
+
+TEST(WorkerSpecTest, EveryTruncationIsDataLossNeverUB) {
+  WorkerSpec spec;
+  spec.worker_id = 0;
+  spec.num_workers = 2;
+  spec.cols = 3;
+  spec.owned = {0, 1};
+  spec.halo = {5};
+  spec.offsets = {0, 1, 2};
+  spec.neighbors = {5, 0};
+  spec.coefficients = {0.5f, 0.5f};
+  spec.self_loop = {1.0f, 1.0f};
+  const std::string full = spec.Serialize();
+  ASSERT_TRUE(WorkerSpec::Parse(full).ok());
+  for (size_t keep = 0; keep < full.size(); ++keep) {
+    auto parsed_or = WorkerSpec::Parse(full.substr(0, keep));
+    ASSERT_FALSE(parsed_or.ok()) << "accepted a " << keep << "-byte prefix";
+    EXPECT_EQ(parsed_or.status().code(), StatusCode::kDataLoss);
+  }
+}
+
+TEST(HaloPlanTest, MatchesSimulatedCommunicationVolume) {
+  const CsrGraph g = TestGraph();
+  const Partition parts = partition::LdgPartition(g, 4, 1.05, 31);
+  const HaloPlan plan = BuildHaloPlan(g, parts);
+  const auto sim = core::SimulateDistributedEpoch(
+      g, parts, /*feature_dim=*/16, core::DistributedCostModel{});
+  ASSERT_EQ(sim.workers.size(), plan.need.size());
+  int64_t sim_halo_values = 0;
+  for (const auto& w : sim.workers) sim_halo_values += w.halo_values;
+  EXPECT_EQ(plan.halo_values(16), sim_halo_values);
+  // Every node is owned exactly once, need lists are sorted remote ids.
+  size_t owned_total = 0;
+  for (int w = 0; w < plan.num_workers; ++w) {
+    owned_total += plan.owned[w].size();
+    for (const auto v : plan.need[w]) {
+      EXPECT_NE(parts.part_of[v], w);
+    }
+    EXPECT_TRUE(std::is_sorted(plan.need[w].begin(), plan.need[w].end()));
+  }
+  EXPECT_EQ(owned_total, static_cast<size_t>(g.num_nodes()));
+}
+
+// The headline contract: the distributed result is bit-identical to the
+// single-process Propagator at any worker count. `ctx.faults` is left
+// null on purpose — when CI runs this binary under an SGNN_FAULTS kill
+// schedule, the same assertions prove recovery restores bit-identity.
+TEST(DistRunTest, BitIdenticalToSingleProcessAcrossWorkerCounts) {
+  const CsrGraph g = TestGraph();
+  const Matrix x = TestFeatures(g);
+  DistOptions opts;
+  opts.hops = 3;
+  const Matrix want = Reference(g, x, opts);
+  for (const int k : {1, 2, 4}) {
+    const Partition parts = partition::LdgPartition(g, k, 1.05, 31);
+    core::RunContext ctx;
+    DistReport report;
+    auto got_or = RunDistributedPropagation(g, parts, x, opts, ctx, &report);
+    ASSERT_TRUE(got_or.ok()) << "k=" << k << ": " << got_or.status().ToString();
+    EXPECT_TRUE(got_or.value().Equals(want)) << "k=" << k;
+    EXPECT_EQ(report.num_workers, k);
+    EXPECT_EQ(report.epochs_run, opts.hops);
+  }
+}
+
+TEST(DistRunTest, ZeroHopsReturnsInputUnchanged) {
+  const CsrGraph g = TestGraph();
+  const Matrix x = TestFeatures(g);
+  DistOptions opts;
+  opts.hops = 0;
+  FaultInjector no_faults;
+  core::RunContext ctx;
+  ctx.faults = &no_faults;
+  const Partition parts = partition::LdgPartition(g, 2, 1.05, 31);
+  auto got_or = RunDistributedPropagation(g, parts, x, opts, ctx);
+  ASSERT_TRUE(got_or.ok()) << got_or.status().ToString();
+  EXPECT_TRUE(got_or.value().Equals(x));
+}
+
+TEST(DistRunTest, WorkersOwningNothingAreHarmless) {
+  const CsrGraph g = TestGraph();
+  const Matrix x = TestFeatures(g);
+  DistOptions opts;
+  opts.hops = 2;
+  // All nodes on worker 0; workers 1 and 2 are spawned, configured, and
+  // report zero-row epochs.
+  Partition parts{std::vector<int>(static_cast<size_t>(g.num_nodes()), 0), 3};
+  FaultInjector no_faults;
+  core::RunContext ctx;
+  ctx.faults = &no_faults;
+  auto got_or = RunDistributedPropagation(g, parts, x, opts, ctx);
+  ASSERT_TRUE(got_or.ok()) << got_or.status().ToString();
+  EXPECT_TRUE(got_or.value().Equals(Reference(g, x, opts)));
+}
+
+TEST(DistRunTest, MeasuredHaloBytesWithinTenPercentOfSimulatedVolume) {
+  const CsrGraph g = TestGraph();
+  const Matrix x = TestFeatures(g, /*cols=*/64);
+  DistOptions opts;
+  opts.hops = 2;
+  const Partition parts = partition::LdgPartition(g, 4, 1.05, 31);
+  FaultInjector no_faults;  // A respawn would legitimately resend halo rows.
+  core::RunContext ctx;
+  ctx.faults = &no_faults;
+  DistReport report;
+  auto got_or = RunDistributedPropagation(g, parts, x, opts, ctx, &report);
+  ASSERT_TRUE(got_or.ok()) << got_or.status().ToString();
+  const auto sim = core::SimulateDistributedEpoch(
+      g, parts, /*feature_dim=*/64, core::DistributedCostModel{});
+  int64_t sim_halo_values = 0;
+  for (const auto& w : sim.workers) sim_halo_values += w.halo_values;
+  ASSERT_GT(sim_halo_values, 0);
+  const double simulated_bytes =
+      static_cast<double>(sim_halo_values) * sizeof(float) * opts.hops;
+  const double measured = static_cast<double>(report.halo_bytes);
+  // Real wire bytes carry frame headers and row ids on top of the raw
+  // float volume the simulator models; at dim 64 that overhead is small.
+  EXPECT_GE(measured, simulated_bytes);
+  EXPECT_LE(measured, 1.10 * simulated_bytes);
+  EXPECT_EQ(report.halo_values_per_epoch, sim_halo_values);
+}
+
+TEST(DistRunTest, KilledWorkerIsRespawnedAndResultStaysBitIdentical) {
+  const CsrGraph g = TestGraph();
+  const Matrix x = TestFeatures(g);
+  DistOptions opts;
+  opts.hops = 3;
+  const Partition parts = partition::LdgPartition(g, 4, 1.05, 31);
+  FaultInjector faults;
+  // Kill worker 1 mid-epoch-1, first incarnation only: the respawn draws a
+  // fresh token and completes.
+  faults.ArmAt(kSiteWorkerKill, static_cast<int64_t>(KillToken(1, 1, 0)));
+  core::RunContext ctx;
+  ctx.faults = &faults;
+  DistReport report;
+  auto got_or = RunDistributedPropagation(g, parts, x, opts, ctx, &report);
+  ASSERT_TRUE(got_or.ok()) << got_or.status().ToString();
+  EXPECT_TRUE(got_or.value().Equals(Reference(g, x, opts)));
+  EXPECT_GE(report.respawns, 1);
+}
+
+TEST(DistRunTest, CorruptFrameIsDetectedAndRecovered) {
+  const CsrGraph g = TestGraph();
+  const Matrix x = TestFeatures(g);
+  DistOptions opts;
+  opts.hops = 2;
+  const Partition parts = partition::LdgPartition(g, 2, 1.05, 31);
+  FaultInjector faults;
+  // Worker 0's epoch-0 sends (first incarnation) all flip one payload byte
+  // after the CRC is computed; the coordinator must detect kDataLoss on
+  // the gather and respawn rather than ingest a poisoned row.
+  faults.ArmAt(kSiteFrameCorrupt, static_cast<int64_t>(KillToken(0, 0, 0)));
+  core::RunContext ctx;
+  ctx.faults = &faults;
+  DistReport report;
+  auto got_or = RunDistributedPropagation(g, parts, x, opts, ctx, &report);
+  ASSERT_TRUE(got_or.ok()) << got_or.status().ToString();
+  EXPECT_TRUE(got_or.value().Equals(Reference(g, x, opts)));
+  EXPECT_GE(report.respawns, 1);
+}
+
+TEST(DistRunTest, TruncatedFrameIsDetectedAndRecovered) {
+  const CsrGraph g = TestGraph();
+  const Matrix x = TestFeatures(g);
+  DistOptions opts;
+  opts.hops = 2;
+  const Partition parts = partition::LdgPartition(g, 2, 1.05, 31);
+  FaultInjector faults;
+  faults.ArmAt(kSiteFrameTruncate, static_cast<int64_t>(KillToken(1, 0, 0)));
+  core::RunContext ctx;
+  ctx.faults = &faults;
+  DistReport report;
+  auto got_or = RunDistributedPropagation(g, parts, x, opts, ctx, &report);
+  ASSERT_TRUE(got_or.ok()) << got_or.status().ToString();
+  EXPECT_TRUE(got_or.value().Equals(Reference(g, x, opts)));
+  EXPECT_GE(report.respawns, 1);
+}
+
+TEST(DistRunTest, ProbabilisticKillScheduleStillConverges) {
+  const CsrGraph g = TestGraph();
+  const Matrix x = TestFeatures(g);
+  DistOptions opts;
+  opts.hops = 3;
+  opts.retry.max_attempts = 8;
+  opts.retry.base_backoff_micros = 10;
+  opts.retry.max_backoff_micros = 200;
+  opts.breaker.failure_threshold = 50;
+  const Partition parts = partition::LdgPartition(g, 4, 1.05, 31);
+  // Each (worker, epoch, incarnation) draws an independent 25% kill
+  // verdict — a pure hash of the seed and token, so the whole multi-kill
+  // schedule replays identically on every run.
+  FaultInjector faults(0xd15f);
+  faults.Arm(kSiteWorkerKill, 0.25);
+  core::RunContext ctx;
+  ctx.faults = &faults;
+  DistReport report;
+  auto got_or = RunDistributedPropagation(g, parts, x, opts, ctx, &report);
+  ASSERT_TRUE(got_or.ok()) << got_or.status().ToString();
+  EXPECT_TRUE(got_or.value().Equals(Reference(g, x, opts)));
+  EXPECT_GE(report.respawns, 1);
+}
+
+TEST(DistRunTest, RespawnBudgetExhaustionFailsWithUnavailable) {
+  const CsrGraph g = TestGraph();
+  const Matrix x = TestFeatures(g);
+  DistOptions opts;
+  opts.hops = 2;
+  opts.retry.max_attempts = 3;
+  opts.retry.base_backoff_micros = 10;
+  opts.retry.max_backoff_micros = 100;
+  const Partition parts = partition::LdgPartition(g, 2, 1.05, 31);
+  FaultInjector faults;
+  faults.Arm(kSiteWorkerKill, 1.0);  // Every incarnation of every worker dies.
+  core::RunContext ctx;
+  ctx.faults = &faults;
+  auto got_or = RunDistributedPropagation(g, parts, x, opts, ctx);
+  ASSERT_FALSE(got_or.ok());
+  EXPECT_EQ(got_or.status().code(), StatusCode::kUnavailable);
+  EXPECT_NE(got_or.status().ToString().find("respawn budget"),
+            std::string::npos)
+      << got_or.status().ToString();
+}
+
+TEST(DistRunTest, BreakerOpensAfterConsecutiveCrashesInsteadOfHanging) {
+  const CsrGraph g = TestGraph();
+  const Matrix x = TestFeatures(g);
+  DistOptions opts;
+  opts.hops = 2;
+  // A huge per-worker budget: without the breaker this schedule would
+  // respawn ~100 times before failing.
+  opts.retry.max_attempts = 100;
+  opts.retry.base_backoff_micros = 10;
+  opts.retry.max_backoff_micros = 100;
+  opts.breaker.failure_threshold = 5;
+  opts.breaker.probe_interval = 1000;
+  const Partition parts = partition::LdgPartition(g, 2, 1.05, 31);
+  FaultInjector faults;
+  faults.Arm(kSiteWorkerKill, 1.0);
+  core::RunContext ctx;
+  ctx.faults = &faults;
+  auto got_or = RunDistributedPropagation(g, parts, x, opts, ctx);
+  ASSERT_FALSE(got_or.ok());
+  EXPECT_EQ(got_or.status().code(), StatusCode::kUnavailable);
+  EXPECT_NE(got_or.status().ToString().find("circuit breaker"),
+            std::string::npos)
+      << got_or.status().ToString();
+}
+
+TEST(DistRunTest, CheckpointedRunResumesAfterCompletedEpochs) {
+  const CsrGraph g = TestGraph();
+  const Matrix x = TestFeatures(g);
+  const Partition parts = partition::LdgPartition(g, 2, 1.05, 31);
+  const std::string path = TempCheckpointPath("resume");
+  std::remove(path.c_str());
+  FaultInjector no_faults;
+
+  // First run: 2 epochs, checkpointing each.
+  DistOptions first;
+  first.hops = 2;
+  first.checkpoint_path = path;
+  core::RunContext ctx;
+  ctx.faults = &no_faults;
+  DistReport report1;
+  auto first_or = RunDistributedPropagation(g, parts, x, first, ctx, &report1);
+  ASSERT_TRUE(first_or.ok()) << first_or.status().ToString();
+  EXPECT_EQ(report1.checkpoints_written, 2);
+  EXPECT_FALSE(report1.resumed);
+
+  // Second run wants 4 hops from the same inputs: it must restore the
+  // 2-epoch snapshot and execute only epochs 2 and 3 — at a *different*
+  // worker count, which bit-identity makes legal.
+  const Partition parts4 = partition::LdgPartition(g, 4, 1.05, 31);
+  DistOptions second;
+  second.hops = 4;
+  second.checkpoint_path = path;
+  DistReport report2;
+  auto second_or =
+      RunDistributedPropagation(g, parts4, x, second, ctx, &report2);
+  ASSERT_TRUE(second_or.ok()) << second_or.status().ToString();
+  EXPECT_TRUE(report2.resumed);
+  EXPECT_EQ(report2.epochs_restored, 2);
+  EXPECT_EQ(report2.epochs_run, 2);
+  EXPECT_TRUE(second_or.value().Equals(Reference(g, x, second)));
+  std::remove(path.c_str());
+}
+
+TEST(DistRunTest, ResumeOfFullyCompleteCheckpointRunsNoEpochs) {
+  const CsrGraph g = TestGraph();
+  const Matrix x = TestFeatures(g);
+  const Partition parts = partition::LdgPartition(g, 2, 1.05, 31);
+  const std::string path = TempCheckpointPath("complete");
+  std::remove(path.c_str());
+  FaultInjector no_faults;
+  DistOptions opts;
+  opts.hops = 3;
+  opts.checkpoint_path = path;
+  core::RunContext ctx;
+  ctx.faults = &no_faults;
+  ASSERT_TRUE(RunDistributedPropagation(g, parts, x, opts, ctx).ok());
+  DistReport report;
+  auto again_or = RunDistributedPropagation(g, parts, x, opts, ctx, &report);
+  ASSERT_TRUE(again_or.ok()) << again_or.status().ToString();
+  EXPECT_TRUE(report.resumed);
+  EXPECT_EQ(report.epochs_restored, 3);
+  EXPECT_EQ(report.epochs_run, 0);
+  EXPECT_TRUE(again_or.value().Equals(Reference(g, x, opts)));
+  std::remove(path.c_str());
+}
+
+TEST(DistRunTest, ExpiredRunDeadlineFailsWithDeadlineExceeded) {
+  const CsrGraph g = TestGraph();
+  const Matrix x = TestFeatures(g);
+  DistOptions opts;
+  opts.hops = 2;
+  const Partition parts = partition::LdgPartition(g, 2, 1.05, 31);
+  FaultInjector no_faults;
+  core::RunContext ctx;
+  ctx.faults = &no_faults;
+  ctx.deadline = common::Deadline::After(0);
+  auto got_or = RunDistributedPropagation(g, parts, x, opts, ctx);
+  ASSERT_FALSE(got_or.ok());
+  EXPECT_EQ(got_or.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(DistRunTest, RejectsMalformedInputs) {
+  const CsrGraph g = TestGraph();
+  const Matrix x = TestFeatures(g);
+  FaultInjector no_faults;
+  core::RunContext ctx;
+  ctx.faults = &no_faults;
+  DistOptions opts;
+  // Features/graph mismatch.
+  auto bad_rows = RunDistributedPropagation(
+      g, partition::LdgPartition(g, 2, 1.05, 31),
+      Matrix(g.num_nodes() - 1, 4), opts, ctx);
+  EXPECT_EQ(bad_rows.status().code(), StatusCode::kInvalidArgument);
+  // Partition does not cover the graph.
+  Partition short_parts{std::vector<int>(10, 0), 2};
+  auto bad_parts = RunDistributedPropagation(g, short_parts, x, opts, ctx);
+  EXPECT_EQ(bad_parts.status().code(), StatusCode::kInvalidArgument);
+  // Partition id out of range.
+  Partition bad_ids{std::vector<int>(static_cast<size_t>(g.num_nodes()), 0),
+                    2};
+  bad_ids.part_of[5] = 7;
+  auto bad_id = RunDistributedPropagation(g, bad_ids, x, opts, ctx);
+  EXPECT_EQ(bad_id.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace sgnn::dist

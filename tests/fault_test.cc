@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
+#include <functional>
 #include <future>
 #include <limits>
 #include <map>
@@ -202,6 +204,163 @@ TEST(CircuitBreakerTest, InterleavedSuccessKeepsBreakerClosed) {
   }
   EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
   EXPECT_EQ(breaker.trips(), 0);
+}
+
+// ------------------------------------------------------------ spec parsing
+
+TEST(ArmFromSpecTest, ArmsTokenAndProbabilityTriggers) {
+  FaultInjector faults;
+  ASSERT_TRUE(faults.ArmFromSpec("a.site@5;b.site=1.0").ok());
+  EXPECT_FALSE(faults.ShouldFail("a.site", 4));
+  EXPECT_TRUE(faults.ShouldFail("a.site", 5));
+  EXPECT_FALSE(faults.ShouldFail("a.site", 6));
+  EXPECT_TRUE(faults.ShouldFail("b.site", 123));
+  EXPECT_TRUE(faults.ShouldFail("b.site", 456));
+  EXPECT_FALSE(faults.ShouldFail("unarmed.site", 5));
+}
+
+TEST(ArmFromSpecTest, AcceptsBothSeparatorsAndSkipsEmptyEntries) {
+  FaultInjector faults;
+  ASSERT_TRUE(faults.ArmFromSpec(";;x@1,,y=1.0;").ok());
+  EXPECT_TRUE(faults.ShouldFail("x", 1));
+  EXPECT_TRUE(faults.ShouldFail("y", 0));
+}
+
+TEST(ArmFromSpecTest, MalformedEntriesAreInvalidArgument) {
+  FaultInjector faults;
+  EXPECT_EQ(faults.ArmFromSpec("no-trigger-marker").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(faults.ArmFromSpec("x@notanumber").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(faults.ArmFromSpec("x=1.5").code(),
+            StatusCode::kInvalidArgument);  // Probability outside [0,1].
+  EXPECT_EQ(faults.ArmFromSpec("@5").code(), StatusCode::kInvalidArgument);
+  // Entries before the malformed one stay armed.
+  FaultInjector partial;
+  EXPECT_FALSE(partial.ArmFromSpec("good@7;bad").ok());
+  EXPECT_TRUE(partial.ShouldFail("good", 7));
+}
+
+TEST(ArmFromSpecTest, ArmFromEnvReadsSgnnFaults) {
+  ASSERT_EQ(setenv(kFaultsEnv, "env.site@3", 1), 0);
+  FaultInjector faults;
+  ASSERT_TRUE(faults.ArmFromEnv().ok());
+  EXPECT_TRUE(faults.ShouldFail("env.site", 3));
+  EXPECT_FALSE(faults.ShouldFail("env.site", 4));
+  ASSERT_EQ(unsetenv(kFaultsEnv), 0);
+  FaultInjector unarmed;
+  EXPECT_TRUE(unarmed.ArmFromEnv().ok());  // Unset env is a no-op.
+  EXPECT_FALSE(unarmed.ShouldFail("env.site", 3));
+}
+
+// ------------------------------------------- retry x breaker interaction
+
+/// The reconnect loop sgnn::dist's coordinator runs per dead worker,
+/// reduced to its control flow: bounded retries with deterministic
+/// backoff, gated by a breaker shared across the whole run. `connect`
+/// returns the outcome of one respawn attempt.
+Status ReconnectWithBudget(const RetryPolicy& policy, CircuitBreaker* breaker,
+                           const std::function<Status()>& connect,
+                           std::vector<int64_t>* backoffs = nullptr) {
+  Status last = Status::OK();
+  for (int attempt = 1; attempt <= policy.max_attempts; ++attempt) {
+    if (!breaker->Allow()) {
+      // Degraded path: report, never hang on a known-bad endpoint.
+      return Status::Unavailable("circuit breaker open");
+    }
+    last = connect();
+    if (last.ok()) {
+      breaker->RecordSuccess();
+      return last;
+    }
+    breaker->RecordFailure();
+    if (!RetryPolicy::Retryable(last.code())) return last;
+    if (backoffs != nullptr && attempt < policy.max_attempts) {
+      backoffs->push_back(
+          policy.BackoffMicros(attempt, /*token=*/static_cast<uint64_t>(7)));
+    }
+  }
+  return last;
+}
+
+TEST(RetryBreakerInteractionTest, TransientCrashesRecoverWithinBudget) {
+  RetryPolicy policy;
+  policy.max_attempts = 4;
+  CircuitBreaker breaker;  // Threshold 8: two crashes never trip it.
+  int attempts = 0;
+  std::vector<int64_t> backoffs;
+  const Status s = ReconnectWithBudget(
+      policy, &breaker,
+      [&attempts] {
+        ++attempts;
+        return attempts < 3 ? Status::Unavailable("worker died") : Status::OK();
+      },
+      &backoffs);
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(attempts, 3);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  // Backoff between respawns is deterministic and non-decreasing.
+  ASSERT_EQ(backoffs.size(), 2u);
+  EXPECT_GT(backoffs[0], 0);
+  EXPECT_LE(backoffs[0], backoffs[1]);
+  std::vector<int64_t> replay;
+  ReconnectWithBudget(
+      policy, &breaker,
+      [n = 0]() mutable {
+        return ++n < 3 ? Status::Unavailable("worker died") : Status::OK();
+      },
+      &replay);
+  EXPECT_EQ(backoffs, replay);
+}
+
+TEST(RetryBreakerInteractionTest,
+     RepeatedCrashRespawnCyclesOpenTheBreakerAndDegrade) {
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  CircuitBreaker::Config config;
+  config.failure_threshold = 5;
+  config.probe_interval = 1000;  // No probes within this test.
+  CircuitBreaker breaker(config);
+  int calls = 0;
+  const auto always_crash = [&calls] {
+    ++calls;
+    return Status::Unavailable("worker died");
+  };
+
+  // Cycle 1: three crash-respawn attempts, budget exhausted, breaker still
+  // closed (3 < 5) — the caller sees the endpoint's own error.
+  Status s = ReconnectWithBudget(policy, &breaker, always_crash);
+  EXPECT_EQ(s.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+
+  // Cycle 2: two more crashes trip the breaker mid-cycle; the remaining
+  // attempt is fast-failed without touching the endpoint.
+  s = ReconnectWithBudget(policy, &breaker, always_crash);
+  EXPECT_EQ(s.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(calls, 5);  // Not 6: the third attempt never ran.
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_NE(s.ToString().find("circuit breaker open"), std::string::npos);
+
+  // Cycle 3: fully degraded — zero endpoint calls, immediate kUnavailable
+  // instead of hanging in respawn loops.
+  s = ReconnectWithBudget(policy, &breaker, always_crash);
+  EXPECT_EQ(s.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(calls, 5);
+  EXPECT_GT(breaker.fast_fails(), 0);
+}
+
+TEST(RetryBreakerInteractionTest, PermanentErrorsSkipTheRetryLoop) {
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  CircuitBreaker breaker;
+  int calls = 0;
+  const Status s = ReconnectWithBudget(policy, &breaker, [&calls] {
+    ++calls;
+    return Status::InvalidArgument("bad spec");
+  });
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(calls, 1);  // Permanent: no respawn churn.
 }
 
 }  // namespace

@@ -243,6 +243,45 @@ TEST(CorruptionTest, EveryShardSectionIsCovered) {
   std::filesystem::remove_all(dir);
 }
 
+TEST(CorruptionTest, TornManifestIsDataLossAtEveryTruncationPoint) {
+  // Crash-atomicity: a torn manifest write (the rename never happened, or a
+  // crash left a short file) must surface as kDataLoss with a first-offender
+  // message at EVERY possible truncation length — never UB, never a
+  // partially-opened graph. Sweep every byte boundary of the manifest tail.
+  const CsrGraph g = graph::ErdosRenyi(60, 240, 11);
+  const std::string dir = NewDir("torn_manifest");
+  ASSERT_TRUE(WriteShardedGraph(g, ShardPlan::Contiguous(g, 2), dir).ok());
+  const std::string manifest_path = ManifestPath(dir);
+  const std::string bytes = ReadAll(manifest_path);
+  ASSERT_GT(bytes.size(), 8u);
+
+  for (size_t keep = 0; keep < bytes.size(); ++keep) {
+    {
+      std::ofstream out(manifest_path, std::ios::binary | std::ios::trunc);
+      out.write(bytes.data(), static_cast<std::streamoff>(keep));
+    }
+    auto open_or = ShardedGraph::Open(dir);
+    ASSERT_FALSE(open_or.ok()) << "opened with a " << keep
+                               << "-byte manifest tail";
+    EXPECT_EQ(open_or.status().code(), common::StatusCode::kDataLoss)
+        << "keep=" << keep << ": " << open_or.status().ToString();
+    // First-offender diagnostics: the message names the manifest and what
+    // framing check tripped, so operators see the torn file immediately.
+    ExpectStatusContains(open_or.status(), manifest_path);
+  }
+
+  // Restoring the full manifest restores the graph: no state leaked from
+  // the failed opens.
+  {
+    std::ofstream out(manifest_path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamoff>(bytes.size()));
+  }
+  auto open_or = ShardedGraph::Open(dir);
+  ASSERT_TRUE(open_or.ok()) << open_or.status().message();
+  EXPECT_EQ(open_or.value()->num_nodes(), g.num_nodes());
+  std::filesystem::remove_all(dir);
+}
+
 TEST(ValidatorTest, SemanticFirstOffenderDiagnostics) {
   const CsrGraph g = graph::ErdosRenyi(80, 300, 4);
   const std::string dir = NewDir("semantic");

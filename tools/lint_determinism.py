@@ -78,12 +78,24 @@ CONFINED_FORBIDDEN = {
         ("C stdio / descriptor I/O (confined to src/storage/)",
          re.compile(r"(?<![_\w])(?:fopen|fread|fwrite|pread|pwrite)\s*\(")),
     ],
+    # Process management is confined to sgnn::dist: forked children that
+    # escape the coordinator's spawn/reap/respawn bookkeeping would break
+    # both the replayable kill schedules and the bit-identity contract
+    # (an unmanaged worker's writes race the canonical epoch state). The
+    # lookbehind admits `::fork(` etc. but rejects `do_fork(`/`my_kill(`.
+    "src/dist/": [
+        ("process/socket syscall (confined to src/dist/)",
+         re.compile(r"(?<![_\w])(?:fork|vfork|socketpair|pipe2?)\s*\(")),
+        ("signal/process-control syscall (confined to src/dist/)",
+         re.compile(r"(?<![_\w])(?:kill|waitpid|signal|sigaction|_exit)\s*\(")),
+    ],
 }
 
 # Negative fixtures for the confined rules: clean when linted under the
 # confining prefix, tripping every confined rule when linted anywhere else.
 CONFINED_FIXTURES = {
     "src/storage/": "tools/lint_fixtures/storage_rawio.cc.fixture",
+    "src/dist/": "tools/lint_fixtures/dist_process.cc.fixture",
 }
 
 # Wrapper files allowed to touch the primitives they encapsulate.
