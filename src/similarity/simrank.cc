@@ -112,9 +112,15 @@ std::vector<std::pair<NodeId, double>> TopKSimRank(
   }
   candidates.erase(source);
 
+  // Score in ascending node order: iterating the unordered_set directly
+  // would consume the RNG in hash order, making scores depend on the
+  // standard library's hashing.
+  std::vector<NodeId> ordered(candidates.begin(), candidates.end());
+  std::sort(ordered.begin(), ordered.end());
+
   std::vector<std::pair<NodeId, double>> scored;
-  scored.reserve(candidates.size());
-  for (NodeId v : candidates) {
+  scored.reserve(ordered.size());
+  for (NodeId v : ordered) {
     const double score = SimRankMonteCarlo(graph, source, v, c,
                                            num_walk_pairs, max_length,
                                            rng.engine()());
