@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/check.h"
+#include "common/counters.h"
 
 namespace sgnn::dist {
 
@@ -50,6 +51,9 @@ HaloPlan BuildHaloPlan(const graph::CsrGraph& graph,
     auto& need = plan.need[static_cast<size_t>(w)];
     std::sort(need.begin(), need.end());
   }
+  // Each node is owned by exactly one worker, so the halo scan reads every
+  // directed edge exactly once.
+  common::GlobalCounters().edges_touched += graph.num_edges();
   return plan;
 }
 
@@ -72,6 +76,8 @@ std::string EncodeRows(const std::vector<NodeId>& ids,
                 static_cast<size_t>(cols) * sizeof(float));
     p += static_cast<size_t>(cols) * sizeof(float);
   }
+  common::GlobalCounters().floats_moved +=
+      static_cast<uint64_t>(ids.size()) * static_cast<uint64_t>(cols);
   return payload;
 }
 

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/counters.h"
 #include "dist/exchange.h"
 #include "dist/frame.h"
 #include "tensor/matrix.h"
@@ -193,6 +194,15 @@ void ComputeEpoch(WorkerState* state) {
       for (int64_t j = 0; j < cols; ++j) orow[j] += c * xrow[j];
     }
   }
+  // Same billing as Propagator::Apply: every local edge is walked, and one
+  // feature row moves per edge (this worker's own counters; the
+  // coordinator aggregates per-process totals out of band).
+  const uint64_t edges =
+      spec.offsets.empty() ? 0 : spec.offsets[spec.owned.size()] -
+                                     spec.offsets[0];
+  auto& counters = common::GlobalCounters();
+  counters.edges_touched += edges;
+  counters.floats_moved += edges * static_cast<uint64_t>(cols);
 }
 
 /// Stores a received row batch (scatter, restore, or halo) into the local

@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "common/check.h"
+#include "common/counters.h"
 
 namespace sgnn::graph {
 
@@ -30,6 +31,7 @@ std::vector<int64_t> TrianglesPerNode(const CsrGraph& graph) {
     std::sort(forward[u].begin(), forward[u].end());
   }
   std::vector<int64_t> triangles(n, 0);
+  uint64_t merge_steps = 0;
   for (NodeId u = 0; u < n; ++u) {
     for (NodeId v : forward[u]) {
       // Triangles u-v-w with w in forward[u] ∩ forward[v].
@@ -37,6 +39,7 @@ std::vector<int64_t> TrianglesPerNode(const CsrGraph& graph) {
       const auto& fv = forward[v];
       size_t i = 0, j = 0;
       while (i < fu.size() && j < fv.size()) {
+        ++merge_steps;
         if (fu[i] == fv[j]) {
           triangles[u]++;
           triangles[v]++;
@@ -51,6 +54,9 @@ std::vector<int64_t> TrianglesPerNode(const CsrGraph& graph) {
       }
     }
   }
+  // Orientation scan reads every directed edge once; each merge step is
+  // one forward-list entry visit.
+  common::GlobalCounters().edges_touched += graph.num_edges() + merge_steps;
   return triangles;
 }
 
@@ -108,6 +114,8 @@ std::vector<int> CoreNumbers(const CsrGraph& graph) {
       degree[v]--;
     }
   }
+  // The peel visits every directed edge exactly once.
+  common::GlobalCounters().edges_touched += graph.num_edges();
   return core;
 }
 
@@ -118,7 +126,9 @@ std::vector<double> GlobalPageRank(const CsrGraph& graph, double alpha,
   SGNN_CHECK_GT(n, 0u);
   std::vector<double> pr(n, 1.0 / n);
   std::vector<double> next(n, 0.0);
+  int iters_run = 0;
   for (int iter = 0; iter < max_iters; ++iter) {
+    ++iters_run;
     double dangling = 0.0;
     std::fill(next.begin(), next.end(), 0.0);
     for (NodeId u = 0; u < n; ++u) {
@@ -141,6 +151,11 @@ std::vector<double> GlobalPageRank(const CsrGraph& graph, double alpha,
     pr.swap(next);
     if (diff < tol) break;
   }
+  const uint64_t edge_work =
+      static_cast<uint64_t>(iters_run) * graph.num_edges();
+  auto& counters = common::GlobalCounters();
+  counters.edges_touched += edge_work;
+  counters.floats_moved += edge_work;  // one weighted value per edge
   return pr;
 }
 

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <queue>
 
+#include "common/counters.h"
 #include "common/rng.h"
 
 namespace sgnn::graph {
@@ -35,6 +36,7 @@ double EdgeHomophily(const CsrGraph& graph, std::span<const int> labels) {
       if (labels[u] == labels[v]) ++same;
     }
   }
+  common::GlobalCounters().edges_touched += graph.num_edges();
   return static_cast<double>(same) / static_cast<double>(graph.num_edges());
 }
 
@@ -58,6 +60,8 @@ Components ConnectedComponents(const CsrGraph& graph) {
       }
     }
   }
+  // Every node is popped exactly once, so every directed edge is read once.
+  common::GlobalCounters().edges_touched += graph.num_edges();
   return out;
 }
 
@@ -67,9 +71,11 @@ std::vector<int> BfsDistances(const CsrGraph& graph, NodeId source) {
   dist[source] = 0;
   std::queue<NodeId> frontier;
   frontier.push(source);
+  uint64_t edges = 0;
   while (!frontier.empty()) {
     const NodeId u = frontier.front();
     frontier.pop();
+    edges += graph.OutDegree(u);
     for (NodeId v : graph.Neighbors(u)) {
       if (dist[v] == -1) {
         dist[v] = dist[u] + 1;
@@ -77,6 +83,7 @@ std::vector<int> BfsDistances(const CsrGraph& graph, NodeId source) {
       }
     }
   }
+  common::GlobalCounters().edges_touched += edges;
   return dist;
 }
 
@@ -111,11 +118,13 @@ double ClusteringCoefficient(const CsrGraph& graph, NodeId sample_size,
   }
   double acc = 0.0;
   int64_t counted = 0;
+  uint64_t probes = 0;
   for (NodeId u : nodes) {
     auto nbrs = graph.Neighbors(u);
     const size_t d = nbrs.size();
     if (d < 2) continue;
     int64_t closed = 0;
+    probes += static_cast<uint64_t>(d) + (d * (d - 1)) / 2;
     for (size_t i = 0; i < d; ++i) {
       for (size_t j = i + 1; j < d; ++j) {
         if (graph.HasEdge(nbrs[i], nbrs[j])) ++closed;
@@ -125,6 +134,9 @@ double ClusteringCoefficient(const CsrGraph& graph, NodeId sample_size,
            (static_cast<double>(d) * static_cast<double>(d - 1));
     ++counted;
   }
+  // One neighbour-list scan per sampled node plus one adjacency probe per
+  // neighbour pair.
+  common::GlobalCounters().edges_touched += probes;
   return counted == 0 ? 0.0 : acc / static_cast<double>(counted);
 }
 
