@@ -72,6 +72,9 @@ class ThreadPool {
   std::condition_variable_any work_available_;
   std::condition_variable_any idle_;
   std::deque<std::function<void()>> tasks_ SGNN_GUARDED_BY(mu_);
+  // sgnn-lint: allow(lock/unannotated-field): mutated only by Resize and
+  // the destructor, which the documented contract serialises outside any
+  // workload; joining under mu_ would deadlock against WorkerLoop.
   std::vector<std::thread> workers_;
   int active_ SGNN_GUARDED_BY(mu_) = 0;  ///< Tasks currently executing.
   bool stopping_ SGNN_GUARDED_BY(mu_) = false;

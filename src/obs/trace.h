@@ -104,6 +104,8 @@ class Tracer {
   };
 
   common::TickClock clock_;
+  // sgnn-lint: allow(lock/unannotated-field): sized at construction and
+  // never resized; each shard's mutable state is guarded by Shard::mu.
   std::vector<std::unique_ptr<Shard>> shards_;
   common::Mutex track_mu_;
   int next_track_ SGNN_GUARDED_BY(track_mu_) = 0;

@@ -49,6 +49,9 @@ struct Section {
   std::atomic<int64_t> next{0};
   const std::function<void(int, Range)>* fn = nullptr;  ///< Caller-owned.
   std::span<const Range> ranges;
+  // sgnn-lint: allow(lock/unannotated-field): sized before any task is
+  // submitted; each worker writes only the slots of shards it claimed via
+  // `next`, so writes are disjoint and the caller reads after `done`.
   std::vector<common::OpCounters> deltas;
 
   common::Mutex mu;

@@ -201,9 +201,14 @@ class BatchingServer {
 
   ServeMetrics metrics_;
   common::CircuitBreaker breaker_;
-  common::OpCounters base_ops_;  ///< Aggregate counters at construction.
+  /// Aggregate counters at construction.
+  // sgnn-lint: allow(lock/unannotated-field): written once in the
+  // constructor before the batcher thread starts, read-only afterwards.
+  common::OpCounters base_ops_;
 
   std::atomic<bool> shutdown_{false};
+  // sgnn-lint: allow(lock/unannotated-field): started in the constructor,
+  // joined in Shutdown(); no access in between.
   std::thread batcher_;
 };
 

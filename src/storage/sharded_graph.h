@@ -237,12 +237,22 @@ class ShardedGraph {
   void UnmapLocked(Slot& slot) SGNN_REQUIRES(mu_);
   void Unpin(int shard) SGNN_EXCLUDES(mu_);
 
+  // The next block is written exactly once by Open(), before the graph is
+  // handed to any other thread; afterwards every field is read-only, so
+  // unguarded access is sound without taking mu_ on hot read paths.
+  // sgnn-lint: allow(lock/unannotated-field): set once in Open() pre-share
   std::string dir_;
+  // sgnn-lint: allow(lock/unannotated-field): set once in Open() pre-share
   ShardManifest manifest_;
+  // sgnn-lint: allow(lock/unannotated-field): set once in Open() pre-share
   uint64_t budget_bytes_ = 0;
+  // sgnn-lint: allow(lock/unannotated-field): set once in Open() pre-share
   uint64_t total_shard_bytes_ = 0;
+  // sgnn-lint: allow(lock/unannotated-field): set once in Open() pre-share
   bool verify_crc_on_load_ = true;
+  // sgnn-lint: allow(lock/unannotated-field): set once in Open() pre-share
   std::vector<graph::EdgeIndex> degrees_;  // size num_nodes
+  // sgnn-lint: allow(lock/unannotated-field): set once in Open() pre-share
   std::vector<uint32_t> local_row_;        // size num_nodes
 
   obs::Tracer* tracer_ = nullptr;
