@@ -304,12 +304,13 @@ TEST(RetryBreakerInteractionTest, TransientCrashesRecoverWithinBudget) {
   EXPECT_GT(backoffs[0], 0);
   EXPECT_LE(backoffs[0], backoffs[1]);
   std::vector<int64_t> replay;
-  ReconnectWithBudget(
+  const Status replay_status = ReconnectWithBudget(
       policy, &breaker,
       [n = 0]() mutable {
         return ++n < 3 ? Status::Unavailable("worker died") : Status::OK();
       },
       &replay);
+  EXPECT_TRUE(replay_status.ok());
   EXPECT_EQ(backoffs, replay);
 }
 
