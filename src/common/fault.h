@@ -52,7 +52,7 @@ class FaultInjector {
 
   /// Convenience wrapper: `kUnavailable` ("injected fault at <site>") when
   /// the token trigger fires, OK otherwise.
-  Status MaybeFail(const std::string& site, uint64_t token) SGNN_EXCLUDES(mu_);
+  SGNN_NODISCARD Status MaybeFail(const std::string& site, uint64_t token) SGNN_EXCLUDES(mu_);
 
   /// Operations observed at `site` (armed or not).
   int64_t OpCount(const std::string& site) const SGNN_EXCLUDES(mu_);
@@ -65,12 +65,12 @@ class FaultInjector {
   /// Example: `"dist.worker.kill@65537;dist.frame.corrupt=0.01"`. Empty
   /// entries are skipped; a malformed entry yields `kInvalidArgument`
   /// (entries before it stay armed).
-  Status ArmFromSpec(const std::string& spec) SGNN_EXCLUDES(mu_);
+  SGNN_NODISCARD Status ArmFromSpec(const std::string& spec) SGNN_EXCLUDES(mu_);
 
   /// Reads the `SGNN_FAULTS` environment variable and forwards a non-empty
   /// value to `ArmFromSpec`; OK when unset. This is how a forked worker or
   /// a CI job injects a deterministic kill schedule without code changes.
-  Status ArmFromEnv() SGNN_EXCLUDES(mu_);
+  SGNN_NODISCARD Status ArmFromEnv() SGNN_EXCLUDES(mu_);
 
  private:
   struct Site {

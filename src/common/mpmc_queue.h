@@ -31,7 +31,7 @@ class BoundedMpmcQueue {
 
   /// Enqueues without blocking. `kUnavailable` when full (backpressure),
   /// `kFailedPrecondition` after `Close()`.
-  Status TryPush(T item) SGNN_EXCLUDES(mu_) {
+  SGNN_NODISCARD Status TryPush(T item) SGNN_EXCLUDES(mu_) {
     {
       MutexLock lock(mu_);
       if (closed_) {

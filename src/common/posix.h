@@ -20,10 +20,10 @@ namespace sgnn::common {
 ///   EACCES/EPERM                -> kFailedPrecondition
 ///   EINVAL/EBADF                -> kInvalidArgument
 ///   anything else               -> kIOError
-Status StatusFromErrno(const std::string& prefix, int err);
+SGNN_NODISCARD Status StatusFromErrno(const std::string& prefix, int err);
 
 /// Overload reading the calling thread's current `errno`.
-Status StatusFromErrno(const std::string& prefix);
+SGNN_NODISCARD Status StatusFromErrno(const std::string& prefix);
 
 /// Reads exactly `n` bytes from `fd` into `buf`, retrying on `EINTR` and
 /// continuing across short reads. On end-of-stream before `n` bytes the
@@ -31,13 +31,13 @@ Status StatusFromErrno(const std::string& prefix);
 /// map through `StatusFromErrno`. If `bytes_read` is non-null it receives
 /// the number of bytes actually consumed (also on failure), which lets a
 /// framing layer distinguish a clean close (0 bytes) from a torn frame.
-Status ReadFull(int fd, void* buf, std::size_t n,
+SGNN_NODISCARD Status ReadFull(int fd, void* buf, std::size_t n,
                 std::size_t* bytes_read = nullptr);
 
 /// Writes exactly `n` bytes from `buf` to `fd`, retrying on `EINTR` and
 /// continuing across short writes. `EPIPE` surfaces as `kUnavailable` via
 /// `StatusFromErrno` (callers must have SIGPIPE ignored or blocked).
-Status WriteFull(int fd, const void* buf, std::size_t n);
+SGNN_NODISCARD Status WriteFull(int fd, const void* buf, std::size_t n);
 
 }  // namespace sgnn::common
 

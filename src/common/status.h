@@ -6,6 +6,13 @@
 
 #include "common/check.h"
 
+/// Marks a type or function whose result must not be silently dropped.
+/// Applied to `Status`/`StatusOr` themselves, so every function returning
+/// one by value inherits the check; also placed on individual
+/// Status-returning public APIs as documentation. The compiler enforces
+/// what the `status/discarded` lint rule checks textually.
+#define SGNN_NODISCARD [[nodiscard]]
+
 namespace sgnn::common {
 
 /// Error category for a failed operation. `kOk` denotes success.
@@ -33,7 +40,7 @@ const char* StatusCodeName(StatusCode code);
 /// that can fail for data-dependent reasons return `Status` (or `StatusOr<T>`
 /// for value-producing operations), following the RocksDB/Arrow idiom.
 /// Programming errors are enforced with `SGNN_CHECK` instead.
-class Status {
+class SGNN_NODISCARD Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -109,7 +116,7 @@ class Status {
 /// Accessing `value()` on an error-state object aborts via `SGNN_CHECK`,
 /// so callers must test `ok()` first.
 template <typename T>
-class StatusOr {
+class SGNN_NODISCARD StatusOr {
  public:
   /// Implicit construction from a value or an error, mirroring absl.
   StatusOr(T value)  // NOLINT(google-explicit-constructor)

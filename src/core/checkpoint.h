@@ -46,21 +46,21 @@ uint64_t PipelineSignature(const std::vector<std::string>& stage_names,
 
 /// Serialises `snapshot` to `path` (atomically via rename from a `.tmp`
 /// sibling, so a crash mid-write never corrupts an older valid snapshot).
-common::Status SaveSnapshot(const PipelineSnapshot& snapshot,
+SGNN_NODISCARD common::Status SaveSnapshot(const PipelineSnapshot& snapshot,
                             const std::string& path);
 
 /// Loads and validates a snapshot: `kNotFound` when no file exists,
 /// `kIOError` when the file is unreadable or fails the CRC / framing
 /// checks (corruption), `kFailedPrecondition` when the snapshot belongs to
 /// a different pipeline (`expected_signature` mismatch).
-common::StatusOr<PipelineSnapshot> LoadSnapshot(const std::string& path,
+SGNN_NODISCARD common::StatusOr<PipelineSnapshot> LoadSnapshot(const std::string& path,
                                                 uint64_t expected_signature);
 
 /// Deep-checks a snapshot file beyond the CRC: loads it, then runs the
 /// `sgnn::analysis` checkpoint validators (stage bookkeeping, payload graph
 /// invariants, feature alignment/finiteness). Use before trusting a
 /// snapshot produced by an earlier — possibly crashed — run.
-common::Status ValidateCheckpointFile(const std::string& path,
+SGNN_NODISCARD common::Status ValidateCheckpointFile(const std::string& path,
                                       uint64_t expected_signature);
 
 }  // namespace sgnn::core

@@ -11,11 +11,11 @@ namespace sgnn::core {
 /// Persists a dataset as a directory of text files: `graph.txt` (edge
 /// list, see graph::SaveEdgeList), `features.txt`, `labels.txt` and
 /// `splits.txt`. The directory must exist.
-common::Status SaveDataset(const Dataset& dataset, const std::string& dir);
+SGNN_NODISCARD common::Status SaveDataset(const Dataset& dataset, const std::string& dir);
 
 /// Loads a dataset written by `SaveDataset`. Validates cross-file
 /// consistency (row counts, label range, split disjointness).
-common::StatusOr<Dataset> LoadDataset(const std::string& dir);
+SGNN_NODISCARD common::StatusOr<Dataset> LoadDataset(const std::string& dir);
 
 }  // namespace sgnn::core
 

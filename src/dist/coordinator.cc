@@ -353,7 +353,11 @@ void Coordinator::KillAll() {
     if (handle.fd >= 0) {
       Frame shutdown;
       shutdown.type = FrameType::kShutdown;
-      WriteFrame(handle.fd, shutdown, &control_stats_);
+      // Best-effort courtesy shutdown: a failed write means the worker is
+      // already gone, and the close + SIGKILL below reap it regardless.
+      if (!WriteFrame(handle.fd, shutdown, &control_stats_).ok()) {
+        // Fall through to close + SIGKILL.
+      }
       ::close(handle.fd);
       handle.fd = -1;
     }

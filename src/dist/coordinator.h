@@ -81,7 +81,7 @@ struct DistReport {
 /// null an injector armed from `SGNN_FAULTS` (see
 /// `FaultInjector::ArmFromEnv`) is used, which is how CI injects a kill
 /// schedule into an unmodified binary.
-common::StatusOr<tensor::Matrix> RunDistributedPropagation(
+SGNN_NODISCARD common::StatusOr<tensor::Matrix> RunDistributedPropagation(
     const graph::CsrGraph& graph, const partition::Partition& parts,
     const tensor::Matrix& x, const DistOptions& opts,
     const core::RunContext& ctx, DistReport* report = nullptr);

@@ -44,7 +44,7 @@ std::string EncodeRows(const std::vector<graph::NodeId>& ids,
 /// Decodes a row batch, invoking `sink(id, row)` per record with `row`
 /// pointing at `cols` floats. Framing errors are `kDataLoss`; a non-OK
 /// sink status aborts the decode and is returned as-is.
-common::Status DecodeRows(
+SGNN_NODISCARD common::Status DecodeRows(
     const std::string& payload, int64_t cols,
     const std::function<common::Status(graph::NodeId, const float*)>& sink);
 

@@ -80,7 +80,7 @@ struct WireStats {
 /// silent no-op (OK), the corrupt site flips a payload byte post-CRC, and
 /// the truncate site writes half the bytes and returns `kDataLoss` — the
 /// sender's stream is then poisoned and it must stop using the socket.
-common::Status WriteFrame(int fd, const Frame& frame,
+SGNN_NODISCARD common::Status WriteFrame(int fd, const Frame& frame,
                           WireStats* stats = nullptr,
                           const FrameFaults& faults = {});
 
@@ -88,7 +88,7 @@ common::Status WriteFrame(int fd, const Frame& frame,
 /// (`kDeadlineExceeded` when it expires first). A peer that closed the
 /// stream between frames is `kUnavailable`; one that died mid-frame, or a
 /// CRC/framing mismatch, is `kDataLoss`.
-common::Status ReadFrame(int fd, Frame* frame, const common::Deadline& deadline,
+SGNN_NODISCARD common::Status ReadFrame(int fd, Frame* frame, const common::Deadline& deadline,
                          WireStats* stats = nullptr);
 
 }  // namespace sgnn::dist

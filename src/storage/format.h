@@ -117,23 +117,23 @@ std::string SerializeShard(const ShardData& shard);
 /// bad magic/version) and CRC mismatches return `kDataLoss` naming the first
 /// offending section; a missing file returns `kNotFound`. Semantic checks
 /// (assignment consistency, overlap) live in `analysis::ValidateShardManifest`.
-common::StatusOr<ShardManifest> ReadManifest(const std::string& path);
+SGNN_NODISCARD common::StatusOr<ShardManifest> ReadManifest(const std::string& path);
 
 /// Decodes + integrity-checks one shard file (magic, version, exact size,
 /// header CRC, all four section CRCs), same status contract as
 /// `ReadManifest`.
-common::StatusOr<ShardData> ReadShardFile(const std::string& path);
+SGNN_NODISCARD common::StatusOr<ShardData> ReadShardFile(const std::string& path);
 
 /// Verifies magic/version/header-CRC and that `file_bytes` matches the
 /// layout implied by the header counts, without touching the sections.
 /// `where` names the file in diagnostics.
-common::StatusOr<ShardHeader> ParseShardHeader(const void* bytes,
+SGNN_NODISCARD common::StatusOr<ShardHeader> ParseShardHeader(const void* bytes,
                                                uint64_t file_bytes,
                                                const std::string& where);
 
 /// CRC-checks all four sections of a complete shard image (mapped or
 /// read); `header` must come from `ParseShardHeader` over the same bytes.
-common::Status VerifyShardSections(const void* bytes,
+SGNN_NODISCARD common::Status VerifyShardSections(const void* bytes,
                                    const ShardHeader& header,
                                    const std::string& where);
 

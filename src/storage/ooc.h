@@ -46,7 +46,7 @@ class OocPropagator {
   /// in ascending order; rows within the pinned shard fan out over
   /// `sgnn::par`. Bills edges/floats to `common::GlobalCounters` exactly
   /// like the in-memory kernel.
-  common::Status Apply(const tensor::Matrix& x, tensor::Matrix* out) const;
+  SGNN_NODISCARD common::Status Apply(const tensor::Matrix& x, tensor::Matrix* out) const;
 
   graph::Normalization normalization() const { return norm_; }
   bool self_loops() const { return !self_loop_coeff_.empty(); }
@@ -64,7 +64,7 @@ class OocPropagator {
 /// Out-of-core `ppr::ForwardPush`: identical queue traversal (and thus
 /// identical result and push/edge counts); neighbour reads pin the owning
 /// shard per push, degrees come from the resident index.
-common::StatusOr<ppr::PushResult> ForwardPush(ShardedGraph* graph,
+SGNN_NODISCARD common::StatusOr<ppr::PushResult> ForwardPush(ShardedGraph* graph,
                                               graph::NodeId source,
                                               double alpha, double r_max);
 
@@ -72,7 +72,7 @@ common::StatusOr<ppr::PushResult> ForwardPush(ShardedGraph* graph,
 /// in-memory batch) so the eviction sequence is reproducible; per-seed
 /// results are bit-identical to both `ppr::PushBatch` and per-seed
 /// `ForwardPush`.
-common::StatusOr<std::vector<ppr::PushResult>> PushBatch(
+SGNN_NODISCARD common::StatusOr<std::vector<ppr::PushResult>> PushBatch(
     ShardedGraph* graph, std::span<const graph::NodeId> seeds, double alpha,
     double r_max);
 
@@ -81,7 +81,7 @@ common::StatusOr<std::vector<ppr::PushResult>> PushBatch(
 /// in-memory sampler with an equal-state `rng`. Destinations are grouped
 /// by shard and shards visited in ascending order; the keyed draws make
 /// the grouping invisible in the output.
-common::StatusOr<sampling::MiniBatch> SampleNodeWise(
+SGNN_NODISCARD common::StatusOr<sampling::MiniBatch> SampleNodeWise(
     ShardedGraph* graph, std::span<const graph::NodeId> seeds,
     std::span<const int> fanouts, common::Rng* rng);
 

@@ -38,7 +38,7 @@ struct ShardPlan {
 /// that opens successfully with partial data. Returns `kInvalidArgument`
 /// for a plan that does not cover the graph and `kIOError` on filesystem
 /// failure.
-common::Status WriteShardedGraph(const graph::CsrGraph& graph,
+SGNN_NODISCARD common::Status WriteShardedGraph(const graph::CsrGraph& graph,
                                  const ShardPlan& plan,
                                  const std::string& dir);
 

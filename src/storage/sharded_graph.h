@@ -206,10 +206,10 @@ class ShardedGraph {
   /// unpinned shards to respect the budget. `kResourceExhausted` when the
   /// working set (this shard plus currently pinned ones) cannot fit;
   /// `kDataLoss` when the shard file fails integrity checks.
-  common::StatusOr<PinnedShard> PinShard(int shard) SGNN_EXCLUDES(mu_);
+  SGNN_NODISCARD common::StatusOr<PinnedShard> PinShard(int shard) SGNN_EXCLUDES(mu_);
 
   /// Pins the shard owning node `u`.
-  common::StatusOr<PinnedShard> Pin(graph::NodeId u) {
+  SGNN_NODISCARD common::StatusOr<PinnedShard> Pin(graph::NodeId u) {
     return PinShard(shard_of(u));
   }
 
