@@ -1,0 +1,18 @@
+#!/usr/bin/env python3
+"""sgnn-lint driver. See tools/sgnn_lint/__init__.py for the pass and rule
+catalog; `--list-rules` prints every stable rule id.
+
+  tools/sgnn_lint.py [--root DIR]      lint the repo (all five passes)
+  tools/sgnn_lint.py --self-test       prove every rule against its fixture
+  tools/sgnn_lint.py --pass det        run a single pass
+"""
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+
+from sgnn_lint import cli  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(cli.main())

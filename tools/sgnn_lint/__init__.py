@@ -1,0 +1,37 @@
+"""sgnn-lint: the unified multi-pass static-analysis suite for the sgnn tree.
+
+Five passes enforce the conventions the layered architecture rests on but
+the compiler cannot see end-to-end:
+
+  layering  -- every `#include` edge between src/ modules must be declared
+               in tools/sgnn_lint/layers.toml, and the declared graph must
+               be a DAG (documented header-only seams are explicit,
+               justified exceptions).
+  status    -- a call whose result is `Status`/`StatusOr` may not be
+               discarded at statement level, and `(void)`-casting one away
+               requires a justified suppression. Complemented at compile
+               time by `SGNN_NODISCARD` + `-Werror`.
+  lock      -- a class that declares a `Mutex`/`SharedMutex` member must
+               annotate every mutable field with `SGNN_GUARDED_BY` /
+               `SGNN_PT_GUARDED_BY` or suppress with a justification.
+  det       -- the determinism contract (absorbs the former
+               lint_determinism.py): no unseeded entropy, no wall clocks in
+               results, no `assert`, confined raw I/O and process syscalls,
+               plus no iteration over unordered containers and no
+               pointer-keyed ordering in deterministic paths under src/.
+  billing   -- kernel translation units under src/{graph,par,storage,dist}
+               that traverse adjacency must reference OpCounters, keeping
+               the exact-billing contract visible.
+
+Each finding carries a stable rule id (`<pass>/<rule>`), the offending
+token, and the rule's rationale -- first-offender diagnostics in the
+`sgnn::analysis` style. Suppress a single line with
+
+    // sgnn-lint: allow(<rule-id>): <justification>
+
+either trailing the offending line or on a comment line of its own
+immediately above it. The justification is mandatory; an `allow()` without
+one (or naming an unknown rule) is itself a finding (`meta/bad-suppression`).
+"""
+
+__all__ = ["registry", "scanner", "config"]

@@ -1,0 +1,125 @@
+"""Driver: runs all five passes repo-wide in one invocation.
+
+Usage:
+  tools/sgnn_lint.py [--root DIR] [--pass NAME]   # lint the repo
+  tools/sgnn_lint.py --self-test [--root DIR]     # per-rule fixture proofs
+  tools/sgnn_lint.py --list-rules                 # rule catalog
+"""
+
+import argparse
+import pathlib
+
+from . import config
+from . import pass_billing
+from . import pass_det
+from . import pass_layering
+from . import pass_lock
+from . import pass_status
+from . import registry
+from . import scanner
+from . import selftest
+
+EXTENSIONS = {".h", ".cc", ".cpp", ".hpp"}
+SCAN_ROOTS = ["src", "tests", "bench", "examples"]
+
+#: pass name -> (module, path filter over repo-relative paths).
+PASSES = {
+    "layering": (pass_layering, lambda rel: rel.startswith("src/")),
+    "status": (pass_status, lambda rel: True),
+    "lock": (pass_lock, lambda rel: rel.startswith("src/")),
+    "det": (pass_det, lambda rel: True),
+    "billing": (pass_billing, lambda rel: rel.startswith("src/")),
+}
+
+META_RULES = [
+    registry.Rule(
+        "meta/bad-suppression",
+        "a suppression must name a known rule id and carry a justification "
+        "(`// sgnn-lint: allow(<rule-id>): <why>`); anything less is an "
+        "unaudited escape hatch",
+        fixture="meta-bad-suppression.cc.fixture"),
+]
+
+
+def build_registry():
+    reg = registry.RuleRegistry()
+    for mod, _ in PASSES.values():
+        for rule in mod.RULES:
+            reg.add(rule)
+    for rule in META_RULES:
+        reg.add(rule)
+    return reg
+
+
+def load_tree(root):
+    """Reads every scannable file under the scan roots into SourceFiles."""
+    files = []
+    for scan_root in SCAN_ROOTS:
+        base = root / scan_root
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.suffix not in EXTENSIONS or not path.is_file():
+                continue
+            rel = path.relative_to(root).as_posix()
+            text = path.read_text(encoding="utf-8", errors="replace")
+            files.append(scanner.SourceFile(rel, text))
+    return files
+
+
+def run_passes(root, files, pass_names):
+    layer_cfg = config.load(root / "tools" / "sgnn_lint" / "layers.toml")
+    diags = []
+    for name in pass_names:
+        mod, accepts = PASSES[name]
+        selected = [sf for sf in files if accepts(sf.rel)]
+        if name == "layering":
+            diags.extend(mod.run(selected, layer_cfg))
+        else:
+            diags.extend(mod.run(selected))
+    return diags
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="sgnn_lint", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--root", default=None, help="repo root to lint")
+    parser.add_argument("--pass", dest="passes", action="append",
+                        choices=sorted(PASSES), default=None,
+                        help="run only this pass (repeatable)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="prove every rule fires on its fixture and "
+                             "stays silent on a clean file")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalog and exit")
+    args = parser.parse_args(argv)
+
+    root = pathlib.Path(args.root) if args.root else \
+        pathlib.Path(__file__).resolve().parent.parent.parent
+    reg = build_registry()
+
+    if args.list_rules:
+        for rule in reg.all():
+            print(f"{rule.id:32} {rule.rationale}")
+        return 0
+
+    if args.self_test:
+        return selftest.run(root, reg)
+
+    files = load_tree(root)
+    by_rel = {sf.rel: sf for sf in files}
+    pass_names = args.passes or sorted(PASSES)
+    diags = run_passes(root, files, pass_names)
+    diags = registry.apply_suppressions(reg, by_rel, diags)
+    for diag in diags:
+        print(diag.render())
+    if diags:
+        print(f"\nsgnn-lint: {len(diags)} finding(s) across "
+              f"{len({d.rel for d in diags})} file(s). Fix the code, or "
+              "annotate an audited exception with "
+              "`// sgnn-lint: allow(<rule-id>): <justification>`.")
+        return 1
+    print(f"sgnn-lint clean: {len(pass_names)} pass(es), "
+          f"{len(files)} file(s)")
+    return 0

@@ -1,0 +1,82 @@
+"""Loader/validator for tools/sgnn_lint/layers.toml."""
+
+import pathlib
+import tomllib
+
+
+class LayerConfig:
+    def __init__(self, modules, exceptions, path):
+        #: module -> sorted list of modules it may include.
+        self.modules = modules
+        #: (module, header) -> reason.
+        self.exceptions = exceptions
+        self.path = path
+
+    def allowed(self, from_module, to_module):
+        return to_module == from_module or \
+            to_module in self.modules.get(from_module, [])
+
+    def excepted(self, from_module, header):
+        return (from_module, header) in self.exceptions
+
+    def find_cycle(self):
+        """Returns one cycle in the declared graph as a list of modules
+        (closed: first == last), or None if the graph is a DAG."""
+        WHITE, GREY, BLACK = 0, 1, 2
+        color = {m: WHITE for m in self.modules}
+        stack = []
+
+        def visit(m):
+            color[m] = GREY
+            stack.append(m)
+            for dep in self.modules.get(m, []):
+                if dep not in color:
+                    continue  # undeclared dep reported separately
+                if color[dep] == GREY:
+                    return stack[stack.index(dep):] + [dep]
+                if color[dep] == WHITE:
+                    cycle = visit(dep)
+                    if cycle:
+                        return cycle
+            stack.pop()
+            color[m] = BLACK
+            return None
+
+        for m in sorted(self.modules):
+            if color[m] == WHITE:
+                cycle = visit(m)
+                if cycle:
+                    return cycle
+        return None
+
+    def undeclared_deps(self):
+        """(module, dep) pairs where a declared dependency names a module
+        that is not itself declared."""
+        bad = []
+        for m in sorted(self.modules):
+            for dep in self.modules[m]:
+                if dep not in self.modules:
+                    bad.append((m, dep))
+        return bad
+
+
+def load(path):
+    """Parses layers.toml into a LayerConfig. Raises ValueError on a file
+    that does not match the expected shape."""
+    data = tomllib.loads(pathlib.Path(path).read_text(encoding="utf-8"))
+    modules = data.get("modules")
+    if not isinstance(modules, dict) or not modules:
+        raise ValueError(f"{path}: missing or empty [modules] table")
+    for mod, deps in modules.items():
+        if not isinstance(deps, list) or \
+                not all(isinstance(d, str) for d in deps):
+            raise ValueError(f"{path}: modules.{mod} must be a string array")
+    exceptions = {}
+    for exc in data.get("exceptions", []):
+        for key in ("module", "header", "reason"):
+            if not isinstance(exc.get(key), str) or not exc[key].strip():
+                raise ValueError(
+                    f"{path}: every [[exceptions]] entry needs a non-empty "
+                    f"'{key}'")
+        exceptions[(exc["module"], exc["header"])] = exc["reason"]
+    return LayerConfig(modules, exceptions, str(path))

@@ -1,0 +1,99 @@
+"""Layering pass: enforce the documented module DAG on `#include` edges.
+
+Every quoted include under src/ whose first path component is a module
+directory forms an edge (from-module -> to-module). The edge must be
+declared in layers.toml or covered by a per-header exception; the declared
+graph itself must be acyclic. Undeclared modules -- a new directory nobody
+registered, or a typo'd include -- are their own finding, so growing the
+tree forces a conscious layers.toml edit.
+"""
+
+import re
+
+from . import registry
+
+RULES = [
+    registry.Rule(
+        "layering/forbidden-include",
+        "upward or cross-layer include: the edge is not in the documented "
+        "layer DAG (tools/sgnn_lint/layers.toml) and no exception covers it",
+        fixture="layering-forbidden-include.cc.fixture",
+        fixture_rel="src/common/fixture.cc"),
+    registry.Rule(
+        "layering/undeclared-module",
+        "module is not declared in tools/sgnn_lint/layers.toml; every src/ "
+        "module must be registered so its dependencies are reviewed",
+        fixture="layering-undeclared-module.cc.fixture",
+        fixture_rel="src/graph/fixture.cc"),
+    registry.Rule(
+        "layering/cycle",
+        "the declared layer graph must be a DAG; a cycle would make the "
+        "link order (and the layering contract) meaningless",
+        fixture="layering-cycle.toml.fixture",
+        fixture_rel="tools/sgnn_lint/layers.toml"),
+]
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"', re.MULTILINE)
+
+
+def rules_by_id():
+    return {r.id: r for r in RULES}
+
+
+def check_config(cfg):
+    """Config-level findings: cycles and dangling declared deps."""
+    rules = rules_by_id()
+    diags = []
+    for mod, dep in cfg.undeclared_deps():
+        diags.append(registry.Diagnostic(
+            cfg.path, 1, rules["layering/undeclared-module"],
+            f"{mod} -> {dep}",
+            f"declared dependency '{dep}' is not a declared module"))
+    cycle = cfg.find_cycle()
+    if cycle:
+        diags.append(registry.Diagnostic(
+            cfg.path, 1, rules["layering/cycle"],
+            " -> ".join(cycle), "declared layer graph contains a cycle"))
+    return diags
+
+
+def check_file(sf, cfg):
+    """Per-file findings for one SourceFile under src/."""
+    rules = rules_by_id()
+    diags = []
+    parts = sf.rel.split("/")
+    if len(parts) < 2 or parts[0] != "src":
+        return diags
+    module = parts[1]
+    if module not in cfg.modules:
+        diags.append(registry.Diagnostic(
+            sf.rel, 1, rules["layering/undeclared-module"], module,
+            "file lives in an undeclared module directory"))
+        return diags
+    # Includes live inside string literals, which the scanner blanks out of
+    # `code`; scan the raw text instead (same length, same line starts).
+    for m in INCLUDE_RE.finditer(sf.text):
+        header = m.group(1)
+        target = header.split("/", 1)[0]
+        if "/" not in header:
+            continue  # local include with no module component
+        line = sf.line_of(m.start())
+        if target not in cfg.modules:
+            diags.append(registry.Diagnostic(
+                sf.rel, line, rules["layering/undeclared-module"],
+                f'#include "{header}"',
+                f"include target module '{target}' is not declared"))
+        elif not cfg.allowed(module, target) and \
+                not cfg.excepted(module, header):
+            diags.append(registry.Diagnostic(
+                sf.rel, line, rules["layering/forbidden-include"],
+                f'#include "{header}"',
+                f"edge {module} -> {target} is not in the layer DAG"))
+    return diags
+
+
+def run(files, cfg):
+    diags = check_config(cfg)
+    for sf in files:
+        diags.extend(check_file(sf, cfg))
+    return diags

@@ -1,0 +1,141 @@
+"""Status-discipline pass: every `Status`/`StatusOr` result is consumed.
+
+Phase 1 harvests the names of functions declared to return
+`Status`/`StatusOr<...>` anywhere in the scanned tree. Phase 2 flags
+statement-level calls to a harvested name whose result is discarded --
+the call expression is the whole statement -- and `(void)` casts of such
+calls, which hide the discard from `SGNN_NODISCARD`/`-Werror` and so
+require a justified suppression instead.
+
+Names declared with *both* Status and non-Status return types anywhere in
+the tree are ambiguous and skipped: this pass prefers silence to a false
+positive, because the compile-enforced `[[nodiscard]]` contract (see
+common/status.h) backstops it with full type information.
+"""
+
+import re
+
+from . import registry
+
+RULES = [
+    registry.Rule(
+        "status/discarded",
+        "the Status/StatusOr result of this call is discarded; error paths "
+        "that vanish silently are how I/O and concurrency bugs hide -- "
+        "check it, propagate it, or SGNN_CHECK it",
+        fixture="status-discarded.cc.fixture"),
+    registry.Rule(
+        "status/void-cast",
+        "(void)-casting a Status away defeats SGNN_NODISCARD and -Werror; "
+        "an intentional discard must carry a justified suppression",
+        fixture="status-void-cast.cc.fixture"),
+]
+
+# A declaration/definition returning Status or StatusOr<...>: optional
+# specifiers, the return type, then a (possibly qualified) function name.
+DECL_RE = re.compile(
+    r"(?:^|[;{}\n])\s*"
+    r"(?:SGNN_NODISCARD\s+)?"
+    r"(?:template\s*<[^<>]*>\s*)?"
+    r"(?:static\s+|virtual\s+|inline\s+|constexpr\s+|friend\s+|"
+    r"SGNN_NODISCARD\s+)*"
+    r"(?:::)?(?:\w+::)*"
+    r"(?:Status|StatusOr\s*<[^;{}()]*?>)\s+"
+    r"((?:\w+::)*\w+)\s*\(")
+
+# Any other return type for the same name => ambiguous. Keep the shape in
+# sync with DECL_RE so both see the same declaration surface.
+ANY_DECL_RE = re.compile(
+    r"(?:^|[;{}\n])\s*"
+    r"(?:template\s*<[^<>]*>\s*)?"
+    r"(?:static\s+|virtual\s+|inline\s+|constexpr\s+|friend\s+)*"
+    r"((?:::)?(?:\w+::)*[\w:]+(?:\s*<[^;{}()]*?>)?(?:\s*[*&])?)\s+"
+    r"((?:\w+::)*\w+)\s*\(")
+
+# A call at statement level: statement boundary, optionally qualified /
+# member-accessed callee, open paren.
+CALL_RE = re.compile(
+    r"(?:^|[;{}])\s*"
+    r"((?:[A-Za-z_]\w*(?:<[^<>;()]*>)?\s*(?:::|\.|->)\s*)*)"
+    r"([A-Za-z_]\w*)\s*(\()")
+
+VOID_CAST_RE = re.compile(
+    r"\(\s*void\s*\)\s*"
+    r"((?:[A-Za-z_]\w*(?:<[^<>;()]*>)?\s*(?:::|\.|->)\s*)*)"
+    r"([A-Za-z_]\w*)\s*(\()")
+
+# Control-flow / declarator keywords that can precede a '(' and would
+# otherwise look like a statement-level call.
+KEYWORDS = {
+    "if", "for", "while", "switch", "return", "do", "else", "case",
+    "sizeof", "alignof", "co_return", "co_await", "new", "delete",
+    "catch", "throw", "static_assert", "decltype",
+}
+
+
+def harvest(files):
+    """Returns the set of unambiguous Status-returning function names."""
+    status_names = set()
+    other_names = set()
+    for sf in files:
+        for m in DECL_RE.finditer(sf.code):
+            status_names.add(m.group(1).split("::")[-1])
+        for m in ANY_DECL_RE.finditer(sf.code):
+            ret = re.sub(r"\s+", "", m.group(1))
+            if ret in KEYWORDS:
+                continue  # `return Foo(...)` is a call, not a declaration
+            name = m.group(2).split("::")[-1]
+            base = ret.split("<")[0].split("::")[-1]
+            if base not in ("Status", "StatusOr"):
+                other_names.add(name)
+    return status_names - other_names
+
+
+def _paren_close(code, open_idx):
+    depth = 0
+    for i in range(open_idx, len(code)):
+        c = code[i]
+        if c == "(":
+            depth += 1
+        elif c == ")":
+            depth -= 1
+            if depth == 0:
+                return i
+    return -1
+
+
+def check_file(sf, status_names):
+    rules = {r.id: r for r in RULES}
+    diags = []
+    code = sf.code
+    for m in CALL_RE.finditer(code):
+        name = m.group(2)
+        if name in KEYWORDS or name not in status_names:
+            continue
+        close = _paren_close(code, m.start(3))
+        if close < 0:
+            continue
+        rest = code[close + 1:close + 64].lstrip()
+        if rest.startswith(";"):
+            diags.append(registry.Diagnostic(
+                sf.rel, sf.line_of(m.start(2)), rules["status/discarded"],
+                f"{m.group(1)}{name}(...)".replace(" ", ""),
+                "call result is a Status/StatusOr and the statement "
+                "discards it"))
+    for m in VOID_CAST_RE.finditer(code):
+        name = m.group(2)
+        if name not in status_names:
+            continue
+        diags.append(registry.Diagnostic(
+            sf.rel, sf.line_of(m.start(2)), rules["status/void-cast"],
+            f"(void){m.group(1)}{name}(...)".replace(" ", ""),
+            "explicit discard of a Status-returning call"))
+    return diags
+
+
+def run(files):
+    status_names = harvest(files)
+    diags = []
+    for sf in files:
+        diags.extend(check_file(sf, status_names))
+    return diags

@@ -1,0 +1,90 @@
+"""Rule registry and diagnostics.
+
+Every rule has a stable id (`<pass>/<name>`) that suppression comments and
+the fixture self-test refer to; renaming an id is an interface break. A
+`Diagnostic` is a first-offender record in the `sgnn::analysis` style:
+file:line, the offending token, and the rule's rationale.
+"""
+
+
+class Rule:
+    def __init__(self, rule_id, rationale, fixture=None, fixture_rel=None):
+        #: Stable identifier, e.g. "det/c-rand". Pass name is the prefix.
+        self.id = rule_id
+        #: One-line reason the construct is banned (printed with findings).
+        self.rationale = rationale
+        #: Negative fixture under tools/lint_fixtures/ that must trip the
+        #: rule (checked by --self-test), e.g. "det-c-rand.cc.fixture".
+        self.fixture = fixture
+        #: Repo-relative path the fixture is linted *as*, for rules whose
+        #: verdict depends on the path (scoped/confined/layer rules).
+        self.fixture_rel = fixture_rel or "src/graph/fixture.cc"
+
+    @property
+    def pass_name(self):
+        return self.id.split("/", 1)[0]
+
+
+class Diagnostic:
+    def __init__(self, rel, line, rule, token, detail=""):
+        self.rel = rel
+        self.line = line          # 1-based
+        self.rule = rule
+        self.token = token        # offending token / construct
+        self.detail = detail      # optional extra context
+
+    def render(self):
+        msg = f"{self.rel}:{self.line}: [{self.rule.id}] `{self.token}`"
+        if self.detail:
+            msg += f" -- {self.detail}"
+        return f"{msg}\n    rationale: {self.rule.rationale}"
+
+    def key(self):
+        return (self.rel, self.line, self.rule.id, self.token)
+
+
+class RuleRegistry:
+    """All rules of all passes, keyed by stable id."""
+
+    def __init__(self):
+        self._rules = {}
+
+    def add(self, rule):
+        if rule.id in self._rules:
+            raise ValueError(f"duplicate rule id: {rule.id}")
+        self._rules[rule.id] = rule
+        return rule
+
+    def get(self, rule_id):
+        return self._rules.get(rule_id)
+
+    def __contains__(self, rule_id):
+        return rule_id in self._rules
+
+    def all(self):
+        return [self._rules[k] for k in sorted(self._rules)]
+
+
+def apply_suppressions(registry, files_by_rel, diagnostics):
+    """Drops diagnostics covered by a well-formed allow() on their line and
+    emits `meta/bad-suppression` findings for malformed or unknown-rule
+    suppressions. Returns the surviving diagnostics."""
+    bad_rule = registry.get("meta/bad-suppression")
+    out = []
+    for diag in diagnostics:
+        sf = files_by_rel.get(diag.rel)
+        if sf is not None and diag.line in sf.suppressed_lines(diag.rule.id):
+            continue
+        out.append(diag)
+    for rel, sf in sorted(files_by_rel.items()):
+        for s in sf.suppressions:
+            if not s.justification:
+                out.append(Diagnostic(
+                    rel, s.line, bad_rule, f"allow({s.rule_id})",
+                    "suppression lacks the mandatory justification"))
+            elif s.rule_id not in registry:
+                out.append(Diagnostic(
+                    rel, s.line, bad_rule, f"allow({s.rule_id})",
+                    "suppression names an unknown rule id"))
+    out.sort(key=Diagnostic.key)
+    return out

@@ -1,0 +1,168 @@
+"""Comment/string-aware C++ source scanner shared by every lint pass.
+
+The passes never regex raw text: they see `SourceFile.code`, where comments
+and string/char literals are blanked out (newlines preserved, so offsets and
+line numbers agree with the raw file), and `SourceFile.suppressions`, parsed
+from the *raw* text because suppressions live inside comments.
+"""
+
+import bisect
+import re
+
+
+SUPPRESS_RE = re.compile(
+    r"sgnn-lint:\s*allow\(\s*([^)\s]+)\s*\)\s*:?\s*(.*?)\s*(?:\*/.*)?$")
+
+
+class Suppression:
+    """One `// sgnn-lint: allow(rule): justification` comment."""
+
+    def __init__(self, line, rule_id, justification):
+        self.line = line                      # 1-based line it appears on
+        self.rule_id = rule_id
+        self.justification = justification    # may be empty => malformed
+
+
+def strip_comments(text):
+    """Blanks out //, /* */ comments and string/char literals, preserving
+    newlines so offsets and line numbers stay aligned with the raw text."""
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line_comment | block_comment | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "string"
+                out.append(" ")
+                i += 1
+                continue
+            if c == "'":
+                state = "char"
+                out.append(" ")
+                i += 1
+                continue
+            out.append(c)
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+                out.append("\n")
+            else:
+                out.append(" ")
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append("\n" if c == "\n" else " ")
+        elif state in ("string", "char"):
+            quote = '"' if state == "string" else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == quote:
+                state = "code"
+            out.append("\n" if c == "\n" else " ")
+        i += 1
+    return "".join(out)
+
+
+class SourceFile:
+    """A scanned source file: raw text, comment-stripped code, line index,
+    and the suppression comments found in it."""
+
+    def __init__(self, rel, text):
+        self.rel = rel
+        self.text = text
+        self.code = strip_comments(text)
+        self.raw_lines = text.splitlines()
+        self.code_lines = self.code.splitlines()
+        # Offsets of line starts in `code`, for offset -> line translation.
+        self._line_starts = [0]
+        for m in re.finditer(r"\n", self.code):
+            self._line_starts.append(m.end())
+        self.suppressions = self._parse_suppressions()
+
+    def line_of(self, offset):
+        """1-based line number of a character offset into `code`."""
+        return bisect.bisect_right(self._line_starts, offset)
+
+    def raw_line(self, lineno):
+        """The raw text of a 1-based line (empty if out of range)."""
+        if 1 <= lineno <= len(self.raw_lines):
+            return self.raw_lines[lineno - 1]
+        return ""
+
+    def code_line(self, lineno):
+        if 1 <= lineno <= len(self.code_lines):
+            return self.code_lines[lineno - 1]
+        return ""
+
+    def _parse_suppressions(self):
+        found = []
+        for lineno, raw in enumerate(self.raw_lines, start=1):
+            m = SUPPRESS_RE.search(raw)
+            if m:
+                found.append(Suppression(lineno, m.group(1), m.group(2)))
+        return found
+
+    def suppressed_lines(self, rule_id):
+        """Lines on which findings of `rule_id` are suppressed by a
+        well-formed allow() comment: the comment's own line, plus -- when the
+        comment stands alone (no code on its line) -- the rest of its
+        contiguous comment block and the first code line after it, so a
+        justification may run to several comment lines."""
+        lines = set()
+        for s in self.suppressions:
+            if s.rule_id != rule_id or not s.justification:
+                continue
+            lines.add(s.line)
+            cur = s.line
+            while (not self.code_line(cur).strip()
+                   and self.raw_line(cur).strip()
+                   and cur <= len(self.raw_lines)):
+                cur += 1
+                lines.add(cur)
+        return lines
+
+
+def match_paren(code, open_idx):
+    """Index just past the `)` matching the `(` at `open_idx`, or -1 if the
+    parenthesis never closes (malformed / macro soup)."""
+    depth = 0
+    for i in range(open_idx, len(code)):
+        c = code[i]
+        if c == "(":
+            depth += 1
+        elif c == ")":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return -1
+
+
+def match_brace(code, open_idx):
+    """Index just past the `}` matching the `{` at `open_idx`, or -1."""
+    depth = 0
+    for i in range(open_idx, len(code)):
+        c = code[i]
+        if c == "{":
+            depth += 1
+        elif c == "}":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return -1
