@@ -31,6 +31,7 @@ using sgnn::core::Dataset;
 using sgnn::graph::NodeId;
 using sgnn::serve::BatchingServer;
 using sgnn::serve::FrozenModel;
+using sgnn::serve::InferenceRequest;
 using sgnn::serve::InferenceResponse;
 using sgnn::serve::ServeConfig;
 using sgnn::serve::ServeMetricsSnapshot;
@@ -92,7 +93,8 @@ void BM_ServeUnderFaults(benchmark::State& state) {
     futures.reserve(kRequestsPerIter);
     for (int i = 0; i < kRequestsPerIter; ++i) {
       auto future_or =
-          server.Submit(static_cast<NodeId>(rng.UniformInt(hot_set)));
+          server.Submit(
+              InferenceRequest(static_cast<NodeId>(rng.UniformInt(hot_set))));
       if (future_or.ok()) futures.push_back(std::move(future_or).value());
     }
     for (auto& future : futures) future.get();
@@ -149,7 +151,8 @@ void BM_DeadEmbedderBreaker(benchmark::State& state) {
     futures.reserve(kRequestsPerIter);
     for (int i = 0; i < kRequestsPerIter; ++i) {
       auto future_or =
-          server.Submit(static_cast<NodeId>(rng.UniformInt(kNodes)));
+          server.Submit(
+              InferenceRequest(static_cast<NodeId>(rng.UniformInt(kNodes))));
       if (future_or.ok()) futures.push_back(std::move(future_or).value());
     }
     for (auto& future : futures) future.get();

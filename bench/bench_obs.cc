@@ -133,8 +133,8 @@ void RunServeSoak(benchmark::State& state, bool observed) {
     std::vector<std::future<serve::InferenceResponse>> futures;
     futures.reserve(kRequestsPerIter);
     for (int i = 0; i < kRequestsPerIter; ++i) {
-      auto future_or = server.Submit(
-          static_cast<graph::NodeId>(rng.UniformInt(hot_set)));
+      auto future_or = server.Submit(serve::InferenceRequest(
+          static_cast<graph::NodeId>(rng.UniformInt(hot_set))));
       if (future_or.ok()) futures.push_back(std::move(future_or).value());
     }
     for (auto& future : futures) future.get();

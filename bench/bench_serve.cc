@@ -23,6 +23,7 @@ using sgnn::core::Dataset;
 using sgnn::graph::NodeId;
 using sgnn::serve::BatchingServer;
 using sgnn::serve::FrozenModel;
+using sgnn::serve::InferenceRequest;
 using sgnn::serve::InferenceResponse;
 using sgnn::serve::KHopEmbedder;
 using sgnn::serve::ServeConfig;
@@ -70,8 +71,8 @@ void RunServeBench(benchmark::State& state, bool use_cache) {
     std::vector<std::future<InferenceResponse>> futures;
     futures.reserve(kRequestsPerIter);
     for (int i = 0; i < kRequestsPerIter; ++i) {
-      auto future_or =
-          server.Submit(static_cast<NodeId>(rng.UniformInt(hot_set)));
+      auto future_or = server.Submit(
+          InferenceRequest(static_cast<NodeId>(rng.UniformInt(hot_set))));
       if (future_or.ok()) futures.push_back(std::move(future_or).value());
     }
     for (auto& future : futures) future.get();
@@ -81,9 +82,9 @@ void RunServeBench(benchmark::State& state, bool use_cache) {
 
   const sgnn::serve::ServeMetricsSnapshot snap = server.Metrics();
   state.SetItemsProcessed(served);  // items_per_second == req/s.
-  state.counters["p50_us"] = snap.p50_micros;
-  state.counters["p95_us"] = snap.p95_micros;
-  state.counters["p99_us"] = snap.p99_micros;
+  state.counters["p50_ticks"] = snap.p50_ticks;
+  state.counters["p95_ticks"] = snap.p95_ticks;
+  state.counters["p99_ticks"] = snap.p99_ticks;
   state.counters["cache_hit_rate"] = snap.CacheHitRate();
   state.counters["mean_batch"] = snap.mean_batch_size;
   state.counters["rejected"] = static_cast<double>(snap.requests_rejected);

@@ -34,3 +34,4 @@ sgnn_add_bench(bench_obs sgnn_serve sgnn_models) # E20
 sgnn_add_bench(bench_parallel)    # E21
 sgnn_add_bench(bench_storage sgnn_storage) # E22
 sgnn_add_bench(bench_dist sgnn_dist)       # E23
+sgnn_add_bench(bench_net sgnn_net sgnn_nn) # E24

@@ -80,7 +80,8 @@ int main(int argc, char** argv) {
         dataset.num_nodes(), serve_config, ctx);
     std::vector<std::future<serve::InferenceResponse>> futures;
     for (graph::NodeId node = 0; node < 64; ++node) {
-      auto future_or = server.Submit(node % dataset.num_nodes());
+      auto future_or =
+          server.Submit(serve::InferenceRequest(node % dataset.num_nodes()));
       if (future_or.ok()) futures.push_back(std::move(future_or).value());
     }
     for (auto& future : futures) future.get();

@@ -72,7 +72,7 @@ int main() {
   for (int pass = 0; pass < 2; ++pass) {
     std::vector<std::future<serve::InferenceResponse>> futures;
     for (graph::NodeId u : hot) {
-      auto future_or = server->Submit(u);
+      auto future_or = server->Submit(serve::InferenceRequest(u));
       if (future_or.ok()) futures.push_back(std::move(future_or).value());
     }
     for (auto& future : futures) {

@@ -95,12 +95,6 @@ uint64_t Pipeline::Signature() const {
 
 PipelineReport Pipeline::Run(const Dataset& dataset,
                              const nn::TrainConfig& config,
-                             const PipelineRunOptions& options) const {
-  return Run(dataset, config, options.ToRunContext());
-}
-
-PipelineReport Pipeline::Run(const Dataset& dataset,
-                             const nn::TrainConfig& config,
                              const RunContext& ctx) const {
   SGNN_CHECK(model_ != nullptr);
   // Peak residency is a monotone per-thread high-water mark; re-base it to

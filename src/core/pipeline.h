@@ -67,33 +67,6 @@ struct PipelineReport {
   std::string ToString() const;
 };
 
-/// DEPRECATED compat shim — use `RunContext` (core/run_context.h).
-///
-/// `PipelineRunOptions` was the pre-observability bag of fault-tolerance
-/// knobs. Its fields are now a strict subset of `RunContext`, and the
-/// `Run` overload taking it simply forwards through `ToRunContext()`.
-/// Do not construct this in new code; it is kept for one release so
-/// out-of-tree callers keep compiling, then it will be removed.
-struct PipelineRunOptions {
-  std::string checkpoint_path;
-  bool resume = true;
-  common::FaultInjector* faults = nullptr;
-  bool validate_stages = false;
-  ValidationStage stage_validator;
-
-  /// The equivalent `RunContext` (no tracer/metrics/deadline — those did
-  /// not exist in the options era).
-  RunContext ToRunContext() const {
-    RunContext ctx;
-    ctx.faults = faults;
-    ctx.checkpoint_path = checkpoint_path;
-    ctx.resume = resume;
-    ctx.validate_stages = validate_stages;
-    ctx.stage_validator = stage_validator;
-    return ctx;
-  }
-};
-
 /// Composable scalable-GNN pipeline: edits run first (in insertion
 /// order), then analytics stages (each replacing the feature matrix),
 /// then the model trains.
@@ -117,10 +90,6 @@ class Pipeline {
   /// `sgnn_pipeline_stage_*` series are views over the same measurements.
   PipelineReport Run(const Dataset& dataset, const nn::TrainConfig& config,
                      const RunContext& ctx) const;
-
-  /// DEPRECATED compat overload; forwards to `options.ToRunContext()`.
-  PipelineReport Run(const Dataset& dataset, const nn::TrainConfig& config,
-                     const PipelineRunOptions& options) const;
 
   /// Hash of this pipeline's stage-name sequence + model name; the identity
   /// a snapshot must match to be resumable.

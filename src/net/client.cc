@@ -1,0 +1,68 @@
+#include "net/client.h"
+
+#include <sys/socket.h>
+
+#include <cerrno>
+
+#include "common/posix.h"
+
+namespace sgnn::net {
+
+common::StatusOr<HttpClient> HttpClient::Connect(const std::string& host,
+                                                 uint16_t port) {
+  auto fd = ConnectTcp(host, port);
+  if (!fd.ok()) return fd.status();
+  return HttpClient(std::move(fd).value());
+}
+
+common::StatusOr<HttpResponse> HttpClient::Get(const std::string& target) {
+  SGNN_RETURN_IF_ERROR(SendRequest("GET", target, "", ""));
+  return ReadResponse();
+}
+
+common::StatusOr<HttpResponse> HttpClient::Post(
+    const std::string& target, std::string_view body,
+    const std::string& content_type) {
+  SGNN_RETURN_IF_ERROR(SendRequest("POST", target, body, content_type));
+  return ReadResponse();
+}
+
+common::Status HttpClient::SendRequest(const std::string& method,
+                                       const std::string& target,
+                                       std::string_view body,
+                                       const std::string& content_type) {
+  if (!fd_.valid()) {
+    return common::Status::FailedPrecondition("client connection is closed");
+  }
+  const std::string wire = SerializeRequest(method, target, body,
+                                            content_type);
+  return SendAll(fd_.fd(), wire.data(), wire.size());
+}
+
+common::StatusOr<HttpResponse> HttpClient::ReadResponse() {
+  HttpResponse response;
+  if (parser_.TakeResponse(&response)) return response;
+  if (!fd_.valid()) {
+    return common::Status::FailedPrecondition("client connection is closed");
+  }
+  char buf[16384];
+  for (;;) {
+    ssize_t n;
+    do {
+      n = ::recv(fd_.fd(), buf, sizeof(buf), 0);  // Blocking read.
+    } while (n < 0 && errno == EINTR);
+    if (n < 0) return common::StatusFromErrno("recv");
+    if (n == 0) {
+      // EOF before a full response: clean between messages, torn inside
+      // one — the client-side mirror of the server's read path.
+      common::Status eof = parser_.OnEof();
+      if (!eof.ok()) return eof;
+      return common::Status::Unavailable("server closed the connection");
+    }
+    SGNN_RETURN_IF_ERROR(
+        parser_.Feed(std::string_view(buf, static_cast<size_t>(n))));
+    if (parser_.TakeResponse(&response)) return response;
+  }
+}
+
+}  // namespace sgnn::net

@@ -1,0 +1,64 @@
+#ifndef SGNN_NET_CLIENT_H_
+#define SGNN_NET_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "net/http.h"
+#include "net/socket.h"
+
+namespace sgnn::net {
+
+/// Minimal blocking HTTP/1.1 client over one keep-alive connection — the
+/// test, bench, and CI harness side of the front door. Not thread-safe;
+/// one client per thread.
+///
+/// Two usage shapes: the one-shot `Get`/`Post` helpers, and the split
+/// `SendRequest` + `ReadResponse` pair for pipelining (queue many
+/// requests, then collect responses in order — how the fairness tests
+/// saturate the admission queues from a single connection per tenant).
+class HttpClient {
+ public:
+  /// Dials `host:port` (blocking connect).
+  SGNN_NODISCARD static common::StatusOr<HttpClient> Connect(
+      const std::string& host, uint16_t port);
+
+  /// Disconnected client (what `StatusOr` default-constructs); every call
+  /// on it is `kFailedPrecondition` until move-assigned from `Connect`.
+  HttpClient() = default;
+
+  HttpClient(HttpClient&&) = default;
+  HttpClient& operator=(HttpClient&&) = default;
+
+  /// One round trip.
+  SGNN_NODISCARD common::StatusOr<HttpResponse> Get(const std::string& target);
+  SGNN_NODISCARD common::StatusOr<HttpResponse> Post(
+      const std::string& target, std::string_view body,
+      const std::string& content_type = "application/json");
+
+  /// Writes one request without waiting for its response (HTTP/1.1
+  /// pipelining). Pair each call with one later `ReadResponse`.
+  SGNN_NODISCARD common::Status SendRequest(
+      const std::string& method, const std::string& target,
+      std::string_view body, const std::string& content_type);
+
+  /// Blocks for the next in-order response. A peer that closed cleanly
+  /// between responses is `kUnavailable`; one that died mid-response is
+  /// `kDataLoss` (same taxonomy as the server side).
+  SGNN_NODISCARD common::StatusOr<HttpResponse> ReadResponse();
+
+  /// Closes the connection (the destructor does too).
+  void Close() { fd_.Close(); }
+
+ private:
+  explicit HttpClient(OwnedFd fd) : fd_(std::move(fd)) {}
+
+  OwnedFd fd_;
+  HttpResponseParser parser_;
+};
+
+}  // namespace sgnn::net
+
+#endif  // SGNN_NET_CLIENT_H_

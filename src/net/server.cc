@@ -1,0 +1,509 @@
+#include "net/server.h"
+
+#include <sys/epoll.h>
+
+#include <chrono>
+#include <limits>
+#include <utility>
+
+#include "common/check.h"
+#include "net/json.h"
+
+namespace sgnn::net {
+
+namespace {
+
+/// epoll user-data value marking the listening socket; connection events
+/// carry the connection id instead.
+constexpr uint64_t kListenCookie = ~uint64_t{0};
+
+/// Slot seq occupies the low bits of a routing cookie, conn id the rest.
+constexpr int kSeqBits = 24;
+constexpr uint64_t kSeqMask = (uint64_t{1} << kSeqBits) - 1;
+
+constexpr uint64_t MakeCookie(uint64_t conn_id, uint64_t seq) {
+  return (conn_id << kSeqBits) | (seq & kSeqMask);
+}
+
+}  // namespace
+
+HttpFrontDoor::HttpFrontDoor(serve::BatchingServer* server,
+                             HttpFrontDoorConfig config,
+                             const core::RunContext& ctx)
+    : server_(server),
+      config_(std::move(config)),
+      tracer_(ctx.tracer),
+      faults_(ctx.faults),
+      owned_registry_(ctx.metrics == nullptr
+                          ? std::make_unique<obs::MetricsRegistry>()
+                          : nullptr),
+      registry_(ctx.metrics == nullptr ? owned_registry_.get() : ctx.metrics),
+      admission_(config_.admission),
+      completions_(config_.admission.per_tenant_capacity * 8 + 256) {
+  SGNN_CHECK(server_ != nullptr);
+  obs::MetricsRegistry& r = *registry_;
+  accepted_total_ =
+      r.GetCounter("sgnn_net_accepted_total",
+                   "TCP connections accepted by the front door.", {},
+                   obs::kVolatile);
+  accept_faults_total_ = r.GetCounter(
+      "sgnn_net_accept_faults_total",
+      "Accepted connections dropped by the net.accept.fail fault site.", {},
+      obs::kVolatile);
+  requests_total_ =
+      r.GetCounter("sgnn_net_http_requests_total", "HTTP requests parsed.",
+                   {}, obs::kVolatile);
+  responses_total_ =
+      r.GetCounter("sgnn_net_http_responses_total", "HTTP responses written.",
+                   {}, obs::kVolatile);
+  http_errors_total_ =
+      r.GetCounter("sgnn_net_http_errors_total",
+                   "HTTP error (4xx/5xx) responses.", {}, obs::kVolatile);
+  admitted_total_ = r.GetCounter(
+      "sgnn_net_infer_admitted_total",
+      "Infer requests admitted past quota and shedding.", {}, obs::kVolatile);
+  admitted_stale_total_ =
+      r.GetCounter("sgnn_net_infer_admitted_stale_total",
+                   "Infer requests admitted into the stale tier.", {},
+                   obs::kVolatile);
+  shed_rejected_total_ = r.GetCounter(
+      "sgnn_net_infer_shed_total",
+      "Infer requests rejected by the shed policy or a full tenant queue.",
+      {}, obs::kVolatile);
+  quota_rejected_total_ =
+      r.GetCounter("sgnn_net_infer_quota_rejected_total",
+                   "Infer requests rejected by a tenant token bucket.", {},
+                   obs::kVolatile);
+  torn_reads_total_ = r.GetCounter(
+      "sgnn_net_torn_reads_total",
+      "Connections that ended mid-message (torn stream, kDataLoss).", {},
+      obs::kVolatile);
+  dispatches_total_ = r.GetCounter(
+      "sgnn_net_dispatches_total",
+      "Requests dispatched weighted-fair to the batching server.", {},
+      obs::kVolatile);
+  open_connections_ =
+      r.GetGauge("sgnn_net_open_connections", "Currently open connections.",
+                 {}, obs::kVolatile);
+  shed_tier_ = r.GetGauge(
+      "sgnn_net_shed_tier",
+      "Shed tier at the last admission decision (0 exact, 1 stale, 2 reject).",
+      {}, obs::kVolatile);
+}
+
+HttpFrontDoor::~HttpFrontDoor() { Shutdown(); }
+
+common::Status HttpFrontDoor::Start() {
+  if (started_.load()) {
+    return common::Status::FailedPrecondition("front door already started");
+  }
+  uint16_t port = config_.port;
+  auto listener = ListenTcp(config_.host, &port);
+  if (!listener.ok()) return listener.status();
+  listen_fd_ = std::move(listener).value();
+  port_ = port;
+  auto epoll = EpollCreate();
+  if (!epoll.ok()) return epoll.status();
+  epoll_fd_ = std::move(epoll).value();
+  SGNN_RETURN_IF_ERROR(
+      EpollAdd(epoll_fd_.fd(), listen_fd_.fd(), EPOLLIN, kListenCookie));
+  started_.store(true);
+  event_thread_ = std::thread([this] { EventLoop(); });
+  dispatch_thread_ = std::thread([this] { DispatchLoop(); });
+  waiter_threads_.reserve(static_cast<size_t>(config_.num_waiters));
+  for (int i = 0; i < config_.num_waiters; ++i) {
+    waiter_threads_.emplace_back([this] { WaiterLoop(); });
+  }
+  return common::Status::OK();
+}
+
+void HttpFrontDoor::Shutdown() {
+  if (!started_.load() || stop_.exchange(true)) return;
+  // Order matters: quiesce the only Offer-ing thread first, then drain
+  // admission through the dispatcher, then drain the completion queue
+  // through the waiters — every admitted request is answered before any
+  // connection closes.
+  event_thread_.join();
+  admission_.Close();
+  dispatch_thread_.join();
+  completions_.Close();
+  for (std::thread& t : waiter_threads_) t.join();
+  waiter_threads_.clear();
+  {
+    common::MutexLock lock(conns_.mu);
+    for (auto& [id, conn] : conns_.map) {
+      common::MutexLock conn_lock(conn->mu);
+      conn->dead = true;
+      conn->fd.Close();
+    }
+    conns_.map.clear();
+  }
+  open_connections_->Set(0.0);
+  listen_fd_.Close();
+  epoll_fd_.Close();
+}
+
+bool HttpFrontDoor::Healthy() const {
+  const serve::ShedTier tier = config_.admission.shed.Decide(
+      server_->breaker_state(), admission_.FillFraction());
+  return tier == serve::ShedTier::kExact &&
+         torn_streak_.load() < config_.torn_read_threshold;
+}
+
+void HttpFrontDoor::EventLoop() {
+  std::vector<ReadyEvent> events;
+  const int timeout_ms =
+      static_cast<int>(config_.poll_interval_micros / 1000) + 1;
+  while (!stop_.load()) {
+    auto n = WaitEvents(epoll_fd_.fd(), &events, 64, timeout_ms);
+    if (!n.ok()) break;  // Only fails when the epoll fd itself is gone.
+    for (const ReadyEvent& ev : events) {
+      if (ev.data == kListenCookie) {
+        HandleAcceptable();
+        continue;
+      }
+      std::shared_ptr<Conn> conn;
+      {
+        common::MutexLock lock(conns_.mu);
+        auto it = conns_.map.find(ev.data);
+        if (it == conns_.map.end()) continue;  // Closed while queued.
+        conn = it->second;
+      }
+      HandleReadable(conn);
+    }
+  }
+}
+
+void HttpFrontDoor::HandleAcceptable() {
+  for (;;) {
+    auto accepted = AcceptConn(listen_fd_.fd());
+    if (!accepted.ok()) return;  // kUnavailable: drained the backlog.
+    const uint64_t accept_index = accepts_.fetch_add(1);
+    accepted_total_->Increment();
+    if (faults_ != nullptr &&
+        faults_->ShouldFail(kSiteAcceptFail, accept_index)) {
+      accept_faults_total_->Increment();
+      continue;  // The OwnedFd closes; the client sees a reset.
+    }
+    auto conn = std::make_shared<Conn>(next_conn_id_.fetch_add(1),
+                                       config_.http_limits);
+    conn->fd = std::move(accepted).value();
+    size_t open = 0;
+    {
+      common::MutexLock lock(conns_.mu);
+      conns_.map.emplace(conn->id, conn);
+      open = conns_.map.size();
+    }
+    common::Status added =
+        EpollAdd(epoll_fd_.fd(), conn->fd.fd(), EPOLLIN, conn->id);
+    if (!added.ok()) {
+      CloseConn(conn, false);
+      continue;
+    }
+    open_connections_->Set(static_cast<double>(open));
+  }
+}
+
+void HttpFrontDoor::HandleReadable(const std::shared_ptr<Conn>& conn) {
+  char buf[16384];
+  for (;;) {
+    auto n = RecvSome(conn->fd.fd(), buf, sizeof(buf));
+    if (!n.ok()) {
+      if (n.status().code() == common::StatusCode::kUnavailable) return;
+      CloseConn(conn, !conn->parser.at_boundary());
+      return;
+    }
+    if (n.value() == 0) {  // EOF: clean at a boundary, torn otherwise.
+      CloseConn(conn, !conn->parser.OnEof().ok());
+      return;
+    }
+    const uint64_t read_seq = conn->reads++;
+    std::string_view data(buf, n.value());
+    if (faults_ != nullptr &&
+        faults_->ShouldFail(kSiteReadTrunc, ReadToken(conn->id, read_seq))) {
+      // Deliver half the bytes, then tear the stream as a mid-read peer
+      // death would. The parse outcome is irrelevant: the connection dies
+      // either way, and OnEof() below classifies the tear.
+      // sgnn-lint: allow(status/void-cast): injected tear discards the
+      // half-fed parse result by design; OnEof() is the observed verdict.
+      (void)conn->parser.Feed(data.substr(0, data.size() / 2));
+      CloseConn(conn, !conn->parser.OnEof().ok());
+      return;
+    }
+    common::Status fed = conn->parser.Feed(data);
+    if (!fed.ok()) {
+      const int code =
+          fed.code() == common::StatusCode::kResourceExhausted ? 431 : 400;
+      const std::string body = RenderError(fed);
+      http_errors_total_->Increment();
+      FillSlot(ReserveSlot(conn),
+               SerializeResponse(code, ReasonPhrase(code), body,
+                                 "application/json"));
+      CloseConn(conn, false);  // Framing is gone; nothing to salvage.
+      return;
+    }
+    HttpRequest request;
+    while (conn->parser.TakeRequest(&request)) {
+      HandleRequest(conn, std::move(request));
+      request = HttpRequest();
+    }
+    if (n.value() < sizeof(buf)) return;  // Drained what was ready.
+  }
+}
+
+void HttpFrontDoor::HandleRequest(const std::shared_ptr<Conn>& conn,
+                                  HttpRequest request) {
+  obs::TraceSpan span = obs::StartSpan(tracer_, "net:request", "net");
+  requests_total_->Increment();
+  // A successfully parsed request proves the stream is healthy again;
+  // health probes themselves stay observers so a 503 remains visible.
+  if (request.target != "/healthz") torn_streak_.store(0);
+
+  auto respond = [&](int code, const std::string& body,
+                     std::string_view content_type) {
+    if (code >= 400) http_errors_total_->Increment();
+    const uint64_t cookie = ReserveSlot(conn);
+    FillSlot(cookie,
+             SerializeResponse(code, ReasonPhrase(code), body, content_type));
+  };
+
+  if (request.target == "/healthz") {
+    if (request.method != "GET") {
+      respond(405, RenderError(common::Status::InvalidArgument(
+                       "/healthz accepts GET only")),
+              "application/json");
+      return;
+    }
+    int code = 200;
+    const std::string body = HealthzBody(&code);
+    respond(code, body, "text/plain; version=0.0.4");
+    return;
+  }
+  if (request.target == "/metrics") {
+    if (request.method != "GET") {
+      respond(405, RenderError(common::Status::InvalidArgument(
+                       "/metrics accepts GET only")),
+              "application/json");
+      return;
+    }
+    respond(200, MetricsBody(), "text/plain; version=0.0.4");
+    return;
+  }
+  if (request.target == "/v1/infer") {
+    if (request.method != "POST") {
+      respond(405, RenderError(common::Status::InvalidArgument(
+                       "/v1/infer accepts POST only")),
+              "application/json");
+      return;
+    }
+    HandleInfer(conn, request);
+    return;
+  }
+  respond(404, RenderError(common::Status::NotFound("no route for '" +
+                                                    request.target + "'")),
+          "application/json");
+}
+
+void HttpFrontDoor::HandleInfer(const std::shared_ptr<Conn>& conn,
+                                const HttpRequest& request) {
+  auto fail = [&](const common::Status& status) {
+    const int code = HttpStatusForCode(status.code());
+    http_errors_total_->Increment();
+    const uint64_t cookie = ReserveSlot(conn);
+    FillSlot(cookie, SerializeResponse(code, ReasonPhrase(code),
+                                       RenderError(status),
+                                       "application/json"));
+  };
+
+  auto parsed = ParseInferRequest(request.body);
+  if (!parsed.ok()) {
+    fail(parsed.status());
+    return;
+  }
+  const InferRequestBody& body = parsed.value();
+  if (body.node < 0 ||
+      body.node > static_cast<int64_t>(
+                      std::numeric_limits<graph::NodeId>::max())) {
+    fail(common::Status::InvalidArgument("node id out of range"));
+    return;
+  }
+  serve::InferenceRequest infer;
+  infer.node = static_cast<graph::NodeId>(body.node);
+  infer.tenant_id = body.tenant;
+  infer.deadline_micros = body.deadline_micros;
+
+  const uint64_t cookie = ReserveSlot(conn);
+  auto admitted =
+      admission_.Offer(std::move(infer), cookie, server_->breaker_state());
+  if (!admitted.ok()) {
+    shed_tier_->Set(static_cast<double>(serve::ShedTier::kReject));
+    if (admitted.status().code() == common::StatusCode::kResourceExhausted) {
+      quota_rejected_total_->Increment();
+    } else {
+      shed_rejected_total_->Increment();
+    }
+    const int code = HttpStatusForCode(admitted.status().code());
+    http_errors_total_->Increment();
+    FillSlot(cookie, SerializeResponse(code, ReasonPhrase(code),
+                                       RenderError(admitted.status()),
+                                       "application/json"));
+    return;
+  }
+  shed_tier_->Set(static_cast<double>(admitted.value()));
+  admitted_total_->Increment();
+  if (admitted.value() == serve::ShedTier::kStale) {
+    admitted_stale_total_->Increment();
+  }
+}
+
+std::string HttpFrontDoor::MetricsBody() {
+  // Metrics() refreshes the registry-side breaker/pool/ops gauges, so a
+  // scrape through the front door sees the same numbers a snapshot does.
+  (void)server_->Metrics();
+  return registry_->PrometheusText(true);
+}
+
+std::string HttpFrontDoor::HealthzBody(int* http_status) {
+  const serve::ShedTier tier = config_.admission.shed.Decide(
+      server_->breaker_state(), admission_.FillFraction());
+  const int torn = torn_streak_.load();
+  if (tier == serve::ShedTier::kExact &&
+      torn < config_.torn_read_threshold) {
+    *http_status = 200;
+    return "ok\n";
+  }
+  *http_status = 503;
+  std::string body = "unhealthy: shed_tier=";
+  body += serve::ShedTierName(tier);
+  body += " breaker=";
+  body += common::CircuitBreaker::StateName(server_->breaker_state());
+  body += " torn_streak=" + std::to_string(torn) + "\n";
+  return body;
+}
+
+uint64_t HttpFrontDoor::ReserveSlot(const std::shared_ptr<Conn>& conn) {
+  common::MutexLock lock(conn->mu);
+  const uint64_t seq = conn->next_seq++;
+  conn->slots.push_back(Slot{seq, false, std::string()});
+  return MakeCookie(conn->id, seq);
+}
+
+void HttpFrontDoor::FillSlot(uint64_t cookie, std::string bytes) {
+  const uint64_t conn_id = cookie >> kSeqBits;
+  const uint64_t seq = cookie & kSeqMask;
+  std::shared_ptr<Conn> conn;
+  {
+    common::MutexLock lock(conns_.mu);
+    auto it = conns_.map.find(conn_id);
+    if (it == conns_.map.end()) return;  // Conn died; response dropped.
+    conn = it->second;
+  }
+  {
+    common::MutexLock lock(conn->mu);
+    for (Slot& slot : conn->slots) {
+      if ((slot.seq & kSeqMask) == seq) {
+        slot.ready = true;
+        slot.bytes = std::move(bytes);
+        break;
+      }
+    }
+  }
+  responses_total_->Increment();
+  FlushConn(conn);
+}
+
+void HttpFrontDoor::FlushConn(const std::shared_ptr<Conn>& conn) {
+  common::MutexLock lock(conn->mu);
+  while (!conn->slots.empty() && conn->slots.front().ready) {
+    if (!conn->dead) {
+      const std::string& bytes = conn->slots.front().bytes;
+      common::Status sent = SendAll(conn->fd.fd(), bytes.data(), bytes.size());
+      if (!sent.ok()) {
+        // The peer is gone; the epoll thread owns closing the fd (it will
+        // see the EOF/error), we just stop writing.
+        conn->dead = true;
+      }
+    }
+    conn->slots.pop_front();
+  }
+}
+
+void HttpFrontDoor::CloseConn(const std::shared_ptr<Conn>& conn, bool torn) {
+  size_t open = 0;
+  {
+    common::MutexLock lock(conns_.mu);
+    conns_.map.erase(conn->id);
+    open = conns_.map.size();
+  }
+  {
+    common::MutexLock lock(conn->mu);
+    conn->dead = true;
+    if (conn->fd.valid()) {
+      // sgnn-lint: allow(status/void-cast): best-effort deregistration on
+      // the close path; the fd is closed next, which detaches it anyway.
+      (void)EpollDel(epoll_fd_.fd(), conn->fd.fd());
+      conn->fd.Close();
+    }
+  }
+  if (torn) {
+    torn_reads_total_->Increment();
+    torn_streak_.fetch_add(1);
+  }
+  open_connections_->Set(static_cast<double>(open));
+}
+
+void HttpFrontDoor::DispatchLoop() {
+  for (;;) {
+    serve::InferenceRequest request;
+    uint64_t cookie = 0;
+    const bool got = admission_.PopDispatch(&request, &cookie,
+                                            config_.poll_interval_micros);
+    if (!got) {
+      if (stop_.load() && admission_.TotalQueued() == 0) return;
+      continue;
+    }
+    obs::TraceSpan span = obs::StartSpan(tracer_, "net:dispatch", "net");
+    dispatches_total_->Increment();
+    auto submitted = server_->Submit(request);
+    if (!submitted.ok()) {
+      const int code = HttpStatusForCode(submitted.status().code());
+      http_errors_total_->Increment();
+      FillSlot(cookie, SerializeResponse(code, ReasonPhrase(code),
+                                         RenderError(submitted.status()),
+                                         "application/json"));
+      continue;
+    }
+    // Single-producer backpressure: this thread is the only pusher, so a
+    // size check below capacity guarantees the TryPush lands (pops only
+    // shrink the queue). A failed TryPush would destroy the future and
+    // lose the response, so never race it against a full queue.
+    while (completions_.size() >= completions_.capacity()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    common::Status pushed =
+        completions_.TryPush(Completion{cookie, std::move(submitted).value()});
+    // Close() happens only after this thread joins (see Shutdown), so the
+    // push cannot be rejected.
+    SGNN_CHECK(pushed.ok());
+  }
+}
+
+void HttpFrontDoor::WaiterLoop() {
+  for (;;) {
+    Completion completion;
+    if (!completions_.WaitPop(&completion, std::chrono::milliseconds(20))) {
+      if (completions_.closed()) return;
+      continue;
+    }
+    serve::InferenceResponse response = completion.future.get();
+    const int code =
+        response.status.ok() ? 200 : HttpStatusForCode(response.status.code());
+    if (code >= 400) http_errors_total_->Increment();
+    const std::string body = RenderInferResponse(response);
+    FillSlot(completion.cookie,
+             SerializeResponse(code, ReasonPhrase(code), body,
+                               "application/json"));
+  }
+}
+
+}  // namespace sgnn::net

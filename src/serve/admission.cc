@@ -1,0 +1,228 @@
+#include "serve/admission.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "common/check.h"
+
+namespace sgnn::serve {
+
+const char* ShedTierName(ShedTier tier) {
+  switch (tier) {
+    case ShedTier::kExact:
+      return "exact";
+    case ShedTier::kStale:
+      return "stale";
+    case ShedTier::kReject:
+      return "reject";
+  }
+  return "unknown";
+}
+
+ShedTier ShedPolicy::Decide(common::CircuitBreaker::State breaker,
+                            double fill) const {
+  if (breaker == common::CircuitBreaker::State::kClosed) {
+    return ShedTier::kExact;
+  }
+  if (breaker == common::CircuitBreaker::State::kOpen && fill >= reject_fill) {
+    return ShedTier::kReject;
+  }
+  return ShedTier::kStale;
+}
+
+AdmissionQueue::AdmissionQueue(const AdmissionConfig& config)
+    : config_(config) {
+  SGNN_CHECK_GT(config_.per_tenant_capacity, 0u);
+  common::MutexLock lock(mu_);
+  for (const auto& [id, quota] : config_.tenants) {
+    tenants_.emplace(
+        id, std::make_unique<Tenant>(quota, config_.per_tenant_capacity));
+  }
+}
+
+AdmissionQueue::Tenant& AdmissionQueue::TenantFor(const std::string& id) {
+  auto it = tenants_.find(id);
+  if (it == tenants_.end()) {
+    it = tenants_
+             .emplace(id, std::make_unique<Tenant>(
+                              config_.default_quota,
+                              config_.per_tenant_capacity))
+             .first;
+  }
+  return *it->second;
+}
+
+common::StatusOr<ShedTier> AdmissionQueue::Offer(
+    InferenceRequest request, uint64_t cookie,
+    common::CircuitBreaker::State breaker) {
+  common::MutexLock lock(mu_);
+  if (closed_) {
+    return common::Status::FailedPrecondition("admission queue is closed");
+  }
+  const ShedTier tier = config_.shed.Decide(breaker, FillFractionLocked());
+  if (tier == ShedTier::kReject) {
+    return common::Status::Unavailable(
+        "load shed: breaker open and admission queues saturated");
+  }
+  Tenant& tenant = TenantFor(request.tenant_id);
+  if (tenant.tokens < 1.0) {
+    return common::Status::ResourceExhausted("tenant '" + request.tenant_id +
+                                             "' is out of quota tokens");
+  }
+  if (tier == ShedTier::kStale) request.stale_only = true;
+  common::Status pushed =
+      tenant.queue.TryPush(Queued{std::move(request), cookie});
+  if (!pushed.ok()) return pushed;  // kUnavailable: per-tenant backpressure.
+  tenant.tokens -= 1.0;
+  cv_.notify_one();
+  return tier;
+}
+
+bool AdmissionQueue::PopDispatch(InferenceRequest* request, uint64_t* cookie,
+                                 int64_t timeout_micros) {
+  SGNN_CHECK(request != nullptr);
+  SGNN_CHECK(cookie != nullptr);
+  common::MutexLock lock(mu_);
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::microseconds(timeout_micros);
+  for (;;) {
+    Queued item;
+    if (!paused_ && TryDwrrPop(&item)) {
+      RefillAll();
+      if (config_.record_dispatch_log) {
+        dispatch_log_.push_back(item.request.tenant_id);
+      }
+      *request = std::move(item.request);
+      *cookie = item.cookie;
+      return true;
+    }
+    if (closed_ && !paused_) return false;  // Closed and fully drained.
+    if (cv_.wait_until(mu_, deadline) == std::cv_status::timeout) {
+      // One more non-waiting attempt absorbs a wakeup that raced the
+      // timeout; then give up.
+      if (!paused_ && TryDwrrPop(&item)) {
+        RefillAll();
+        if (config_.record_dispatch_log) {
+          dispatch_log_.push_back(item.request.tenant_id);
+        }
+        *request = std::move(item.request);
+        *cookie = item.cookie;
+        return true;
+      }
+      return false;
+    }
+  }
+}
+
+bool AdmissionQueue::TryDwrrPop(Queued* out) {
+  if (tenants_.empty()) return false;
+  // At most two sweeps over the tenant map: the first may spend visits
+  // resetting deficits of empty queues; if any queue is non-empty, its
+  // tenant accrues at least one grant within two sweeps (weights are
+  // checked positive) unless quantum * weight < 1, in which case servicing
+  // legitimately waits for enough full rounds — bounded here by giving
+  // every non-empty tenant one grant per sweep and bailing once a full
+  // double sweep produced nothing.
+  const size_t max_visits = 2 * tenants_.size() + 2;
+  bool any_nonempty = false;
+  for (const auto& [id, tenant] : tenants_) {
+    if (tenant->queue.size() > 0) {
+      any_nonempty = true;
+      break;
+    }
+  }
+  if (!any_nonempty) return false;
+  auto it = tenants_.lower_bound(cursor_);
+  if (it == tenants_.end()) it = tenants_.begin();
+  for (size_t visits = 0; visits < max_visits; ++visits) {
+    Tenant& tenant = *it->second;
+    const bool nonempty = tenant.queue.size() > 0;
+    if (!cursor_granted_) {
+      // Classic DRR: an idle tenant's deficit resets so it cannot hoard
+      // service credit while it has nothing to send.
+      if (nonempty) {
+        tenant.deficit += config_.quantum * std::max(tenant.quota.weight, 0.0);
+      } else {
+        tenant.deficit = 0.0;
+      }
+      cursor_granted_ = true;
+    }
+    if (nonempty && tenant.deficit >= 1.0) {
+      SGNN_CHECK(tenant.queue.TryPop(out));
+      tenant.deficit -= 1.0;
+      if (tenant.queue.size() == 0) {
+        tenant.deficit = 0.0;
+        ++it;
+        if (it == tenants_.end()) it = tenants_.begin();
+        cursor_ = it->first;
+        cursor_granted_ = false;
+      } else {
+        cursor_ = it->first;
+      }
+      return true;
+    }
+    ++it;
+    if (it == tenants_.end()) it = tenants_.begin();
+    cursor_ = it->first;
+    cursor_granted_ = false;
+  }
+  // quantum * weight < 1 for every backlogged tenant: deficits accrued this
+  // call; the next call continues accruing until one crosses 1.
+  return false;
+}
+
+void AdmissionQueue::RefillAll() {
+  for (auto& [id, tenant] : tenants_) {
+    tenant->tokens = std::min(tenant->quota.bucket_capacity,
+                              tenant->tokens + tenant->quota.refill_per_dispatch);
+  }
+}
+
+void AdmissionQueue::Pause() {
+  common::MutexLock lock(mu_);
+  paused_ = true;
+}
+
+void AdmissionQueue::Resume() {
+  {
+    common::MutexLock lock(mu_);
+    paused_ = false;
+  }
+  cv_.notify_all();
+}
+
+void AdmissionQueue::Close() {
+  {
+    common::MutexLock lock(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+size_t AdmissionQueue::TotalQueued() const {
+  common::MutexLock lock(mu_);
+  size_t total = 0;
+  for (const auto& [id, tenant] : tenants_) total += tenant->queue.size();
+  return total;
+}
+
+double AdmissionQueue::FillFraction() const {
+  common::MutexLock lock(mu_);
+  return FillFractionLocked();
+}
+
+double AdmissionQueue::FillFractionLocked() const {
+  if (tenants_.empty()) return 0.0;
+  size_t total = 0;
+  for (const auto& [id, tenant] : tenants_) total += tenant->queue.size();
+  const size_t capacity = tenants_.size() * config_.per_tenant_capacity;
+  return static_cast<double>(total) / static_cast<double>(capacity);
+}
+
+std::vector<std::string> AdmissionQueue::DispatchLog() const {
+  common::MutexLock lock(mu_);
+  return dispatch_log_;
+}
+
+}  // namespace sgnn::serve

@@ -11,15 +11,6 @@ namespace sgnn::serve {
 
 using Clock = std::chrono::steady_clock;
 
-namespace {
-
-double MicrosSince(Clock::time_point start) {
-  return std::chrono::duration<double, std::micro>(Clock::now() - start)
-      .count();
-}
-
-}  // namespace
-
 BatchingServer::BatchingServer(FrozenModel model, EmbeddingFn embed_fn,
                                graph::NodeId num_nodes,
                                const ServeConfig& config,
@@ -49,7 +40,8 @@ BatchingServer::BatchingServer(FrozenModel model, EmbeddingFn embed_fn,
 BatchingServer::~BatchingServer() { Shutdown(); }
 
 common::StatusOr<std::future<InferenceResponse>> BatchingServer::Submit(
-    graph::NodeId node) {
+    const InferenceRequest& inference_request) {
+  const graph::NodeId node = inference_request.node;
   if (node >= num_nodes_) {
     return common::Status::InvalidArgument("node id out of range");
   }
@@ -61,11 +53,16 @@ common::StatusOr<std::future<InferenceResponse>> BatchingServer::Submit(
     metrics_.RecordRejected();
     return common::Status::Unavailable("injected admission fault");
   }
+  const int64_t deadline_micros = inference_request.deadline_micros > 0
+                                      ? inference_request.deadline_micros
+                                      : config_.deadline_micros;
   Request request;
   request.node = node;
-  request.enqueue_time = Clock::now();
-  request.deadline = config_.deadline_micros > 0
-                         ? common::Deadline::After(config_.deadline_micros)
+  request.tenant_id = inference_request.tenant_id;
+  request.stale_only = inference_request.stale_only;
+  request.enqueue_tick = latency_clock_.Next();
+  request.deadline = deadline_micros > 0
+                         ? common::Deadline::After(deadline_micros)
                          : common::Deadline::Infinite();
   std::future<InferenceResponse> future = request.promise.get_future();
   common::Status status = queue_.TryPush(std::move(request));
@@ -274,13 +271,28 @@ void BatchingServer::ProcessBatch(std::vector<Request>* batch) {
         auto row = cache_.Get(node);
         std::copy(row.begin(), row.end(), embeddings.Row(i).begin());
         hit[s] = true;
+      } else if (request.stale_only && staleness >= 0) {
+        // Stale-tier serve: the shed controller asked for the cached row
+        // at any staleness, embedder untouched. Flagged degraded so the
+        // client can tell it got yesterday's embedding.
+        auto row = cache_.Get(node);
+        std::copy(row.begin(), row.end(), embeddings.Row(i).begin());
+        degraded[s] = true;
       }
     }
-    if (!hit[s]) {
-      bool row_degraded = false;
-      row_status[s] = ResolveMiss(node, request.deadline, embeddings.Row(i),
-                                  step, &row_degraded);
-      degraded[s] = row_degraded;
+    if (!hit[s] && !degraded[s]) {
+      if (request.stale_only) {
+        // Stale-only miss: shedding forbids the embedder and there is no
+        // row to fall back on — reject rather than do exact work.
+        row_status[s] = common::Status::Unavailable(
+            "stale-only request has no cached row");
+        metrics_.RecordTerminalFailure(row_status[s].code(), false);
+      } else {
+        bool row_degraded = false;
+        row_status[s] = ResolveMiss(node, request.deadline, embeddings.Row(i),
+                                    step, &row_degraded);
+        degraded[s] = row_degraded;
+      }
     }
   }
 
@@ -294,7 +306,9 @@ void BatchingServer::ProcessBatch(std::vector<Request>* batch) {
     Request& request = (*batch)[s];
     InferenceResponse response;
     response.node = request.node;
-    response.latency_micros = MicrosSince(request.enqueue_time);
+    response.tenant_id = std::move(request.tenant_id);
+    response.latency_ticks = static_cast<int64_t>(latency_clock_.Next() -
+                                                  request.enqueue_tick);
     if (row_status[s].ok() && request.deadline.expired()) {
       // Post-batch check: the result arrived too late to count.
       row_status[s] = common::Status::DeadlineExceeded(
@@ -309,7 +323,7 @@ void BatchingServer::ProcessBatch(std::vector<Request>* batch) {
           std::max_element(row.begin(), row.end()) - row.begin());
       response.cache_hit = hit[s];
       response.degraded = degraded[s];
-      metrics_.RecordRequest(response.latency_micros, response.cache_hit,
+      metrics_.RecordRequest(response.latency_ticks, response.cache_hit,
                              response.degraded);
     }
     request.promise.set_value(std::move(response));

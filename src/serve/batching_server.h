@@ -16,6 +16,7 @@
 #include "common/status.h"
 #include "common/thread_annotations.h"
 #include "common/thread_pool.h"
+#include "common/timer.h"
 #include "core/run_context.h"
 #include "graph/types.h"
 #include "obs/trace.h"
@@ -64,21 +65,50 @@ struct ServeConfig {
   common::CircuitBreaker::Config breaker;
 };
 
+/// One classification request: the single admission currency of the
+/// serving tier. The in-process `BatchingServer::Submit` path, the
+/// admission stage (`serve::AdmissionQueue`), and the HTTP front door
+/// (`sgnn::net`) all build exactly this struct, so quotas, fair
+/// scheduling, and shedding reason about one shape.
+struct InferenceRequest {
+  InferenceRequest() = default;
+  /// Bare single-node request: default tenant, inherited deadline.
+  explicit InferenceRequest(graph::NodeId node_in) : node(node_in) {}
+
+  graph::NodeId node = 0;
+  /// Tenant the request bills to; per-tenant quotas and weighted-fair
+  /// dequeue key on it. Empty = the anonymous default tenant. The server
+  /// itself only echoes it into the response.
+  std::string tenant_id;
+  /// Per-request time budget in microseconds from submission; 0 = inherit
+  /// `ServeConfig::deadline_micros`.
+  int64_t deadline_micros = 0;
+  /// Degraded-tier request (set by the load shedder's stale tier): serve
+  /// the node's cached row at *any* staleness and never call the embedder;
+  /// resolves `kUnavailable` when no cached row exists.
+  bool stale_only = false;
+};
+
 /// Answer to a single-node classification request. Every admitted request
 /// receives exactly one response; `status` says whether `logits` is
 /// meaningful. Terminal statuses: OK (fresh or degraded serve),
 /// `kDeadlineExceeded` (time budget blown), `kUnavailable` (breaker open /
-/// embedder down with no fallback row), or the embedder's own permanent
-/// error.
+/// embedder down with no fallback row / stale-only miss), or the
+/// embedder's own permanent error.
 struct InferenceResponse {
   common::Status status;
   graph::NodeId node = 0;
+  std::string tenant_id;            ///< Echoed from the request.
   std::vector<float> logits;        ///< Empty unless `status.ok()`.
   int predicted_class = 0;
   bool cache_hit = false;           ///< Embedding came from the cache fresh.
   bool degraded = false;            ///< Served from a stale cache row after
-                                    ///< the fresh path failed.
-  double latency_micros = 0.0;      ///< Enqueue to fulfilment.
+                                    ///< the fresh path failed, or because
+                                    ///< the request was stale-only.
+  /// Enqueue-to-fulfilment latency in logical ticks of the server's
+  /// `common::TickClock` (one tick per admission/fulfilment event, no wall
+  /// time), so the serve latency series honour the obs determinism tags.
+  int64_t latency_ticks = 0;
 };
 
 /// Computes a node's embedding into the provided row buffer, or returns
@@ -131,11 +161,19 @@ class BatchingServer {
   BatchingServer(const BatchingServer&) = delete;
   BatchingServer& operator=(const BatchingServer&) = delete;
 
-  /// Enqueues a classification request for node `node`. Returns the future
-  /// carrying the response, or `kUnavailable` when the server is saturated
-  /// (backpressure; the caller may retry) / `kFailedPrecondition` after
-  /// shutdown. Thread-safe.
-  common::StatusOr<std::future<InferenceResponse>> Submit(graph::NodeId node);
+  /// Enqueues a classification request. Returns the future carrying the
+  /// response, or `kInvalidArgument` (node out of range), `kUnavailable`
+  /// when the server is saturated (backpressure; the caller may retry), or
+  /// `kFailedPrecondition` after shutdown. Thread-safe.
+  common::StatusOr<std::future<InferenceResponse>> Submit(
+      const InferenceRequest& request);
+
+  /// DEPRECATED single-node overload; use `Submit(const InferenceRequest&)`.
+  [[deprecated("use Submit(const InferenceRequest&)")]]
+  common::StatusOr<std::future<InferenceResponse>> Submit(
+      graph::NodeId node) {
+    return Submit(InferenceRequest(node));
+  }
 
   /// Pre-populates the embedding cache with row `u` of `embeddings` for
   /// every node (e.g. the training-time S^K X), so serving starts warm.
@@ -147,6 +185,13 @@ class BatchingServer {
   /// `sgnn_serve_ops_*` gauges, so call it before scraping. Thread-safe.
   ServeMetricsSnapshot Metrics() const;
 
+  /// Current circuit-breaker state. This is the load shedder's input
+  /// signal (`serve::ShedPolicy::Decide`), cheap enough for the admission
+  /// hot path — unlike `Metrics()`, which aggregates every counter.
+  common::CircuitBreaker::State breaker_state() const {
+    return breaker_.state();
+  }
+
   /// Stops admissions, flushes every queued request, joins all threads.
   /// Idempotent; also run by the destructor.
   void Shutdown();
@@ -156,9 +201,11 @@ class BatchingServer {
  private:
   struct Request {
     graph::NodeId node = 0;
+    std::string tenant_id;
+    bool stale_only = false;
     std::promise<InferenceResponse> promise;
-    std::chrono::steady_clock::time_point enqueue_time;
-    common::Deadline deadline;  ///< Infinite when deadline_micros == 0.
+    uint64_t enqueue_tick = 0;  ///< `latency_clock_` tick at admission.
+    common::Deadline deadline;  ///< Infinite when no deadline applies.
   };
 
   void BatcherLoop();
@@ -187,6 +234,10 @@ class BatchingServer {
   sampling::HistoricalEmbeddingCache cache_ SGNN_GUARDED_BY(cache_mu_);
   /// Monotone batch counter: the cache's staleness clock at serve time.
   std::atomic<int64_t> step_{0};
+  /// Logical latency clock: ticked once at admission and once at
+  /// fulfilment, so `InferenceResponse::latency_ticks` measures program
+  /// structure (how many serve events passed) rather than wall time.
+  common::TickClock latency_clock_;
 
   /// In-flight batch cap (== num_workers): keeps pressure on the admission
   /// queue instead of an unbounded pool backlog.

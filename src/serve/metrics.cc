@@ -6,10 +6,11 @@ namespace sgnn::serve {
 
 namespace {
 
-/// The historical serving-latency ladder: ~7% geometric resolution from
-/// 1 us to ~35 s in 256 constant-memory buckets.
+/// Latency is measured in logical ticks (two per request, so values scale
+/// with the in-flight population, not wall time); ~16% geometric
+/// resolution from 1 tick to ~2^31 covers any realistic backlog.
 std::vector<double> LatencyBuckets() {
-  return obs::ExponentialBuckets(1.0, 1.07, 256);
+  return obs::ExponentialBuckets(1.0, 1.16, 145);
 }
 
 /// Batch sizes are small integers bounded by `ServeConfig::max_batch`;
@@ -63,9 +64,10 @@ ServeMetrics::ServeMetrics(obs::MetricsRegistry* registry)
       "sgnn_serve_breaker_fast_fails_total",
       "Misses fast-failed by the open circuit breaker (metrics-side count).",
       {}, obs::kVolatile);
-  latency_micros_ = r.GetHistogram(
-      "sgnn_serve_latency_micros",
-      "End-to-end latency of successful serves (enqueue to fulfilment).",
+  latency_ticks_ = r.GetHistogram(
+      "sgnn_serve_latency_ticks",
+      "End-to-end latency of successful serves in logical ticks "
+      "(enqueue to fulfilment on the server's TickClock; no wall time).",
       LatencyBuckets(), {}, obs::kVolatile);
   batch_size_ =
       r.GetHistogram("sgnn_serve_batch_size",
@@ -80,9 +82,10 @@ ServeMetrics::ServeMetrics(obs::MetricsRegistry* registry)
       obs::kVolatile);
 }
 
-void ServeMetrics::RecordRequest(double latency_micros, bool cache_hit,
+void ServeMetrics::RecordRequest(int64_t latency_ticks, bool cache_hit,
                                  bool degraded) {
-  latency_micros_->Record(latency_micros < 0.0 ? 0.0 : latency_micros);
+  latency_ticks_->Record(
+      latency_ticks < 0 ? 0.0 : static_cast<double>(latency_ticks));
   requests_served_->Increment();
   if (degraded) {
     degraded_serves_->Increment();
@@ -127,10 +130,10 @@ ServeMetricsSnapshot ServeMetrics::Snapshot() const {
   snap.mean_batch_size = batch.Mean();
   snap.max_batch_size = static_cast<uint64_t>(max_batch_size_->value());
   snap.max_queue_depth = static_cast<uint64_t>(max_queue_depth_->value());
-  const obs::HistogramSnapshot latency = latency_micros_->Snapshot();
-  snap.p50_micros = latency.Percentile(0.50);
-  snap.p95_micros = latency.Percentile(0.95);
-  snap.p99_micros = latency.Percentile(0.99);
+  const obs::HistogramSnapshot latency = latency_ticks_->Snapshot();
+  snap.p50_ticks = latency.Percentile(0.50);
+  snap.p95_ticks = latency.Percentile(0.95);
+  snap.p99_ticks = latency.Percentile(0.99);
   snap.health.deadline_misses = deadline_misses_->value();
   snap.health.retries = retries_->value();
   snap.health.embed_failures = embed_failures_->value();
@@ -162,13 +165,13 @@ std::string ServeMetricsSnapshot::ToString() const {
       buf, sizeof(buf),
       "served=%llu rejected=%llu hit_rate=%.3f batches=%llu "
       "mean_batch=%.2f max_batch=%llu max_queue=%llu "
-      "p50=%.1fus p95=%.1fus p99=%.1fus",
+      "p50=%.1ft p95=%.1ft p99=%.1ft",
       static_cast<unsigned long long>(requests_served),
       static_cast<unsigned long long>(requests_rejected), CacheHitRate(),
       static_cast<unsigned long long>(batches), mean_batch_size,
       static_cast<unsigned long long>(max_batch_size),
-      static_cast<unsigned long long>(max_queue_depth), p50_micros,
-      p95_micros, p99_micros);
+      static_cast<unsigned long long>(max_queue_depth), p50_ticks,
+      p95_ticks, p99_ticks);
   std::string out(buf);
   out += "\nhealth: " + health.ToString();
   out += "\nops: " + ops.ToString();

@@ -42,9 +42,12 @@ struct ServeMetricsSnapshot {
   double mean_batch_size = 0.0;
   uint64_t max_batch_size = 0;
   uint64_t max_queue_depth = 0;
-  double p50_micros = 0.0;
-  double p95_micros = 0.0;
-  double p99_micros = 0.0;
+  /// Latency percentiles in logical ticks of the server's latency clock
+  /// (two ticks book-end every request; see
+  /// `InferenceResponse::latency_ticks`), not wall time.
+  double p50_ticks = 0.0;
+  double p95_ticks = 0.0;
+  double p99_ticks = 0.0;
   /// Work counters aggregated across the serving threads
   /// (`common::AggregateThreadCounters` delta since server start).
   common::OpCounters ops;
@@ -82,9 +85,12 @@ class ServeMetrics {
   ServeMetrics& operator=(const ServeMetrics&) = delete;
 
   /// Records one successfully served request with its end-to-end latency
-  /// (enqueue to promise fulfilment), whether the embedding came from the
-  /// cache fresh, and whether it was a degraded (stale-row) serve.
-  void RecordRequest(double latency_micros, bool cache_hit,
+  /// in logical ticks (enqueue to promise fulfilment, measured by the
+  /// server's `common::TickClock` — no wall time, so the series carries
+  /// the volatility tag only for thread-interleaving reasons), whether the
+  /// embedding came from the cache fresh, and whether it was a degraded
+  /// (stale-row) serve.
+  void RecordRequest(int64_t latency_ticks, bool cache_hit,
                      bool degraded = false);
 
   void RecordRejected();
@@ -126,7 +132,7 @@ class ServeMetrics {
   obs::Counter* degraded_serves_;
   obs::Counter* failed_requests_;
   obs::Counter* breaker_fast_fails_;
-  obs::Histogram* latency_micros_;
+  obs::Histogram* latency_ticks_;
   obs::Histogram* batch_size_;
   obs::Gauge* max_batch_size_;
   obs::Gauge* max_queue_depth_;

@@ -257,10 +257,10 @@ TEST(ArmFromSpecTest, ArmFromEnvReadsSgnnFaults) {
 
 /// The reconnect loop sgnn::dist's coordinator runs per dead worker,
 /// reduced to its control flow: bounded retries with deterministic
-/// backoff, gated by a breaker shared across the whole run. `connect`
-/// returns the outcome of one respawn attempt.
+/// backoff, gated by a breaker shared across the whole run.
+/// `attempt_connect` returns the outcome of one respawn attempt.
 Status ReconnectWithBudget(const RetryPolicy& policy, CircuitBreaker* breaker,
-                           const std::function<Status()>& connect,
+                           const std::function<Status()>& attempt_connect,
                            std::vector<int64_t>* backoffs = nullptr) {
   Status last = Status::OK();
   for (int attempt = 1; attempt <= policy.max_attempts; ++attempt) {
@@ -268,7 +268,7 @@ Status ReconnectWithBudget(const RetryPolicy& policy, CircuitBreaker* breaker,
       // Degraded path: report, never hang on a known-bad endpoint.
       return Status::Unavailable("circuit breaker open");
     }
-    last = connect();
+    last = attempt_connect();
     if (last.ok()) {
       breaker->RecordSuccess();
       return last;
@@ -423,7 +423,7 @@ std::map<NodeId, StatusCode> ServeAllNodesOnce(uint64_t seed) {
 
   std::vector<std::future<InferenceResponse>> futures;
   for (NodeId u = 0; u < kNodes; ++u) {
-    auto future = server.Submit(u);
+    auto future = server.Submit(InferenceRequest(u));
     EXPECT_TRUE(future.ok());
     futures.push_back(std::move(future).value());
   }
@@ -482,14 +482,16 @@ TEST(FaultServingTest, DegradedModeServesStaleRowsWhenEmbedderDies) {
   server.WarmCache(warm);
 
   // Step 0: warmed rows have staleness 0 -> fresh hit.
-  InferenceResponse first = server.Submit(5).value().get();
+  InferenceResponse first =
+      server.Submit(InferenceRequest(5)).value().get();
   ASSERT_TRUE(first.status.ok());
   EXPECT_TRUE(first.cache_hit);
   EXPECT_FALSE(first.degraded);
 
   // Later steps: the row is stale, the embedder fails -> degraded serve of
   // the same row, so the logits are identical.
-  InferenceResponse second = server.Submit(5).value().get();
+  InferenceResponse second =
+      server.Submit(InferenceRequest(5)).value().get();
   ASSERT_TRUE(second.status.ok());
   EXPECT_FALSE(second.cache_hit);
   EXPECT_TRUE(second.degraded);
@@ -523,7 +525,8 @@ TEST(FaultServingTest, WithoutDegradedModeTheErrorSurfaces) {
       },
       kNodes, config);
 
-  InferenceResponse response = server.Submit(2).value().get();
+  InferenceResponse response =
+      server.Submit(InferenceRequest(2)).value().get();
   EXPECT_EQ(response.status.code(), StatusCode::kUnavailable);
   EXPECT_TRUE(response.logits.empty());
   EXPECT_EQ(embed_calls.load(), 3);  // All attempts spent.
@@ -547,7 +550,8 @@ TEST(FaultServingTest, PermanentErrorsAreNotRetried) {
         return Status::Internal("model shard corrupt");
       },
       8, config);
-  InferenceResponse response = server.Submit(1).value().get();
+  InferenceResponse response =
+      server.Submit(InferenceRequest(1)).value().get();
   EXPECT_EQ(response.status.code(), StatusCode::kInternal);
   EXPECT_EQ(embed_calls.load(), 1);  // No retry on a permanent error.
   server.Shutdown();
@@ -571,7 +575,8 @@ TEST(FaultServingTest, ExpiredRequestsResolveDeadlineExceeded) {
       },
       16, config);
 
-  InferenceResponse response = server.Submit(3).value().get();
+  InferenceResponse response =
+      server.Submit(InferenceRequest(3)).value().get();
   EXPECT_EQ(response.status.code(), StatusCode::kDeadlineExceeded);
   EXPECT_TRUE(response.logits.empty());
   EXPECT_EQ(embed_calls.load(), 0);  // Expired at dequeue: no work wasted.
@@ -604,7 +609,7 @@ TEST(FaultServingTest, OpenBreakerFastFailsWithoutCallingEmbedder) {
 
   std::vector<std::future<InferenceResponse>> futures;
   for (NodeId u = 0; u < kNodes; ++u) {
-    futures.push_back(server.Submit(u).value());
+    futures.push_back(server.Submit(InferenceRequest(u)).value());
   }
   for (auto& future : futures) {
     EXPECT_EQ(future.get().status.code(), StatusCode::kUnavailable);
@@ -661,8 +666,8 @@ TEST(FaultServingTest, EveryAdmittedRequestIsTerminalUnderStress) {
     clients.emplace_back([&, c] {
       common::Rng rng(static_cast<uint64_t>(c) + 1);
       for (int i = 0; i < kPerClient; ++i) {
-        auto future = server.Submit(
-            static_cast<NodeId>(rng.UniformInt(kNodes)));
+        auto future = server.Submit(InferenceRequest(
+            static_cast<NodeId>(rng.UniformInt(kNodes))));
         if (future.ok()) {
           std::lock_guard<std::mutex> lock(mu);
           admitted.push_back(std::move(future).value());

@@ -415,33 +415,25 @@ TEST(RunContextTest, ReportRowsMatchRegistrySeries) {
   }
 }
 
-/// Compat shim: a `PipelineRunOptions` run (the deprecated overload) and
-/// the `RunContext` it converts to produce identical results. This is the
-/// one in-tree construction of `PipelineRunOptions` outside the shim
-/// itself — it tests the shim.
-TEST(RunContextTest, CompatShimMatchesRunContext) {
+/// A default `RunContext` reproduces the plain two-argument run exactly:
+/// same stage rows, same work counters, same trained model. This is the
+/// contract that let the old `PipelineRunOptions` shim be deleted — the
+/// context's null/empty state IS the options-era default.
+TEST(RunContextTest, DefaultContextMatchesPlainRun) {
   core::Dataset d = SmallDataset(19);
-  core::PipelineRunOptions options;
-  options.validate_stages = true;
-  core::PipelineReport via_options =
-      MakePipeline().Run(d, FastConfig(), options);
-
-  const core::RunContext ctx = options.ToRunContext();
-  EXPECT_EQ(ctx.validate_stages, true);
-  EXPECT_EQ(ctx.resume, true);
-  EXPECT_EQ(ctx.faults, nullptr);
-  EXPECT_TRUE(ctx.deadline.infinite());
+  const core::RunContext ctx;
   core::PipelineReport via_ctx = MakePipeline().Run(d, FastConfig(), ctx);
+  core::PipelineReport plain = MakePipeline().Run(d, FastConfig());
 
-  ASSERT_TRUE(via_options.status.ok());
+  ASSERT_TRUE(plain.status.ok());
   ASSERT_TRUE(via_ctx.status.ok());
-  ASSERT_EQ(via_options.stages.size(), via_ctx.stages.size());
-  for (size_t i = 0; i < via_options.stages.size(); ++i) {
-    EXPECT_EQ(via_options.stages[i].name, via_ctx.stages[i].name);
-    EXPECT_EQ(via_options.stages[i].ops.edges_touched,
+  ASSERT_EQ(plain.stages.size(), via_ctx.stages.size());
+  for (size_t i = 0; i < plain.stages.size(); ++i) {
+    EXPECT_EQ(plain.stages[i].name, via_ctx.stages[i].name);
+    EXPECT_EQ(plain.stages[i].ops.edges_touched,
               via_ctx.stages[i].ops.edges_touched);
   }
-  EXPECT_DOUBLE_EQ(via_options.model.report.test_accuracy,
+  EXPECT_DOUBLE_EQ(plain.model.report.test_accuracy,
                    via_ctx.model.report.test_accuracy);
 }
 
@@ -490,10 +482,10 @@ TEST(ServeObsTest, AdmissionFaultInjectsDeterministicRejections) {
       },
       /*num_nodes=*/8, config, ctx);
 
-  auto rejected = server.Submit(3);
+  auto rejected = server.Submit(serve::InferenceRequest(3));
   ASSERT_FALSE(rejected.ok());
   EXPECT_EQ(rejected.status().code(), common::StatusCode::kUnavailable);
-  auto admitted = server.Submit(1);
+  auto admitted = server.Submit(serve::InferenceRequest(1));
   ASSERT_TRUE(admitted.ok());
   EXPECT_TRUE(admitted.value().get().status.ok());
   server.Shutdown();
@@ -513,9 +505,9 @@ TEST(ServeObsTest, ServeMetricsSnapshotIsViewOverRegistry) {
   MetricsRegistry registry;
   serve::ServeMetrics metrics(&registry);
   EXPECT_EQ(metrics.registry(), &registry);
-  metrics.RecordRequest(/*latency_micros=*/1000.0, /*cache_hit=*/true);
-  metrics.RecordRequest(/*latency_micros=*/3000.0, /*cache_hit=*/false);
-  metrics.RecordRequest(/*latency_micros=*/2000.0, /*cache_hit=*/false,
+  metrics.RecordRequest(/*latency_ticks=*/10, /*cache_hit=*/true);
+  metrics.RecordRequest(/*latency_ticks=*/30, /*cache_hit=*/false);
+  metrics.RecordRequest(/*latency_ticks=*/20, /*cache_hit=*/false,
                         /*degraded=*/true);
   metrics.RecordBatch(/*batch_size=*/3, /*queue_depth=*/5);
   metrics.RecordTerminalFailure(common::StatusCode::kDeadlineExceeded, false);
@@ -529,15 +521,15 @@ TEST(ServeObsTest, ServeMetricsSnapshotIsViewOverRegistry) {
   EXPECT_EQ(snap.batches, 1u);
   EXPECT_DOUBLE_EQ(snap.mean_batch_size, 3.0);
   EXPECT_EQ(snap.max_queue_depth, 5u);
-  EXPECT_GT(snap.p50_micros, 0.0);
-  EXPECT_LE(snap.p50_micros, snap.p99_micros);
+  EXPECT_GT(snap.p50_ticks, 0.0);
+  EXPECT_LE(snap.p50_ticks, snap.p99_ticks);
 
   // The scrape carries the same counts.
   const std::string text = registry.PrometheusText();
   EXPECT_NE(text.find("sgnn_serve_requests_served_total 3"),
             std::string::npos);
   EXPECT_NE(text.find("sgnn_serve_cache_hits_total 1"), std::string::npos);
-  EXPECT_NE(text.find("sgnn_serve_latency_micros_count 3"),
+  EXPECT_NE(text.find("sgnn_serve_latency_ticks_count 3"),
             std::string::npos);
 
   // Owned-registry fallback: a standalone facade still works.

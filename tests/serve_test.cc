@@ -107,7 +107,7 @@ TEST(KHopEmbedderTest, MatchesGlobalPropagation) {
 
 /// The serving-latency ladder now lives in `obs::Histogram`
 /// (`ExponentialBuckets(1.0, 1.07, 256)`, the registry series
-/// `sgnn_serve_latency_micros`); this pins the percentile behaviour the
+/// `sgnn_serve_latency_ticks`); this pins the percentile behaviour the
 /// old `LatencyHistogram` guaranteed.
 TEST(LatencyHistogramTest, PercentilesOrderedAndApproximate) {
   obs::MetricsRegistry registry;
@@ -179,7 +179,7 @@ TEST(BatchingServerTest, ConcurrentClientsMatchSingleThreadedReference) {
       for (int r = 0; r < kRequestsPerClient; ++r) {
         const NodeId node = static_cast<NodeId>(
             rng.UniformInt(dataset.num_nodes()));
-        auto future_or = server->Submit(node);
+        auto future_or = server->Submit(InferenceRequest(node));
         ASSERT_TRUE(future_or.ok()) << future_or.status().ToString();
         InferenceResponse response = std::move(future_or).value().get();
         served.fetch_add(1);
@@ -231,14 +231,15 @@ TEST(BatchingServerTest, BackpressureRejectsWithUnavailable) {
       },
       /*num_nodes=*/16, config);
 
-  EXPECT_EQ(server.Submit(99).status().code(),
+  EXPECT_EQ(server.Submit(InferenceRequest(99)).status().code(),
             common::StatusCode::kInvalidArgument);
 
   std::vector<std::future<InferenceResponse>> accepted;
   int rejected = 0;
   auto submit_some = [&](int count) {
     for (int i = 0; i < count; ++i) {
-      auto future_or = server.Submit(static_cast<NodeId>(i % 16));
+      auto future_or =
+          server.Submit(InferenceRequest(static_cast<NodeId>(i % 16)));
       if (future_or.ok()) {
         accepted.push_back(std::move(future_or).value());
       } else {
@@ -293,7 +294,7 @@ TEST(BatchingServerTest, MetricsPercentilesAndWarmupHitRate) {
   auto run_pass = [&server](NodeId count) {
     std::vector<std::future<InferenceResponse>> futures;
     for (NodeId u = 0; u < count; ++u) {
-      auto future_or = server.Submit(u);
+      auto future_or = server.Submit(InferenceRequest(u));
       ASSERT_TRUE(future_or.ok());
       futures.push_back(std::move(future_or).value());
     }
@@ -305,9 +306,9 @@ TEST(BatchingServerTest, MetricsPercentilesAndWarmupHitRate) {
 
   ServeMetricsSnapshot snap = server.Metrics();
   EXPECT_EQ(snap.requests_served, 200u);
-  EXPECT_LE(snap.p50_micros, snap.p95_micros);
-  EXPECT_LE(snap.p95_micros, snap.p99_micros);
-  EXPECT_GT(snap.p50_micros, 0.0);
+  EXPECT_LE(snap.p50_ticks, snap.p95_ticks);
+  EXPECT_LE(snap.p95_ticks, snap.p99_ticks);
+  EXPECT_GT(snap.p50_ticks, 0.0);
   EXPECT_GT(snap.CacheHitRate(), 0.0);   // Acceptance: hits after warmup.
   EXPECT_GE(snap.CacheHitRate(), 0.4);   // Second pass is all hits.
   EXPECT_GE(snap.batches, 1u);
@@ -350,7 +351,7 @@ TEST(BatchingServerTest, WarmCacheServesHitsImmediately) {
 
   std::vector<std::future<InferenceResponse>> futures;
   for (NodeId u = 0; u < dataset.num_nodes(); ++u) {
-    auto future_or = server.Submit(u);
+    auto future_or = server.Submit(InferenceRequest(u));
     ASSERT_TRUE(future_or.ok());
     futures.push_back(std::move(future_or).value());
   }

@@ -9,8 +9,9 @@ Absorbs and supersedes the former tools/lint_determinism.py:
     sgnn::obs is logical-tick only; det/par-raw-thread: sgnn::par must
     schedule through common::ThreadPool);
   * confined bans, the inverse: raw I/O only under src/storage/
-    (det/raw-io), process/socket/signal syscalls only under src/dist/
-    (det/process-syscall).
+    (det/raw-io), process/signal syscalls only under src/dist/
+    (det/process-syscall), TCP socket/epoll syscalls only under src/net/
+    (det/net-syscall).
 
 New in sgnn-lint, for deterministic paths under src/:
   * det/unordered-iteration -- range-for over an `unordered_map`/
@@ -79,6 +80,13 @@ RULES = [
         "kill schedules and bit-identity",
         fixture="det-process-syscall.cc.fixture"),
     registry.Rule(
+        "det/net-syscall",
+        "TCP socket and epoll syscalls are confined to src/net/, where the "
+        "fault injector sees every accept/read and the front door's "
+        "shutdown drain owns every fd; a socket opened elsewhere escapes "
+        "both, so injected network faults no longer replay",
+        fixture="det-net-syscall.cc.fixture"),
+    registry.Rule(
         "det/unordered-iteration",
         "iterating an unordered container visits hash-table order -- a "
         "function of insertion history and library version; sort the "
@@ -133,6 +141,16 @@ CONFINED_FORBIDDEN = {
         (_R["det/process-syscall"], "kill(",
          re.compile(
              r"(?<![_\w])(?:kill|waitpid|signal|sigaction|_exit)\s*\(")),
+    ],
+    "src/net/": [
+        (_R["det/net-syscall"], "socket(",
+         re.compile(
+             r"(?<![_\w])(?:socket|bind|listen|accept4?|connect"
+             r"|setsockopt|getsockname|inet_pton)\s*\(")),
+        (_R["det/net-syscall"], "recv(",
+         re.compile(
+             r"(?<![_\w])(?:recv(?:from|msg)?|send(?:to|msg)?"
+             r"|epoll_create1?|epoll_ctl|epoll_p?wait)\s*\(")),
     ],
 }
 
