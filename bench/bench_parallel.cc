@@ -8,16 +8,22 @@
 // measured ratios next to that claim.
 //
 // `bench_parallel --smoke` runs a seconds-scale correctness pass instead
-// (byte-identity of every kernel at 1 vs 4 workers) for CI.
+// (byte-identity of every kernel at 1 vs 4 workers) for CI, and
+// `bench_parallel --json[=path]` writes a machine-readable scaling sweep
+// (seconds, edges/s, bytes/edge per worker count) to `path`, default
+// BENCH_parallel.json.
 
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
+#include "common/counters.h"
 #include "common/rng.h"
+#include "common/timer.h"
 #include "graph/generators.h"
 #include "graph/propagate.h"
 #include "par/par.h"
@@ -211,11 +217,93 @@ int RunSmoke() {
   return failures == 0 ? 0 : 1;
 }
 
+// --------------------------------------------------------------------- json
+
+/// Best-of-3 wall time of `fn` (after one warmup run), in seconds.
+template <typename Fn>
+double TimeBest(Fn&& fn) {
+  fn();
+  double best = 0.0;
+  for (int r = 0; r < 3; ++r) {
+    sgnn::common::WallTimer timer;
+    fn();
+    const double s = timer.Seconds();
+    if (r == 0 || s < best) best = s;
+  }
+  return best;
+}
+
+/// Machine-readable scaling sweep over worker counts for the two hot
+/// kernels the json consumers track (SpMM propagation and blocked GEMM),
+/// with the exact OpCounters byte bill alongside (bytes/edge is worker-
+/// count invariant by the billing contract, so it appears once per kernel
+/// shape, not per worker count).
+int RunJson(const std::string& path) {
+  const CsrGraph& g = BigGraph();
+  sgnn::graph::Propagator prop(g, sgnn::graph::Normalization::kSymmetric,
+                               /*add_self_loops=*/true);
+  const tensor::Matrix x = RandomMatrix(g.num_nodes(), kFeatureDim, 1);
+  const tensor::Matrix a = RandomMatrix(4096, 256, 2);
+  const tensor::Matrix b = RandomMatrix(256, 256, 3);
+  tensor::Matrix out;
+
+  std::string json = "{\n  \"experiment\": \"E21\",\n  \"results\": [\n";
+  char buf[384];
+  bool first = true;
+  for (const int threads : {1, 2, 4, 8}) {
+    par::SetThreads(threads);
+
+    const double spmm_s = TimeBest([&] { prop.Apply(x, &out); });
+    sgnn::common::ScopedCounterDelta spmm_scope;
+    prop.Apply(x, &out);
+    const auto spmm_delta = spmm_scope.Delta();
+    const double spmm_bpe =
+        static_cast<double>(spmm_delta.bytes_read +
+                            spmm_delta.bytes_written) /
+        static_cast<double>(g.num_edges());
+    std::snprintf(
+        buf, sizeof(buf),
+        "%s    {\"name\": \"spmm\", \"threads\": %d, \"seconds\": %.6e, "
+        "\"edges_per_s\": %.3e, \"bytes_per_edge\": %.1f}",
+        first ? "" : ",\n", threads,
+        spmm_s, static_cast<double>(g.num_edges()) / spmm_s, spmm_bpe);
+    json += buf;
+    first = false;
+
+    const double gemm_s = TimeBest([&] { tensor::Gemm(a, b, &out); });
+    const double gemm_flops =
+        2.0 * static_cast<double>(a.rows()) * a.cols() * b.cols();
+    std::snprintf(
+        buf, sizeof(buf),
+        ",\n    {\"name\": \"gemm\", \"threads\": %d, \"seconds\": %.6e, "
+        "\"gflops\": %.3f}",
+        threads, gemm_s, gemm_flops / gemm_s / 1e9);
+    json += buf;
+    std::printf("threads=%d spmm %.3fms (%.1f bytes/edge)  gemm %.3fms\n",
+                threads, spmm_s * 1e3, spmm_bpe, gemm_s * 1e3);
+  }
+  par::SetThreads(1);
+  json += "\n  ]\n}\n";
+
+  std::ofstream file(path, std::ios::binary);
+  if (!file.good()) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  file << json;
+  file.close();
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
-    if (std::string(argv[i]) == "--smoke") return RunSmoke();
+    const std::string arg = argv[i];
+    if (arg == "--smoke") return RunSmoke();
+    if (arg == "--json") return RunJson("BENCH_parallel.json");
+    if (arg.rfind("--json=", 0) == 0) return RunJson(arg.substr(7));
   }
   ::benchmark::Initialize(&argc, argv);
   if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

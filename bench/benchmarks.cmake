@@ -1,5 +1,5 @@
 # One google-benchmark binary per experiment in DESIGN.md's index
-# (E1..E22). Included from the top-level CMakeLists so that build/bench/
+# (E1..E25). Included from the top-level CMakeLists so that build/bench/
 # contains ONLY the benchmark binaries (the canonical run command is
 # `for b in build/bench/*; do $b; done`). Extra arguments are additional
 # libraries to link beyond sgnn_core.
@@ -35,3 +35,4 @@ sgnn_add_bench(bench_parallel)    # E21
 sgnn_add_bench(bench_storage sgnn_storage) # E22
 sgnn_add_bench(bench_dist sgnn_dist)       # E23
 sgnn_add_bench(bench_net sgnn_net sgnn_nn) # E24
+sgnn_add_bench(bench_kernels)     # E25

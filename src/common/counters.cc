@@ -67,6 +67,14 @@ std::string OpCounters::ToString() const {
                 static_cast<unsigned long long>(floats_moved),
                 static_cast<unsigned long long>(peak_resident_floats));
   std::string out(buf);
+  // Byte accounting appears once any converted kernel billed it; runs that
+  // never touch the simd-substrate kernels keep the historical shape.
+  if (bytes_read != 0 || bytes_written != 0) {
+    std::snprintf(buf, sizeof(buf), " bytes_read=%llu bytes_written=%llu",
+                  static_cast<unsigned long long>(bytes_read),
+                  static_cast<unsigned long long>(bytes_written));
+    out += buf;
+  }
   // Storage fields only appear when the out-of-core path ran, so reports
   // from purely in-memory runs keep their historical shape.
   if (shard_loads != 0 || shard_evictions != 0 ||

@@ -18,6 +18,15 @@ struct OpCounters {
   uint64_t edges_touched = 0;
   /// Scalar feature values read or written by propagation/NN kernels.
   uint64_t floats_moved = 0;
+  /// Bytes a kernel logically read: operand elements consumed, including
+  /// the read half of read-modify-write accumulations and the index/
+  /// coefficient streams of sparse kernels. Billed per kernel as a pure
+  /// function of the workload (never of the thread count or backend), so
+  /// roofline ratios like bytes/edge are reproducible. The formula each
+  /// kernel bills is documented at its `BillBytes` call site.
+  uint64_t bytes_read = 0;
+  /// Bytes a kernel logically wrote (result elements stored).
+  uint64_t bytes_written = 0;
   /// High-water mark of simultaneously materialised feature scalars; a
   /// proxy for peak (GPU) memory in the paper's discussions.
   uint64_t peak_resident_floats = 0;
@@ -36,6 +45,14 @@ struct OpCounters {
   uint64_t peak_resident_shard_bytes = 0;
 
   void Reset() { *this = OpCounters(); }
+
+  /// Bills one kernel's logical data movement (see `bytes_read`). Kernels
+  /// call this once per shard with totals derived from the shard's
+  /// workload, so per-region deltas sum exactly at any worker count.
+  void BillBytes(uint64_t read, uint64_t written) {
+    bytes_read += read;
+    bytes_written += written;
+  }
 
   /// Registers an allocation of `n` feature scalars.
   void Acquire(uint64_t n) {
@@ -79,6 +96,8 @@ struct OpCounters {
   void MergeFrom(const OpCounters& other) {
     edges_touched += other.edges_touched;
     floats_moved += other.floats_moved;
+    bytes_read += other.bytes_read;
+    bytes_written += other.bytes_written;
     peak_resident_floats += other.peak_resident_floats;
     resident_floats += other.resident_floats;
     shard_loads += other.shard_loads;
@@ -98,6 +117,8 @@ struct OpCounters {
     OpCounters d;
     d.edges_touched = end.edges_touched - begin.edges_touched;
     d.floats_moved = end.floats_moved - begin.floats_moved;
+    d.bytes_read = end.bytes_read - begin.bytes_read;
+    d.bytes_written = end.bytes_written - begin.bytes_written;
     d.peak_resident_floats = end.peak_resident_floats;
     d.resident_floats = end.resident_floats;
     d.shard_loads = end.shard_loads - begin.shard_loads;

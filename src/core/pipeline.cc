@@ -10,6 +10,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "par/par.h"
+#include "simd/simd.h"
 
 namespace sgnn::core {
 
@@ -107,10 +108,12 @@ PipelineReport Pipeline::Run(const Dataset& dataset,
   // deltas on exit. Sections and shards are pure functions of the workload
   // (deterministic gauges); the worker count is configuration (volatile).
   if (ctx.num_threads > 0) par::SetThreads(ctx.num_threads);
+  if (ctx.simd != 0) simd::SetEnabled(ctx.simd > 0);
   obs::Tracer* prev_par_tracer =
       (ctx.trace_parallel && ctx.tracer != nullptr) ? par::SetTracer(ctx.tracer)
                                                     : nullptr;
   const par::ParStats par_before = par::Stats();
+  const common::OpCounters run_counters_before = common::GlobalCounters();
   ScopeExit par_scope{[&] {
     if (ctx.trace_parallel && ctx.tracer != nullptr) {
       par::SetTracer(prev_par_tracer);
@@ -130,6 +133,20 @@ PipelineReport Pipeline::Run(const Dataset& dataset,
           ->GetGauge("sgnn_par_shards",
                      "Parallel shards executed by the latest run.")
           ->Set(static_cast<double>(par_after.shards - par_before.shards));
+      // Kernel byte accounting: billed by the microkernel call sites as a
+      // pure function of the workload, so these are deterministic across
+      // thread counts and simd backends. ParallelFor re-bills shard deltas
+      // to this thread, so the calling thread's delta covers the whole run.
+      const common::OpCounters run_delta = common::OpCounters::Delta(
+          run_counters_before, common::GlobalCounters());
+      ctx.metrics
+          ->GetGauge("sgnn_kernel_bytes_read",
+                     "Logical bytes read by kernels during the latest run.")
+          ->Set(static_cast<double>(run_delta.bytes_read));
+      ctx.metrics
+          ->GetGauge("sgnn_kernel_bytes_written",
+                     "Logical bytes written by kernels during the latest run.")
+          ->Set(static_cast<double>(run_delta.bytes_written));
     }
   }};
 

@@ -4,6 +4,7 @@
 
 #include "common/counters.h"
 #include "par/par.h"
+#include "simd/simd.h"
 
 namespace sgnn::graph {
 
@@ -11,6 +12,23 @@ namespace {
 
 /// Edge traversals per shard below which a section stays single-shard.
 constexpr int64_t kEdgeGrain = 32 * 1024;
+
+/// Cache-blocked CSR schedule for wide-feature SpMM. Skewed degree
+/// distributions make the x-row gather the bottleneck: a hub neighbour's
+/// row is re-fetched from memory once per referencing output row when the
+/// full row (cols * 4 bytes) no longer fits alongside the working set. The
+/// blocked schedule walks output rows in panels of ~kSpmmPanelEdges edges
+/// and feature columns in blocks of kSpmmColBlock floats, so each gathered
+/// x-row *slice* is a few cache lines and the panel's hub slices stay
+/// resident across the rows that share them. This is loop blocking only —
+/// per output element the edge accumulation order is unchanged (ascending
+/// edge index, self-loop last), so the result is bit-identical to the
+/// unblocked walk. Engaged only above kSpmmColBlockEngage columns; narrow
+/// rows already fit and the re-scanned coefficient stream would be pure
+/// overhead.
+constexpr int64_t kSpmmColBlock = 64;        ///< Floats per column block.
+constexpr int64_t kSpmmColBlockEngage = 128; ///< Engage when cols exceed.
+constexpr int64_t kSpmmPanelEdges = 4096;    ///< Edge budget per row panel.
 
 /// Edge-balanced row shards over the graph's CSR offsets. Geometry depends
 /// only on the graph, so shard-local work is identical for any worker
@@ -93,23 +111,59 @@ void Propagator::Apply(const tensor::Matrix& x, tensor::Matrix* out) const {
   // Row-partitioned SpMM: each shard owns a contiguous block of output
   // rows and gathers from x, so no write is shared and no atomics are
   // needed; per-row accumulation order is the serial order, so the result
-  // is bit-identical for any worker count.
+  // is bit-identical for any worker count. The accumulation row is the
+  // axpy microkernel (unfused mul/add lanes, simd contract #1), and wide
+  // feature matrices additionally take the cache-blocked panel schedule
+  // above — neither changes a bit.
+  const simd::KernelTable& kt = simd::Active();
   par::ParallelFor("prop.apply", NodeShards(graph_), [&](int, par::Range range) {
-    for (int64_t uu = range.begin; uu < range.end; ++uu) {
-      const NodeId u = static_cast<NodeId>(uu);
+    // Applied axpy rows (nonzero edge coefficients + engaged self-loops):
+    // the data-movement term of the byte bill.
+    uint64_t applied = 0;
+    auto row_block = [&](NodeId u, int64_t j0, int64_t bw) {
       auto nbrs = graph_.Neighbors(u);
       const float* cs = coeff_.data() + graph_.OffsetOf(u);
-      float* orow = out->data() + static_cast<int64_t>(u) * cols;
+      float* orow = out->data() + static_cast<int64_t>(u) * cols + j0;
       for (size_t i = 0; i < nbrs.size(); ++i) {
         const float c = cs[i];
         if (c == 0.0f) continue;
-        const float* xrow = x.data() + static_cast<int64_t>(nbrs[i]) * cols;
-        for (int64_t j = 0; j < cols; ++j) orow[j] += c * xrow[j];
+        ++applied;
+        kt.axpy(c, x.data() + static_cast<int64_t>(nbrs[i]) * cols + j0,
+                orow, bw);
       }
       if (!self_loop_coeff_.empty() && self_loop_coeff_[u] != 0.0f) {
-        const float c = self_loop_coeff_[u];
-        const float* xrow = x.data() + static_cast<int64_t>(u) * cols;
-        for (int64_t j = 0; j < cols; ++j) orow[j] += c * xrow[j];
+        ++applied;
+        kt.axpy(self_loop_coeff_[u],
+                x.data() + static_cast<int64_t>(u) * cols + j0, orow, bw);
+      }
+    };
+    if (cols > kSpmmColBlockEngage) {
+      for (int64_t p0 = range.begin; p0 < range.end;) {
+        // Grow the panel until its edge mass reaches the budget (always at
+        // least one row, so a hub row becomes its own panel).
+        int64_t p1 = p0;
+        const EdgeIndex panel_base = graph_.OffsetOf(static_cast<NodeId>(p0));
+        while (p1 < range.end &&
+               (p1 == p0 ||
+                graph_.OffsetOf(static_cast<NodeId>(p1)) - panel_base <
+                    kSpmmPanelEdges)) {
+          ++p1;
+        }
+        for (int64_t j0 = 0; j0 < cols; j0 += kSpmmColBlock) {
+          const int64_t bw = std::min(kSpmmColBlock, cols - j0);
+          for (int64_t uu = p0; uu < p1; ++uu) {
+            row_block(static_cast<NodeId>(uu), j0, bw);
+          }
+        }
+        p0 = p1;
+      }
+      // The column loop visits each (row, edge) pair once per block; the
+      // `applied` bill below wants whole rows, so rescale.
+      applied /= static_cast<uint64_t>((cols + kSpmmColBlock - 1) /
+                                       kSpmmColBlock);
+    } else {
+      for (int64_t uu = range.begin; uu < range.end; ++uu) {
+        row_block(static_cast<NodeId>(uu), 0, cols);
       }
     }
     const uint64_t edges = static_cast<uint64_t>(
@@ -118,6 +172,13 @@ void Propagator::Apply(const tensor::Matrix& x, tensor::Matrix* out) const {
     auto& counters = common::GlobalCounters();
     counters.edges_touched += edges;
     counters.floats_moved += edges * static_cast<uint64_t>(cols);
+    // Bytes: the coefficient (float) and neighbour-index (NodeId) streams
+    // are scanned for every edge; each applied axpy row reads the gathered
+    // x slice plus the output row (RMW) and writes the output row.
+    counters.BillBytes(
+        edges * (sizeof(float) + sizeof(NodeId)) +
+            applied * 2u * static_cast<uint64_t>(cols) * sizeof(float),
+        applied * static_cast<uint64_t>(cols) * sizeof(float));
   });
 }
 
@@ -155,6 +216,8 @@ void Propagator::ApplyTranspose(const tensor::Matrix& x,
   SGNN_DCHECK_EQ(coeff_.size(), static_cast<size_t>(graph_.num_edges()));
   const int64_t cols = x.cols();
   *out = tensor::Matrix(x.rows(), cols);
+  const simd::KernelTable& kt = simd::Active();
+  uint64_t applied = 0;
   for (NodeId u = 0; u < graph_.num_nodes(); ++u) {
     auto nbrs = graph_.Neighbors(u);
     const float* cs = coeff_.data() + graph_.OffsetOf(u);
@@ -162,19 +225,25 @@ void Propagator::ApplyTranspose(const tensor::Matrix& x,
     for (size_t i = 0; i < nbrs.size(); ++i) {
       const float c = cs[i];
       if (c == 0.0f) continue;
-      float* orow = out->data() + static_cast<int64_t>(nbrs[i]) * cols;
-      for (int64_t j = 0; j < cols; ++j) orow[j] += c * xrow[j];
+      ++applied;
+      kt.axpy(c, xrow, out->data() + static_cast<int64_t>(nbrs[i]) * cols,
+              cols);
     }
     if (!self_loop_coeff_.empty() && self_loop_coeff_[u] != 0.0f) {
-      const float c = self_loop_coeff_[u];
-      float* orow = out->data() + static_cast<int64_t>(u) * cols;
-      for (int64_t j = 0; j < cols; ++j) orow[j] += c * xrow[j];
+      ++applied;
+      kt.axpy(self_loop_coeff_[u], xrow,
+              out->data() + static_cast<int64_t>(u) * cols, cols);
     }
   }
   auto& counters = common::GlobalCounters();
   counters.edges_touched += static_cast<uint64_t>(graph_.num_edges());
   counters.floats_moved +=
       static_cast<uint64_t>(graph_.num_edges()) * static_cast<uint64_t>(cols);
+  counters.BillBytes(
+      static_cast<uint64_t>(graph_.num_edges()) *
+              (sizeof(float) + sizeof(NodeId)) +
+          applied * 2u * static_cast<uint64_t>(cols) * sizeof(float),
+      applied * static_cast<uint64_t>(cols) * sizeof(float));
 }
 
 tensor::Matrix PropagateKHops(const Propagator& prop, const tensor::Matrix& x,

@@ -278,6 +278,12 @@ void MetricsRegistry::SetOpCounterGauges(const std::string& prefix,
   GetGauge(prefix + "_floats_moved", help + " (feature scalars moved)", labels,
            volatility)
       ->Set(static_cast<double>(counters.floats_moved));
+  GetGauge(prefix + "_kernel_bytes_read", help + " (kernel bytes read)",
+           labels, volatility)
+      ->Set(static_cast<double>(counters.bytes_read));
+  GetGauge(prefix + "_kernel_bytes_written", help + " (kernel bytes written)",
+           labels, volatility)
+      ->Set(static_cast<double>(counters.bytes_written));
   GetGauge(prefix + "_peak_resident_floats",
            help + " (peak resident feature scalars)", labels, volatility)
       ->Set(static_cast<double>(counters.peak_resident_floats));

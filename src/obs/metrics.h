@@ -153,10 +153,12 @@ class MetricsRegistry {
                           Volatility volatility = kVolatile)
       SGNN_EXCLUDES(mu_);
 
-  /// Sets the four `OpCounters` fields as gauges `<prefix>_edges_touched`,
-  /// `_floats_moved`, `_peak_resident_floats`, `_resident_floats` under
-  /// `labels`. Gauges (Set, not Add): the exported value IS the delta the
-  /// caller computed, so a report row and the export cannot disagree.
+  /// Sets the data-movement `OpCounters` fields as gauges
+  /// `<prefix>_edges_touched`, `_floats_moved`, `_kernel_bytes_read`,
+  /// `_kernel_bytes_written`, `_peak_resident_floats`, `_resident_floats`
+  /// under `labels`. Gauges (Set, not Add): the exported value IS the
+  /// delta the caller computed, so a report row and the export cannot
+  /// disagree.
   void SetOpCounterGauges(const std::string& prefix, const std::string& help,
                           const Labels& labels,
                           const common::OpCounters& counters,

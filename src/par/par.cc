@@ -232,6 +232,8 @@ void ParallelFor(const char* label, std::span<const Range> ranges,
   for (const common::OpCounters& delta : section->deltas) {
     mine.edges_touched += delta.edges_touched;
     mine.floats_moved += delta.floats_moved;
+    mine.bytes_read += delta.bytes_read;
+    mine.bytes_written += delta.bytes_written;
   }
 }
 

@@ -1,0 +1,100 @@
+#ifndef SGNN_SIMD_SIMD_H_
+#define SGNN_SIMD_SIMD_H_
+
+#include <cstdint>
+
+namespace sgnn::simd {
+
+/// `sgnn::simd` — the vectorized microkernel substrate under the hot
+/// kernels (`tensor::Gemm` and friends, the `Propagator`/`OocPropagator`
+/// SpMM inner loops, the row/elementwise ops). Two backends implement one
+/// kernel table:
+///
+///   * `avx2`   — 8-lane single-precision AVX2 (FMA only where fusion is
+///                provably bit-neutral, see below), selected at runtime
+///                when the CPU reports AVX2+FMA;
+///   * `scalar` — a portable fallback whose loops replicate the vector
+///                path's arithmetic *structure* (same lane partition, same
+///                fold order), so both backends produce byte-identical
+///                results.
+///
+/// Bit-identity contract — `scalar(x) == avx2(x)` to the last bit:
+///
+///  1. Elementwise lanes (axpy, scale, hadamard, add, relu) use exactly
+///     rounded single-precision mul/add — never fused — so a vector lane
+///     computes the identical operation the scalar loop does. The two
+///     backends differ only in how many elements advance per iteration,
+///     which is unobservable.
+///  2. Reductions fix the lane-fold order: `Dot` partitions index i into
+///     lane i mod 4, accumulates each lane in ascending order in double,
+///     and folds `(l0 + l1) + (l2 + l3)` before adding the scalar tail in
+///     ascending order. The scalar backend runs the same four running sums.
+///     Products of two floats are exact in double (24+24 < 53 mantissa
+///     bits), so the AVX2 path may fuse (`vfmadd...pd`) without changing a
+///     bit — the only FMA the substrate uses.
+///  3. `Max` uses the lane semantics of `vmaxps` (`(acc > x) ? acc : x`)
+///     in both backends, eight lanes folded pairwise in a fixed order.
+///  4. Nothing here consults the thread count: callers shard with
+///     `par::ParallelFor` and invoke microkernels per row or range, so the
+///     par bit-identity-across-worker-count contract is untouched.
+///
+/// Backend selection: the `SGNN_SIMD` environment variable is read once at
+/// first use (`off`/`0`/`false`/`scalar` force the scalar backend; unset or
+/// anything else = auto), and `SetEnabled()` / `core::RunContext::simd`
+/// override it at runtime so tests and CI can prove SIMD output == scalar
+/// output byte for byte. Intrinsics are confined to `src/simd/` by the
+/// `det/simd-intrinsics` lint rule; every other module sees only this
+/// dispatch surface.
+
+/// The microkernel table both backends implement. Hot loops hoist
+/// `Active()` once per shard and call through the table, so the per-row
+/// cost is one indirect call, not a dispatch lookup.
+struct KernelTable {
+  /// y[i] += alpha * x[i] — the SpMM/GEMM accumulation row.
+  void (*axpy)(float alpha, const float* x, float* y, int64_t n);
+  /// y[i] *= alpha.
+  void (*scale)(float alpha, float* y, int64_t n);
+  /// y[i] *= x[i] (hadamard).
+  void (*mul)(const float* x, float* y, int64_t n);
+  /// y[i] += x[i] (bias rows, partial folds).
+  void (*add)(const float* x, float* y, int64_t n);
+  /// y[i] += alpha (log-softmax shift; x - c is computed as x + (-c),
+  /// which is the identical IEEE operation).
+  void (*add_scalar)(float alpha, float* y, int64_t n);
+  /// y[i] = max(y[i], 0).
+  void (*relu)(float* y, int64_t n);
+  /// g[i] = pre[i] > 0 ? g[i] : 0 — the ReLU backward mask.
+  void (*relu_backward)(const float* pre, float* g, int64_t n);
+  /// Maximum of x[0..n); requires n >= 1. Lane-structured (contract #3).
+  float (*max)(const float* x, int64_t n);
+  /// Lane-folded double dot product (contract #2).
+  double (*dot)(const float* a, const float* b, int64_t n);
+
+  /// Backend name for logs/benchmarks: "avx2" or "scalar".
+  const char* name;
+};
+
+/// True when the running CPU supports the AVX2+FMA backend.
+bool Supported();
+
+/// True when the AVX2 backend is currently dispatched.
+bool Enabled();
+
+/// Forces the backend: `on && Supported()` dispatches AVX2, otherwise the
+/// scalar fallback. Returns the previous `Enabled()` so scopes can restore
+/// it. Safe to call between kernels; not during a running parallel section.
+bool SetEnabled(bool on);
+
+/// Parses an `SGNN_SIMD`-style value: false for `off`/`0`/`false`/
+/// `scalar` (case-insensitive), `fallback` for null/empty, true otherwise.
+/// Exposed for tests; first use of `Active()` applies it to the real
+/// environment.
+bool SimdFromEnv(const char* value, bool fallback);
+
+/// The active kernel table. First call reads `SGNN_SIMD` and probes the
+/// CPU; thereafter selection only changes via `SetEnabled`.
+const KernelTable& Active();
+
+}  // namespace sgnn::simd
+
+#endif  // SGNN_SIMD_SIMD_H_

@@ -8,6 +8,7 @@
 #include "common/counters.h"
 #include "par/par.h"
 #include "sampling/assembly.h"
+#include "simd/simd.h"
 
 namespace sgnn::storage {
 
@@ -97,9 +98,16 @@ Status OocPropagator::Apply(const tensor::Matrix& x,
     // Row-partitioned SpMM exactly like `Propagator::Apply`, with the
     // per-edge float coefficient recomputed on the fly: double expression,
     // then one float cast — the same rounding the in-memory constructor
-    // stored, so every += adds the identical float.
+    // stored, so every axpy adds the identical float. The accumulation row
+    // is the same unfused-mul/add microkernel, so the out-of-core result
+    // stays byte-identical to the in-memory one at any resident budget.
+    const simd::KernelTable& kt = simd::Active();
+    // Applied axpy rows per par shard (nonzero coefficients + engaged
+    // self-loops), summed after the section for the byte bill.
+    std::vector<uint64_t> applied(ranges.size(), 0);
     par::ParallelFor(
-        "storage.prop.apply", ranges, [&](int, par::Range range) {
+        "storage.prop.apply", ranges, [&](int shard, par::Range range) {
+          uint64_t rows_applied = 0;
           for (int64_t r = range.begin; r < range.end; ++r) {
             const NodeId u = pin.rows()[static_cast<size_t>(r)];
             auto nbrs = pin.NeighborsLocal(r);
@@ -123,20 +131,31 @@ Status OocPropagator::Apply(const tensor::Matrix& x,
               }
               const float cf = static_cast<float>(c);
               if (cf == 0.0f) continue;
-              const float* xrow = x.data() + static_cast<int64_t>(v) * cols;
-              for (int64_t j = 0; j < cols; ++j) orow[j] += cf * xrow[j];
+              ++rows_applied;
+              kt.axpy(cf, x.data() + static_cast<int64_t>(v) * cols, orow,
+                      cols);
             }
             if (!self_loop_coeff_.empty() && self_loop_coeff_[u] != 0.0f) {
-              const float cf = self_loop_coeff_[u];
-              const float* xrow = x.data() + static_cast<int64_t>(u) * cols;
-              for (int64_t j = 0; j < cols; ++j) orow[j] += cf * xrow[j];
+              ++rows_applied;
+              kt.axpy(self_loop_coeff_[u],
+                      x.data() + static_cast<int64_t>(u) * cols, orow, cols);
             }
           }
+          applied[static_cast<size_t>(shard)] = rows_applied;
         });
+    uint64_t shard_applied = 0;
+    for (uint64_t a : applied) shard_applied += a;
     auto& counters = common::GlobalCounters();
     counters.edges_touched += static_cast<uint64_t>(shard_edges);
     counters.floats_moved +=
         static_cast<uint64_t>(shard_edges) * static_cast<uint64_t>(cols);
+    // Bytes: weight + local-index streams per edge, then the gathered x
+    // slice plus the output row (RMW) per applied axpy — the same formula
+    // `Propagator::Apply` bills, so in-memory and out-of-core runs agree.
+    counters.BillBytes(
+        static_cast<uint64_t>(shard_edges) * (sizeof(float) + sizeof(NodeId)) +
+            shard_applied * 2u * static_cast<uint64_t>(cols) * sizeof(float),
+        shard_applied * static_cast<uint64_t>(cols) * sizeof(float));
   }
   return Status::OK();
 }

@@ -5,6 +5,7 @@
 
 #include "common/counters.h"
 #include "par/par.h"
+#include "simd/simd.h"
 
 namespace sgnn::tensor {
 
@@ -14,12 +15,29 @@ void CountMoved(uint64_t n) {
   sgnn::common::GlobalCounters().floats_moved += n;
 }
 
+/// Bytes-moved accounting for the microkernel substrate. Each call site
+/// bills the logical bytes its microkernel invocations consume/produce —
+/// operand elements read (including the read half of read-modify-write
+/// accumulations) and result elements written — as a pure function of the
+/// workload, so the totals are identical at any thread count and on either
+/// simd backend. Per-call costs, in floats of length n:
+///
+///   axpy / mul / add / relu_backward   read 2n   write n
+///   scale / add_scalar / relu          read  n   write n
+///   max                                read  n   write 0
+///   dot                                read 2n   write 0
+void CountBytes(uint64_t read_floats, uint64_t written_floats) {
+  sgnn::common::GlobalCounters().BillBytes(read_floats * sizeof(float),
+                                           written_floats * sizeof(float));
+}
+
 // Shard-geometry grains (pure functions of problem size, per the par
 // determinism contract): sections below the grain run as one shard, so
 // small matrices never pay dispatch overhead.
 constexpr int64_t kGemmGrainFlops = 256 * 1024;  ///< Fused mul-adds/shard.
 constexpr int64_t kElemGrain = 64 * 1024;        ///< Scalars per shard.
 constexpr int64_t kGemmPanel = 256;              ///< k-panel rows kept hot.
+constexpr int64_t kTransposeTile = 32;           ///< Transpose tile edge.
 
 /// Cap on `GemmTransposeA` reduction partials: each costs an m x n
 /// accumulator, so the shard count is bounded tighter than `kMaxShards`.
@@ -44,10 +62,14 @@ void Gemm(const Matrix& a, const Matrix& b, Matrix* out) {
   *out = Matrix(m, n);
   if (m == 0 || k == 0 || n == 0) return;
   const auto rows = RowRangesFor(m, k * n);
+  const simd::KernelTable& kt = simd::Active();
   par::ParallelFor("tensor.gemm", rows, [&](int, par::Range range) {
     // k-panelled i-k-j: the b panel stays cache-hot across the shard's
     // rows, and each output element still accumulates in ascending k — the
     // same summation order as the naive loop, so blocking changes no bits.
+    // The accumulation row itself is the axpy microkernel, whose lanes use
+    // unfused mul/add (simd contract #1), so vectorizing over j preserves
+    // every bit too.
     uint64_t nnz = 0;
     for (int64_t p0 = 0; p0 < k; p0 += kGemmPanel) {
       const int64_t p1 = std::min(k, p0 + kGemmPanel);
@@ -58,14 +80,17 @@ void Gemm(const Matrix& a, const Matrix& b, Matrix* out) {
           const float av = arow[p];
           if (av == 0.0f) continue;
           ++nnz;
-          const float* brow = b.data() + p * n;
-          for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+          kt.axpy(av, b.data() + p * n, orow, n);
         }
       }
     }
     // Bill the multiplies actually issued: the zero-skip fast path does no
     // work, so sparse operands (ReLU outputs, masks) are not overbilled.
     CountMoved(nnz * static_cast<uint64_t>(n));
+    // Bytes: the zero-skip scan reads every a element in the shard once
+    // across the panels; each surviving element issues one axpy over n.
+    CountBytes(static_cast<uint64_t>(range.size()) * k + nnz * 2u * n,
+               nnz * static_cast<uint64_t>(n));
   });
 }
 
@@ -83,6 +108,7 @@ void GemmTransposeA(const Matrix& a, const Matrix& b, Matrix* out) {
       par::ShardsFor(k * m * n, kGemmGrainFlops), kMaxGemmPartials);
   const auto panels = par::SplitUniform(k, shards);
   std::vector<Matrix> partials(panels.size());
+  const simd::KernelTable& kt = simd::Active();
   par::ParallelFor("tensor.gemm_ta", panels, [&](int shard, par::Range pr) {
     Matrix& part = partials[static_cast<size_t>(shard)];
     part = Matrix(m, n);
@@ -94,17 +120,20 @@ void GemmTransposeA(const Matrix& a, const Matrix& b, Matrix* out) {
         const float av = arow[i];
         if (av == 0.0f) continue;
         ++nnz;
-        float* prow = part.data() + i * n;
-        for (int64_t j = 0; j < n; ++j) prow[j] += av * brow[j];
+        kt.axpy(av, brow, part.data() + i * n, n);
       }
     }
     CountMoved(nnz * static_cast<uint64_t>(n));
+    CountBytes(static_cast<uint64_t>(pr.size()) * m + nnz * 2u * n,
+               nnz * static_cast<uint64_t>(n));
   });
+  // Ascending-shard fold of the partials (one add microkernel per partial:
+  // read both operands, write the accumulator).
   for (Matrix& part : partials) {
-    for (int64_t i = 0; i < out->size(); ++i) {
-      out->data()[i] += part.data()[i];
-    }
+    kt.add(part.data(), out->data(), out->size());
   }
+  CountBytes(static_cast<uint64_t>(partials.size()) * out->size() * 2u,
+             static_cast<uint64_t>(partials.size()) * out->size());
 }
 
 void GemmTransposeB(const Matrix& a, const Matrix& b, Matrix* out) {
@@ -114,26 +143,48 @@ void GemmTransposeB(const Matrix& a, const Matrix& b, Matrix* out) {
   *out = Matrix(m, n);
   if (m == 0 || k == 0 || n == 0) return;
   const auto rows = RowRangesFor(m, k * n);
+  const simd::KernelTable& kt = simd::Active();
+  // Both operands are walked row-major, so each (i, j) cell is a unit-
+  // stride dot of two length-k rows — the lane-folded double-accumulating
+  // microkernel (simd contract #2). The b row base is hoisted out of the
+  // inner loop instead of re-deriving it per element.
+  const float* bdata = b.data();
   par::ParallelFor("tensor.gemm_tb", rows, [&](int, par::Range range) {
     for (int64_t i = range.begin; i < range.end; ++i) {
       const float* arow = a.data() + i * k;
       float* orow = out->data() + i * n;
       for (int64_t j = 0; j < n; ++j) {
-        const float* brow = b.data() + j * k;
-        double acc = 0.0;
-        for (int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
-        orow[j] = static_cast<float>(acc);
+        orow[j] = static_cast<float>(kt.dot(arow, bdata + j * k, k));
       }
     }
     CountMoved(static_cast<uint64_t>(range.size()) * k * n);
+    CountBytes(static_cast<uint64_t>(range.size()) * n * 2u * k,
+               static_cast<uint64_t>(range.size()) * n);
   });
 }
 
 Matrix Transpose(const Matrix& m) {
   Matrix out(m.cols(), m.rows());
-  for (int64_t r = 0; r < m.rows(); ++r) {
-    for (int64_t c = 0; c < m.cols(); ++c) out.at(c, r) = m.at(r, c);
+  const int64_t rows = m.rows(), cols = m.cols();
+  // Tiled so both the row-major read and the column-major write stay inside
+  // a kTransposeTile^2 block that fits in L1 — the naive double loop
+  // touched a fresh cache line per element on the write side. Element
+  // copies are order-independent, so tiling changes no bits.
+  for (int64_t r0 = 0; r0 < rows; r0 += kTransposeTile) {
+    const int64_t r1 = std::min(rows, r0 + kTransposeTile);
+    for (int64_t c0 = 0; c0 < cols; c0 += kTransposeTile) {
+      const int64_t c1 = std::min(cols, c0 + kTransposeTile);
+      for (int64_t r = r0; r < r1; ++r) {
+        const float* mrow = m.data() + r * cols;
+        for (int64_t c = c0; c < c1; ++c) {
+          out.data()[c * rows + r] = mrow[c];
+        }
+      }
+    }
   }
+  CountMoved(static_cast<uint64_t>(m.size()));
+  CountBytes(static_cast<uint64_t>(m.size()),
+             static_cast<uint64_t>(m.size()));
   return out;
 }
 
@@ -141,22 +192,25 @@ void Axpy(float alpha, const Matrix& other, Matrix* m) {
   SGNN_CHECK(m != nullptr);
   SGNN_CHECK_EQ(m->rows(), other.rows());
   SGNN_CHECK_EQ(m->cols(), other.cols());
+  const simd::KernelTable& kt = simd::Active();
   par::ParallelFor("tensor.axpy", ElemRanges(m->size()),
                    [&](int, par::Range r) {
-                     for (int64_t i = r.begin; i < r.end; ++i) {
-                       m->data()[i] += alpha * other.data()[i];
-                     }
+                     kt.axpy(alpha, other.data() + r.begin,
+                             m->data() + r.begin, r.size());
                      CountMoved(static_cast<uint64_t>(r.size()));
+                     CountBytes(2u * static_cast<uint64_t>(r.size()),
+                                static_cast<uint64_t>(r.size()));
                    });
 }
 
 void Scale(float alpha, Matrix* m) {
   SGNN_CHECK(m != nullptr);
+  const simd::KernelTable& kt = simd::Active();
   par::ParallelFor("tensor.scale", ElemRanges(m->size()),
                    [&](int, par::Range r) {
-                     for (int64_t i = r.begin; i < r.end; ++i) {
-                       m->data()[i] *= alpha;
-                     }
+                     kt.scale(alpha, m->data() + r.begin, r.size());
+                     CountBytes(static_cast<uint64_t>(r.size()),
+                                static_cast<uint64_t>(r.size()));
                    });
 }
 
@@ -164,11 +218,13 @@ void Hadamard(const Matrix& other, Matrix* m) {
   SGNN_CHECK(m != nullptr);
   SGNN_CHECK_EQ(m->rows(), other.rows());
   SGNN_CHECK_EQ(m->cols(), other.cols());
+  const simd::KernelTable& kt = simd::Active();
   par::ParallelFor("tensor.hadamard", ElemRanges(m->size()),
                    [&](int, par::Range r) {
-                     for (int64_t i = r.begin; i < r.end; ++i) {
-                       m->data()[i] *= other.data()[i];
-                     }
+                     kt.mul(other.data() + r.begin, m->data() + r.begin,
+                            r.size());
+                     CountBytes(2u * static_cast<uint64_t>(r.size()),
+                                static_cast<uint64_t>(r.size()));
                    });
 }
 
@@ -177,21 +233,24 @@ void AddBiasRow(std::span<const float> bias, Matrix* m) {
   SGNN_CHECK_EQ(static_cast<int64_t>(bias.size()), m->cols());
   const auto rows = par::SplitUniform(
       m->rows(), par::ShardsFor(m->size(), kElemGrain));
+  const simd::KernelTable& kt = simd::Active();
   par::ParallelFor("tensor.add_bias", rows, [&](int, par::Range range) {
     for (int64_t r = range.begin; r < range.end; ++r) {
-      auto row = m->Row(r);
-      for (int64_t c = 0; c < m->cols(); ++c) row[c] += bias[c];
+      kt.add(bias.data(), m->Row(r).data(), m->cols());
     }
+    CountBytes(static_cast<uint64_t>(range.size()) * m->cols() * 2u,
+               static_cast<uint64_t>(range.size()) * m->cols());
   });
 }
 
 void Relu(Matrix* m) {
   SGNN_CHECK(m != nullptr);
+  const simd::KernelTable& kt = simd::Active();
   par::ParallelFor("tensor.relu", ElemRanges(m->size()),
                    [&](int, par::Range r) {
-                     for (int64_t i = r.begin; i < r.end; ++i) {
-                       if (m->data()[i] < 0.0f) m->data()[i] = 0.0f;
-                     }
+                     kt.relu(m->data() + r.begin, r.size());
+                     CountBytes(static_cast<uint64_t>(r.size()),
+                                static_cast<uint64_t>(r.size()));
                    });
 }
 
@@ -199,13 +258,13 @@ void ReluBackward(const Matrix& pre_activation, Matrix* grad) {
   SGNN_CHECK(grad != nullptr);
   SGNN_CHECK_EQ(grad->rows(), pre_activation.rows());
   SGNN_CHECK_EQ(grad->cols(), pre_activation.cols());
+  const simd::KernelTable& kt = simd::Active();
   par::ParallelFor("tensor.relu_bwd", ElemRanges(grad->size()),
                    [&](int, par::Range r) {
-                     for (int64_t i = r.begin; i < r.end; ++i) {
-                       if (pre_activation.data()[i] <= 0.0f) {
-                         grad->data()[i] = 0.0f;
-                       }
-                     }
+                     kt.relu_backward(pre_activation.data() + r.begin,
+                                      grad->data() + r.begin, r.size());
+                     CountBytes(2u * static_cast<uint64_t>(r.size()),
+                                static_cast<uint64_t>(r.size()));
                    });
 }
 
@@ -213,18 +272,24 @@ void SoftmaxRows(Matrix* m) {
   SGNN_CHECK(m != nullptr);
   const auto rows = par::SplitUniform(
       m->rows(), par::ShardsFor(m->size(), kElemGrain));
+  const simd::KernelTable& kt = simd::Active();
   par::ParallelFor("tensor.softmax", rows, [&](int, par::Range range) {
     for (int64_t r = range.begin; r < range.end; ++r) {
       auto row = m->Row(r);
-      float mx = *std::max_element(row.begin(), row.end());
+      if (row.empty()) continue;
+      const float mx = kt.max(row.data(), m->cols());
       double sum = 0.0;
       for (float& v : row) {
         v = std::exp(v - mx);
         sum += v;
       }
       const float inv = static_cast<float>(1.0 / sum);
-      for (float& v : row) v *= inv;
+      kt.scale(inv, row.data(), m->cols());
     }
+    // Per row: max reads c; the exp pass reads and writes c; the scale
+    // reads and writes c.
+    CountBytes(static_cast<uint64_t>(range.size()) * m->cols() * 3u,
+               static_cast<uint64_t>(range.size()) * m->cols() * 2u);
   });
 }
 
@@ -232,15 +297,21 @@ void LogSoftmaxRows(Matrix* m) {
   SGNN_CHECK(m != nullptr);
   const auto rows = par::SplitUniform(
       m->rows(), par::ShardsFor(m->size(), kElemGrain));
+  const simd::KernelTable& kt = simd::Active();
   par::ParallelFor("tensor.log_softmax", rows, [&](int, par::Range range) {
     for (int64_t r = range.begin; r < range.end; ++r) {
       auto row = m->Row(r);
-      float mx = *std::max_element(row.begin(), row.end());
+      if (row.empty()) continue;
+      const float mx = kt.max(row.data(), m->cols());
       double sum = 0.0;
       for (float v : row) sum += std::exp(static_cast<double>(v - mx));
       const float lse = mx + static_cast<float>(std::log(sum));
-      for (float& v : row) v -= lse;
+      // v -= lse as v += (-lse): the identical IEEE operation, in the
+      // add_scalar microkernel.
+      kt.add_scalar(-lse, row.data(), m->cols());
     }
+    CountBytes(static_cast<uint64_t>(range.size()) * m->cols() * 3u,
+               static_cast<uint64_t>(range.size()) * m->cols());
   });
 }
 
@@ -249,18 +320,24 @@ void NormalizeRows(int p, Matrix* m) {
   SGNN_CHECK(p == 1 || p == 2);
   const auto rows = par::SplitUniform(
       m->rows(), par::ShardsFor(m->size(), kElemGrain));
+  const simd::KernelTable& kt = simd::Active();
   par::ParallelFor("tensor.normalize", rows, [&](int, par::Range range) {
     for (int64_t r = range.begin; r < range.end; ++r) {
       auto row = m->Row(r);
       double norm = 0.0;
-      for (float v : row) {
-        norm += (p == 1) ? std::fabs(v) : static_cast<double>(v) * v;
+      if (p == 2) {
+        // Sum of squares is the row's dot with itself — the lane-folded
+        // double-accumulating microkernel.
+        norm = std::sqrt(kt.dot(row.data(), row.data(), m->cols()));
+      } else {
+        for (float v : row) norm += std::fabs(v);
       }
-      if (p == 2) norm = std::sqrt(norm);
       if (norm == 0.0) continue;
       const float inv = static_cast<float>(1.0 / norm);
-      for (float& v : row) v *= inv;
+      kt.scale(inv, row.data(), m->cols());
     }
+    CountBytes(static_cast<uint64_t>(range.size()) * m->cols() * 3u,
+               static_cast<uint64_t>(range.size()) * m->cols());
   });
 }
 
@@ -288,11 +365,7 @@ Matrix ConcatCols(const Matrix& a, const Matrix& b) {
 }
 
 double FrobeniusNorm(const Matrix& m) {
-  double acc = 0.0;
-  for (int64_t i = 0; i < m.size(); ++i) {
-    acc += static_cast<double>(m.data()[i]) * m.data()[i];
-  }
-  return std::sqrt(acc);
+  return std::sqrt(simd::Active().dot(m.data(), m.data(), m.size()));
 }
 
 double MaxAbsDiff(const Matrix& a, const Matrix& b) {
@@ -307,15 +380,13 @@ double MaxAbsDiff(const Matrix& a, const Matrix& b) {
 
 double Dot(std::span<const float> a, std::span<const float> b) {
   SGNN_CHECK_EQ(a.size(), b.size());
-  double acc = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) acc += static_cast<double>(a[i]) * b[i];
-  return acc;
+  return simd::Active().dot(a.data(), b.data(),
+                            static_cast<int64_t>(a.size()));
 }
 
 double Norm2(std::span<const float> v) {
-  double acc = 0.0;
-  for (float x : v) acc += static_cast<double>(x) * x;
-  return std::sqrt(acc);
+  return std::sqrt(simd::Active().dot(v.data(), v.data(),
+                                      static_cast<int64_t>(v.size())));
 }
 
 }  // namespace sgnn::tensor

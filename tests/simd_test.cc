@@ -1,0 +1,414 @@
+// The simd bit-identity matrix: every kernel converted to the
+// `sgnn::simd` microkernel substrate must produce byte-identical output
+// with the vector backend and the portable scalar fallback, at any thread
+// count, on ragged sizes (lengths that are not multiples of the lane
+// width, empty rows, single-element tails). On a CPU without AVX2 the
+// backend sweep degenerates to scalar-vs-scalar and every comparison still
+// holds, so the suite is meaningful on every machine the CI matrix covers.
+
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/counters.h"
+#include "common/rng.h"
+#include "graph/coo.h"
+#include "graph/csr_graph.h"
+#include "graph/generators.h"
+#include "graph/propagate.h"
+#include "par/par.h"
+#include "simd/simd.h"
+#include "storage/ooc.h"
+#include "storage/shard_writer.h"
+#include "storage/sharded_graph.h"
+#include "tensor/matrix.h"
+#include "tensor/ops.h"
+
+namespace sgnn {
+namespace {
+
+using graph::CsrGraph;
+using graph::NodeId;
+using graph::Normalization;
+using tensor::Matrix;
+
+/// Ragged lengths: below one 8-lane vector, exactly one vector, vector
+/// plus a 1..7-element tail, around the dot kernel's 4-lane width, and a
+/// couple of long sizes with tails.
+const int64_t kRaggedSizes[] = {1, 2, 3, 4, 5, 7, 8, 9, 12, 15, 16, 17,
+                                31, 33, 63, 64, 65, 100, 257, 1000, 1003};
+
+Matrix RandomMatrix(int64_t rows, int64_t cols, uint64_t seed) {
+  Matrix m(rows, cols);
+  common::Rng rng(seed);
+  for (int64_t i = 0; i < m.size(); ++i) {
+    m.data()[i] = static_cast<float>(rng.Uniform(-1.0, 1.0));
+  }
+  return m;
+}
+
+std::vector<float> RandomVec(int64_t n, uint64_t seed) {
+  common::Rng rng(seed);
+  std::vector<float> v(static_cast<size_t>(n));
+  for (float& x : v) x = static_cast<float>(rng.Uniform(-1.0, 1.0));
+  return v;
+}
+
+bool BytesEqual(const Matrix& a, const Matrix& b) {
+  return a.rows() == b.rows() && a.cols() == b.cols() &&
+         std::memcmp(a.data(), b.data(),
+                     static_cast<size_t>(a.size()) * sizeof(float)) == 0;
+}
+
+bool BytesEqual(const std::vector<float>& a, const std::vector<float>& b) {
+  return a.size() == b.size() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0;
+}
+
+/// Restores the backend and thread count a test toggles.
+class SimdTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    simd::SetEnabled(true);
+    par::SetThreads(1);
+  }
+};
+
+TEST_F(SimdTest, DispatchAndEnvParsing) {
+  // SetEnabled round-trips and reports the previous state.
+  const bool was = simd::SetEnabled(false);
+  EXPECT_FALSE(simd::Enabled());
+  EXPECT_STREQ(simd::Active().name, "scalar");
+  EXPECT_FALSE(simd::SetEnabled(true));
+  EXPECT_EQ(simd::Enabled(), simd::Supported());
+  if (simd::Supported()) {
+    EXPECT_STREQ(simd::Active().name, "avx2");
+  }
+  simd::SetEnabled(was);
+
+  // SGNN_SIMD value parsing (case-insensitive disable spellings).
+  EXPECT_FALSE(simd::SimdFromEnv("off", true));
+  EXPECT_FALSE(simd::SimdFromEnv("OFF", true));
+  EXPECT_FALSE(simd::SimdFromEnv("0", true));
+  EXPECT_FALSE(simd::SimdFromEnv("false", true));
+  EXPECT_FALSE(simd::SimdFromEnv("scalar", true));
+  EXPECT_TRUE(simd::SimdFromEnv(nullptr, true));
+  EXPECT_FALSE(simd::SimdFromEnv("", false));
+  EXPECT_TRUE(simd::SimdFromEnv("on", false));
+  EXPECT_TRUE(simd::SimdFromEnv("auto", false));
+}
+
+// Every microkernel in the table, scalar vs vector, over the ragged sweep.
+TEST_F(SimdTest, MicrokernelsBitIdenticalAcrossBackends) {
+  simd::SetEnabled(false);
+  const simd::KernelTable scalar = simd::Active();
+  simd::SetEnabled(true);
+  const simd::KernelTable vec = simd::Active();
+  for (const int64_t n : kRaggedSizes) {
+    SCOPED_TRACE("n=" + std::to_string(n));
+    const std::vector<float> x = RandomVec(n, 100 + static_cast<uint64_t>(n));
+    const std::vector<float> y0 = RandomVec(n, 200 + static_cast<uint64_t>(n));
+    // Mix signed zeros and exact zeros into the relu/max operands.
+    std::vector<float> edgy = y0;
+    if (n > 1) edgy[static_cast<size_t>(n / 2)] = -0.0f;
+    if (n > 2) edgy[static_cast<size_t>(n / 3)] = 0.0f;
+
+    auto check = [&](auto&& apply) {
+      std::vector<float> a = y0, b = y0;
+      apply(scalar, a);
+      apply(vec, b);
+      EXPECT_TRUE(BytesEqual(a, b));
+    };
+    check([&](const simd::KernelTable& kt, std::vector<float>& y) {
+      kt.axpy(0.75f, x.data(), y.data(), n);
+    });
+    check([&](const simd::KernelTable& kt, std::vector<float>& y) {
+      kt.scale(1.3f, y.data(), n);
+    });
+    check([&](const simd::KernelTable& kt, std::vector<float>& y) {
+      kt.mul(x.data(), y.data(), n);
+    });
+    check([&](const simd::KernelTable& kt, std::vector<float>& y) {
+      kt.add(x.data(), y.data(), n);
+    });
+    check([&](const simd::KernelTable& kt, std::vector<float>& y) {
+      kt.add_scalar(-0.4f, y.data(), n);
+    });
+    check([&](const simd::KernelTable& kt, std::vector<float>& y) {
+      y = edgy;
+      kt.relu(y.data(), n);
+    });
+    check([&](const simd::KernelTable& kt, std::vector<float>& y) {
+      kt.relu_backward(edgy.data(), y.data(), n);
+    });
+
+    const float mx_s = scalar.max(edgy.data(), n);
+    const float mx_v = vec.max(edgy.data(), n);
+    EXPECT_EQ(std::memcmp(&mx_s, &mx_v, sizeof(float)), 0);
+
+    const double dot_s = scalar.dot(x.data(), y0.data(), n);
+    const double dot_v = vec.dot(x.data(), y0.data(), n);
+    EXPECT_EQ(std::memcmp(&dot_s, &dot_v, sizeof(double)), 0);
+  }
+}
+
+// The converted tensor kernels: {simd on, off} x {1, 8 threads} must all
+// agree byte for byte, on shapes with ragged columns.
+TEST_F(SimdTest, ConvertedTensorOpsBitIdentical) {
+  // 37 columns: four full 8-lane vectors plus a 5-element tail per row.
+  auto run_all = [](bool simd_on, int threads) {
+    simd::SetEnabled(simd_on);
+    par::SetThreads(threads);
+    Matrix m = RandomMatrix(113, 37, 11);
+    const Matrix other = RandomMatrix(113, 37, 12);
+    const std::vector<float> bias = RandomVec(37, 13);
+    tensor::Axpy(0.5f, other, &m);
+    tensor::Scale(1.25f, &m);
+    tensor::Hadamard(other, &m);
+    tensor::AddBiasRow(bias, &m);
+    tensor::Relu(&m);
+    tensor::ReluBackward(other, &m);
+    tensor::SoftmaxRows(&m);
+    tensor::LogSoftmaxRows(&m);
+    tensor::NormalizeRows(2, &m);
+    tensor::NormalizeRows(1, &m);
+    return m;
+  };
+  const Matrix reference = run_all(false, 1);
+  for (const bool simd_on : {false, true}) {
+    for (const int threads : {1, 8}) {
+      SCOPED_TRACE(std::string("simd=") + (simd_on ? "on" : "off") +
+                   " threads=" + std::to_string(threads));
+      EXPECT_TRUE(BytesEqual(reference, run_all(simd_on, threads)));
+    }
+  }
+}
+
+// Single-column matrices exercise the all-tail path of every row kernel.
+TEST_F(SimdTest, SingleElementRowsBitIdentical) {
+  auto run = [](bool simd_on) {
+    simd::SetEnabled(simd_on);
+    Matrix m = RandomMatrix(64, 1, 21);
+    tensor::SoftmaxRows(&m);
+    tensor::LogSoftmaxRows(&m);
+    tensor::NormalizeRows(2, &m);
+    tensor::Relu(&m);
+    return m;
+  };
+  EXPECT_TRUE(BytesEqual(run(false), run(true)));
+}
+
+TEST_F(SimdTest, GemmFamilyBitIdentical) {
+  // Ragged inner and outer dimensions; a carries zeros so Gemm's zero-skip
+  // path runs too.
+  Matrix a = RandomMatrix(37, 33, 31);
+  for (int64_t i = 0; i < a.size(); i += 3) a.data()[i] = 0.0f;
+  const Matrix b = RandomMatrix(33, 29, 32);
+  const Matrix at = tensor::Transpose(a);
+  const Matrix bt = tensor::Transpose(b);
+  auto run = [&](bool simd_on, int threads) {
+    simd::SetEnabled(simd_on);
+    par::SetThreads(threads);
+    Matrix c, cta, ctb;
+    tensor::Gemm(a, b, &c);
+    tensor::GemmTransposeA(at, b, &cta);
+    tensor::GemmTransposeB(a, bt, &ctb);
+    Matrix joined = tensor::ConcatCols(tensor::ConcatCols(c, cta), ctb);
+    return joined;
+  };
+  const Matrix reference = run(false, 1);
+  for (const bool simd_on : {false, true}) {
+    for (const int threads : {1, 8}) {
+      SCOPED_TRACE(std::string("simd=") + (simd_on ? "on" : "off") +
+                   " threads=" + std::to_string(threads));
+      EXPECT_TRUE(BytesEqual(reference, run(simd_on, threads)));
+    }
+  }
+}
+
+TEST_F(SimdTest, TiledTransposeMatchesNaive) {
+  // 70x45 spans multiple 32x32 tiles with ragged edges in both dimensions.
+  const Matrix m = RandomMatrix(70, 45, 41);
+  const Matrix t = tensor::Transpose(m);
+  ASSERT_EQ(t.rows(), 45);
+  ASSERT_EQ(t.cols(), 70);
+  for (int64_t r = 0; r < m.rows(); ++r) {
+    for (int64_t c = 0; c < m.cols(); ++c) {
+      const float tv = t.at(c, r), mv = m.at(r, c);
+      ASSERT_EQ(std::memcmp(&tv, &mv, sizeof(float)), 0);
+    }
+  }
+  EXPECT_TRUE(BytesEqual(m, tensor::Transpose(t)));
+}
+
+// SpMM: a skewed graph with a feature width that engages the cache-blocked
+// row-panel schedule (cols > 128, and 160 is 2.5 column blocks), plus a
+// narrow width on the unblocked path, across backends and thread counts.
+TEST_F(SimdTest, PropagatorApplyBitIdentical) {
+  const CsrGraph g = graph::BarabasiAlbert(500, 6, 42);
+  for (const int64_t cols : {17L, 160L}) {
+    const Matrix x = RandomMatrix(g.num_nodes(), cols, 50 + cols);
+    auto run = [&](bool simd_on, int threads) {
+      simd::SetEnabled(simd_on);
+      par::SetThreads(threads);
+      graph::Propagator prop(g, Normalization::kSymmetric,
+                             /*add_self_loops=*/true);
+      Matrix out;
+      prop.Apply(x, &out);
+      Matrix out_t;
+      prop.ApplyTranspose(x, &out_t);
+      return tensor::ConcatCols(out, out_t);
+    };
+    const Matrix reference = run(false, 1);
+    for (const bool simd_on : {false, true}) {
+      for (const int threads : {1, 8}) {
+        SCOPED_TRACE("cols=" + std::to_string(cols) + " simd=" +
+                     (simd_on ? std::string("on") : std::string("off")) +
+                     " threads=" + std::to_string(threads));
+        EXPECT_TRUE(BytesEqual(reference, run(simd_on, threads)));
+      }
+    }
+  }
+}
+
+// Empty rows (isolated nodes) and single-edge rows through the blocked
+// schedule: panels must handle zero-degree rows without skipping billing
+// or touching their output.
+TEST_F(SimdTest, PropagatorHandlesIsolatedNodes) {
+  std::vector<graph::Edge> edges;
+  // Nodes 0..9; node 3 and 7 isolated; node 0 is a small hub.
+  for (NodeId v : {1u, 2u, 4u, 5u, 6u, 8u, 9u}) {
+    edges.push_back({0, v, 1.0f});
+    edges.push_back({v, 0, 1.0f});
+  }
+  edges.push_back({5, 6, 2.0f});
+  const CsrGraph g = CsrGraph::FromEdges(10, edges);
+  const Matrix x = RandomMatrix(10, 200, 61);  // Engages the blocked path.
+  auto run = [&](bool simd_on) {
+    simd::SetEnabled(simd_on);
+    graph::Propagator prop(g, Normalization::kRow, /*add_self_loops=*/false);
+    Matrix out;
+    prop.Apply(x, &out);
+    return out;
+  };
+  const Matrix scalar_out = run(false);
+  EXPECT_TRUE(BytesEqual(scalar_out, run(true)));
+  // Isolated nodes propagate nothing: their output rows stay zero.
+  for (int64_t c = 0; c < scalar_out.cols(); ++c) {
+    EXPECT_EQ(scalar_out.at(3, c), 0.0f);
+    EXPECT_EQ(scalar_out.at(7, c), 0.0f);
+  }
+}
+
+// The out-of-core SpMM must match the in-memory propagator byte for byte
+// on both backends, including under a budget that forces eviction.
+TEST_F(SimdTest, OocPropagatorBitIdenticalToInMemory) {
+  const CsrGraph g = graph::ErdosRenyi(300, 2400, 77);
+  const Matrix x = RandomMatrix(g.num_nodes(), 24, 78);
+  Matrix want;
+  {
+    simd::SetEnabled(false);
+    graph::Propagator prop(g, Normalization::kSymmetric,
+                           /*add_self_loops=*/true);
+    prop.Apply(x, &want);
+  }
+  const std::string dir = ::testing::TempDir() + "/sgnn_simd_ooc";
+  std::filesystem::remove_all(dir);
+  ASSERT_TRUE(storage::WriteShardedGraph(
+                  g, storage::ShardPlan::Contiguous(g, 5), dir)
+                  .ok());
+  for (const bool simd_on : {false, true}) {
+    for (const int threads : {1, 8}) {
+      SCOPED_TRACE(std::string("simd=") + (simd_on ? "on" : "off") +
+                   " threads=" + std::to_string(threads));
+      simd::SetEnabled(simd_on);
+      par::SetThreads(threads);
+      auto open_or = storage::ShardedGraph::Open(dir);
+      ASSERT_TRUE(open_or.ok()) << open_or.status().message();
+      auto prop_or = storage::OocPropagator::Create(
+          open_or.value().get(), Normalization::kSymmetric,
+          /*add_self_loops=*/true);
+      ASSERT_TRUE(prop_or.ok()) << prop_or.status().message();
+      Matrix out;
+      ASSERT_TRUE(prop_or.value().Apply(x, &out).ok());
+      EXPECT_TRUE(BytesEqual(want, out));
+    }
+  }
+}
+
+// Byte accounting is a pure function of the workload: identical at any
+// thread count and on either backend, and exactly the documented formula
+// for a dense kernel.
+TEST_F(SimdTest, ByteAccountingExactAndInvariant) {
+  const Matrix other = RandomMatrix(100, 37, 91);
+  // Axpy over s scalars: reads both operands, writes one — 8s bytes read,
+  // 4s written, exactly, regardless of how par shards the range.
+  const uint64_t s = static_cast<uint64_t>(other.size());
+  uint64_t want_read = 8 * s, want_written = 4 * s;
+  for (const bool simd_on : {false, true}) {
+    for (const int threads : {1, 8}) {
+      SCOPED_TRACE(std::string("simd=") + (simd_on ? "on" : "off") +
+                   " threads=" + std::to_string(threads));
+      simd::SetEnabled(simd_on);
+      par::SetThreads(threads);
+      Matrix m = RandomMatrix(100, 37, 90);
+      common::ScopedCounterDelta scope;
+      tensor::Axpy(0.5f, other, &m);
+      EXPECT_EQ(scope.Delta().bytes_read, want_read);
+      EXPECT_EQ(scope.Delta().bytes_written, want_written);
+    }
+  }
+
+  // Dense Gemm(m x k, k x n): every a element survives the zero-skip, so
+  // the bill is the scan (m*k reads) plus m*k axpys over n.
+  const int64_t gm = 23, gk = 17, gn = 13;
+  Matrix a(gm, gk), b(gk, gn);
+  for (int64_t i = 0; i < a.size(); ++i) a.data()[i] = 1.0f;
+  for (int64_t i = 0; i < b.size(); ++i) b.data()[i] = 2.0f;
+  want_read = 4u * (static_cast<uint64_t>(gm * gk) +
+                    static_cast<uint64_t>(gm * gk) * 2u * gn);
+  want_written = 4u * static_cast<uint64_t>(gm * gk) * gn;
+  for (const int threads : {1, 8}) {
+    par::SetThreads(threads);
+    Matrix c;
+    common::ScopedCounterDelta scope;
+    tensor::Gemm(a, b, &c);
+    EXPECT_EQ(scope.Delta().bytes_read, want_read) << threads;
+    EXPECT_EQ(scope.Delta().bytes_written, want_written) << threads;
+  }
+
+  // SpMM bills the same bytes at any thread count and on both backends
+  // (formula is degree-dependent, so pin invariance rather than a closed
+  // form).
+  const CsrGraph g = graph::BarabasiAlbert(400, 5, 17);
+  const Matrix x = RandomMatrix(g.num_nodes(), 160, 92);
+  uint64_t ref_read = 0, ref_written = 0;
+  for (const bool simd_on : {false, true}) {
+    for (const int threads : {1, 8}) {
+      SCOPED_TRACE(std::string("simd=") + (simd_on ? "on" : "off") +
+                   " threads=" + std::to_string(threads));
+      simd::SetEnabled(simd_on);
+      par::SetThreads(threads);
+      graph::Propagator prop(g, Normalization::kSymmetric,
+                             /*add_self_loops=*/true);
+      Matrix out;
+      common::ScopedCounterDelta scope;
+      prop.Apply(x, &out);
+      if (ref_read == 0) {
+        ref_read = scope.Delta().bytes_read;
+        ref_written = scope.Delta().bytes_written;
+        EXPECT_GT(ref_read, 0u);
+        EXPECT_GT(ref_written, 0u);
+      } else {
+        EXPECT_EQ(scope.Delta().bytes_read, ref_read);
+        EXPECT_EQ(scope.Delta().bytes_written, ref_written);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sgnn

@@ -87,6 +87,13 @@ RULES = [
         "both, so injected network faults no longer replay",
         fixture="det-net-syscall.cc.fixture"),
     registry.Rule(
+        "det/simd-intrinsics",
+        "vector intrinsics are confined to src/simd/, where each AVX2 "
+        "kernel is paired with the bit-identical scalar fallback the "
+        "SGNN_SIMD=off CI leg proves; an intrinsic elsewhere has no paired "
+        "fallback and silently diverges on older CPUs",
+        fixture="det-simd-intrinsics.cc.fixture"),
+    registry.Rule(
         "det/unordered-iteration",
         "iterating an unordered container visits hash-table order -- a "
         "function of insertion history and library version; sort the "
@@ -141,6 +148,14 @@ CONFINED_FORBIDDEN = {
         (_R["det/process-syscall"], "kill(",
          re.compile(
              r"(?<![_\w])(?:kill|waitpid|signal|sigaction|_exit)\s*\(")),
+    ],
+    "src/simd/": [
+        (_R["det/simd-intrinsics"], "immintrin.h",
+         re.compile(r"#\s*include\s*<(?:imm|x86|avx|avx2|emm|xmm)intrin\.h>")),
+        (_R["det/simd-intrinsics"], "_mm intrinsic",
+         re.compile(r"(?<![_\w])_mm(?:\d+)?_\w+\s*\(")),
+        (_R["det/simd-intrinsics"], "__m vector type",
+         re.compile(r"(?<![_\w])__m(?:128|256|512)[id]?\b")),
     ],
     "src/net/": [
         (_R["det/net-syscall"], "socket(",
